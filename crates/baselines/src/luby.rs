@@ -1,0 +1,121 @@
+//! Luby/Johansson random palette trials — the `O(log n)` classic.
+//!
+//! Every uncolored vertex tries a uniform color from its current palette
+//! each round; conflicts resolve by id. Θ(log n) rounds w.h.p. \[Joh99\].
+//! This is E1's baseline: its round count *grows* with `n` while the
+//! paper's algorithm stays (nearly) flat in the high-degree regime.
+
+use cgc_cluster::ClusterNet;
+use cgc_core::{trycolor::try_color_round, Coloring};
+use cgc_net::SeedStream;
+use rand::RngExt;
+
+/// Round-count statistics of a Johansson run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JohanssonStats {
+    /// Rounds until the coloring became total.
+    pub rounds: usize,
+    /// Whether the run hit the round cap before finishing.
+    pub capped: bool,
+}
+
+/// Runs Johansson's algorithm to completion (or `max_rounds`).
+pub fn luby_coloring(
+    net: &mut ClusterNet<'_>,
+    seeds: &SeedStream,
+    max_rounds: usize,
+) -> (Coloring, JohanssonStats) {
+    let n = net.g.n_vertices();
+    let q = net.g.max_degree() + 1;
+    let mut coloring = Coloring::new(n, q);
+    net.set_phase("johansson");
+    let mut rounds = 0usize;
+    while !coloring.is_total() && rounds < max_rounds {
+        rounds += 1;
+        // Palette maintenance bitmap + the trial round.
+        net.charge_full_rounds(1, q as u64);
+        let palettes: Vec<Vec<usize>> = (0..n)
+            .map(|v| {
+                if coloring.is_colored(v) {
+                    Vec::new()
+                } else {
+                    coloring.palette_oracle(net.g, v)
+                }
+            })
+            .collect();
+        let eligible: Vec<bool> = (0..n).map(|v| !coloring.is_colored(v)).collect();
+        try_color_round(
+            net,
+            &mut coloring,
+            seeds,
+            rounds as u64,
+            &eligible,
+            1.0,
+            |v, rng| {
+                let pal = &palettes[v];
+                if pal.is_empty() {
+                    None
+                } else {
+                    Some(pal[rng.random_range(0..pal.len())])
+                }
+            },
+        );
+    }
+    let capped = !coloring.is_total();
+    (coloring, JohanssonStats { rounds, capped })
+}
+
+/// Convenience wrapper returning only the stats (E1 series).
+pub fn johansson_stats(
+    net: &mut ClusterNet<'_>,
+    seeds: &SeedStream,
+    max_rounds: usize,
+) -> JohanssonStats {
+    luby_coloring(net, seeds, max_rounds).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_cluster::ClusterGraph;
+    use cgc_graphs::{gnp_spec, realize, Layout};
+    use cgc_net::CommGraph;
+
+    #[test]
+    fn finishes_cliques() {
+        let g = ClusterGraph::singletons(CommGraph::complete(20));
+        let mut net = ClusterNet::with_log_budget(&g, 32);
+        let seeds = SeedStream::new(1);
+        let (c, stats) = luby_coloring(&mut net, &seeds, 500);
+        assert!(!stats.capped);
+        assert!(c.is_total());
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn rounds_grow_mildly_with_n() {
+        let run = |n: usize| {
+            let spec = gnp_spec(n, 8.0 / n as f64, 3);
+            let g = realize(&spec, Layout::Singleton, 1, 3);
+            let mut net = ClusterNet::with_log_budget(&g, 32);
+            let seeds = SeedStream::new(4);
+            johansson_stats(&mut net, &seeds, 10_000).rounds
+        };
+        let small = run(64);
+        let large = run(1024);
+        // Logarithmic-ish growth: larger instance takes more rounds but
+        // not absurdly more.
+        assert!(large >= small, "small {small}, large {large}");
+        assert!(large <= 20 * small.max(4), "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn respects_round_cap() {
+        let g = ClusterGraph::singletons(CommGraph::complete(30));
+        let mut net = ClusterNet::with_log_budget(&g, 32);
+        let seeds = SeedStream::new(5);
+        let (_, stats) = luby_coloring(&mut net, &seeds, 1);
+        assert_eq!(stats.rounds, 1);
+        assert!(stats.capped);
+    }
+}

@@ -1,0 +1,29 @@
+//! Criterion: almost-clique decomposition — oracle vs fingerprint.
+
+use cgc_bench::dense_instance;
+use cgc_cluster::ClusterNet;
+use cgc_decomp::{acd_oracle, compute_acd, AcdParams};
+use cgc_net::SeedStream;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_acd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("acd");
+    g.sample_size(10);
+    for blocks in [2usize, 4] {
+        let h = dense_instance(blocks, 24, 9);
+        g.bench_with_input(BenchmarkId::new("oracle", blocks), &blocks, |b, _| {
+            b.iter(|| black_box(acd_oracle(&h, 0.2)));
+        });
+        g.bench_with_input(BenchmarkId::new("fingerprint", blocks), &blocks, |b, _| {
+            b.iter(|| {
+                let mut net = ClusterNet::with_log_budget(&h, 32);
+                black_box(compute_acd(&mut net, &AcdParams::default(), &SeedStream::new(1)))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_acd);
+criterion_main!(benches);

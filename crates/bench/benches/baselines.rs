@@ -1,0 +1,32 @@
+//! Criterion: baseline algorithms for scale comparison.
+
+use cgc_baselines::{greedy_coloring, luby_coloring};
+use cgc_cluster::ClusterNet;
+use cgc_graphs::{gnp_spec, realize, Layout};
+use cgc_net::SeedStream;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(20);
+    for n in [200usize, 800] {
+        let h = realize(&gnp_spec(n, 10.0 / n as f64, 1), Layout::Singleton, 1, 1);
+        g.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| {
+                let mut net = ClusterNet::with_log_budget(&h, 32);
+                black_box(greedy_coloring(&mut net))
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("johansson", n), &n, |b, _| {
+            b.iter(|| {
+                let mut net = ClusterNet::with_log_budget(&h, 32);
+                black_box(luby_coloring(&mut net, &SeedStream::new(2), 10_000))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion: the full coloring pipeline end-to-end.
+
+use cgc_bench::dense_instance;
+use cgc_cluster::ClusterNet;
+use cgc_core::{color_cluster_graph, Params};
+use cgc_graphs::{cabal_spec, gnp_spec, realize, Layout};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_endtoend(c: &mut Criterion) {
+    let mut g = c.benchmark_group("endtoend");
+    g.sample_size(10);
+
+    let lowdeg = realize(&gnp_spec(400, 0.02, 1), Layout::Singleton, 1, 1);
+    g.bench_function("lowdeg_gnp400", |b| {
+        b.iter(|| {
+            let mut net = ClusterNet::with_log_budget(&lowdeg, 32);
+            black_box(color_cluster_graph(&mut net, &Params::laptop(400), 1))
+        });
+    });
+
+    for blocks in [2usize, 4] {
+        let h = dense_instance(blocks, 24, 2);
+        g.bench_with_input(BenchmarkId::new("dense_blocks", blocks), &blocks, |b, _| {
+            b.iter(|| {
+                let mut net = ClusterNet::with_log_budget(&h, 32);
+                black_box(color_cluster_graph(&mut net, &Params::laptop(h.n_vertices()), 2))
+            });
+        });
+    }
+
+    let (spec, _) = cabal_spec(3, 24, 2, 4, 3);
+    let cabal = realize(&spec, Layout::Star(3), 1, 3);
+    g.bench_function("cabals_star_layout", |b| {
+        b.iter(|| {
+            let mut net = ClusterNet::with_log_budget(&cabal, 32);
+            black_box(color_cluster_graph(&mut net, &Params::laptop(cabal.n_vertices()), 3))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion: fingerprint primitives (§5) — sampling, merging,
+//! estimation, compressed encode/decode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cgc_net::SeedStream;
+use cgc_sketch::{decode_maxima, encode_maxima, estimate_count, Fingerprint};
+use std::hint::black_box;
+
+fn maxima(d: usize, t: usize) -> Vec<i16> {
+    let s = SeedStream::new(1);
+    let mut acc = Fingerprint::empty(t);
+    for id in 0..d {
+        acc.merge(&Fingerprint::sample(&mut s.rng_for(id as u64, 0), t));
+    }
+    acc.maxima().to_vec()
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fingerprint");
+    let s = SeedStream::new(2);
+
+    for t in [128usize, 512] {
+        g.bench_with_input(BenchmarkId::new("sample", t), &t, |b, &t| {
+            let mut rng = s.rng_for(0, 0);
+            b.iter(|| black_box(Fingerprint::sample(&mut rng, t)));
+        });
+        let a = Fingerprint::sample(&mut s.rng_for(1, 0), t);
+        let bfp = Fingerprint::sample(&mut s.rng_for(2, 0), t);
+        g.bench_with_input(BenchmarkId::new("merge", t), &t, |b, _| {
+            b.iter(|| black_box(a.merged(&bfp)));
+        });
+    }
+
+    for d in [100usize, 10_000] {
+        let m = maxima(d, 512);
+        g.bench_with_input(BenchmarkId::new("estimate_d", d), &d, |b, _| {
+            b.iter(|| black_box(estimate_count(&m)));
+        });
+        g.bench_with_input(BenchmarkId::new("encode_d", d), &d, |b, _| {
+            b.iter(|| black_box(encode_maxima(&m)));
+        });
+        let buf = encode_maxima(&m);
+        g.bench_with_input(BenchmarkId::new("decode_d", d), &d, |b, _| {
+            b.iter(|| black_box(decode_maxima(&buf, m.len())));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fingerprint);
+criterion_main!(benches);

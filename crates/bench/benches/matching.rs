@@ -1,0 +1,47 @@
+//! Criterion: colorful matchings — sampling regime (Lemma 4.9) vs the §6
+//! fingerprint regime.
+
+use cgc_cluster::ClusterNet;
+use cgc_core::matching::{fingerprint_matching, sampled_colorful_matching};
+use cgc_core::Coloring;
+use cgc_graphs::{cabal_spec, realize, Layout};
+use cgc_net::SeedStream;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matching");
+    g.sample_size(20);
+    for k in [24usize, 48] {
+        let (spec, info) = cabal_spec(1, k, k / 6, 0, 4);
+        let h = realize(&spec, Layout::Singleton, 1, 4);
+        let seeds = SeedStream::new(5);
+
+        g.bench_with_input(BenchmarkId::new("sampled", k), &k, |b, _| {
+            b.iter(|| {
+                let mut net = ClusterNet::with_log_budget(&h, 32);
+                let mut coloring = Coloring::new(h.n_vertices(), h.max_degree() + 1);
+                black_box(sampled_colorful_matching(
+                    &mut net,
+                    &mut coloring,
+                    &seeds,
+                    0,
+                    &info.cliques,
+                    2,
+                    10,
+                ))
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("fingerprint", k), &k, |b, _| {
+            b.iter(|| {
+                let mut net = ClusterNet::with_log_budget(&h, 32);
+                black_box(fingerprint_matching(&mut net, &seeds, 0, &info.cliques[0], 120))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

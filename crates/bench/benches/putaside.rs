@@ -1,0 +1,83 @@
+//! Criterion: put-aside machinery (Lemma 4.18 computation + §7 coloring).
+
+use cgc_cluster::ClusterNet;
+use cgc_core::putaside::{color_putaside_sets, compute_putaside_sets, CabalCtx};
+use cgc_core::{Coloring, Params};
+use cgc_graphs::{cabal_spec, realize, Layout};
+use cgc_net::SeedStream;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_putaside(c: &mut Criterion) {
+    let mut g = c.benchmark_group("putaside");
+    g.sample_size(20);
+    for cabals in [2usize, 4] {
+        let (spec, info) = cabal_spec(cabals, 24, 2, 4, 6);
+        let h = realize(&spec, Layout::Singleton, 1, 6);
+        let seeds = SeedStream::new(7);
+        let empty = Coloring::new(h.n_vertices(), h.max_degree() + 1);
+        let targets = vec![3usize; cabals];
+
+        g.bench_with_input(BenchmarkId::new("compute", cabals), &cabals, |b, _| {
+            b.iter(|| {
+                let mut net = ClusterNet::with_log_budget(&h, 32);
+                black_box(compute_putaside_sets(
+                    &mut net,
+                    &empty,
+                    &seeds,
+                    0,
+                    &info.cliques,
+                    &targets,
+                    4,
+                ))
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("color", cabals), &cabals, |b, _| {
+            // Pre-color everything except 3 isolated members per cabal.
+            b.iter(|| {
+                let mut net = ClusterNet::with_log_budget(&h, 32);
+                let mut coloring = Coloring::new(h.n_vertices(), h.max_degree() + 1);
+                let mut ctxs = Vec::new();
+                for k in &info.cliques {
+                    let putaside: Vec<usize> = k
+                        .iter()
+                        .rev()
+                        .copied()
+                        .filter(|&v| h.neighbors(v).iter().all(|&u| k.contains(&u)))
+                        .take(3)
+                        .collect();
+                    let mut next = 0usize;
+                    for &v in k {
+                        if putaside.contains(&v) {
+                            continue;
+                        }
+                        while h
+                            .neighbors(v)
+                            .iter()
+                            .any(|&u| coloring.get(u) == Some(next))
+                        {
+                            next += 1;
+                        }
+                        coloring.set(v, next);
+                        next += 1;
+                    }
+                    ctxs.push(CabalCtx { clique: k.clone(), putaside });
+                }
+                let params = Params::laptop(h.n_vertices());
+                black_box(color_putaside_sets(
+                    &mut net,
+                    &mut coloring,
+                    &seeds,
+                    0,
+                    &params,
+                    &ctxs,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_putaside);
+criterion_main!(benches);

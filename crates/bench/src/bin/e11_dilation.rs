@@ -1,0 +1,31 @@
+//! E11 — the `d`-dependence of Theorems 1.1/1.2: with the same conflict
+//! graph, network rounds scale linearly with the cluster dilation while
+//! cluster rounds stay put.
+
+use cgc_bench::{f3, Table};
+use cgc_cluster::ClusterNet;
+use cgc_core::{color_cluster_graph, Params};
+use cgc_graphs::{gnp_spec, realize, Layout};
+
+fn main() {
+    let mut t = Table::new(
+        "E11: same H, growing cluster dilation (path clusters)",
+        &["path_len", "dilation", "H_rounds", "G_rounds", "G/H"],
+    );
+    let spec = gnp_spec(60, 0.1, 11);
+    for m in [1usize, 2, 4, 8, 16, 32] {
+        let layout = if m == 1 { Layout::Singleton } else { Layout::Path(m) };
+        let g = realize(&spec, layout, 1, 11);
+        let mut net = ClusterNet::with_log_budget(&g, 32);
+        let run = color_cluster_graph(&mut net, &Params::laptop(g.n_vertices()), 21);
+        assert!(run.coloring.is_total());
+        t.row(vec![
+            m.to_string(),
+            g.dilation().to_string(),
+            run.report.h_rounds.to_string(),
+            run.report.g_rounds.to_string(),
+            f3(run.report.g_rounds as f64 / run.report.h_rounds.max(1) as f64),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,36 @@
+//! E13 — §9.1 / \[BEPS16\]: component sizes of the uncolored subgraph after
+//! `r` rounds of palette trials shrink geometrically.
+
+use cgc_bench::{f3, Table};
+use cgc_cluster::ClusterNet;
+use cgc_core::lowdeg::{shatter, uncolored_components};
+use cgc_core::Coloring;
+use cgc_graphs::{gnp_spec, realize, Layout};
+use cgc_net::SeedStream;
+
+fn main() {
+    let mut t = Table::new(
+        "E13: shattering — uncolored components vs trial rounds (n = 2000, Δ ≈ 10)",
+        &["rounds", "uncolored", "n_components", "max_component", "avg_component"],
+    );
+    let n = 2000usize;
+    let spec = gnp_spec(n, 10.0 / n as f64, 13);
+    let g = realize(&spec, Layout::Singleton, 1, 13);
+    for rounds in [0usize, 1, 2, 3, 4, 6, 8] {
+        let mut coloring = Coloring::new(g.n_vertices(), g.max_degree() + 1);
+        let mut net = ClusterNet::with_log_budget(&g, 32);
+        shatter(&mut net, &mut coloring, &SeedStream::new(1300), 0, rounds);
+        let comps = uncolored_components(&g, &coloring);
+        let uncolored: usize = comps.iter().map(Vec::len).sum();
+        let max_c = comps.iter().map(Vec::len).max().unwrap_or(0);
+        let avg = if comps.is_empty() { 0.0 } else { uncolored as f64 / comps.len() as f64 };
+        t.row(vec![
+            rounds.to_string(),
+            uncolored.to_string(),
+            comps.len().to_string(),
+            max_c.to_string(),
+            f3(avg),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,34 @@
+//! E17 — Figures 2–3: the bottleneck-link adversarial layout. Any
+//! algorithm moving raw neighbor lists would pay `Ω(Δ/log n)` rounds per
+//! step through the bridge; the aggregation-only pipeline stays within
+//! budget and its rounds scale with dilation, not with Δ.
+
+use cgc_bench::{f3, Table};
+use cgc_cluster::ClusterNet;
+use cgc_core::{color_cluster_graph, Params};
+use cgc_graphs::bottleneck_instance;
+
+fn main() {
+    let mut t = Table::new(
+        "E17: adversarial bottleneck layouts (complete conflict graph)",
+        &["clusters", "path_len", "delta", "H_rounds", "G_rounds", "max_msg_bits", "oversized"],
+    );
+    for clusters in [6usize, 10, 14] {
+        for path_len in [2usize, 6, 12] {
+            let g = bottleneck_instance(clusters, path_len);
+            let mut net = ClusterNet::with_log_budget(&g, 32);
+            let run = color_cluster_graph(&mut net, &Params::laptop(g.n_vertices()), 27);
+            assert!(run.coloring.is_total() && run.coloring.is_proper(&g));
+            t.row(vec![
+                clusters.to_string(),
+                path_len.to_string(),
+                g.max_degree().to_string(),
+                run.report.h_rounds.to_string(),
+                run.report.g_rounds.to_string(),
+                run.report.max_msg_bits.to_string(),
+                f3(run.report.oversized_msgs as f64),
+            ]);
+        }
+    }
+    t.print();
+}

@@ -1,0 +1,49 @@
+//! E4 — Lemma 5.2: the fingerprint estimate satisfies `|d − d̂| ≤ ξd`
+//! with probability `1 − 6·exp(−ξ²t/200)`; series of empirical error vs
+//! the analytic bound across `d` and `t`.
+
+use cgc_bench::{f3, Table};
+use cgc_net::SeedStream;
+use cgc_sketch::{estimate_count, Fingerprint};
+
+fn maxima(d: usize, t: usize, seed: u64) -> Vec<i16> {
+    let s = SeedStream::new(seed);
+    let mut acc = Fingerprint::empty(t);
+    for id in 0..d {
+        acc.merge(&Fingerprint::sample(&mut s.rng_for(id as u64, 0), t));
+    }
+    acc.maxima().to_vec()
+}
+
+fn main() {
+    let xi = 0.2f64;
+    let mut t = Table::new(
+        "E4: fingerprint estimator accuracy (ξ = 0.2)",
+        &["d", "t", "mean_rel_err", "p_fail_emp", "lemma_bound"],
+    );
+    for d in [10usize, 100, 1_000, 10_000] {
+        for trials in [64usize, 256, 1024, 4096] {
+            let reps = 30u64;
+            let mut errs = 0.0;
+            let mut fails = 0usize;
+            for rep in 0..reps {
+                let m = maxima(d, trials, 9000 + rep * 131 + d as u64);
+                let e = estimate_count(&m);
+                let rel = (e - d as f64).abs() / d as f64;
+                errs += rel;
+                if rel > xi {
+                    fails += 1;
+                }
+            }
+            let bound = (6.0 * (-xi * xi * trials as f64 / 200.0).exp()).min(1.0);
+            t.row(vec![
+                d.to_string(),
+                trials.to_string(),
+                f3(errs / reps as f64),
+                f3(fails as f64 / reps as f64),
+                f3(bound),
+            ]);
+        }
+    }
+    t.print();
+}

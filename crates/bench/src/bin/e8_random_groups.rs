@@ -1,0 +1,47 @@
+//! E8 — Lemma 4.4: random groups inside an almost-clique concentrate in
+//! size and every vertex is adjacent to a majority of every group.
+
+use cgc_bench::{f3, Table};
+use cgc_cluster::{check_groups, random_groups, ClusterGraph, ClusterNet};
+use cgc_graphs::{cabal_spec, realize, Layout};
+use cgc_net::{CommGraph, SeedStream};
+
+fn main() {
+    let mut t = Table::new(
+        "E8: random groups in a 200-clique (Lemma 4.4)",
+        &["x_groups", "instance", "min_size", "max_size", "majority_fail_rate"],
+    );
+    let clique200 = ClusterGraph::singletons(CommGraph::complete(200));
+    let (spec, info) = cabal_spec(1, 200, 10, 0, 8);
+    let noisy = realize(&spec, Layout::Singleton, 1, 8);
+    for x in [2usize, 4, 8, 16] {
+        for (name, g, members) in [
+            ("true-clique", &clique200, (0..200).collect::<Vec<_>>()),
+            ("anti-10pairs", &noisy, info.cliques[0].clone()),
+        ] {
+            let reps = 20u64;
+            let mut min_s = usize::MAX;
+            let mut max_s = 0usize;
+            let mut fails = 0usize;
+            for rep in 0..reps {
+                let mut net = ClusterNet::with_log_budget(g, 32);
+                let mut rng = SeedStream::new(800 + rep).rng_for(x as u64, 0);
+                let groups = random_groups(&mut net, &members, x, &mut rng);
+                let chk = check_groups(&net, &members, &groups);
+                min_s = min_s.min(chk.min_size);
+                max_s = max_s.max(chk.max_size);
+                if !chk.majority_adjacency {
+                    fails += 1;
+                }
+            }
+            t.row(vec![
+                x.to_string(),
+                name.to_owned(),
+                min_s.to_string(),
+                max_s.to_string(),
+                f3(fails as f64 / reps as f64),
+            ]);
+        }
+    }
+    t.print();
+}

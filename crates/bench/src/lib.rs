@@ -1,0 +1,108 @@
+//! Experiment harness utilities: aligned-table output and shared
+//! instance builders used by the `e*` experiment binaries (see
+//! EXPERIMENTS.md for the experiment ↔ claim index).
+
+use cgc_cluster::ClusterGraph;
+use cgc_graphs::{mixture_spec, realize, Layout, MixtureConfig};
+
+/// A simple experiment table printed aligned and as CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table aligned, then as CSV (machine-readable).
+    pub fn print(&self) {
+        println!("\n== {} ==", self.title);
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", fmt_row(&self.headers));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+        println!("-- csv --");
+        println!("{}", self.headers.join(","));
+        for row in &self.rows {
+            println!("{}", row.join(","));
+        }
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// A planted high-degree instance with `c` blocks of size `k` (singleton
+/// layout) — the standard E1/E14 workload.
+pub fn dense_instance(c: usize, k: usize, seed: u64) -> ClusterGraph {
+    let cfg = MixtureConfig {
+        n_cliques: c,
+        clique_size: k,
+        anti_edge_prob: 0.03,
+        external_per_vertex: 2,
+        sparse_n: (c * k) / 4,
+        sparse_p: 0.05,
+    };
+    let (spec, _) = mixture_spec(&cfg, seed);
+    realize(&spec, Layout::Singleton, 1, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_consistent_arity() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn dense_instance_is_dense() {
+        let g = dense_instance(2, 20, 1);
+        assert!(g.max_degree() >= 19);
+    }
+}

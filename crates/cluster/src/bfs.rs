@@ -1,0 +1,187 @@
+//! Parallel BFS in vertex-disjoint subgraphs of `H` (Lemma 3.2).
+//!
+//! A `t`-hop BFS from one source per subgraph runs in `O(t)` rounds of
+//! communication on `G`, because the subgraphs are vertex-disjoint in `H`
+//! and hence their induced trees are edge-disjoint in `G`. The resulting
+//! trees support aggregation in which every vertex contributes exactly once
+//! (no double counting over parallel links), and they feed the prefix-sum
+//! machinery of Lemma 3.3.
+
+use crate::comm::ClusterNet;
+use crate::graph::VertexId;
+use std::collections::VecDeque;
+
+/// A BFS tree inside one subgraph of `H`.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// The source vertex `s_i`.
+    pub source: VertexId,
+    /// Vertices reached, in BFS order (source first).
+    pub members: Vec<VertexId>,
+    /// `parent[j]` is the tree parent of `members[j]` (`None` for source).
+    pub parent: Vec<Option<VertexId>>,
+    /// `depth[j]` is the hop distance of `members[j]` from the source.
+    pub depth: Vec<usize>,
+}
+
+impl BfsTree {
+    /// Tree height (max depth).
+    pub fn height(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Parent lookup by vertex id (linear in tree size; trees are small or
+    /// the caller keeps its own map).
+    pub fn parent_of(&self, v: VertexId) -> Option<VertexId> {
+        self.members.iter().position(|&m| m == v).and_then(|j| self.parent[j])
+    }
+}
+
+/// The result of running Lemma 3.2 over a family of subgraphs.
+#[derive(Debug, Clone)]
+pub struct BfsForest {
+    /// One tree per subgraph, in input order.
+    pub trees: Vec<BfsTree>,
+    /// `tree_of[v]` is the index of the subgraph whose BFS reached `v`.
+    pub tree_of: Vec<Option<usize>>,
+}
+
+impl BfsForest {
+    /// Runs a `t_hops`-hop BFS from `sources[i]` inside each
+    /// `subgraphs[i]`, in parallel, charging `O(t_hops)` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subgraphs are not vertex-disjoint, if a source is not a
+    /// member of its subgraph, or if lengths mismatch — all of which are
+    /// precondition violations of Lemma 3.2.
+    pub fn run(
+        net: &mut ClusterNet<'_>,
+        subgraphs: &[Vec<VertexId>],
+        sources: &[VertexId],
+        t_hops: usize,
+    ) -> BfsForest {
+        assert_eq!(subgraphs.len(), sources.len(), "one source per subgraph");
+        let n = net.g.n_vertices();
+        let mut membership: Vec<Option<usize>> = vec![None; n];
+        for (i, sub) in subgraphs.iter().enumerate() {
+            for &v in sub {
+                assert!(
+                    membership[v].is_none(),
+                    "subgraphs must be vertex-disjoint (vertex {v} repeated)"
+                );
+                membership[v] = Some(i);
+            }
+        }
+        for (i, &s) in sources.iter().enumerate() {
+            assert_eq!(membership[s], Some(i), "source {s} not in its subgraph");
+        }
+
+        // Cost: each BFS level is one full round with ID-sized messages
+        // (Lemma 3.2: O(t) rounds on G, trees edge-disjoint).
+        let id_bits = net.id_bits();
+        net.charge_full_rounds(t_hops.max(1) as u64, id_bits);
+
+        let mut tree_of = vec![None; n];
+        let mut trees = Vec::with_capacity(subgraphs.len());
+        for (i, &s) in sources.iter().enumerate() {
+            let mut members = vec![s];
+            let mut parent = vec![None];
+            let mut depth = vec![0usize];
+            let mut seen: Vec<bool> = vec![false; n];
+            seen[s] = true;
+            tree_of[s] = Some(i);
+            let mut q = VecDeque::new();
+            q.push_back((s, 0usize));
+            while let Some((u, du)) = q.pop_front() {
+                if du == t_hops {
+                    continue;
+                }
+                for &w in net.g.neighbors(u) {
+                    if membership[w] == Some(i) && !seen[w] {
+                        seen[w] = true;
+                        tree_of[w] = Some(i);
+                        members.push(w);
+                        parent.push(Some(u));
+                        depth.push(du + 1);
+                        q.push_back((w, du + 1));
+                    }
+                }
+            }
+            trees.push(BfsTree { source: s, members, parent, depth });
+        }
+        BfsForest { trees, tree_of }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ClusterGraph;
+    use cgc_net::CommGraph;
+
+    /// H = path of 6 singleton clusters.
+    fn path6() -> ClusterGraph {
+        ClusterGraph::singletons(CommGraph::path(6))
+    }
+
+    #[test]
+    fn bfs_covers_subgraph_within_hops() {
+        let h = path6();
+        let mut net = ClusterNet::new(&h, 64);
+        let forest =
+            BfsForest::run(&mut net, &[vec![0, 1, 2], vec![3, 4, 5]], &[0, 5], 5);
+        assert_eq!(forest.trees.len(), 2);
+        assert_eq!(forest.trees[0].members, vec![0, 1, 2]);
+        assert_eq!(forest.trees[0].depth, vec![0, 1, 2]);
+        assert_eq!(forest.trees[1].source, 5);
+        assert_eq!(forest.trees[1].members, vec![5, 4, 3]);
+        assert_eq!(forest.tree_of[2], Some(0));
+        assert_eq!(forest.tree_of[3], Some(1));
+    }
+
+    #[test]
+    fn hop_limit_truncates() {
+        let h = path6();
+        let mut net = ClusterNet::new(&h, 64);
+        let forest = BfsForest::run(&mut net, &[vec![0, 1, 2, 3, 4, 5]], &[0], 2);
+        assert_eq!(forest.trees[0].members, vec![0, 1, 2]);
+        assert_eq!(forest.trees[0].height(), 2);
+        assert_eq!(forest.tree_of[4], None);
+    }
+
+    #[test]
+    fn rounds_charged_linear_in_hops() {
+        let h = path6();
+        let mut net = ClusterNet::new(&h, 64);
+        let h0 = net.meter.h_rounds();
+        BfsForest::run(&mut net, &[vec![0, 1, 2, 3, 4, 5]], &[0], 4);
+        let used = net.meter.h_rounds() - h0;
+        assert_eq!(used, 3 * 4, "4 levels x (broadcast+link+converge)");
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex-disjoint")]
+    fn overlapping_subgraphs_panic() {
+        let h = path6();
+        let mut net = ClusterNet::new(&h, 64);
+        BfsForest::run(&mut net, &[vec![0, 1], vec![1, 2]], &[0, 2], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in its subgraph")]
+    fn foreign_source_panics() {
+        let h = path6();
+        let mut net = ClusterNet::new(&h, 64);
+        BfsForest::run(&mut net, &[vec![0, 1]], &[5], 2);
+    }
+
+    #[test]
+    fn parent_of_lookup() {
+        let h = path6();
+        let mut net = ClusterNet::new(&h, 64);
+        let forest = BfsForest::run(&mut net, &[vec![0, 1, 2]], &[0], 3);
+        assert_eq!(forest.trees[0].parent_of(2), Some(1));
+        assert_eq!(forest.trees[0].parent_of(0), None);
+    }
+}

@@ -1,0 +1,342 @@
+//! The metered cluster-graph runtime.
+//!
+//! Algorithms never touch links directly; they go through [`ClusterNet`]
+//! primitives, each of which implements one §3.2 round shape (broadcast on
+//! support trees → computation on inter-cluster links → converge-cast) and
+//! charges the [`CostMeter`] for every bit and round, pipelining messages
+//! that exceed the per-link budget.
+//!
+//! Two idioms cover everything the paper's algorithms need:
+//!
+//! * [`ClusterNet::neighbor_fold`] — each vertex publishes a small query;
+//!   link machines compute a contribution per `H`-edge; each vertex receives
+//!   the *aggregate* of contributions over its distinct neighbors. This is
+//!   the paper's "dedication of neighbors" pattern (§1.1): parallel links to
+//!   the same neighbor are deduplicated, so every neighbor contributes once.
+//! * [`ClusterNet::neighbor_collect`] — each vertex receives the full list
+//!   of neighbor messages. Legal but expensive: the converge-cast carries
+//!   `deg(v) · |msg|` bits and is charged with pipelining, which is exactly
+//!   why high-degree algorithms must avoid it (and why the low-degree §9
+//!   algorithms may use it when `Δ = O(log n)`).
+
+use crate::graph::{ClusterGraph, VertexId};
+use cgc_net::CostMeter;
+
+/// Metered runtime handle over a [`ClusterGraph`].
+#[derive(Debug)]
+pub struct ClusterNet<'a> {
+    /// The topology this runtime executes on.
+    pub g: &'a ClusterGraph,
+    /// The cost meter; inspect via [`CostMeter::report`].
+    pub meter: CostMeter,
+    total_tree_edges: u64,
+    n_links: u64,
+}
+
+impl<'a> ClusterNet<'a> {
+    /// Creates a runtime with an explicit per-link per-round bit budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_bits == 0`.
+    pub fn new(g: &'a ClusterGraph, budget_bits: u64) -> Self {
+        let total_tree_edges =
+            (0..g.n_vertices()).map(|v| g.support(v).n_edges() as u64).sum();
+        ClusterNet {
+            g,
+            meter: CostMeter::new(budget_bits),
+            total_tree_edges,
+            n_links: g.links().len() as u64,
+        }
+    }
+
+    /// Creates a runtime with budget `beta * ceil(log2(n_machines + 1))`,
+    /// the concrete reading of the paper's `O(log n)` bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta == 0`.
+    pub fn with_log_budget(g: &'a ClusterGraph, beta: u64) -> Self {
+        let logn = (u64::BITS - (g.n_machines() as u64).leading_zeros()) as u64;
+        Self::new(g, beta * logn.max(1))
+    }
+
+    /// `ceil(log2(x + 1))` — bits to address one of `x` values.
+    pub fn bits_for(x: usize) -> u64 {
+        (usize::BITS - x.leading_zeros()) as u64
+    }
+
+    /// Bits of a vertex identifier in `H`.
+    pub fn id_bits(&self) -> u64 {
+        Self::bits_for(self.g.n_vertices())
+    }
+
+    /// Bits of a color in `[Δ + 1]`.
+    pub fn color_bits(&self) -> u64 {
+        Self::bits_for(self.g.max_degree() + 1)
+    }
+
+    fn dilation(&self) -> u64 {
+        self.g.dilation() as u64
+    }
+
+    /// Charges one broadcast from every leader down its support tree with
+    /// messages of at most `msg_bits` bits. Returns sub-rounds used.
+    pub fn charge_broadcast(&mut self, msg_bits: u64) -> u64 {
+        let sub = self.meter.charge_messages(msg_bits, self.total_tree_edges);
+        self.meter.charge_rounds(sub, sub * self.dilation());
+        sub
+    }
+
+    /// Charges one exchange on every inter-cluster link.
+    pub fn charge_link_round(&mut self, msg_bits: u64) -> u64 {
+        let sub = self.meter.charge_messages(msg_bits, 2 * self.n_links);
+        self.meter.charge_rounds(sub, sub);
+        sub
+    }
+
+    /// Charges one converge-cast up every support tree with (partially
+    /// aggregated) messages of at most `msg_bits` bits.
+    pub fn charge_converge(&mut self, msg_bits: u64) -> u64 {
+        let sub = self.meter.charge_messages(msg_bits, self.total_tree_edges);
+        self.meter.charge_rounds(sub, sub * self.dilation());
+        sub
+    }
+
+    /// Charges `count` full H-rounds (broadcast + link + converge) with
+    /// messages of at most `msg_bits`.
+    pub fn charge_full_rounds(&mut self, count: u64, msg_bits: u64) {
+        for _ in 0..count {
+            self.charge_broadcast(msg_bits);
+            self.charge_link_round(msg_bits);
+            self.charge_converge(msg_bits);
+        }
+    }
+
+    /// Sets the phase label on the meter (costs are grouped per phase).
+    pub fn set_phase(&mut self, phase: &str) {
+        self.meter.set_phase(phase);
+    }
+
+    /// One full aggregation round (§3.2): every vertex `v` publishes
+    /// `queries[v]`; for every `H`-edge and both directions the link machine
+    /// computes `edge(v, u, &queries[v], &queries[u])`; vertex `v` receives
+    /// the fold of all `Some` contributions from its *distinct* neighbors.
+    ///
+    /// Charges: broadcast(`query_bits`) + link round(`query_bits`) +
+    /// converge(`response_bits`). `response_bits` must bound the encoded
+    /// size of the (partially aggregated) fold value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.len() != n_vertices`.
+    pub fn neighbor_fold<Q, C, R>(
+        &mut self,
+        query_bits: u64,
+        response_bits: u64,
+        queries: &[Q],
+        mut edge: impl FnMut(VertexId, VertexId, &Q, &Q) -> Option<C>,
+        mut init: impl FnMut(VertexId) -> R,
+        mut fold: impl FnMut(&mut R, C),
+    ) -> Vec<R> {
+        assert_eq!(queries.len(), self.g.n_vertices(), "one query per vertex required");
+        self.charge_broadcast(query_bits);
+        self.charge_link_round(query_bits);
+        self.charge_converge(response_bits);
+
+        let mut out: Vec<R> = (0..self.g.n_vertices()).map(&mut init).collect();
+        for (u, v) in self.g.h_edges() {
+            if let Some(c) = edge(v, u, &queries[v], &queries[u]) {
+                fold(&mut out[v], c);
+            }
+            if let Some(c) = edge(u, v, &queries[u], &queries[v]) {
+                fold(&mut out[u], c);
+            }
+        }
+        out
+    }
+
+    /// Every vertex receives the full list of `(neighbor, message)` pairs.
+    ///
+    /// Charged honestly: the converge-cast for vertex `v` carries
+    /// `deg(v) · query_bits` bits, so the round is pipelined over
+    /// `ceil(max_v deg(v) · query_bits / budget)` sub-rounds. Use only where
+    /// the paper does (low-degree regimes, `O(log n)`-sized payloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.len() != n_vertices`.
+    pub fn neighbor_collect<Q: Clone>(
+        &mut self,
+        query_bits: u64,
+        queries: &[Q],
+    ) -> Vec<Vec<(VertexId, Q)>> {
+        assert_eq!(queries.len(), self.g.n_vertices(), "one query per vertex required");
+        self.charge_broadcast(query_bits);
+        self.charge_link_round(query_bits);
+        let max_deg = self.g.max_degree() as u64;
+        self.charge_converge(query_bits.saturating_mul(max_deg.max(1)));
+
+        let mut out: Vec<Vec<(VertexId, Q)>> =
+            (0..self.g.n_vertices()).map(|v| Vec::with_capacity(self.g.degree(v))).collect();
+        for (u, v) in self.g.h_edges() {
+            out[v].push((u, queries[u].clone()));
+            out[u].push((v, queries[v].clone()));
+        }
+        out
+    }
+
+    /// Exact degree computation in one aggregation round (§1.1): neighbors
+    /// deduplicate their parallel links so each contributes exactly 1.
+    pub fn exact_degrees(&mut self) -> Vec<usize> {
+        // One converge inside each neighbor to cut extra links, then the
+        // counting round itself: constant rounds, O(log n)-bit messages.
+        self.charge_full_rounds(1, self.id_bits());
+        self.neighbor_fold(
+            1,
+            self.id_bits(),
+            &vec![(); self.g.n_vertices()],
+            |_, _, _, _| Some(1usize),
+            |_| 0usize,
+            |acc, c| *acc += c,
+        )
+    }
+
+    /// The naive link-counting "degree" (counts parallel links): what a
+    /// cluster computes by a single internal aggregation without neighbor
+    /// dedication. Overestimates [`Self::exact_degrees`] (Figure 1).
+    pub fn naive_link_degrees(&mut self) -> Vec<usize> {
+        self.charge_converge(self.id_bits());
+        let mut deg = vec![0usize; self.g.n_vertices()];
+        for &(_, _, cu, cv) in self.g.links() {
+            deg[cu] += 1;
+            deg[cv] += 1;
+        }
+        deg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_net::CommGraph;
+
+    fn multi_link() -> ClusterGraph {
+        let comm = CommGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)],
+        )
+        .unwrap();
+        ClusterGraph::build(comm, vec![0, 0, 0, 1, 1, 1]).unwrap()
+    }
+
+    #[test]
+    fn exact_vs_naive_degree() {
+        let h = multi_link();
+        let mut net = ClusterNet::new(&h, 64);
+        let exact = net.exact_degrees();
+        let naive = net.naive_link_degrees();
+        assert_eq!(exact, vec![1, 1]);
+        assert_eq!(naive, vec![3, 3]);
+    }
+
+    #[test]
+    fn neighbor_fold_aggregates_over_distinct_neighbors() {
+        let h = multi_link();
+        let mut net = ClusterNet::new(&h, 64);
+        // Sum of neighbor values: each cluster has exactly one neighbor.
+        let vals = vec![10u64, 20u64];
+        let sums = net.neighbor_fold(
+            8,
+            8,
+            &vals,
+            |_, _, _, qu| Some(*qu),
+            |_| 0u64,
+            |acc, c| *acc += c,
+        );
+        assert_eq!(sums, vec![20, 10]);
+    }
+
+    #[test]
+    fn neighbor_collect_returns_all_neighbors() {
+        let comm = CommGraph::path(4);
+        let h = ClusterGraph::singletons(comm);
+        let mut net = ClusterNet::new(&h, 64);
+        let msgs = vec![0u8, 1, 2, 3];
+        let got = net.neighbor_collect(8, &msgs);
+        assert_eq!(got[0], vec![(1, 1)]);
+        let mut g1 = got[1].clone();
+        g1.sort_unstable();
+        assert_eq!(g1, vec![(0, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn rounds_and_bits_are_charged() {
+        let h = multi_link();
+        let mut net = ClusterNet::new(&h, 16);
+        net.set_phase("t");
+        net.neighbor_fold(
+            16,
+            16,
+            &[(); 2],
+            |_, _, _, _| Some(1u32),
+            |_| 0u32,
+            |a, c| *a += c,
+        );
+        let r = net.meter.report();
+        assert!(r.h_rounds >= 3, "broadcast + link + converge");
+        assert!(r.g_rounds > r.h_rounds, "dilation > 1 means more G-rounds");
+        assert!(r.bits > 0);
+        assert!(r.within_budget());
+    }
+
+    #[test]
+    fn oversized_messages_pipeline() {
+        let h = multi_link();
+        let mut net = ClusterNet::new(&h, 8);
+        let before = net.meter.h_rounds();
+        net.charge_broadcast(33); // ceil(33/8) = 5 sub-rounds
+        assert_eq!(net.meter.h_rounds() - before, 5);
+        assert!(!net.meter.report().within_budget());
+    }
+
+    #[test]
+    fn collect_in_congest_is_one_link_round() {
+        // Singleton clusters: support trees have no edges, so the
+        // converge-cast is free and collection is a single link round.
+        let comm = CommGraph::star(5);
+        let h = ClusterGraph::singletons(comm);
+        let mut net = ClusterNet::new(&h, 8);
+        let h0 = net.meter.h_rounds();
+        net.neighbor_collect(8, &[0u8; 5]);
+        assert_eq!(net.meter.h_rounds() - h0, 3);
+    }
+
+    #[test]
+    fn collect_charges_degree_times_bits() {
+        // Star of five 2-machine clusters: cluster i = {2i, 2i+1}; the
+        // center cluster 0 links to each other cluster. Center degree 4.
+        let mut edges: Vec<(usize, usize)> = (0..5).map(|i| (2 * i, 2 * i + 1)).collect();
+        for i in 1..5 {
+            edges.push((1, 2 * i)); // machine 1 (cluster 0) to each cluster
+        }
+        let comm = CommGraph::from_edges(10, &edges).unwrap();
+        let h = ClusterGraph::build(comm, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]).unwrap();
+        assert_eq!(h.degree(0), 4);
+        let mut net = ClusterNet::new(&h, 8);
+        let h0 = net.meter.h_rounds();
+        net.neighbor_collect(8, &[0u8; 5]);
+        // Converge carries up to 4 * 8 = 32 bits on a tree edge -> 4
+        // sub-rounds; plus 1 broadcast and 1 link round.
+        assert_eq!(net.meter.h_rounds() - h0, 1 + 1 + 4);
+    }
+
+    #[test]
+    fn bits_for_matches_log2() {
+        assert_eq!(ClusterNet::bits_for(0), 0);
+        assert_eq!(ClusterNet::bits_for(1), 1);
+        assert_eq!(ClusterNet::bits_for(2), 2);
+        assert_eq!(ClusterNet::bits_for(255), 8);
+        assert_eq!(ClusterNet::bits_for(256), 9);
+    }
+}

@@ -1,0 +1,360 @@
+//! Cluster-graph topology (Definition 3.1).
+//!
+//! Builds, from a communication network and a machine→cluster assignment:
+//! the clusters, a BFS support tree per cluster (leader = smallest machine
+//! id, matching the paper's "assume each cluster elected a leader"), the
+//! dilation `d`, the deduplicated adjacency of `H`, and the inter-cluster
+//! link table with multiplicities. The link table is what makes the paper's
+//! Figure 1 phenomenon observable: two clusters can be joined by many links
+//! yet contribute a single edge of `H`.
+
+use cgc_net::{CommGraph, MachineId, NetError};
+use std::collections::BTreeMap;
+
+/// Identifier of a node of the cluster graph `H` (a cluster of machines).
+pub type VertexId = usize;
+
+/// A BFS tree spanning one cluster in the communication graph.
+#[derive(Debug, Clone)]
+pub struct SupportTree {
+    /// The cluster's leader (root of the tree).
+    pub leader: MachineId,
+    /// Machines of the cluster, sorted.
+    pub machines: Vec<MachineId>,
+    /// Parent of each machine in the tree (`None` for the leader), indexed
+    /// positionally in parallel with `machines`.
+    pub parent: Vec<Option<MachineId>>,
+    /// Depth of each machine, positionally parallel with `machines`.
+    pub depth: Vec<usize>,
+    /// Height of the tree (max depth).
+    pub height: usize,
+}
+
+impl SupportTree {
+    /// Number of machines spanned.
+    pub fn size(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Number of tree edges (`size - 1`).
+    pub fn n_edges(&self) -> usize {
+        self.machines.len().saturating_sub(1)
+    }
+}
+
+/// The cluster graph `H` over a communication network `G`.
+#[derive(Debug, Clone)]
+pub struct ClusterGraph {
+    comm: CommGraph,
+    /// machine → cluster id.
+    assignment: Vec<VertexId>,
+    support: Vec<SupportTree>,
+    /// CSR adjacency of `H` (deduplicated, sorted).
+    h_offsets: Vec<usize>,
+    h_adj: Vec<VertexId>,
+    /// Inter-cluster links `(machine_u, machine_v, cluster_u, cluster_v)`
+    /// with `cluster_u < cluster_v`.
+    links: Vec<(MachineId, MachineId, VertexId, VertexId)>,
+    /// Multiplicity of each `H`-edge (number of parallel `G`-links).
+    multiplicity: BTreeMap<(VertexId, VertexId), usize>,
+    dilation: usize,
+    max_degree: usize,
+}
+
+impl ClusterGraph {
+    /// Builds the cluster graph from a machine→cluster assignment.
+    ///
+    /// Cluster ids must form a contiguous range `0..k` (holes are rejected
+    /// by the connectivity check since an empty cluster is vacuously
+    /// disconnected in spirit; supply contiguous ids).
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::AssignmentLength`] if `assignment.len() != n_machines`,
+    /// * [`NetError::DisconnectedCluster`] if some cluster does not induce a
+    ///   connected subgraph of `G` (Definition 3.1 requires connectivity).
+    pub fn build(comm: CommGraph, assignment: Vec<VertexId>) -> Result<Self, NetError> {
+        let n = comm.n_machines();
+        if assignment.len() != n {
+            return Err(NetError::AssignmentLength { expected: n, actual: assignment.len() });
+        }
+        let k = assignment.iter().copied().max().map_or(0, |m| m + 1);
+        let mut members: Vec<Vec<MachineId>> = vec![Vec::new(); k];
+        for (m, &c) in assignment.iter().enumerate() {
+            members[c].push(m);
+        }
+
+        // Support trees: BFS inside each cluster from its smallest machine.
+        let mut support = Vec::with_capacity(k);
+        let mut in_subset = vec![false; n];
+        for (c, ms) in members.iter().enumerate() {
+            if ms.is_empty() {
+                return Err(NetError::DisconnectedCluster { cluster: c });
+            }
+            for &m in ms {
+                in_subset[m] = true;
+            }
+            let leader = ms[0];
+            let (parent_all, depth_all) = comm.bfs_tree_within(leader, &in_subset);
+            let mut parent = Vec::with_capacity(ms.len());
+            let mut depth = Vec::with_capacity(ms.len());
+            let mut height = 0usize;
+            let mut ok = true;
+            for &m in ms {
+                if depth_all[m] == usize::MAX {
+                    ok = false;
+                    break;
+                }
+                parent.push(parent_all[m]);
+                depth.push(depth_all[m]);
+                height = height.max(depth_all[m]);
+            }
+            for &m in ms {
+                in_subset[m] = false;
+            }
+            if !ok {
+                return Err(NetError::DisconnectedCluster { cluster: c });
+            }
+            support.push(SupportTree { leader, machines: ms.clone(), parent, depth, height });
+        }
+
+        // Inter-cluster links and H adjacency.
+        let mut links = Vec::new();
+        let mut multiplicity: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for &(a, b) in comm.edges() {
+            let (ca, cb) = (assignment[a], assignment[b]);
+            if ca != cb {
+                let (lo, hi, mlo, mhi) =
+                    if ca < cb { (ca, cb, a, b) } else { (cb, ca, b, a) };
+                links.push((mlo, mhi, lo, hi));
+                *multiplicity.entry((lo, hi)).or_insert(0) += 1;
+            }
+        }
+        let mut deg = vec![0usize; k];
+        for &(u, v) in multiplicity.keys() {
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let mut h_offsets = Vec::with_capacity(k + 1);
+        h_offsets.push(0usize);
+        for d in &deg {
+            h_offsets.push(h_offsets.last().unwrap() + d);
+        }
+        let mut h_adj = vec![0usize; h_offsets[k]];
+        let mut cursor = h_offsets[..k].to_vec();
+        for &(u, v) in multiplicity.keys() {
+            h_adj[cursor[u]] = v;
+            cursor[u] += 1;
+            h_adj[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        // CSR rows are sorted because multiplicity keys iterate in order for
+        // the `u` side; the `v` side needs a sort.
+        for c in 0..k {
+            h_adj[h_offsets[c]..h_offsets[c + 1]].sort_unstable();
+        }
+
+        let dilation = support.iter().map(|t| t.height).max().unwrap_or(0).max(1);
+        let max_degree = deg.iter().copied().max().unwrap_or(0);
+        Ok(ClusterGraph {
+            comm,
+            assignment,
+            support,
+            h_offsets,
+            h_adj,
+            links,
+            multiplicity,
+            dilation,
+            max_degree,
+        })
+    }
+
+    /// The CONGEST special case: every machine is its own cluster
+    /// (`H = G`, dilation 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the graph is empty, which [`CommGraph`] forbids.
+    pub fn singletons(comm: CommGraph) -> Self {
+        let n = comm.n_machines();
+        Self::build(comm, (0..n).collect()).expect("singleton clusters are always connected")
+    }
+
+    /// The underlying communication network.
+    #[inline]
+    pub fn comm(&self) -> &CommGraph {
+        &self.comm
+    }
+
+    /// Number of nodes of `H`.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.support.len()
+    }
+
+    /// Number of machines of `G`.
+    #[inline]
+    pub fn n_machines(&self) -> usize {
+        self.comm.n_machines()
+    }
+
+    /// The cluster id of a machine.
+    #[inline]
+    pub fn cluster_of(&self, m: MachineId) -> VertexId {
+        self.assignment[m]
+    }
+
+    /// The support tree of vertex `v`.
+    #[inline]
+    pub fn support(&self, v: VertexId) -> &SupportTree {
+        &self.support[v]
+    }
+
+    /// Maximum support-tree height over all clusters (the paper's `d`,
+    /// up to the constant factor between height and diameter), minimum 1.
+    #[inline]
+    pub fn dilation(&self) -> usize {
+        self.dilation
+    }
+
+    /// Deduplicated neighbors of `v` in `H`, sorted.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.h_adj[self.h_offsets[v]..self.h_offsets[v + 1]]
+    }
+
+    /// Degree of `v` in `H` (distinct neighboring clusters).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.h_offsets[v + 1] - self.h_offsets[v]
+    }
+
+    /// Maximum degree `Δ` of `H`.
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Whether `{u, v}` is an edge of `H`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u != v && self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Number of parallel `G`-links realizing the `H`-edge `{u, v}`
+    /// (0 when not adjacent). Figure 1's multi-link phenomenon.
+    pub fn link_multiplicity(&self, u: VertexId, v: VertexId) -> usize {
+        let key = (u.min(v), u.max(v));
+        self.multiplicity.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Number of inter-cluster links incident to cluster `v` — the naive
+    /// "degree" a cluster would compute by counting links (§1.1), which can
+    /// grossly overestimate [`Self::degree`].
+    pub fn incident_links(&self, v: VertexId) -> usize {
+        self.links.iter().filter(|&&(_, _, cu, cv)| cu == v || cv == v).count()
+    }
+
+    /// All inter-cluster links `(machine_u, machine_v, cluster_u, cluster_v)`.
+    #[inline]
+    pub fn links(&self) -> &[(MachineId, MachineId, VertexId, VertexId)] {
+        &self.links
+    }
+
+    /// Iterates over the deduplicated edges of `H` with `u < v`.
+    pub fn h_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.multiplicity.keys().copied()
+    }
+
+    /// Number of edges of `H`.
+    pub fn n_h_edges(&self) -> usize {
+        self.multiplicity.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure-1-like instance: two clusters joined by 3 parallel links.
+    fn multi_link_instance() -> ClusterGraph {
+        // Machines 0,1,2 form cluster 0 (triangle); 3,4,5 cluster 1 (path).
+        // Links (0,3), (1,4), (2,5) all join the same pair of clusters.
+        let comm = CommGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)],
+        )
+        .unwrap();
+        ClusterGraph::build(comm, vec![0, 0, 0, 1, 1, 1]).unwrap()
+    }
+
+    #[test]
+    fn multi_links_collapse_to_one_h_edge() {
+        let h = multi_link_instance();
+        assert_eq!(h.n_vertices(), 2);
+        assert_eq!(h.degree(0), 1);
+        assert_eq!(h.degree(1), 1);
+        assert_eq!(h.link_multiplicity(0, 1), 3);
+        assert_eq!(h.incident_links(0), 3);
+        assert!(h.has_edge(0, 1));
+        assert_eq!(h.n_h_edges(), 1);
+    }
+
+    #[test]
+    fn singleton_clusters_reproduce_congest() {
+        let comm = CommGraph::complete(5);
+        let h = ClusterGraph::singletons(comm);
+        assert_eq!(h.n_vertices(), 5);
+        assert_eq!(h.max_degree(), 4);
+        assert_eq!(h.dilation(), 1);
+        for v in 0..5 {
+            assert_eq!(h.degree(v), 4);
+            assert_eq!(h.incident_links(v), 4);
+        }
+    }
+
+    #[test]
+    fn disconnected_cluster_rejected() {
+        let comm = CommGraph::path(4);
+        // Machines 0 and 3 are not connected within cluster 0.
+        let r = ClusterGraph::build(comm, vec![0, 1, 1, 0]);
+        assert!(matches!(r, Err(NetError::DisconnectedCluster { cluster: 0 })));
+    }
+
+    #[test]
+    fn assignment_length_checked() {
+        let comm = CommGraph::path(4);
+        let r = ClusterGraph::build(comm, vec![0, 0, 0]);
+        assert!(matches!(r, Err(NetError::AssignmentLength { expected: 4, actual: 3 })));
+    }
+
+    #[test]
+    fn support_tree_shape_on_path_cluster() {
+        // One cluster spanning a path of 5 machines: height 4, leader 0.
+        let comm = CommGraph::path(5);
+        let h = ClusterGraph::build(comm, vec![0; 5]).unwrap();
+        let t = h.support(0);
+        assert_eq!(t.leader, 0);
+        assert_eq!(t.size(), 5);
+        assert_eq!(t.height, 4);
+        assert_eq!(h.dilation(), 4);
+        assert_eq!(t.n_edges(), 4);
+        assert_eq!(h.n_vertices(), 1);
+        assert_eq!(h.max_degree(), 0);
+    }
+
+    #[test]
+    fn dilation_is_at_least_one_for_singletons() {
+        let comm = CommGraph::path(3);
+        let h = ClusterGraph::singletons(comm);
+        assert_eq!(h.dilation(), 1);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_deduped() {
+        let h = multi_link_instance();
+        assert_eq!(h.neighbors(0), &[1]);
+        assert_eq!(h.neighbors(1), &[0]);
+        let edges: Vec<_> = h.h_edges().collect();
+        assert_eq!(edges, vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Random groups inside almost-cliques (Lemma 4.4).
+//!
+//! When `|K|/x = Ω(log n)`, splitting an almost-clique `K` into `x` uniform
+//! random groups yields, w.h.p., groups of size `Θ(|K|/x)` such that every
+//! vertex of `K` is adjacent to more than half of every group — so each
+//! group has diameter 2 and can relay messages between any two vertices of
+//! `K`. The coloring algorithm leans on this for communication inside
+//! cabals (colorful matching, donor selection).
+
+use crate::comm::ClusterNet;
+use crate::graph::VertexId;
+use rand::{Rng, RngExt};
+
+/// A partition of an almost-clique into random groups.
+#[derive(Debug, Clone)]
+pub struct Groups {
+    /// `of[j]` is the group of `clique[j]` (positional with the input).
+    pub of: Vec<usize>,
+    /// Members of each group (vertex ids).
+    pub members: Vec<Vec<VertexId>>,
+}
+
+impl Groups {
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Diagnostics for the Lemma 4.4 guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCheck {
+    /// Smallest group size.
+    pub min_size: usize,
+    /// Largest group size.
+    pub max_size: usize,
+    /// Whether every clique vertex is adjacent to more than half of every
+    /// group (ignoring its own membership).
+    pub majority_adjacency: bool,
+}
+
+/// Splits `clique` into `x` uniform random groups and charges the `O(1)`
+/// announcement round. Does not verify the w.h.p. guarantees — use
+/// [`check_groups`] for that (callers retry on failure, which is the
+/// constructive reading of Lemma 4.4).
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+pub fn random_groups(
+    net: &mut ClusterNet<'_>,
+    clique: &[VertexId],
+    x: usize,
+    rng: &mut impl Rng,
+) -> Groups {
+    assert!(x > 0, "need at least one group");
+    // Announcing one group index per vertex: one broadcast round.
+    net.charge_broadcast(ClusterNet::bits_for(x));
+    let mut of = Vec::with_capacity(clique.len());
+    let mut members = vec![Vec::new(); x];
+    for &v in clique {
+        let g = rng.random_range(0..x);
+        of.push(g);
+        members[g].push(v);
+    }
+    Groups { of, members }
+}
+
+/// Verifies the Lemma 4.4 conditions for a group split of `clique`.
+///
+/// Free of communication charges: this is the analyst's check (used by the
+/// harness and by retry loops whose rounds are already charged).
+pub fn check_groups(net: &ClusterNet<'_>, clique: &[VertexId], groups: &Groups) -> GroupCheck {
+    let min_size = groups.members.iter().map(Vec::len).min().unwrap_or(0);
+    let max_size = groups.members.iter().map(Vec::len).max().unwrap_or(0);
+    let mut majority_adjacency = true;
+    'outer: for &v in clique {
+        for g in &groups.members {
+            let others: Vec<_> = g.iter().copied().filter(|&u| u != v).collect();
+            if others.is_empty() {
+                continue;
+            }
+            let adj = others.iter().filter(|&&u| net.g.has_edge(v, u)).count();
+            if 2 * adj <= others.len() {
+                majority_adjacency = false;
+                break 'outer;
+            }
+        }
+    }
+    GroupCheck { min_size, max_size, majority_adjacency }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ClusterGraph;
+    use cgc_net::{CommGraph, SeedStream};
+
+    fn clique_h(n: usize) -> ClusterGraph {
+        ClusterGraph::singletons(CommGraph::complete(n))
+    }
+
+    #[test]
+    fn groups_partition_the_clique() {
+        let h = clique_h(40);
+        let mut net = ClusterNet::new(&h, 64);
+        let mut rng = SeedStream::new(1).rng_for(0, 0);
+        let clique: Vec<_> = (0..40).collect();
+        let g = random_groups(&mut net, &clique, 4, &mut rng);
+        assert_eq!(g.len(), 4);
+        let total: usize = g.members.iter().map(Vec::len).sum();
+        assert_eq!(total, 40);
+        for (j, &v) in clique.iter().enumerate() {
+            assert!(g.members[g.of[j]].contains(&v));
+        }
+    }
+
+    #[test]
+    fn true_clique_satisfies_majority_adjacency() {
+        let h = clique_h(60);
+        let mut net = ClusterNet::new(&h, 64);
+        let mut rng = SeedStream::new(7).rng_for(0, 0);
+        let clique: Vec<_> = (0..60).collect();
+        let g = random_groups(&mut net, &clique, 3, &mut rng);
+        let chk = check_groups(&net, &clique, &g);
+        assert!(chk.majority_adjacency, "a true clique is adjacent to everyone");
+        assert!(chk.min_size >= 1);
+    }
+
+    #[test]
+    fn group_sizes_concentrate() {
+        let h = clique_h(200);
+        let mut net = ClusterNet::new(&h, 64);
+        let mut rng = SeedStream::new(3).rng_for(0, 0);
+        let clique: Vec<_> = (0..200).collect();
+        let g = random_groups(&mut net, &clique, 4, &mut rng);
+        let chk = check_groups(&net, &clique, &g);
+        // E[size] = 50; allow generous slack for a smoke test.
+        assert!(chk.min_size >= 25, "min {}", chk.min_size);
+        assert!(chk.max_size <= 80, "max {}", chk.max_size);
+    }
+
+    #[test]
+    fn missing_edges_break_majority() {
+        // Star: center adjacent to all, leaves only to the center — far
+        // from an almost-clique; majority adjacency must fail.
+        let h = ClusterGraph::singletons(CommGraph::star(30));
+        let mut net = ClusterNet::new(&h, 64);
+        let mut rng = SeedStream::new(5).rng_for(0, 0);
+        let clique: Vec<_> = (0..30).collect();
+        let g = random_groups(&mut net, &clique, 2, &mut rng);
+        let chk = check_groups(&net, &clique, &g);
+        assert!(!chk.majority_adjacency);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn zero_groups_panics() {
+        let h = clique_h(4);
+        let mut net = ClusterNet::new(&h, 64);
+        let mut rng = SeedStream::new(1).rng_for(0, 0);
+        random_groups(&mut net, &[0, 1, 2, 3], 0, &mut rng);
+    }
+}

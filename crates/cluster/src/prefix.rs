@@ -1,0 +1,205 @@
+//! Prefix sums and enumeration on ordered trees (Lemma 3.3).
+//!
+//! An *ordered tree* fixes an ordering of each node's children, which
+//! induces a total DFS-preorder on the vertices. Given values `x_u` held by
+//! a subset `S` of tree vertices, each `u ∈ S` learns
+//! `Σ_{w ∈ S, w ≺ u} x_w` in `O(depth)` rounds, in parallel over
+//! edge-disjoint trees. The canonical use (paper, after Lemma 3.3) is to
+//! hand members of `S` distinct indices `1..|S|` by setting `x_u = 1`.
+
+use crate::bfs::BfsTree;
+use crate::comm::ClusterNet;
+use crate::graph::VertexId;
+
+/// A rooted tree over `H`-vertices with a canonical (sorted-children) order.
+#[derive(Debug, Clone)]
+pub struct OrderedTree {
+    /// Root vertex.
+    pub root: VertexId,
+    /// Members in DFS preorder (root first).
+    pub order: Vec<VertexId>,
+    /// Depth of the tree.
+    pub depth: usize,
+}
+
+impl OrderedTree {
+    /// Builds the canonical ordered tree from a BFS tree, sorting children
+    /// by vertex id.
+    pub fn from_bfs(tree: &BfsTree) -> OrderedTree {
+        let order = dfs_preorder(tree);
+        OrderedTree { root: tree.source, order, depth: tree.height() }
+    }
+}
+
+/// DFS preorder of a [`BfsTree`] with children visited in increasing id.
+pub fn dfs_preorder(tree: &BfsTree) -> Vec<VertexId> {
+    // children lists keyed by position in `tree.members`.
+    let idx_of = |v: VertexId| tree.members.iter().position(|&m| m == v);
+    let mut children: Vec<Vec<VertexId>> = vec![Vec::new(); tree.members.len()];
+    for (j, &p) in tree.parent.iter().enumerate() {
+        if let Some(p) = p {
+            let pi = idx_of(p).expect("parent must be a member");
+            children[pi].push(tree.members[j]);
+        }
+    }
+    for c in &mut children {
+        c.sort_unstable();
+    }
+    let mut order = Vec::with_capacity(tree.members.len());
+    let mut stack = vec![tree.source];
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        let ui = idx_of(u).expect("vertex on stack is a member");
+        // push reversed so smallest id is visited first
+        for &c in children[ui].iter().rev() {
+            stack.push(c);
+        }
+    }
+    order
+}
+
+/// Lemma 3.3: prefix sums over a family of edge-disjoint ordered trees.
+///
+/// `values[v]` is the integer held by vertex `v`; only vertices with
+/// `in_s[v] == true` participate. Returns, indexed by vertex, the sum of
+/// values of *strictly earlier* members of `S` in the tree order (`0` for
+/// vertices outside all trees or outside `S`).
+///
+/// Charges `O(max_depth)` full rounds with `O(log n)`-bit messages once for
+/// the whole family (parallel execution over edge-disjoint trees).
+///
+/// # Panics
+///
+/// Panics if `values` or `in_s` have wrong length.
+pub fn prefix_sums(
+    net: &mut ClusterNet<'_>,
+    trees: &[OrderedTree],
+    values: &[i64],
+    in_s: &[bool],
+) -> Vec<i64> {
+    let n = net.g.n_vertices();
+    assert_eq!(values.len(), n, "one value per vertex");
+    assert_eq!(in_s.len(), n, "membership flag per vertex");
+
+    let max_depth = trees.iter().map(|t| t.depth).max().unwrap_or(0);
+    // Converge-cast of subtree sums + broadcast of prefixes: 2 passes of
+    // depth rounds; numbers are poly(n) so they fit O(log n) bits.
+    let bits = 2 * net.id_bits() + 2;
+    net.charge_full_rounds(2 * (max_depth.max(1)) as u64, bits);
+
+    let mut out = vec![0i64; n];
+    for t in trees {
+        let mut run = 0i64;
+        for &v in &t.order {
+            if in_s[v] {
+                out[v] = run;
+                run += values[v];
+            }
+        }
+    }
+    out
+}
+
+/// Gives members of `S` (within each tree) distinct 0-based indices in tree
+/// order; vertices outside get `None`. Built on [`prefix_sums`] with
+/// `x_u = 1` exactly as the paper suggests.
+pub fn enumerate_subset(
+    net: &mut ClusterNet<'_>,
+    trees: &[OrderedTree],
+    in_s: &[bool],
+) -> Vec<Option<usize>> {
+    let ones = vec![1i64; net.g.n_vertices()];
+    let sums = prefix_sums(net, trees, &ones, in_s);
+    let mut covered = vec![false; net.g.n_vertices()];
+    for t in trees {
+        for &v in &t.order {
+            covered[v] = true;
+        }
+    }
+    sums.iter()
+        .enumerate()
+        .map(|(v, &s)| if in_s[v] && covered[v] { Some(s as usize) } else { None })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::BfsForest;
+    use crate::graph::ClusterGraph;
+    use cgc_net::CommGraph;
+
+    fn star_h() -> ClusterGraph {
+        // H = star with center 0 and 4 leaves (singleton clusters).
+        ClusterGraph::singletons(CommGraph::star(5))
+    }
+
+    #[test]
+    fn preorder_visits_children_in_id_order() {
+        let h = star_h();
+        let mut net = ClusterNet::new(&h, 64);
+        let forest = BfsForest::run(&mut net, &[vec![0, 1, 2, 3, 4]], &[0], 2);
+        let order = dfs_preorder(&forest.trees[0]);
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn prefix_sums_match_sequential_reference() {
+        let h = star_h();
+        let mut net = ClusterNet::new(&h, 64);
+        let forest = BfsForest::run(&mut net, &[vec![0, 1, 2, 3, 4]], &[0], 2);
+        let t = OrderedTree::from_bfs(&forest.trees[0]);
+        let values = vec![5, 1, 2, 3, 4];
+        let in_s = vec![true, false, true, true, true];
+        let sums = prefix_sums(&mut net, &[t], &values, &in_s);
+        // order 0,1,2,3,4; S = {0,2,3,4}: prefix sums 0, -, 5, 7, 10.
+        assert_eq!(sums[0], 0);
+        assert_eq!(sums[2], 5);
+        assert_eq!(sums[3], 7);
+        assert_eq!(sums[4], 10);
+        assert_eq!(sums[1], 0, "non-member untouched");
+    }
+
+    #[test]
+    fn enumerate_gives_distinct_contiguous_indices() {
+        let h = star_h();
+        let mut net = ClusterNet::new(&h, 64);
+        let forest = BfsForest::run(&mut net, &[vec![0, 1, 2, 3, 4]], &[0], 2);
+        let t = OrderedTree::from_bfs(&forest.trees[0]);
+        let in_s = vec![false, true, true, false, true];
+        let ids = enumerate_subset(&mut net, &[t], &in_s);
+        assert_eq!(ids[0], None);
+        assert_eq!(ids[1], Some(0));
+        assert_eq!(ids[2], Some(1));
+        assert_eq!(ids[4], Some(2));
+    }
+
+    #[test]
+    fn rounds_scale_with_depth() {
+        let h = ClusterGraph::singletons(CommGraph::path(8));
+        let mut net = ClusterNet::new(&h, 64);
+        let forest =
+            BfsForest::run(&mut net, &[(0..8).collect::<Vec<_>>()], &[0], 7);
+        let t = OrderedTree::from_bfs(&forest.trees[0]);
+        let h0 = net.meter.h_rounds();
+        prefix_sums(&mut net, &[t], &[1; 8], &[true; 8]);
+        let used = net.meter.h_rounds() - h0;
+        assert_eq!(used, 3 * 2 * 7, "2 passes of depth-7, 3 phases each");
+    }
+
+    #[test]
+    fn parallel_trees_single_charge() {
+        let h = ClusterGraph::singletons(CommGraph::path(6));
+        let mut net = ClusterNet::new(&h, 64);
+        let forest =
+            BfsForest::run(&mut net, &[vec![0, 1, 2], vec![3, 4, 5]], &[0, 3], 2);
+        let t0 = OrderedTree::from_bfs(&forest.trees[0]);
+        let t1 = OrderedTree::from_bfs(&forest.trees[1]);
+        let in_s = vec![true; 6];
+        let ids = enumerate_subset(&mut net, &[t0, t1], &in_s);
+        assert_eq!(ids[0], Some(0));
+        assert_eq!(ids[2], Some(2));
+        assert_eq!(ids[3], Some(0), "second tree restarts numbering");
+        assert_eq!(ids[5], Some(2));
+    }
+}

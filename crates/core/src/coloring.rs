@@ -1,0 +1,242 @@
+//! Partial colorings (paper §3.1).
+//!
+//! A partial `q`-coloring assigns colors from `[q] = {0, …, q−1}` or `⊥`.
+//! The struct tracks assignments; properness, palettes and slack are
+//! computed against a [`ClusterGraph`] — the oracle views used by tests
+//! and by stage postcondition checks (the distributed algorithm itself
+//! only learns colors through charged rounds).
+
+use cgc_cluster::{ClusterGraph, VertexId};
+
+/// A color in `[q]` (0-based; the paper's `[Δ+1]` is `0..=Δ` here).
+pub type Color = usize;
+
+/// A partial coloring of the vertices of `H`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<Option<Color>>,
+    q: usize,
+}
+
+impl Coloring {
+    /// An all-uncolored coloring with `q` colors on `n` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn new(n: usize, q: usize) -> Self {
+        assert!(q > 0, "need at least one color");
+        Coloring { colors: vec![None; n], q }
+    }
+
+    /// Number of available colors `q` (usually `Δ + 1`).
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Whether there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// The color of `v`, if any.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> Option<Color> {
+        self.colors[v]
+    }
+
+    /// Whether `v` is colored.
+    #[inline]
+    pub fn is_colored(&self, v: VertexId) -> bool {
+        self.colors[v].is_some()
+    }
+
+    /// Colors `v` with `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= q` or `v` is already colored (use
+    /// [`Coloring::recolor`] for the §7 donation step).
+    pub fn set(&mut self, v: VertexId, c: Color) {
+        assert!(c < self.q, "color {c} out of range [{}]", self.q);
+        assert!(self.colors[v].is_none(), "vertex {v} already colored");
+        self.colors[v] = Some(c);
+    }
+
+    /// Recolors `v` (used by the §7 color-swapping scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= q`.
+    pub fn recolor(&mut self, v: VertexId, c: Color) {
+        assert!(c < self.q, "color {c} out of range [{}]", self.q);
+        self.colors[v] = Some(c);
+    }
+
+    /// Uncolors `v` (used when a stage cancels its coloring, §4.3).
+    pub fn clear(&mut self, v: VertexId) {
+        self.colors[v] = None;
+    }
+
+    /// Number of colored vertices.
+    pub fn n_colored(&self) -> usize {
+        self.colors.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// All uncolored vertices.
+    pub fn uncolored(&self) -> Vec<VertexId> {
+        (0..self.colors.len()).filter(|&v| self.colors[v].is_none()).collect()
+    }
+
+    /// Whether the coloring is proper on `g` (monochromatic edges only
+    /// count when both endpoints are colored).
+    pub fn is_proper(&self, g: &ClusterGraph) -> bool {
+        self.conflicts(g).is_empty()
+    }
+
+    /// All monochromatic edges.
+    pub fn conflicts(&self, g: &ClusterGraph) -> Vec<(VertexId, VertexId)> {
+        g.h_edges()
+            .filter(|&(u, v)| {
+                matches!((self.colors[u], self.colors[v]), (Some(a), Some(b)) if a == b)
+            })
+            .collect()
+    }
+
+    /// Whether every vertex is colored.
+    pub fn is_total(&self) -> bool {
+        self.colors.iter().all(Option::is_some)
+    }
+
+    /// The palette `L(v) = [q] \ φ(N(v))` (oracle view).
+    pub fn palette_oracle(&self, g: &ClusterGraph, v: VertexId) -> Vec<Color> {
+        let mut used = vec![false; self.q];
+        for &u in g.neighbors(v) {
+            if let Some(c) = self.colors[u] {
+                used[c] = true;
+            }
+        }
+        (0..self.q).filter(|&c| !used[c]).collect()
+    }
+
+    /// Uncolored degree `deg_φ(v)`.
+    pub fn uncolored_degree(&self, g: &ClusterGraph, v: VertexId) -> usize {
+        g.neighbors(v).iter().filter(|&&u| self.colors[u].is_none()).count()
+    }
+
+    /// Slack `s_φ(v) = |L(v)| − deg_φ(v)` (oracle view, §3.1).
+    pub fn slack_oracle(&self, g: &ClusterGraph, v: VertexId) -> i64 {
+        self.palette_oracle(g, v).len() as i64 - self.uncolored_degree(g, v) as i64
+    }
+
+    /// Reuse slack of `v`: colored neighbors minus distinct colors on them
+    /// (§4.1 "types of slack").
+    pub fn reuse_slack(&self, g: &ClusterGraph, v: VertexId) -> usize {
+        let mut used = vec![false; self.q];
+        let mut colored = 0usize;
+        let mut distinct = 0usize;
+        for &u in g.neighbors(v) {
+            if let Some(c) = self.colors[u] {
+                colored += 1;
+                if !used[c] {
+                    used[c] = true;
+                    distinct += 1;
+                }
+            }
+        }
+        colored - distinct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_net::CommGraph;
+
+    fn triangle() -> ClusterGraph {
+        ClusterGraph::singletons(CommGraph::complete(3))
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut c = Coloring::new(3, 3);
+        assert!(!c.is_colored(0));
+        c.set(0, 2);
+        assert_eq!(c.get(0), Some(2));
+        c.clear(0);
+        assert!(!c.is_colored(0));
+        assert_eq!(c.uncolored(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn properness_detects_conflicts() {
+        let g = triangle();
+        let mut c = Coloring::new(3, 3);
+        c.set(0, 0);
+        c.set(1, 1);
+        assert!(c.is_proper(&g));
+        c.set(2, 1);
+        assert!(!c.is_proper(&g));
+        assert_eq!(c.conflicts(&g), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn palette_and_slack() {
+        let g = triangle();
+        let mut c = Coloring::new(3, 3);
+        c.set(0, 0);
+        assert_eq!(c.palette_oracle(&g, 1), vec![1, 2]);
+        // v=1: |L| = 2, uncolored degree = 1 (vertex 2).
+        assert_eq!(c.slack_oracle(&g, 1), 1);
+        assert_eq!(c.uncolored_degree(&g, 1), 1);
+    }
+
+    #[test]
+    fn reuse_slack_counts_repeats() {
+        // Star center with two leaves colored identically.
+        let g = ClusterGraph::singletons(CommGraph::star(3));
+        let mut c = Coloring::new(3, 3);
+        c.set(1, 2);
+        c.set(2, 2);
+        assert_eq!(c.reuse_slack(&g, 0), 1);
+        assert!(c.is_proper(&g), "leaves are not adjacent");
+    }
+
+    #[test]
+    fn recolor_allows_swap() {
+        let mut c = Coloring::new(2, 4);
+        c.set(0, 1);
+        c.recolor(0, 3);
+        assert_eq!(c.get(0), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "already colored")]
+    fn double_set_panics() {
+        let mut c = Coloring::new(1, 2);
+        c.set(0, 0);
+        c.set(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn color_out_of_range_panics() {
+        let mut c = Coloring::new(1, 2);
+        c.set(0, 2);
+    }
+
+    #[test]
+    fn total_detection() {
+        let mut c = Coloring::new(2, 2);
+        assert!(!c.is_total());
+        c.set(0, 0);
+        c.set(1, 1);
+        assert!(c.is_total());
+        assert_eq!(c.n_colored(), 2);
+    }
+}

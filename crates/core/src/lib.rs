@@ -1,0 +1,60 @@
+//! Sub-logarithmic (Δ+1)-coloring of cluster graphs — the primary
+//! contribution of "Decentralized Distributed Graph Coloring: Cluster
+//! Graphs" (Flin–Halldórsson–Nolin, PODC 2025).
+//!
+//! The crate implements the full coloring pipeline of the paper:
+//!
+//! * [`slackgen`] — slack generation (Proposition 4.5, Algorithm 18);
+//! * [`trycolor`] — random color trials (Algorithm 17, Lemma D.3);
+//! * [`mct`] — MultiColorTrial with pseudorandom color sets
+//!   (Lemma D.1, Algorithm 16);
+//! * [`palette_query`] — the clique palette as a distributed data
+//!   structure (Lemma 4.8);
+//! * [`sct`] — the synchronized color trial (Lemma 4.13);
+//! * [`matching`] — colorful matchings: the sampling regime (Lemma 4.9)
+//!   and the fingerprint regime in densest cabals (§6, Algorithms 6–7);
+//! * [`putaside`] — put-aside sets (Lemma 4.18) and their recoloring by
+//!   color donation (§7, Algorithms 8–10);
+//! * [`complete`] — finishing non-cabals with reserved colors (§8,
+//!   Algorithm 11);
+//! * [`noncabal`] / [`cabals`] — the per-regime drivers (Algorithms 4–5);
+//! * [`lowdeg`] — the low-degree algorithm (§9: shattering, palette
+//!   learning, small-instance list coloring);
+//! * [`driver`] — the top-level algorithm (Algorithms 2–3, Theorems
+//!   1.1–1.2) with validation and honest fallback accounting.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cgc_core::{color_cluster_graph, Params};
+//! use cgc_cluster::{ClusterGraph, ClusterNet};
+//! use cgc_net::CommGraph;
+//!
+//! let g = ClusterGraph::singletons(CommGraph::complete(16));
+//! let mut net = ClusterNet::with_log_budget(&g, 32);
+//! let params = Params::laptop(g.n_vertices());
+//! let run = color_cluster_graph(&mut net, &params, 42);
+//! assert!(run.coloring.is_proper(&g));
+//! ```
+
+pub mod cabals;
+pub mod coloring;
+pub mod complete;
+pub mod driver;
+pub mod lowdeg;
+pub mod matching;
+pub mod mct;
+pub mod noncabal;
+pub mod palette_query;
+pub mod params;
+pub mod putaside;
+pub mod sct;
+pub mod slackgen;
+pub mod trycolor;
+pub mod validate;
+
+pub use coloring::{Color, Coloring};
+pub use driver::{color_cluster_graph, RunResult, RunStats};
+pub use palette_query::CliquePalette;
+pub use params::{Ablation, Params};
+pub use validate::{coloring_stats, ColoringStats};

@@ -1,0 +1,150 @@
+//! Learning `deg+1` free colors (§9.2 "Learning colors").
+//!
+//! In the polylogarithmic regime a vertex cannot ship its whole
+//! `(Δ+1)`-bit palette bitmap in one word, but it *can* probe batches of
+//! `Θ(log n / log log n)` sampled colors per round and ask neighbors
+//! which are taken. With `Ω(Δ)` permanent slack (sparse vertices,
+//! outliers) a constant fraction of every batch is free, so
+//! `O(log log n)` rounds collect a private list of `deg_φ + 1` free
+//! colors — the precondition of the §9.4 list-coloring finisher.
+
+use crate::coloring::{Color, Coloring};
+use cgc_cluster::{ClusterNet, VertexId};
+use cgc_net::SeedStream;
+use rand::RngExt;
+
+/// Learns, for every uncolored vertex in `members`, a list of
+/// `deg_φ(v) + 1` colors currently free at `v` (or as many as `rounds`
+/// batches of `batch` probes discover — the returned flag per vertex
+/// says whether the target was reached).
+///
+/// Charges one probe round per batch: the probe message is
+/// `batch · O(log Δ)` bits, pipelined against the budget exactly like
+/// the paper's `Θ(log n)`-bit probe packets.
+pub fn learn_free_colors(
+    net: &mut ClusterNet<'_>,
+    coloring: &Coloring,
+    seeds: &SeedStream,
+    salt: u64,
+    members: &[VertexId],
+    batch: usize,
+    rounds: usize,
+) -> Vec<(VertexId, Vec<Color>, bool)> {
+    let q = coloring.q();
+    let mut lists: Vec<Vec<Color>> = vec![Vec::new(); members.len()];
+    let mut tried: Vec<Vec<bool>> = vec![vec![false; q]; members.len()];
+
+    for round in 0..rounds {
+        // One probe round: batch · log Δ bits per vertex.
+        net.charge_full_rounds(1, (batch as u64) * net.color_bits());
+        let mut done = true;
+        for (j, &v) in members.iter().enumerate() {
+            if coloring.is_colored(v) {
+                continue;
+            }
+            let need = coloring.uncolored_degree(net.g, v) + 1;
+            if lists[j].len() >= need {
+                continue;
+            }
+            done = false;
+            let mut rng = seeds.rng_for(v as u64, salt ^ ((round as u64) << 8));
+            for _ in 0..batch {
+                let c = rng.random_range(0..q);
+                if tried[j][c] {
+                    continue;
+                }
+                tried[j][c] = true;
+                // The neighbors answer whether c is taken (one bit each,
+                // OR-aggregated) — computable at the links.
+                let free =
+                    net.g.neighbors(v).iter().all(|&u| coloring.get(u) != Some(c));
+                if free {
+                    lists[j].push(c);
+                }
+            }
+        }
+        if done {
+            break;
+        }
+    }
+
+    members
+        .iter()
+        .zip(lists)
+        .map(|(&v, list)| {
+            let need = coloring.uncolored_degree(net.g, v) + 1;
+            let reached = coloring.is_colored(v) || list.len() >= need;
+            (v, list, reached)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_graphs::{gnp_spec, realize, Layout};
+
+    #[test]
+    fn learned_lists_are_free_and_large_enough() {
+        let spec = gnp_spec(80, 0.08, 21);
+        let g = realize(&spec, Layout::Singleton, 1, 21);
+        let coloring = Coloring::new(g.n_vertices(), g.max_degree() + 1);
+        let mut net = ClusterNet::with_log_budget(&g, 32);
+        let members: Vec<usize> = (0..g.n_vertices()).collect();
+        let out = learn_free_colors(
+            &mut net,
+            &coloring,
+            &SeedStream::new(22),
+            0,
+            &members,
+            8,
+            12,
+        );
+        for (v, list, reached) in out {
+            assert!(reached, "vertex {v} did not reach deg+1 colors");
+            assert!(list.len() > coloring.uncolored_degree(&g, v));
+            for &c in &list {
+                for &u in g.neighbors(v) {
+                    assert_ne!(coloring.get(u), Some(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn colored_neighbors_shrink_lists() {
+        let spec = gnp_spec(40, 0.15, 23);
+        let g = realize(&spec, Layout::Singleton, 1, 23);
+        let mut coloring = Coloring::new(g.n_vertices(), g.max_degree() + 1);
+        // Color vertex 0's neighbors greedily.
+        let neigh: Vec<usize> = g.neighbors(0).to_vec();
+        for &u in &neigh {
+            let pal = coloring.palette_oracle(&g, u);
+            coloring.set(u, pal[0]);
+        }
+        let mut net = ClusterNet::with_log_budget(&g, 32);
+        let out =
+            learn_free_colors(&mut net, &coloring, &SeedStream::new(24), 0, &[0], 8, 16);
+        let (_, list, reached) = &out[0];
+        assert!(*reached);
+        // Learned colors avoid all the neighbors' colors.
+        for &c in list {
+            for &u in &neigh {
+                assert_ne!(coloring.get(u), Some(c));
+            }
+        }
+    }
+
+    #[test]
+    fn round_cap_reports_unreached() {
+        // One round with one probe cannot collect deg+1 colors at the hub
+        // of a star.
+        let g = cgc_cluster::ClusterGraph::singletons(cgc_net::CommGraph::star(20));
+        let coloring = Coloring::new(20, 20);
+        let mut net = ClusterNet::with_log_budget(&g, 32);
+        let out =
+            learn_free_colors(&mut net, &coloring, &SeedStream::new(25), 0, &[0], 1, 1);
+        let (_, list, reached) = &out[0];
+        assert!(!reached, "hub needs 20 colors, got {}", list.len());
+    }
+}

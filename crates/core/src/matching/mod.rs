@@ -1,0 +1,19 @@
+//! Colorful matchings (§4.2, §6).
+//!
+//! A *colorful matching* in an almost-clique `K` is a partial coloring
+//! using each of `M_K` colors on (at least) two non-adjacent members —
+//! creating the reuse slack that lets the clique palette survive when
+//! `|K| > Δ + 1` (Lemma 4.9). Two regimes:
+//!
+//! * [`sampled`] — the sampling algorithm of Lemma 4.9 (from [FGH+24]),
+//!   effective when the average anti-degree is `Ω(log n)`;
+//! * [`cabal`] — the paper's novel fingerprint-based algorithm (§6,
+//!   Algorithms 6–7) for the densest cabals, where anti-edges are *rare*
+//!   and must be hunted with unique-maximum fingerprint trials and
+//!   min-wise sampling.
+
+pub mod cabal;
+pub mod sampled;
+
+pub use cabal::{color_anti_matching, fingerprint_matching, fingerprint_matching_all};
+pub use sampled::sampled_colorful_matching;

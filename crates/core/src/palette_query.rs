@@ -1,0 +1,179 @@
+//! The clique palette as a distributed data structure (Lemma 4.8).
+//!
+//! In cluster graphs a node cannot learn its own palette `L(v)` (Figure 2's
+//! set-intersection bound), but the *clique palette*
+//! `L(K) = [Δ+1] \ φ(K)` supports `O(1)`-round queries: count the free
+//! colors in a range, or fetch the `i`-th free color of a range. The
+//! structure is maintained by the almost-clique collectively (ordered
+//! aggregation over a BFS tree of `K`); here it is rebuilt from the public
+//! colors with the corresponding round charges, and queries are charged
+//! per batch exactly as the lemma prescribes.
+
+use crate::coloring::{Color, Coloring};
+use cgc_cluster::{ClusterNet, VertexId};
+
+/// A snapshot of one almost-clique's palette.
+#[derive(Debug, Clone)]
+pub struct CliquePalette {
+    used: Vec<bool>,
+    /// Free colors, sorted ascending.
+    free: Vec<Color>,
+    /// Members colored at snapshot time.
+    n_colored: usize,
+    /// Distinct colors used by members.
+    n_distinct: usize,
+}
+
+impl CliquePalette {
+    /// Builds the palette of one clique from the current coloring,
+    /// charging one aggregation round (use [`CliquePalette::build_all`]
+    /// for the parallel variant).
+    pub fn build(net: &mut ClusterNet<'_>, coloring: &Coloring, clique: &[VertexId]) -> Self {
+        net.charge_full_rounds(1, net.color_bits() + 1);
+        Self::snapshot(coloring, clique)
+    }
+
+    /// Builds palettes for a family of vertex-disjoint cliques with a
+    /// single round charge (they aggregate in parallel, Lemma 3.2).
+    pub fn build_all(
+        net: &mut ClusterNet<'_>,
+        coloring: &Coloring,
+        cliques: &[Vec<VertexId>],
+    ) -> Vec<Self> {
+        net.charge_full_rounds(1, net.color_bits() + 1);
+        cliques.iter().map(|k| Self::snapshot(coloring, k)).collect()
+    }
+
+    /// Charge for one batch of parallel queries (Lemma 4.8: `O(1)` rounds
+    /// regardless of how many vertices query).
+    pub fn charge_query_batch(net: &mut ClusterNet<'_>) {
+        net.charge_full_rounds(2, net.color_bits() + net.id_bits());
+    }
+
+    /// Builds a palette snapshot *without* charging — for callers that
+    /// batched the build charge for a whole family of disjoint cliques
+    /// themselves (e.g. the donation pipeline).
+    pub fn snapshot_uncharged(coloring: &Coloring, clique: &[VertexId]) -> Self {
+        Self::snapshot(coloring, clique)
+    }
+
+    fn snapshot(coloring: &Coloring, clique: &[VertexId]) -> Self {
+        let q = coloring.q();
+        let mut used = vec![false; q];
+        let mut n_colored = 0usize;
+        for &v in clique {
+            if let Some(c) = coloring.get(v) {
+                n_colored += 1;
+                used[c] = true;
+            }
+        }
+        let free: Vec<Color> = (0..q).filter(|&c| !used[c]).collect();
+        let n_distinct = q - free.len();
+        CliquePalette { used, free, n_colored, n_distinct }
+    }
+
+    /// Whether color `c` is unused in the clique.
+    pub fn is_free(&self, c: Color) -> bool {
+        !self.used[c]
+    }
+
+    /// Number of free colors.
+    pub fn n_free(&self) -> usize {
+        self.free.len()
+    }
+
+    /// All free colors (sorted). The *distributed* algorithm only reads
+    /// this through ranged queries; full access is for validation.
+    pub fn free_colors(&self) -> &[Color] {
+        &self.free
+    }
+
+    /// Lemma 4.8 count query: `|L(K) ∩ [lo, hi)|`.
+    pub fn free_count_in(&self, lo: Color, hi: Color) -> usize {
+        let a = self.free.partition_point(|&c| c < lo);
+        let b = self.free.partition_point(|&c| c < hi);
+        b - a
+    }
+
+    /// Lemma 4.8 select query: the `i`-th (0-based) free color in
+    /// `[lo, hi)`.
+    pub fn nth_free_in(&self, i: usize, lo: Color, hi: Color) -> Option<Color> {
+        let a = self.free.partition_point(|&c| c < lo);
+        let b = self.free.partition_point(|&c| c < hi);
+        if a + i < b {
+            Some(self.free[a + i])
+        } else {
+            None
+        }
+    }
+
+    /// The repeated-color count `M_K = |K ∩ dom φ| − |φ(K)|` — the size of
+    /// the colorful matching the clique currently carries (§4.3, used to
+    /// detect whether the matching is large enough).
+    pub fn repeated_colors(&self) -> usize {
+        self.n_colored - self.n_distinct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_cluster::ClusterGraph;
+    use cgc_net::CommGraph;
+
+    fn setup() -> (ClusterGraph, Coloring) {
+        let g = ClusterGraph::singletons(CommGraph::complete(6));
+        let c = Coloring::new(6, 6);
+        (g, c)
+    }
+
+    #[test]
+    fn ranged_queries_match_brute_force() {
+        let (g, mut c) = setup();
+        c.set(0, 1);
+        c.set(1, 4);
+        c.set(2, 4); // improper for the clique, but palette math is per-set
+        let mut net = ClusterNet::with_log_budget(&g, 32);
+        let p = CliquePalette::build(&mut net, &c, &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(p.free_colors(), &[0, 2, 3, 5]);
+        assert_eq!(p.n_free(), 4);
+        assert_eq!(p.free_count_in(0, 6), 4);
+        assert_eq!(p.free_count_in(2, 5), 2);
+        assert_eq!(p.nth_free_in(0, 2, 6), Some(2));
+        assert_eq!(p.nth_free_in(1, 2, 6), Some(3));
+        assert_eq!(p.nth_free_in(2, 2, 6), Some(5));
+        assert_eq!(p.nth_free_in(3, 2, 6), None);
+        assert!(p.is_free(0));
+        assert!(!p.is_free(4));
+    }
+
+    #[test]
+    fn repeated_colors_is_m_k() {
+        let (g, mut c) = setup();
+        c.set(0, 2);
+        c.set(3, 2);
+        c.set(1, 5);
+        let mut net = ClusterNet::with_log_budget(&g, 32);
+        let p = CliquePalette::build(&mut net, &c, &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(p.repeated_colors(), 1, "3 colored, 2 distinct");
+    }
+
+    #[test]
+    fn build_all_charges_once() {
+        let (g, c) = setup();
+        let mut net = ClusterNet::with_log_budget(&g, 32);
+        let h0 = net.meter.h_rounds();
+        let ps = CliquePalette::build_all(&mut net, &c, &[vec![0, 1], vec![2, 3]]);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(net.meter.h_rounds() - h0, 3, "one full round for all cliques");
+    }
+
+    #[test]
+    fn empty_clique_palette_is_full() {
+        let (g, c) = setup();
+        let mut net = ClusterNet::with_log_budget(&g, 32);
+        let p = CliquePalette::build(&mut net, &c, &[]);
+        assert_eq!(p.n_free(), 6);
+        assert_eq!(p.repeated_colors(), 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Computing put-aside sets (Lemma 4.18, Algorithm 20 lineage).
+//!
+//! Requirements: (1) `|P_K| = r_K`; (2) no edge joins put-aside sets of
+//! different cabals; (3) few members of any cabal have neighbors in other
+//! cabals' put-aside sets. Cabals have tiny external degree, so sampling
+//! `3r` random uncolored inliers and dropping cross-conflicting ones
+//! succeeds w.h.p.; the loop retries with fresh randomness otherwise
+//! (charged per attempt).
+
+use crate::coloring::Coloring;
+use cgc_cluster::{ClusterNet, VertexId};
+use cgc_net::SeedStream;
+use rand::RngExt;
+
+/// Computes put-aside sets for each cabal.
+///
+/// `pools[i]` lists cabal `i`'s uncolored inliers; `targets[i]` is its
+/// required `r_K`. Returns `None` when `max_retries` attempts cannot
+/// satisfy every cabal (the driver then proceeds without put-aside slack
+/// and leans on its fallback — honestly reported).
+///
+/// # Panics
+///
+/// Panics if `pools.len() != targets.len()`.
+pub fn compute_putaside_sets(
+    net: &mut ClusterNet<'_>,
+    coloring: &Coloring,
+    seeds: &SeedStream,
+    salt: u64,
+    pools: &[Vec<VertexId>],
+    targets: &[usize],
+    max_retries: usize,
+) -> Option<Vec<Vec<VertexId>>> {
+    assert_eq!(pools.len(), targets.len(), "target per cabal");
+    net.set_phase("putaside-compute");
+    let n = net.g.n_vertices();
+
+    for attempt in 0..max_retries.max(1) {
+        // Sample 3r candidates per cabal (2 rounds: announce + check).
+        net.charge_full_rounds(2, net.id_bits());
+        let mut cand_of: Vec<Option<usize>> = vec![None; n];
+        let mut cands: Vec<Vec<VertexId>> = Vec::with_capacity(pools.len());
+        let mut feasible = true;
+        for (i, (pool, &r)) in pools.iter().zip(targets).enumerate() {
+            let avail: Vec<VertexId> =
+                pool.iter().copied().filter(|&v| !coloring.is_colored(v)).collect();
+            if avail.len() < r {
+                feasible = false;
+                break;
+            }
+            let want = (3 * r).min(avail.len());
+            let mut rng = seeds.rng_for(i as u64, salt ^ ((attempt as u64) << 8));
+            let mut pick = avail;
+            // partial Fisher–Yates
+            for j in 0..want {
+                let k = rng.random_range(j..pick.len());
+                pick.swap(j, k);
+            }
+            pick.truncate(want);
+            for &v in &pick {
+                cand_of[v] = Some(i);
+            }
+            cands.push(pick);
+        }
+        if !feasible {
+            return None;
+        }
+
+        // Drop candidates with a neighbor candidate in another cabal.
+        let mut out: Vec<Vec<VertexId>> = Vec::with_capacity(pools.len());
+        let mut ok = true;
+        for (i, cand) in cands.iter().enumerate() {
+            let survivors: Vec<VertexId> = cand
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    net.g.neighbors(v).iter().all(|&u| {
+                        cand_of[u].is_none() || cand_of[u] == Some(i)
+                    })
+                })
+                .collect();
+            if survivors.len() < targets[i] {
+                ok = false;
+                break;
+            }
+            let mut p = survivors;
+            p.truncate(targets[i]);
+            p.sort_unstable();
+            out.push(p);
+        }
+        if ok {
+            return Some(out);
+        }
+    }
+    None
+}
+
+/// Exact validation of the Lemma 4.18 guarantees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PutAsideCheck {
+    /// Property 1: every set has its target size.
+    pub sizes_ok: bool,
+    /// Property 2: no edge between put-aside sets of different cabals.
+    pub independent: bool,
+    /// Property 3: max fraction of a cabal adjacent to other cabals' sets.
+    pub max_exposure: f64,
+}
+
+/// Validates put-aside sets against the graph (oracle; no charge).
+pub fn check_putaside(
+    net: &ClusterNet<'_>,
+    cliques: &[Vec<VertexId>],
+    sets: &[Vec<VertexId>],
+    targets: &[usize],
+) -> PutAsideCheck {
+    let n = net.g.n_vertices();
+    let mut in_set: Vec<Option<usize>> = vec![None; n];
+    for (i, s) in sets.iter().enumerate() {
+        for &v in s {
+            in_set[v] = Some(i);
+        }
+    }
+    let sizes_ok = sets.iter().zip(targets).all(|(s, &r)| s.len() == r);
+    let mut independent = true;
+    for (i, s) in sets.iter().enumerate() {
+        for &v in s {
+            for &u in net.g.neighbors(v) {
+                if let Some(j) = in_set[u] {
+                    if j != i {
+                        independent = false;
+                    }
+                }
+            }
+        }
+    }
+    let mut max_exposure: f64 = 0.0;
+    for (i, k) in cliques.iter().enumerate() {
+        let exposed = k
+            .iter()
+            .filter(|&&v| {
+                net.g
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| matches!(in_set[u], Some(j) if j != i))
+            })
+            .count();
+        max_exposure = max_exposure.max(exposed as f64 / k.len().max(1) as f64);
+    }
+    PutAsideCheck { sizes_ok, independent, max_exposure }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_graphs::{cabal_spec, realize, Layout};
+
+    #[test]
+    fn independent_sets_found_on_sparse_cross_edges() {
+        let (spec, info) = cabal_spec(3, 20, 2, 6, 42);
+        let g = realize(&spec, Layout::Singleton, 1, 42);
+        let mut net = ClusterNet::with_log_budget(&g, 32);
+        let coloring = Coloring::new(g.n_vertices(), g.max_degree() + 1);
+        let seeds = SeedStream::new(80);
+        let targets = vec![3usize; 3];
+        let sets = compute_putaside_sets(
+            &mut net,
+            &coloring,
+            &seeds,
+            0,
+            &info.cliques,
+            &targets,
+            6,
+        )
+        .expect("should succeed on sparse cross edges");
+        let chk = check_putaside(&net, &info.cliques, &sets, &targets);
+        assert!(chk.sizes_ok);
+        assert!(chk.independent);
+        assert!(chk.max_exposure <= 0.5, "exposure {}", chk.max_exposure);
+    }
+
+    #[test]
+    fn colored_vertices_excluded_from_pools() {
+        let (spec, info) = cabal_spec(2, 12, 0, 0, 7);
+        let g = realize(&spec, Layout::Singleton, 1, 7);
+        let mut net = ClusterNet::with_log_budget(&g, 32);
+        let mut coloring = Coloring::new(g.n_vertices(), g.max_degree() + 1);
+        // Color most of cabal 0: pool shrinks below target.
+        for v in 0..10 {
+            coloring.set(v, v);
+        }
+        let seeds = SeedStream::new(81);
+        let r = compute_putaside_sets(
+            &mut net,
+            &coloring,
+            &seeds,
+            0,
+            &info.cliques,
+            &[3, 3],
+            4,
+        );
+        assert!(r.is_none(), "only 2 uncolored members remain in cabal 0");
+    }
+
+    #[test]
+    fn sets_are_subsets_of_pools() {
+        let (spec, info) = cabal_spec(2, 16, 1, 2, 9);
+        let g = realize(&spec, Layout::Singleton, 1, 9);
+        let mut net = ClusterNet::with_log_budget(&g, 32);
+        let coloring = Coloring::new(g.n_vertices(), g.max_degree() + 1);
+        let seeds = SeedStream::new(82);
+        let sets = compute_putaside_sets(
+            &mut net,
+            &coloring,
+            &seeds,
+            0,
+            &info.cliques,
+            &[4, 4],
+            6,
+        )
+        .unwrap();
+        for (s, k) in sets.iter().zip(&info.cliques) {
+            for &v in s {
+                assert!(k.contains(&v), "{v} outside its cabal");
+            }
+        }
+    }
+}

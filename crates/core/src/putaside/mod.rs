@@ -1,0 +1,16 @@
+//! Put-aside sets and their recoloring by donation (§4.3, §7).
+//!
+//! Cabals keep a set `P_K` of `r` inliers *uncolored* through the main
+//! pipeline — the temporary slack that lets `MultiColorTrial` finish the
+//! rest of the cabal on reserved colors. Coloring `P_K` at the very end is
+//! "the most challenging part in cluster graphs" (§2.4): searching for a
+//! free color is a set-intersection instance, so instead already-colored
+//! vertices *donate* their colors and recolor themselves from the clique
+//! palette — a three-way matching (replacement color → donor → put-aside
+//! vertex) solved in `O(1)` rounds.
+
+pub mod compute;
+pub mod donate;
+
+pub use compute::{check_putaside, compute_putaside_sets, PutAsideCheck};
+pub use donate::{color_putaside_sets, CabalCtx, DonationOutcome};

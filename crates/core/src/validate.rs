@@ -1,0 +1,79 @@
+//! Coloring validation and summary statistics.
+
+use crate::coloring::Coloring;
+use cgc_cluster::ClusterGraph;
+
+/// Summary of a (partial) coloring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColoringStats {
+    /// Colored vertices.
+    pub n_colored: usize,
+    /// Total vertices.
+    pub n_vertices: usize,
+    /// Distinct colors used.
+    pub colors_used: usize,
+    /// Largest color index used (`None` if nothing colored).
+    pub max_color: Option<usize>,
+    /// Monochromatic edges.
+    pub n_conflicts: usize,
+}
+
+impl ColoringStats {
+    /// Whether the coloring is total and proper.
+    pub fn is_valid_total(&self) -> bool {
+        self.n_colored == self.n_vertices && self.n_conflicts == 0
+    }
+}
+
+/// Computes summary statistics of a coloring against a graph.
+pub fn coloring_stats(g: &ClusterGraph, c: &Coloring) -> ColoringStats {
+    let mut used = vec![false; c.q()];
+    let mut max_color = None;
+    for v in 0..c.len() {
+        if let Some(col) = c.get(v) {
+            used[col] = true;
+            max_color = Some(max_color.map_or(col, |m: usize| m.max(col)));
+        }
+    }
+    ColoringStats {
+        n_colored: c.n_colored(),
+        n_vertices: c.len(),
+        colors_used: used.iter().filter(|&&b| b).count(),
+        max_color,
+        n_conflicts: c.conflicts(g).len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_net::CommGraph;
+
+    #[test]
+    fn stats_reflect_coloring() {
+        let g = ClusterGraph::singletons(CommGraph::complete(4));
+        let mut c = Coloring::new(4, 4);
+        c.set(0, 0);
+        c.set(1, 1);
+        c.set(2, 3);
+        let s = coloring_stats(&g, &c);
+        assert_eq!(s.n_colored, 3);
+        assert_eq!(s.colors_used, 3);
+        assert_eq!(s.max_color, Some(3));
+        assert_eq!(s.n_conflicts, 0);
+        assert!(!s.is_valid_total());
+        c.set(3, 2);
+        assert!(coloring_stats(&g, &c).is_valid_total());
+    }
+
+    #[test]
+    fn conflicts_counted() {
+        let g = ClusterGraph::singletons(CommGraph::path(3));
+        let mut c = Coloring::new(3, 3);
+        c.set(0, 1);
+        c.set(1, 1);
+        let s = coloring_stats(&g, &c);
+        assert_eq!(s.n_conflicts, 1);
+        assert!(!s.is_valid_total());
+    }
+}

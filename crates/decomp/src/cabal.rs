@@ -1,0 +1,100 @@
+//! Cabal classification and reserved colors (§4.1, Equations 1–2).
+//!
+//! A *cabal* is an almost-clique whose average estimated external degree
+//! satisfies `ẽ_K < ℓ` — too few outside connections (and too few
+//! anti-edges) for slack generation and sampling arguments to work, so the
+//! algorithm treats cabals with put-aside sets and fingerprint matchings.
+//! Every almost-clique reserves the colors `{1, …, r_K}` with
+//! `r_K = ρ · max(ẽ_K, ℓ)` (paper: ρ = 250), capped at a small fraction of
+//! the color space so they stay dispensable in earlier stages.
+
+use crate::degrees::DegreeProfile;
+
+/// Cabal flags and reserved-color counts per clique.
+#[derive(Debug, Clone)]
+pub struct CabalInfo {
+    /// The threshold `ℓ` used.
+    pub ell: f64,
+    /// Whether clique `i` is a cabal.
+    pub is_cabal: Vec<bool>,
+    /// Reserved colors `r_K` for clique `i`.
+    pub reserved: Vec<usize>,
+}
+
+impl CabalInfo {
+    /// Number of cabals.
+    pub fn n_cabals(&self) -> usize {
+        self.is_cabal.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Classifies cliques into cabals/non-cabals and assigns reserved colors.
+///
+/// `rho` is the paper's factor 250 in Equation (2); at laptop scale the
+/// caller passes a small value so that `r_K ≤ cap_frac · Δ` is not always
+/// binding. `r_K` is clamped into `[1, cap_frac · Δ]`.
+pub fn classify_cabals(
+    profile: &DegreeProfile,
+    delta: usize,
+    ell: f64,
+    rho: f64,
+    cap_frac: f64,
+) -> CabalInfo {
+    let cap = ((cap_frac * delta as f64).floor() as usize).max(1);
+    let mut is_cabal = Vec::with_capacity(profile.e_avg.len());
+    let mut reserved = Vec::with_capacity(profile.e_avg.len());
+    for &ek in &profile.e_avg {
+        is_cabal.push(ek < ell);
+        let r = (rho * ek.max(ell)).ceil() as usize;
+        reserved.push(r.clamp(1, cap));
+    }
+    CabalInfo { ell, is_cabal, reserved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(e_avg: Vec<f64>) -> DegreeProfile {
+        let k = e_avg.len();
+        DegreeProfile {
+            e_est: Vec::new(),
+            e_avg,
+            clique_size: vec![10; k],
+            x_v: Vec::new(),
+            e_exact: Vec::new(),
+            a_exact: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn low_external_degree_is_cabal() {
+        let p = profile(vec![0.5, 3.0, 10.0]);
+        let info = classify_cabals(&p, 100, 4.0, 2.0, 0.3);
+        assert_eq!(info.is_cabal, vec![true, true, false]);
+        assert_eq!(info.n_cabals(), 2);
+    }
+
+    #[test]
+    fn reserved_colors_scale_with_external_degree() {
+        let p = profile(vec![1.0, 8.0]);
+        let info = classify_cabals(&p, 1000, 4.0, 2.0, 0.3);
+        // Cabal: r = 2·max(1,4) = 8; non-cabal: r = 2·8 = 16.
+        assert_eq!(info.reserved, vec![8, 16]);
+    }
+
+    #[test]
+    fn reserved_colors_capped() {
+        let p = profile(vec![50.0]);
+        let info = classify_cabals(&p, 20, 4.0, 250.0, 0.3);
+        assert_eq!(info.reserved, vec![6], "capped at 0.3 · 20");
+    }
+
+    #[test]
+    fn empty_profile_is_fine() {
+        let p = profile(vec![]);
+        let info = classify_cabals(&p, 10, 4.0, 2.0, 0.3);
+        assert_eq!(info.n_cabals(), 0);
+        assert!(info.reserved.is_empty());
+    }
+}

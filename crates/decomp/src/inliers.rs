@@ -1,0 +1,105 @@
+//! Inliers and outliers (Equation 4 and §4.3).
+//!
+//! Vertices that deviate too much from their clique's averages may not
+//! receive enough slack and are colored early as *outliers* (they enjoy
+//! temporary slack from their many uncolored inlier neighbors). Anti-
+//! degrees are not approximable on cluster graphs, so the non-cabal
+//! condition uses the Equation (3) proxy `x_v`:
+//!
+//! * non-cabals (Equation 4):
+//!   `I_K = { v : ẽ_v ≤ 20 ẽ_K  ∧  x_v ≤ M_K/2 + (γ/8) ẽ_K }`,
+//! * cabals (§4.3): `I_K = { v : ẽ_v ≤ 20 ẽ_K }`.
+
+use crate::degrees::DegreeProfile;
+use cgc_cluster::VertexId;
+
+/// Multiplier on `ẽ_K` in the external-degree condition (paper: 20).
+pub const EXT_FACTOR: f64 = 20.0;
+
+/// Non-cabal inliers of clique `c` (Equation 4); returns a flag per member
+/// of `clique`, positionally.
+///
+/// `m_k` is the colorful-matching size `M_K` and `gamma` the slack
+/// constant `γ_{4.5}`.
+pub fn noncabal_inliers(
+    profile: &DegreeProfile,
+    clique: &[VertexId],
+    c: usize,
+    m_k: usize,
+    gamma: f64,
+) -> Vec<bool> {
+    let ek = profile.e_avg[c];
+    clique
+        .iter()
+        .map(|&v| {
+            profile.e_est[v] <= EXT_FACTOR * ek + 1.0
+                && profile.x_v[v] <= m_k as f64 / 2.0 + (gamma / 8.0) * ek
+        })
+        .collect()
+}
+
+/// Cabal inliers of clique `c` (§4.3: external-degree condition only).
+pub fn cabal_inliers(profile: &DegreeProfile, clique: &[VertexId], c: usize) -> Vec<bool> {
+    let ek = profile.e_avg[c];
+    clique.iter().map(|&v| profile.e_est[v] <= EXT_FACTOR * ek + 1.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_with(e_est: Vec<f64>, x_v: Vec<f64>, e_avg: f64) -> DegreeProfile {
+        let n = e_est.len();
+        DegreeProfile {
+            e_est,
+            e_avg: vec![e_avg],
+            clique_size: vec![n],
+            x_v,
+            e_exact: vec![0; n],
+            a_exact: vec![0; n],
+        }
+    }
+
+    #[test]
+    fn high_external_degree_is_outlier() {
+        let p = profile_with(vec![1.0, 2.0, 100.0], vec![0.0, 0.0, 0.0], 2.0);
+        let clique = vec![0, 1, 2];
+        let inl = noncabal_inliers(&p, &clique, 0, 10, 0.1);
+        assert_eq!(inl, vec![true, true, false]);
+        let cin = cabal_inliers(&p, &clique, 0);
+        assert_eq!(cin, vec![true, true, false]);
+    }
+
+    #[test]
+    fn high_anti_degree_proxy_is_outlier_in_noncabals_only() {
+        let p = profile_with(vec![1.0, 1.0], vec![0.0, 50.0], 2.0);
+        let clique = vec![0, 1];
+        let inl = noncabal_inliers(&p, &clique, 0, 10, 0.1);
+        assert_eq!(inl, vec![true, false]);
+        // Cabal condition ignores x_v.
+        let cin = cabal_inliers(&p, &clique, 0);
+        assert_eq!(cin, vec![true, true]);
+    }
+
+    #[test]
+    fn matching_size_relaxes_the_proxy_bound() {
+        let p = profile_with(vec![1.0], vec![20.0], 2.0);
+        let clique = vec![0];
+        assert_eq!(noncabal_inliers(&p, &clique, 0, 10, 0.1), vec![false]);
+        assert_eq!(noncabal_inliers(&p, &clique, 0, 100, 0.1), vec![true]);
+    }
+
+    /// Lemma 4.10 shape: with mild deviations, most of a clique is inliers.
+    #[test]
+    fn most_members_are_inliers() {
+        let n = 40;
+        let e_est: Vec<f64> = (0..n).map(|i| if i < 2 { 50.0 } else { 2.0 }).collect();
+        let x_v = vec![0.0; n];
+        let avg = e_est.iter().sum::<f64>() / n as f64;
+        let p = profile_with(e_est, x_v, avg);
+        let clique: Vec<usize> = (0..n).collect();
+        let inl = noncabal_inliers(&p, &clique, 0, 0, 0.1);
+        let count = inl.iter().filter(|&&b| b).count();
+        assert!(count >= 38, "{count} inliers of {n}");
+    }
+}

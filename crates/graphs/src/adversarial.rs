@@ -1,0 +1,88 @@
+//! Bottleneck-link instances (Figures 2 and 3, experiment E17).
+//!
+//! Each cluster is a long path of machines with a single *bridge* link in
+//! the middle; inter-cluster links attach only at the path's two ends,
+//! with lower-indexed neighbor clusters wired to the left end and
+//! higher-indexed ones to the right. Any information flow between the two
+//! halves of a cluster squeezes through the `O(log n)`-bit bridge —
+//! exactly the set-intersection hard instance of Figure 2. The coloring
+//! algorithm must still finish within budget because it only ever moves
+//! aggregates, never raw neighbor lists.
+
+use cgc_cluster::ClusterGraph;
+use cgc_net::CommGraph;
+
+/// Builds the adversarial layout for a complete conflict graph on
+/// `n_clusters` clusters, each a path of `path_len ≥ 2` machines.
+///
+/// # Panics
+///
+/// Panics if `n_clusters == 0` or `path_len < 2`.
+pub fn bottleneck_instance(n_clusters: usize, path_len: usize) -> ClusterGraph {
+    assert!(n_clusters > 0, "need clusters");
+    assert!(path_len >= 2, "paths need two ends");
+    let m = path_len;
+    let n_machines = n_clusters * m;
+    let mut edges = Vec::new();
+    for c in 0..n_clusters {
+        let base = c * m;
+        for j in 0..(m - 1) {
+            edges.push((base + j, base + j + 1));
+        }
+    }
+    // Complete conflict graph; attachment by index order.
+    for u in 0..n_clusters {
+        for v in (u + 1)..n_clusters {
+            // u (lower) uses its RIGHT end, v (higher) its LEFT end.
+            let mu = u * m + (m - 1);
+            let mv = v * m;
+            edges.push((mu, mv));
+        }
+    }
+    let comm = CommGraph::from_edges(n_machines, &edges).expect("valid adversarial instance");
+    let assignment: Vec<usize> = (0..n_machines).map(|i| i / m).collect();
+    ClusterGraph::build(comm, assignment).expect("paths are connected")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_graph_is_complete() {
+        let g = bottleneck_instance(5, 6);
+        assert_eq!(g.n_vertices(), 5);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                assert!(g.has_edge(u, v), "missing ({u},{v})");
+            }
+        }
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn dilation_matches_path_length() {
+        let g = bottleneck_instance(3, 10);
+        assert_eq!(g.dilation(), 9);
+    }
+
+    #[test]
+    fn links_attach_at_ends_only() {
+        let g = bottleneck_instance(4, 8);
+        for &(mu, mv, cu, cv) in g.links() {
+            assert!(cu < cv);
+            assert_eq!(mu % 8, 7, "lower cluster uses right end");
+            assert_eq!(mv % 8, 0, "higher cluster uses left end");
+        }
+    }
+
+    #[test]
+    fn single_links_between_clusters() {
+        let g = bottleneck_instance(6, 4);
+        for u in 0..6 {
+            for v in (u + 1)..6 {
+                assert_eq!(g.link_multiplicity(u, v), 1);
+            }
+        }
+    }
+}

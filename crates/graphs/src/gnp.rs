@@ -1,0 +1,51 @@
+//! Erdős–Rényi `G(n, p)` conflict graphs.
+
+use crate::layouts::HSpec;
+use cgc_net::SeedStream;
+use rand::RngExt;
+
+/// Samples a `G(n, p)` spec.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn gnp_spec(n: usize, p: f64, seed: u64) -> HSpec {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut rng = SeedStream::new(seed).rng_for(0x67_6E_70, 0);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    HSpec::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_concentrates() {
+        let n = 120;
+        let p = 0.1;
+        let h = gnp_spec(n, p, 4);
+        let expect = p * (n * (n - 1) / 2) as f64;
+        let m = h.edges.len() as f64;
+        assert!((m - expect).abs() < 0.35 * expect, "m = {m}, expect ≈ {expect}");
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        assert!(gnp_spec(20, 0.0, 1).edges.is_empty());
+        assert_eq!(gnp_spec(20, 1.0, 1).edges.len(), 190);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(gnp_spec(50, 0.2, 7), gnp_spec(50, 0.2, 7));
+        assert_ne!(gnp_spec(50, 0.2, 7), gnp_spec(50, 0.2, 8));
+    }
+}

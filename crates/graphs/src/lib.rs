@@ -1,0 +1,27 @@
+//! Workload generators for the cluster-coloring experiments.
+//!
+//! Generators produce a conflict-graph specification ([`HSpec`]) plus
+//! planted-structure metadata; [`layouts::realize`] then lays the spec out
+//! over a communication network with a chosen cluster topology (singleton
+//! = CONGEST, path, star, balanced tree — the paper's Figure 2/3 shapes)
+//! and link multiplicity, yielding a ready [`cgc_cluster::ClusterGraph`].
+//!
+//! * [`gnp`] — Erdős–Rényi `G(n, p)`;
+//! * [`planted`] — disjoint or noisy planted almost-cliques, cabal-heavy
+//!   instances with controlled anti-degree and external degree, and mixed
+//!   Reed-style instances (sparse background + dense blocks);
+//! * [`layouts`] — cluster realizations over `G`;
+//! * [`power`] — square graphs for the distance-2 corollary (E12);
+//! * [`adversarial`] — the Figure 2/3 bottleneck-link instances.
+
+pub mod adversarial;
+pub mod gnp;
+pub mod layouts;
+pub mod planted;
+pub mod power;
+
+pub use adversarial::bottleneck_instance;
+pub use gnp::gnp_spec;
+pub use layouts::{realize, HSpec, Layout};
+pub use planted::{cabal_spec, mixture_spec, planted_cliques_spec, MixtureConfig, PlantedInfo};
+pub use power::square_spec;

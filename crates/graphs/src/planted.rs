@@ -1,0 +1,250 @@
+//! Planted dense structure: almost-cliques, cabals, Reed-style mixtures.
+//!
+//! These instances drive the coloring pipeline through its distinct code
+//! paths: perfect cliques (trivial ACD, tight palettes), mixtures with
+//! anti-edges and external edges (colorful matching, slack generation,
+//! synchronized color trial), and cabal-heavy instances with tiny external
+//! degree (put-aside sets, fingerprint matching — the §6/§7 machinery).
+
+use crate::layouts::HSpec;
+use cgc_net::SeedStream;
+use rand::RngExt;
+
+/// Ground-truth structure of a planted instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantedInfo {
+    /// Planted dense blocks (sorted member lists).
+    pub cliques: Vec<Vec<usize>>,
+    /// Background (sparse) vertices.
+    pub sparse: Vec<usize>,
+}
+
+/// `c` disjoint perfect `k`-cliques, no background.
+pub fn planted_cliques_spec(c: usize, k: usize, _seed: u64) -> (HSpec, PlantedInfo) {
+    let mut edges = Vec::new();
+    let mut cliques = Vec::with_capacity(c);
+    for i in 0..c {
+        let base = i * k;
+        for u in 0..k {
+            for v in (u + 1)..k {
+                edges.push((base + u, base + v));
+            }
+        }
+        cliques.push((base..base + k).collect());
+    }
+    (HSpec::new(c * k, edges), PlantedInfo { cliques, sparse: Vec::new() })
+}
+
+/// Configuration for a Reed-style mixture instance.
+///
+/// External degrees are *capped* per vertex: a dense vertex's degree is
+/// `|K| − 1 − a_v + e_v` with `e_v ≤ external_per_vertex`, so planted
+/// blocks stay genuine almost-cliques relative to the global `Δ` — the
+/// regime the paper's decomposition targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixtureConfig {
+    /// Number of planted dense blocks.
+    pub n_cliques: usize,
+    /// Members per block.
+    pub clique_size: usize,
+    /// Probability of dropping each intra-block edge (creates anti-edges).
+    pub anti_edge_prob: f64,
+    /// External edges per dense vertex (exact cap; near-regular).
+    pub external_per_vertex: usize,
+    /// Background vertex count.
+    pub sparse_n: usize,
+    /// Edge probability inside the background.
+    pub sparse_p: f64,
+}
+
+impl Default for MixtureConfig {
+    fn default() -> Self {
+        MixtureConfig {
+            n_cliques: 3,
+            clique_size: 24,
+            anti_edge_prob: 0.05,
+            external_per_vertex: 1,
+            sparse_n: 48,
+            sparse_p: 0.15,
+        }
+    }
+}
+
+/// Samples a mixture instance.
+///
+/// # Panics
+///
+/// Panics if probabilities are outside `[0, 1]`.
+pub fn mixture_spec(cfg: &MixtureConfig, seed: u64) -> (HSpec, PlantedInfo) {
+    assert!((0.0..=1.0).contains(&cfg.anti_edge_prob), "anti_edge_prob in [0,1]");
+    assert!((0.0..=1.0).contains(&cfg.sparse_p), "sparse_p in [0,1]");
+    let mut rng = SeedStream::new(seed).rng_for(0x4D49_5854, 0);
+    let dense_n = cfg.n_cliques * cfg.clique_size;
+    let n = dense_n + cfg.sparse_n;
+    let mut edges = Vec::new();
+    let mut cliques = Vec::with_capacity(cfg.n_cliques);
+
+    for i in 0..cfg.n_cliques {
+        let base = i * cfg.clique_size;
+        for u in 0..cfg.clique_size {
+            for v in (u + 1)..cfg.clique_size {
+                if rng.random::<f64>() >= cfg.anti_edge_prob {
+                    edges.push((base + u, base + v));
+                }
+            }
+        }
+        cliques.push((base..base + cfg.clique_size).collect());
+    }
+
+    // Near-regular external edges: every endpoint's external count stays
+    // within the cap, keeping Δ ≈ clique_size − 1 + cap.
+    let cap = cfg.external_per_vertex;
+    let mut ext = vec![0usize; n];
+    if cap > 0 && (cfg.n_cliques > 1 || cfg.sparse_n > 0) {
+        for v in 0..dense_n {
+            let block = v / cfg.clique_size;
+            let mut guard = 0usize;
+            while ext[v] < cap && guard < 64 * cap {
+                guard += 1;
+                let u = rng.random_range(0..n);
+                let u_block = if u < dense_n { u / cfg.clique_size } else { usize::MAX };
+                if u != v && u_block != block && ext[u] < cap {
+                    edges.push((v.min(u), v.max(u)));
+                    ext[v] += 1;
+                    ext[u] += 1;
+                }
+            }
+        }
+    }
+
+    // Background G(sparse_n, sparse_p).
+    for u in dense_n..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < cfg.sparse_p {
+                edges.push((u, v));
+            }
+        }
+    }
+
+    (
+        HSpec::new(n, edges),
+        PlantedInfo { cliques, sparse: (dense_n..n).collect() },
+    )
+}
+
+/// Cabal-heavy instance: `c` blocks of size `k`; inside each block,
+/// `anti_pairs` disjoint vertex pairs lose their edge (planting exactly
+/// that many anti-edges, a matching); `ext_edges` random inter-block edges
+/// total (kept small so every block is a cabal: `e_K ≪ ℓ`).
+///
+/// # Panics
+///
+/// Panics if `2 * anti_pairs > k`.
+pub fn cabal_spec(
+    c: usize,
+    k: usize,
+    anti_pairs: usize,
+    ext_edges: usize,
+    seed: u64,
+) -> (HSpec, PlantedInfo) {
+    assert!(2 * anti_pairs <= k, "too many anti pairs for block size");
+    let mut rng = SeedStream::new(seed).rng_for(0x000C_ABA1, 0);
+    let n = c * k;
+    let mut edges = Vec::new();
+    let mut cliques = Vec::with_capacity(c);
+    for i in 0..c {
+        let base = i * k;
+        for u in 0..k {
+            for v in (u + 1)..k {
+                // The anti-matching pairs are (0,1), (2,3), …
+                let is_anti = v == u + 1 && u % 2 == 0 && u / 2 < anti_pairs;
+                if !is_anti {
+                    edges.push((base + u, base + v));
+                }
+            }
+        }
+        cliques.push((base..base + k).collect());
+    }
+    let mut placed = 0usize;
+    let mut guard = 0usize;
+    while placed < ext_edges && c > 1 && guard < 64 * ext_edges.max(1) {
+        guard += 1;
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u / k != v / k {
+            edges.push((u.min(v), u.max(v)));
+            placed += 1;
+        }
+    }
+    (HSpec::new(n, edges), PlantedInfo { cliques, sparse: Vec::new() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_cliques_have_expected_edges() {
+        let (h, info) = planted_cliques_spec(3, 10, 0);
+        assert_eq!(h.n, 30);
+        assert_eq!(h.edges.len(), 3 * 45);
+        assert_eq!(info.cliques.len(), 3);
+        assert_eq!(h.max_degree(), 9);
+    }
+
+    #[test]
+    fn mixture_has_dense_and_sparse_parts() {
+        let cfg = MixtureConfig::default();
+        let (h, info) = mixture_spec(&cfg, 5);
+        assert_eq!(h.n, 3 * 24 + 48);
+        assert_eq!(info.cliques.len(), 3);
+        assert_eq!(info.sparse.len(), 48);
+        // Dense vertices are much higher degree than background.
+        let mut deg = vec![0usize; h.n];
+        for &(u, v) in &h.edges {
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let dense_avg: f64 =
+            (0..72).map(|v| deg[v] as f64).sum::<f64>() / 72.0;
+        let sparse_avg: f64 =
+            (72..h.n).map(|v| deg[v] as f64).sum::<f64>() / 48.0;
+        assert!(dense_avg > 2.0 * sparse_avg, "dense {dense_avg} sparse {sparse_avg}");
+    }
+
+    #[test]
+    fn cabal_spec_plants_exact_anti_matching() {
+        let (h, info) = cabal_spec(2, 12, 3, 4, 9);
+        assert_eq!(info.cliques.len(), 2);
+        // Block 0: edges (0,1), (2,3), (4,5) are missing.
+        let has = |u: usize, v: usize| h.edges.binary_search(&(u.min(v), u.max(v))).is_ok();
+        assert!(!has(0, 1));
+        assert!(!has(2, 3));
+        assert!(!has(4, 5));
+        assert!(has(6, 7));
+        assert!(has(0, 2));
+        // Anti-edges in block 1 too (shifted by 12).
+        assert!(!has(12, 13));
+    }
+
+    #[test]
+    fn cabal_spec_external_edges_cross_blocks() {
+        let (h, _) = cabal_spec(3, 10, 0, 12, 11);
+        let cross = h.edges.iter().filter(|&&(u, v)| u / 10 != v / 10).count();
+        assert!(cross >= 10, "cross edges {cross}");
+    }
+
+    #[test]
+    fn deterministic_generators() {
+        let a = mixture_spec(&MixtureConfig::default(), 3);
+        let b = mixture_spec(&MixtureConfig::default(), 3);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many anti pairs")]
+    fn oversized_anti_matching_panics() {
+        cabal_spec(1, 4, 3, 0, 1);
+    }
+}

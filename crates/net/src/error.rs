@@ -1,0 +1,81 @@
+//! Error types for the network substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating communication graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// An edge referenced a machine id `>= n`.
+    MachineOutOfRange {
+        /// The offending machine id.
+        machine: usize,
+        /// The number of machines in the graph.
+        n: usize,
+    },
+    /// A self-loop `(u, u)` was supplied.
+    SelfLoop {
+        /// The machine with the self-loop.
+        machine: usize,
+    },
+    /// A cluster was not connected in the communication graph.
+    DisconnectedCluster {
+        /// The cluster id that failed the connectivity check.
+        cluster: usize,
+    },
+    /// A cluster assignment vector had the wrong length.
+    AssignmentLength {
+        /// Expected length (number of machines).
+        expected: usize,
+        /// Actual length supplied.
+        actual: usize,
+    },
+    /// An empty graph (zero machines) was supplied where machines are needed.
+    EmptyGraph,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::MachineOutOfRange { machine, n } => {
+                write!(f, "machine id {machine} out of range for {n} machines")
+            }
+            NetError::SelfLoop { machine } => write!(f, "self-loop at machine {machine}"),
+            NetError::DisconnectedCluster { cluster } => {
+                write!(f, "cluster {cluster} is not connected in the communication graph")
+            }
+            NetError::AssignmentLength { expected, actual } => {
+                write!(f, "cluster assignment has length {actual}, expected {expected}")
+            }
+            NetError::EmptyGraph => write!(f, "communication graph has no machines"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            NetError::MachineOutOfRange { machine: 7, n: 3 },
+            NetError::SelfLoop { machine: 1 },
+            NetError::DisconnectedCluster { cluster: 2 },
+            NetError::AssignmentLength { expected: 4, actual: 2 },
+            NetError::EmptyGraph,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(NetError::EmptyGraph);
+        assert_eq!(e.to_string(), "communication graph has no machines");
+    }
+}

@@ -1,0 +1,308 @@
+//! The static communication-network topology `G = (V_G, E_G)`.
+//!
+//! Machines are indexed `0..n`; links are undirected, simple edges stored in
+//! CSR adjacency form for cache-friendly traversal. The cluster layer builds
+//! support trees and inter-cluster link tables on top of this graph.
+
+use crate::error::NetError;
+use std::collections::VecDeque;
+
+/// Identifier of a machine (a vertex of the communication network `G`).
+pub type MachineId = usize;
+
+/// An undirected simple communication network.
+///
+/// # Example
+///
+/// ```
+/// use cgc_net::CommGraph;
+/// let g = CommGraph::path(5);
+/// assert_eq!(g.n_machines(), 5);
+/// assert_eq!(g.n_links(), 4);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommGraph {
+    n: usize,
+    /// CSR offsets: `adj[offsets[v]..offsets[v+1]]` are the neighbors of `v`.
+    offsets: Vec<usize>,
+    adj: Vec<MachineId>,
+    /// Canonical edge list with `u < v`.
+    edges: Vec<(MachineId, MachineId)>,
+}
+
+impl CommGraph {
+    /// Builds a graph on `n` machines from an undirected edge list.
+    ///
+    /// Duplicate edges are collapsed; orientation is normalized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::MachineOutOfRange`] if an endpoint is `>= n`,
+    /// [`NetError::SelfLoop`] on a `(u, u)` edge and [`NetError::EmptyGraph`]
+    /// when `n == 0`.
+    pub fn from_edges(n: usize, edges: &[(MachineId, MachineId)]) -> Result<Self, NetError> {
+        if n == 0 {
+            return Err(NetError::EmptyGraph);
+        }
+        let mut canon: Vec<(usize, usize)> = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            if u >= n {
+                return Err(NetError::MachineOutOfRange { machine: u, n });
+            }
+            if v >= n {
+                return Err(NetError::MachineOutOfRange { machine: v, n });
+            }
+            if u == v {
+                return Err(NetError::SelfLoop { machine: u });
+            }
+            canon.push((u.min(v), u.max(v)));
+        }
+        canon.sort_unstable();
+        canon.dedup();
+
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &canon {
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for d in &deg {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut adj = vec![0usize; offsets[n]];
+        let mut cursor = offsets[..n].to_vec();
+        for &(u, v) in &canon {
+            adj[cursor[u]] = v;
+            cursor[u] += 1;
+            adj[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        Ok(CommGraph { n, offsets, adj, edges: canon })
+    }
+
+    /// A path `0 - 1 - ... - (n-1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn path(n: usize) -> Self {
+        let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        Self::from_edges(n, &edges).expect("path construction is always valid for n >= 1")
+    }
+
+    /// A star with center `0` and leaves `1..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn star(n: usize) -> Self {
+        let edges: Vec<_> = (1..n).map(|i| (0, i)).collect();
+        Self::from_edges(n, &edges).expect("star construction is always valid for n >= 1")
+    }
+
+    /// The complete graph on `n` machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn complete(n: usize) -> Self {
+        let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u, v));
+            }
+        }
+        Self::from_edges(n, &edges).expect("complete construction is always valid for n >= 1")
+    }
+
+    /// Number of machines.
+    #[inline]
+    pub fn n_machines(&self) -> usize {
+        self.n
+    }
+
+    /// Number of links.
+    #[inline]
+    pub fn n_links(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of machine `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: MachineId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Neighbors of machine `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: MachineId) -> &[MachineId] {
+        &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Canonicalized (`u < v`) edge list.
+    #[inline]
+    pub fn edges(&self) -> &[(MachineId, MachineId)] {
+        &self.edges
+    }
+
+    /// Whether the link `{u, v}` exists (binary search in CSR row).
+    pub fn has_link(&self, u: MachineId, v: MachineId) -> bool {
+        if u >= self.n || v >= self.n {
+            return false;
+        }
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// BFS distances from `src`; unreachable machines get `usize::MAX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    pub fn bfs_distances(&self, src: MachineId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        let mut q = VecDeque::new();
+        dist[src] = 0;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            for &w in self.neighbors(u) {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    q.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// BFS restricted to a machine subset. Returns `(parent, depth)` maps
+    /// over the subset (indexed by machine id; machines outside the subset
+    /// keep `usize::MAX` depth and `None` parent).
+    ///
+    /// Used to build support trees inside clusters.
+    pub fn bfs_tree_within(
+        &self,
+        src: MachineId,
+        in_subset: &[bool],
+    ) -> (Vec<Option<MachineId>>, Vec<usize>) {
+        debug_assert!(in_subset.len() == self.n);
+        let mut parent = vec![None; self.n];
+        let mut depth = vec![usize::MAX; self.n];
+        if !in_subset[src] {
+            return (parent, depth);
+        }
+        let mut q = VecDeque::new();
+        depth[src] = 0;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            for &w in self.neighbors(u) {
+                if in_subset[w] && depth[w] == usize::MAX {
+                    depth[w] = depth[u] + 1;
+                    parent[w] = Some(u);
+                    q.push_back(w);
+                }
+            }
+        }
+        (parent, depth)
+    }
+
+    /// Whether the whole graph is connected.
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        let dist = self.bfs_distances(0);
+        dist.iter().all(|&d| d != usize::MAX)
+    }
+
+    /// Maximum degree over all machines.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_dedups_and_normalizes() {
+        let g = CommGraph::from_edges(3, &[(0, 1), (1, 0), (2, 1)]).unwrap();
+        assert_eq!(g.n_links(), 2);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+        assert!(g.has_link(1, 0));
+        assert!(!g.has_link(0, 2));
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert!(matches!(
+            CommGraph::from_edges(2, &[(0, 2)]),
+            Err(NetError::MachineOutOfRange { machine: 2, n: 2 })
+        ));
+        assert!(matches!(
+            CommGraph::from_edges(2, &[(1, 1)]),
+            Err(NetError::SelfLoop { machine: 1 })
+        ));
+        assert!(matches!(CommGraph::from_edges(0, &[]), Err(NetError::EmptyGraph)));
+    }
+
+    #[test]
+    fn path_star_complete_shapes() {
+        let p = CommGraph::path(6);
+        assert_eq!(p.n_links(), 5);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(3), 2);
+
+        let s = CommGraph::star(6);
+        assert_eq!(s.degree(0), 5);
+        assert_eq!(s.degree(5), 1);
+        assert_eq!(s.max_degree(), 5);
+
+        let k = CommGraph::complete(5);
+        assert_eq!(k.n_links(), 10);
+        assert!(k.is_connected());
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let p = CommGraph::path(5);
+        let d = p.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_tree_within_subset_respects_boundary() {
+        // Path 0-1-2-3-4, subset {0,1,2}: machine 3,4 unreachable.
+        let p = CommGraph::path(5);
+        let subset = vec![true, true, true, false, false];
+        let (parent, depth) = p.bfs_tree_within(0, &subset);
+        assert_eq!(depth[2], 2);
+        assert_eq!(parent[2], Some(1));
+        assert_eq!(depth[3], usize::MAX);
+        assert_eq!(parent[3], None);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = CommGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn single_machine_graph() {
+        let g = CommGraph::from_edges(1, &[]).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.n_links(), 0);
+        assert_eq!(g.degree(0), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Communication-network substrate for the cluster-graph coloring system.
+//!
+//! This crate models the *communication network* `G = (V_G, E_G)` of the
+//! paper "Decentralized Distributed Graph Coloring: Cluster Graphs"
+//! (Flin–Halldórsson–Nolin, PODC 2025), Section 3.2: an `n`-machine graph
+//! whose links carry `O(log n)`-bit messages in synchronous rounds.
+//!
+//! It provides three things used by every higher layer:
+//!
+//! * [`CommGraph`] — the static machine/link topology,
+//! * [`CostMeter`] — honest accounting of rounds (both cluster-level
+//!   "H-rounds" and network-level "G-rounds") and of bits per link per round,
+//!   including automatic pipelining charges for oversized messages,
+//! * [`SeedStream`] — deterministic, replayable per-entity random streams so
+//!   every experiment row can be regenerated from a single seed.
+//!
+//! # Example
+//!
+//! ```
+//! use cgc_net::{CommGraph, CostMeter};
+//!
+//! let g = CommGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+//! assert_eq!(g.degree(1), 2);
+//! let mut meter = CostMeter::new(64);
+//! meter.charge_message(48); // within budget: one sub-round
+//! assert_eq!(meter.report().h_rounds, 0); // rounds are charged explicitly
+//! ```
+
+pub mod bandwidth;
+pub mod error;
+pub mod graph;
+pub mod rng;
+
+pub use bandwidth::{CostMeter, CostReport, PhaseCost};
+pub use error::NetError;
+pub use graph::{CommGraph, MachineId};
+pub use rng::SeedStream;

@@ -1,0 +1,139 @@
+//! `(ε, s)`-min-wise independent hash functions (Definition C.1,
+//! Lemma C.2).
+//!
+//! A family `H` of functions `[N] → [N]` is `(ε, s)`-min-wise independent
+//! when for any `X ⊆ [N]`, `|X| ≤ s`, and `x ∉ X`:
+//! `|Pr[h(x) < min h(X)] − 1/(|X|+1)| ≤ ε/(|X|+1)`.
+//! By Lemma C.2 (Indyk), any `O(log 1/ε)`-wise independent family is
+//! `(ε, s)`-min-wise for `s ≤ εN/C`. Descriptions take
+//! `O(log N · log 1/ε)` bits. §6 uses these to let a random group sample a
+//! near-uniform member of an anti-neighbor set by taking the min hash.
+
+use crate::kwise::KWiseHash;
+use rand::Rng;
+
+/// A min-wise independent hash function `[N] → [R]` with `R = 4N²` to make
+/// internal collisions unlikely (ties are broken by input id by callers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinWiseHash {
+    inner: KWiseHash,
+}
+
+impl MinWiseHash {
+    /// Samples a function suitable for `(ε, s)`-min-wise use on `[n]`.
+    ///
+    /// The independence degree is `max(2, ceil(c · log2(1/ε)))` with
+    /// `c = 2`, following Lemma C.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is not in `(0, 1)` or `n == 0`.
+    pub fn new(rng: &mut impl Rng, eps: f64, n: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(n > 0, "universe must be nonempty");
+        let k = (2.0 * (1.0 / eps).log2()).ceil().max(2.0) as usize;
+        let range = (4 * n * n).max(4);
+        MinWiseHash { inner: KWiseHash::new(rng, k, range) }
+    }
+
+    /// Evaluates the function.
+    pub fn eval(&self, x: u64) -> u64 {
+        self.inner.eval(x)
+    }
+
+    /// The member of `xs` with the smallest hash (ties by smaller id);
+    /// `None` when `xs` is empty.
+    pub fn argmin<'a, I>(&self, xs: I) -> Option<u64>
+    where
+        I: IntoIterator<Item = &'a u64>,
+    {
+        xs.into_iter()
+            .map(|&x| (self.eval(x), x))
+            .min()
+            .map(|(_, x)| x)
+    }
+
+    /// Description length in bits.
+    pub fn description_bits(&self) -> u64 {
+        self.inner.description_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_net::SeedStream;
+
+    #[test]
+    fn argmin_is_deterministic_and_member() {
+        let mut rng = SeedStream::new(9).rng_for(0, 0);
+        let h = MinWiseHash::new(&mut rng, 0.25, 1000);
+        let xs = vec![3u64, 77, 150, 999];
+        let m = h.argmin(&xs).unwrap();
+        assert!(xs.contains(&m));
+        assert_eq!(h.argmin(&xs), Some(m));
+        assert_eq!(h.argmin(&[]), None);
+    }
+
+    /// Empirical Definition C.1 check: each member of a set is the argmin
+    /// with probability close to 1/|X| over random functions.
+    #[test]
+    fn min_location_approximately_uniform() {
+        let s = SeedStream::new(10);
+        let xs: Vec<u64> = vec![5, 17, 23, 42, 67, 88, 91, 120];
+        let mut hits = vec![0usize; xs.len()];
+        let fams = 6000;
+        for f in 0..fams {
+            let mut rng = s.rng_for(f, 0);
+            let h = MinWiseHash::new(&mut rng, 0.25, 256);
+            let m = h.argmin(&xs).unwrap();
+            hits[xs.iter().position(|&x| x == m).unwrap()] += 1;
+        }
+        let expect = fams as f64 / xs.len() as f64;
+        for (i, &c) in hits.iter().enumerate() {
+            let ratio = c as f64 / expect;
+            // Lemma C.2 promises (1 ± ε)/|X|; allow sampling noise on top.
+            assert!((0.6..1.4).contains(&ratio), "element {i} ratio {ratio}");
+        }
+    }
+
+    /// The §6 usage pattern: an outside element beats the set with
+    /// probability ≈ 1/(|X|+1).
+    #[test]
+    fn outsider_wins_with_expected_rate() {
+        let s = SeedStream::new(11);
+        let xs: Vec<u64> = (0..15).collect();
+        let outsider = 200u64;
+        let mut wins = 0usize;
+        let fams = 6000;
+        for f in 0..fams {
+            let mut rng = s.rng_for(f, 1);
+            let h = MinWiseHash::new(&mut rng, 0.25, 256);
+            let hx = h.eval(outsider);
+            if xs.iter().all(|&x| h.eval(x) > hx) {
+                wins += 1;
+            }
+        }
+        let rate = wins as f64 / fams as f64;
+        let expect = 1.0 / (xs.len() + 1) as f64;
+        assert!(
+            (rate - expect).abs() < 0.5 * expect + 0.01,
+            "rate {rate} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn description_fits_log_budget() {
+        let mut rng = SeedStream::new(12).rng_for(0, 0);
+        let h = MinWiseHash::new(&mut rng, 0.5, 1 << 20);
+        // k = max(2, 2·log2(2)) = 2 coefficients: ~186 bits.
+        assert!(h.description_bits() <= 4 * 61 + 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be in (0,1)")]
+    fn invalid_eps_panics() {
+        let mut rng = SeedStream::new(1).rng_for(0, 0);
+        MinWiseHash::new(&mut rng, 1.5, 10);
+    }
+}

@@ -1,0 +1,109 @@
+//! ε-almost pairwise independent families (Definition C.3, Theorem C.4).
+//!
+//! For every `x₁ ≠ x₂` and targets `y₁, y₂`:
+//! `Pr[h(x₁) = y₁ ∧ h(x₂) = y₂] ≤ (1 + ε)/M²`.
+//! An affine map over a prime field, reduced mod `M`, achieves this with a
+//! description of `O(log N + log M)` bits; the theorem's tighter
+//! `O(log log N + log M + log 1/ε)` construction is not needed at our
+//! scales, which we document rather than over-engineer.
+
+use crate::kwise::{KWiseHash, MERSENNE_61};
+use rand::Rng;
+
+/// An almost-pairwise independent hash `[N] → [m]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairwiseHash {
+    inner: KWiseHash,
+}
+
+impl PairwiseHash {
+    /// Samples a member with range `[m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    pub fn new(rng: &mut impl Rng, m: u64) -> Self {
+        PairwiseHash { inner: KWiseHash::new(rng, 2, m) }
+    }
+
+    /// Evaluates the hash.
+    pub fn eval(&self, x: u64) -> u64 {
+        self.inner.eval(x)
+    }
+
+    /// Range size.
+    pub fn range(&self) -> u64 {
+        self.inner.range()
+    }
+
+    /// Description bits (two field elements + range).
+    pub fn description_bits(&self) -> u64 {
+        self.inner.description_bits()
+    }
+
+    /// Whether the hash is collision-free on the given inputs — the §7.1
+    /// "free colors" step needs a hash with no collisions on the `ℓ_s`
+    /// smallest palette colors; callers resample until this returns true.
+    pub fn collision_free(&self, xs: &[u64]) -> bool {
+        let mut seen: Vec<u64> = xs.iter().map(|&x| self.eval(x)).collect();
+        seen.sort_unstable();
+        seen.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// The field size backing the construction.
+    pub fn field_size() -> u64 {
+        MERSENNE_61
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_net::SeedStream;
+
+    #[test]
+    fn pair_probability_bounded() {
+        let s = SeedStream::new(20);
+        let m = 16u64;
+        let mut joint = 0usize;
+        let fams = 20_000;
+        for f in 0..fams {
+            let mut rng = s.rng_for(f, 0);
+            let h = PairwiseHash::new(&mut rng, m);
+            if h.eval(3) == 5 && h.eval(9) == 11 {
+                joint += 1;
+            }
+        }
+        let rate = joint as f64 / fams as f64;
+        let bound = 2.0 / (m as f64 * m as f64); // (1+ε)/M² with slack
+        assert!(rate <= bound + 0.005, "joint rate {rate} vs bound {bound}");
+    }
+
+    #[test]
+    fn collision_free_resampling_succeeds() {
+        let s = SeedStream::new(21);
+        // Hash 20 values into a poly-log range; some functions collide,
+        // but resampling quickly finds a collision-free one.
+        let xs: Vec<u64> = (0..20).map(|i| i * 37 + 5).collect();
+        let mut found = false;
+        for f in 0..50 {
+            let mut rng = s.rng_for(f, 0);
+            let h = PairwiseHash::new(&mut rng, 4096);
+            if h.collision_free(&xs) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no collision-free hash in 50 samples");
+    }
+
+    #[test]
+    fn collision_detection_works() {
+        let s = SeedStream::new(22);
+        let mut rng = s.rng_for(0, 0);
+        let h = PairwiseHash::new(&mut rng, 2);
+        // 5 inputs into range 2 must collide.
+        let xs: Vec<u64> = (0..5).collect();
+        assert!(!h.collision_free(&xs));
+    }
+}

@@ -1,0 +1,222 @@
+//! Representative set families (Definition C.5, Lemma C.6).
+//!
+//! An `(α, δ, ν)`-representative family over a universe of size `k` is a
+//! collection `F = {S_1, …, S_t}` of `s`-sized subsets such that for every
+//! test set `T`:
+//!
+//! * if `|T| ≥ δk`, a random `S_i` approximates `T`'s density within a
+//!   `(1 ± α)` factor with probability `1 − ν`;
+//! * if `|T| < δk`, a random `S_i` does not overestimate the density beyond
+//!   `(1 + α)δ` with probability `1 − ν`.
+//!
+//! Lemma C.6 proves such families exist with `t = Θ(k/ν + k log k)` and
+//! `s = Θ(α^{-2} δ^{-1} log(1/ν))`; the proof is probabilistic — i.i.d.
+//! uniform subsets work — so the implementation *is* the existence proof:
+//! sets are generated deterministically from `(family seed, index)`, and a
+//! vertex describes its entire sample by the `O(log t)`-bit index. This is
+//! how `MultiColorTrial` ships `Θ(log n)` color trials in one message.
+
+use cgc_net::SeedStream;
+use rand::RngExt;
+
+/// Size/count parameters for a representative family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepParams {
+    /// Approximation slack `α`.
+    pub alpha: f64,
+    /// Density threshold `δ`.
+    pub delta: f64,
+    /// Failure probability `ν`.
+    pub nu: f64,
+}
+
+impl RepParams {
+    /// Set size `s = Θ(α^{-2} δ^{-1} log(1/ν))` from Lemma C.6.
+    pub fn set_size(&self) -> usize {
+        let s = (1.0 / (self.alpha * self.alpha)) * (1.0 / self.delta) * (1.0 / self.nu).ln();
+        (s.ceil() as usize).max(4)
+    }
+
+    /// Family size `t`; `Θ(k/ν + k log k)` in the lemma, capped here to
+    /// keep index descriptions within `O(log n)` bits (the family is
+    /// globally known, only indices travel).
+    pub fn family_size(&self, k: usize) -> usize {
+        let kf = k.max(2) as f64;
+        let t = kf / self.nu + kf * kf.ln();
+        (t.ceil() as usize).clamp(64, 1 << 20)
+    }
+}
+
+/// A deterministic pseudo-random representative family over `[k]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepFamily {
+    universe: usize,
+    set_size: usize,
+    family_size: usize,
+    seeds: SeedStream,
+}
+
+impl RepFamily {
+    /// Creates a family of `family_size` subsets of `[universe]`, each of
+    /// `set_size` elements, deterministically derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0`, `set_size == 0` or `family_size == 0`.
+    pub fn new(universe: usize, set_size: usize, family_size: usize, seed: u64) -> Self {
+        assert!(universe > 0, "universe must be nonempty");
+        assert!(set_size > 0, "set size must be positive");
+        assert!(family_size > 0, "family must be nonempty");
+        RepFamily {
+            universe,
+            set_size: set_size.min(universe),
+            family_size,
+            seeds: SeedStream::new(seed),
+        }
+    }
+
+    /// Builds from Lemma C.6 parameters.
+    pub fn with_params(universe: usize, params: RepParams, seed: u64) -> Self {
+        Self::new(universe, params.set_size(), params.family_size(universe), seed)
+    }
+
+    /// Universe size `k`.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Per-set size `s`.
+    pub fn set_size(&self) -> usize {
+        self.set_size
+    }
+
+    /// Family size `t`.
+    pub fn family_size(&self) -> usize {
+        self.family_size
+    }
+
+    /// Bits to describe an index into the family.
+    pub fn index_bits(&self) -> u64 {
+        (usize::BITS - self.family_size.leading_zeros()) as u64
+    }
+
+    /// Materializes the `i`-th set (sorted, distinct elements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= family_size`.
+    pub fn set(&self, i: usize) -> Vec<usize> {
+        assert!(i < self.family_size, "family index out of range");
+        let mut rng = self.seeds.rng_for(i as u64, 0xC0FFEE);
+        // Partial Fisher–Yates over an implicit [0, k): sample without
+        // replacement via a small map.
+        let mut chosen = Vec::with_capacity(self.set_size);
+        let mut swapped: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for j in 0..self.set_size {
+            let r = rng.random_range(j..self.universe);
+            let vr = *swapped.get(&r).unwrap_or(&r);
+            let vj = *swapped.get(&j).unwrap_or(&j);
+            swapped.insert(r, vj);
+            chosen.push(vr);
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn sets_are_valid_subsets() {
+        let f = RepFamily::new(100, 10, 50, 5);
+        for i in 0..f.family_size() {
+            let s = f.set(i);
+            assert_eq!(s.len(), 10);
+            assert!(s.iter().all(|&x| x < 100));
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "distinct & sorted");
+        }
+    }
+
+    #[test]
+    fn deterministic_by_index() {
+        let f1 = RepFamily::new(64, 8, 16, 9);
+        let f2 = RepFamily::new(64, 8, 16, 9);
+        for i in 0..16 {
+            assert_eq!(f1.set(i), f2.set(i));
+        }
+    }
+
+    /// Equation (22): a random member approximates the density of a large
+    /// test set within (1 ± α), most of the time.
+    #[test]
+    fn density_approximation_for_large_sets() {
+        let k = 200usize;
+        let params = RepParams { alpha: 0.5, delta: 0.25, nu: 0.05 };
+        let f = RepFamily::with_params(k, params, 31);
+        let test: Vec<bool> = (0..k).map(|x| x % 3 != 0).collect(); // |T| ≈ 2k/3
+        let density = test.iter().filter(|&&b| b).count() as f64 / k as f64;
+
+        let mut ok = 0usize;
+        let trials = 500usize;
+        let seeds = cgc_net::SeedStream::new(32);
+        for tr in 0..trials {
+            let mut rng = seeds.rng_for(tr as u64, 0);
+            let i = rng.random_range(0..f.family_size());
+            let s = f.set(i);
+            let inter = s.iter().filter(|&&x| test[x]).count() as f64 / s.len() as f64;
+            if (inter - density).abs() <= params.alpha * density {
+                ok += 1;
+            }
+        }
+        let rate = ok as f64 / trials as f64;
+        assert!(rate >= 0.9, "approximation rate {rate}");
+    }
+
+    /// Equation (23): small test sets are not wildly overestimated.
+    #[test]
+    fn no_overestimate_for_small_sets() {
+        let k = 200usize;
+        let params = RepParams { alpha: 0.5, delta: 0.25, nu: 0.05 };
+        let f = RepFamily::with_params(k, params, 33);
+        // |T| = 10 < δk = 50.
+        let test: Vec<bool> = (0..k).map(|x| x < 10).collect();
+
+        let mut ok = 0usize;
+        let trials = 500usize;
+        let seeds = cgc_net::SeedStream::new(34);
+        for tr in 0..trials {
+            let mut rng = seeds.rng_for(tr as u64, 0);
+            let i = rng.random_range(0..f.family_size());
+            let s = f.set(i);
+            let inter = s.iter().filter(|&&x| test[x]).count() as f64 / s.len() as f64;
+            if inter <= (1.0 + params.alpha) * params.delta {
+                ok += 1;
+            }
+        }
+        let rate = ok as f64 / trials as f64;
+        assert!(rate >= 0.9, "no-overestimate rate {rate}");
+    }
+
+    #[test]
+    fn index_bits_are_logarithmic() {
+        let f = RepFamily::new(1000, 16, 1 << 12, 1);
+        assert_eq!(f.index_bits(), 13);
+    }
+
+    #[test]
+    fn set_size_capped_by_universe() {
+        let f = RepFamily::new(5, 100, 4, 1);
+        assert_eq!(f.set_size(), 5);
+        assert_eq!(f.set(0).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "family index out of range")]
+    fn out_of_range_index_panics() {
+        let f = RepFamily::new(10, 2, 4, 1);
+        f.set(4);
+    }
+}

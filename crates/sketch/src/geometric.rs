@@ -1,0 +1,97 @@
+//! Geometric random variables (paper §5.1).
+//!
+//! `X` is geometric with parameter `λ ∈ (0,1)` when
+//! `Pr[X = k] = λ^k − λ^{k+1}` for `k ∈ ℕ₀`, equivalently
+//! `Pr[X ≥ k] = λ^k`: the number of consecutive successes of a
+//! probability-`λ` coin. The paper uses `λ = 1/2` throughout.
+
+use rand::{Rng, RngExt};
+
+/// Hard cap on sampled values. `Pr[X ≥ 192] = 2^{-192}` for `λ = 1/2`,
+/// far below any failure probability we account for; the cap keeps the
+/// sampler total and values within an `i16` after aggregation.
+pub const GEOMETRIC_CAP: u16 = 192;
+
+/// Samples a geometric variable of parameter `lambda`.
+///
+/// For `λ = 1/2` this uses the trailing-zeros trick on a uniform 64-bit
+/// word (plus extension words below the cap) and costs O(1) expected time.
+///
+/// # Panics
+///
+/// Panics if `lambda` is not in `(0, 1)`.
+pub fn sample_geometric(rng: &mut impl Rng, lambda: f64) -> u16 {
+    assert!(lambda > 0.0 && lambda < 1.0, "lambda must be in (0,1)");
+    if (lambda - 0.5).abs() < f64::EPSILON {
+        // Count consecutive heads: trailing ones of uniform words.
+        let mut k: u16 = 0;
+        loop {
+            let w: u64 = rng.random();
+            let tz = (!w).trailing_zeros() as u16; // leading run of 1-bits
+            k = k.saturating_add(tz);
+            if tz < 64 || k >= GEOMETRIC_CAP {
+                return k.min(GEOMETRIC_CAP);
+            }
+        }
+    }
+    let mut k: u16 = 0;
+    while k < GEOMETRIC_CAP && rng.random::<f64>() < lambda {
+        k += 1;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_net::SeedStream;
+
+    #[test]
+    fn half_parameter_tail_probability() {
+        // Pr[X >= 1] = 1/2, Pr[X >= 3] = 1/8 — check within loose bounds.
+        let mut rng = SeedStream::new(11).rng_for(0, 0);
+        let n = 20_000;
+        let mut ge1 = 0usize;
+        let mut ge3 = 0usize;
+        for _ in 0..n {
+            let x = sample_geometric(&mut rng, 0.5);
+            if x >= 1 {
+                ge1 += 1;
+            }
+            if x >= 3 {
+                ge3 += 1;
+            }
+        }
+        let p1 = ge1 as f64 / n as f64;
+        let p3 = ge3 as f64 / n as f64;
+        assert!((p1 - 0.5).abs() < 0.02, "p1 = {p1}");
+        assert!((p3 - 0.125).abs() < 0.02, "p3 = {p3}");
+    }
+
+    #[test]
+    fn generic_parameter_matches_half_distribution() {
+        let mut rng = SeedStream::new(12).rng_for(0, 0);
+        let n = 20_000;
+        let mean_slow: f64 = (0..n)
+            .map(|_| f64::from(sample_geometric(&mut rng, 0.5 + 1e-12)))
+            .sum::<f64>()
+            / n as f64;
+        // E[X] = λ/(1-λ) = 1 for λ=1/2.
+        assert!((mean_slow - 1.0).abs() < 0.1, "mean {mean_slow}");
+    }
+
+    #[test]
+    fn values_capped() {
+        let mut rng = SeedStream::new(13).rng_for(0, 0);
+        for _ in 0..1000 {
+            assert!(sample_geometric(&mut rng, 0.9) <= GEOMETRIC_CAP);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be in (0,1)")]
+    fn invalid_lambda_panics() {
+        let mut rng = SeedStream::new(1).rng_for(0, 0);
+        sample_geometric(&mut rng, 1.0);
+    }
+}

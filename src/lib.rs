@@ -1,0 +1,86 @@
+//! # cluster-coloring
+//!
+//! A full Rust implementation of **"Decentralized Distributed Graph
+//! Coloring: Cluster Graphs"** (Flin, Halldórsson, Nolin — PODC 2025,
+//! arXiv:2405.07725): sub-logarithmic `(Δ+1)`-coloring of cluster graphs,
+//! together with every substrate the algorithm stands on — a metered
+//! communication-network simulator, the cluster-graph aggregation layer,
+//! fingerprint sketches, pseudo-random tool kits, the almost-clique
+//! decomposition, baselines and workload generators.
+//!
+//! A *cluster graph* `H` arises by contracting disjoint connected sets of
+//! machines of a communication network `G` into single conflict-graph
+//! nodes; links carry `O(log n)` bits per round, so a node cannot even
+//! learn its own palette — yet the paper colors `H` with `Δ+1` colors in
+//! `O(d · log* n)` rounds for `Δ ≥ polylog(n)` (Theorem 1.2) and
+//! `O(d · log⁷ log n)` in general (Theorem 1.1).
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`net`] | machines, links, round/bandwidth metering, seeded RNG |
+//! | [`cluster`] | cluster graphs, support trees, aggregation (Lemmas 3.2–3.3, 4.4) |
+//! | [`sketch`] | fingerprints (§5): estimation, compression, counting |
+//! | [`pseudo`] | k-wise/min-wise hashing, representative sets (App. C) |
+//! | [`decomp`] | sparsity, buddy predicate, almost-clique decomposition (§5.4) |
+//! | [`core`] | the coloring algorithm (§4–§9) and its driver |
+//! | [`baselines`] | greedy, Johansson, naive-CONGEST cost model |
+//! | [`graphs`] | generators: G(n,p), planted cliques/cabals, layouts, squares |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cluster_coloring::prelude::*;
+//!
+//! // Build a conflict graph (3 planted 16-cliques with light noise) and
+//! // lay it out over a network with star-shaped clusters of 4 machines.
+//! let cfg = MixtureConfig {
+//!     n_cliques: 3,
+//!     clique_size: 16,
+//!     anti_edge_prob: 0.04,
+//!     external_per_vertex: 1,
+//!     sparse_n: 20,
+//!     sparse_p: 0.1,
+//! };
+//! let (spec, _info) = mixture_spec(&cfg, 7);
+//! let h = realize(&spec, Layout::Star(4), 2, 7);
+//!
+//! // Color it with the paper's algorithm under a 32·log n bit budget.
+//! let mut net = ClusterNet::with_log_budget(&h, 32);
+//! let run = color_cluster_graph(&mut net, &Params::laptop(h.n_vertices()), 42);
+//!
+//! assert!(run.coloring.is_total());
+//! assert!(run.coloring.is_proper(&h));
+//! println!(
+//!     "colored {} vertices in {} cluster rounds ({} network rounds)",
+//!     h.n_vertices(),
+//!     run.report.h_rounds,
+//!     run.report.g_rounds,
+//! );
+//! ```
+
+pub use cgc_baselines as baselines;
+pub use cgc_cluster as cluster;
+pub use cgc_core as core;
+pub use cgc_decomp as decomp;
+pub use cgc_graphs as graphs;
+pub use cgc_net as net;
+pub use cgc_pseudo as pseudo;
+pub use cgc_sketch as sketch;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use cgc_baselines::{greedy_coloring, luby_coloring, naive_simulation_cost};
+    pub use cgc_cluster::{ClusterGraph, ClusterNet, VertexId};
+    pub use cgc_core::{
+        color_cluster_graph, coloring_stats, Coloring, Params, RunResult,
+    };
+    pub use cgc_decomp::{acd_oracle, compute_acd, AcdParams};
+    pub use cgc_graphs::{
+        bottleneck_instance, cabal_spec, gnp_spec, mixture_spec, realize, square_spec,
+        HSpec, Layout, MixtureConfig,
+    };
+    pub use cgc_net::{CommGraph, CostMeter, CostReport, SeedStream};
+    pub use cgc_sketch::{approx_count_neighbors, CountingParams, Fingerprint};
+}

@@ -1,0 +1,166 @@
+//! Stage-level integration: the paper's per-lemma guarantees checked
+//! end-to-end on planted instances.
+
+use cluster_coloring::core::matching::{color_anti_matching, fingerprint_matching};
+use cluster_coloring::core::palette_query::CliquePalette;
+use cluster_coloring::core::putaside::{check_putaside, compute_putaside_sets};
+use cluster_coloring::decomp::{classify_cabals, degree_profile};
+use cluster_coloring::prelude::*;
+
+/// Proposition 4.3 / Definition 4.2 on a noisy mixture, distributed ACD.
+#[test]
+fn distributed_acd_is_valid_on_noisy_mixture() {
+    let cfg = MixtureConfig {
+        n_cliques: 3,
+        clique_size: 26,
+        anti_edge_prob: 0.03,
+        external_per_vertex: 1,
+        sparse_n: 40,
+        sparse_p: 0.08,
+    };
+    let (spec, info) = mixture_spec(&cfg, 31);
+    let h = realize(&spec, Layout::Singleton, 1, 31);
+    let mut net = ClusterNet::with_log_budget(&h, 32);
+    let acd = compute_acd(&mut net, &AcdParams::default(), &SeedStream::new(32));
+    let q = acd.validate(&h);
+    assert!(q.is_valid(), "{q:?}");
+    assert!(q.n_cliques >= 2, "found {} of 3 planted blocks", q.n_cliques);
+    // Planted sparse vertices must not be swallowed into cliques.
+    for &v in &info.sparse {
+        assert!(acd.is_sparse(v), "background vertex {v} classified dense");
+    }
+}
+
+/// Lemma 5.7 on a realized cluster layout: external degrees estimated
+/// within a constant factor.
+#[test]
+fn degree_profile_tracks_exact_values() {
+    let cfg = MixtureConfig {
+        n_cliques: 2,
+        clique_size: 24,
+        anti_edge_prob: 0.0,
+        external_per_vertex: 3,
+        sparse_n: 0,
+        sparse_p: 0.0,
+    };
+    let (spec, _) = mixture_spec(&cfg, 33);
+    let h = realize(&spec, Layout::Star(3), 1, 33);
+    let acd = acd_oracle(&h, 0.25);
+    assert_eq!(acd.n_cliques(), 2);
+    let mut net = ClusterNet::with_log_budget(&h, 32);
+    let params = Params::laptop(h.n_vertices());
+    let profile = degree_profile(&mut net, &acd, &params.counting, &SeedStream::new(34));
+    for v in 0..h.n_vertices() {
+        let exact = profile.e_exact[v] as f64;
+        let est = profile.e_est[v];
+        if exact >= 2.0 {
+            assert!(
+                est > exact / 3.0 && est < exact * 3.0,
+                "v={v}: e={exact} ẽ={est}"
+            );
+        }
+    }
+}
+
+/// §6 pipeline: fingerprint matching finds anti-edges on a realized cabal
+/// and coloring them yields exactly the reuse slack the cabal needs.
+#[test]
+fn fingerprint_matching_supplies_reuse_slack() {
+    let (spec, info) = cabal_spec(1, 30, 5, 0, 35);
+    let h = realize(&spec, Layout::Singleton, 1, 35);
+    let mut net = ClusterNet::with_log_budget(&h, 32);
+    let seeds = SeedStream::new(36);
+    let clique = &info.cliques[0];
+    let pairs = fingerprint_matching(&mut net, &seeds, 0, clique, 300);
+    assert!(pairs.len() >= 2, "found {} pairs", pairs.len());
+    let mut coloring = Coloring::new(h.n_vertices(), h.max_degree() + 1);
+    let left = color_anti_matching(&mut net, &mut coloring, &seeds, 1, &pairs, 0, 30);
+    assert!(left.is_empty());
+    // M_K via the clique palette equals the number of pairs.
+    let pal = CliquePalette::build(&mut net, &coloring, clique);
+    assert_eq!(pal.repeated_colors(), pairs.len());
+}
+
+/// Lemma 4.18 on a realized multi-cabal instance.
+#[test]
+fn putaside_sets_satisfy_lemma_4_18() {
+    let (spec, info) = cabal_spec(4, 24, 2, 8, 37);
+    let h = realize(&spec, Layout::Singleton, 1, 37);
+    let mut net = ClusterNet::with_log_budget(&h, 32);
+    let coloring = Coloring::new(h.n_vertices(), h.max_degree() + 1);
+    let targets = vec![4usize; 4];
+    let sets = compute_putaside_sets(
+        &mut net,
+        &coloring,
+        &SeedStream::new(38),
+        0,
+        &info.cliques,
+        &targets,
+        8,
+    )
+    .expect("put-aside sets must exist on sparse cross edges");
+    let chk = check_putaside(&net, &info.cliques, &sets, &targets);
+    assert!(chk.sizes_ok, "{chk:?}");
+    assert!(chk.independent, "{chk:?}");
+    assert!(chk.max_exposure < 0.6, "{chk:?}");
+}
+
+/// Slack generation (Proposition 4.5 shape): sparse vertices gain real
+/// slack, dense blocks stay mostly uncolored.
+#[test]
+fn slackgen_postconditions_on_mixture() {
+    use cluster_coloring::core::slackgen::slack_generation;
+    let cfg = MixtureConfig {
+        n_cliques: 2,
+        clique_size: 30,
+        anti_edge_prob: 0.02,
+        external_per_vertex: 2,
+        sparse_n: 80,
+        sparse_p: 0.25,
+        };
+    let (spec, info) = mixture_spec(&cfg, 39);
+    let h = realize(&spec, Layout::Singleton, 1, 39);
+    let mut net = ClusterNet::with_log_budget(&h, 32);
+    let mut coloring = Coloring::new(h.n_vertices(), h.max_degree() + 1);
+    let mut params = Params::laptop(h.n_vertices());
+    params.slack_activation = 0.3;
+    let colored = slack_generation(
+        &mut net,
+        &mut coloring,
+        &SeedStream::new(40),
+        0,
+        &vec![true; h.n_vertices()],
+        &params,
+    );
+    assert!(coloring.is_proper(&h));
+    assert!(colored > 0);
+    // Property 3 shape: planted blocks keep most members uncolored.
+    for k in &info.cliques {
+        let colored_in_k = k.iter().filter(|&&v| coloring.is_colored(v)).count();
+        assert!(
+            colored_in_k * 2 <= k.len(),
+            "block lost {} of {} members",
+            colored_in_k,
+            k.len()
+        );
+    }
+    // Some sparse vertex sees reuse slack.
+    let reuse: usize = info.sparse.iter().map(|&v| coloring.reuse_slack(&h, v)).sum();
+    assert!(reuse > 0, "no reuse slack generated across the sparse part");
+}
+
+/// Cabal classification reacts to external degree (Equation 2 shape).
+#[test]
+fn cabal_classification_tracks_external_degree() {
+    // Two planted blocks: one isolated (cabal), one heavily cross-linked.
+    let (spec_iso, info_iso) = cabal_spec(2, 20, 1, 0, 41);
+    let h = realize(&spec_iso, Layout::Singleton, 1, 41);
+    let acd = acd_oracle(&h, 0.25);
+    assert_eq!(acd.n_cliques(), 2);
+    let mut net = ClusterNet::with_log_budget(&h, 32);
+    let params = Params::laptop(h.n_vertices());
+    let profile = degree_profile(&mut net, &acd, &params.counting, &SeedStream::new(42));
+    let info = classify_cabals(&profile, h.max_degree(), 2.0, params.rho, 0.25);
+    assert_eq!(info.n_cabals(), 2, "isolated blocks must be cabals");
+    let _ = info_iso;
+}
