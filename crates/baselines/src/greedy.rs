@@ -32,7 +32,11 @@ mod tests {
         let c = greedy_coloring(&mut net);
         assert!(c.is_total());
         assert!(c.is_proper(&g));
-        assert_eq!(net.meter.h_rounds() as usize, 3 * 12, "one round per vertex");
+        assert_eq!(
+            net.meter.h_rounds() as usize,
+            3 * 12,
+            "one round per vertex"
+        );
     }
 
     #[test]

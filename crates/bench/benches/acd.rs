@@ -18,7 +18,11 @@ fn bench_acd(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("fingerprint", blocks), &blocks, |b, _| {
             b.iter(|| {
                 let mut net = ClusterNet::with_log_budget(&h, 32);
-                black_box(compute_acd(&mut net, &AcdParams::default(), &SeedStream::new(1)))
+                black_box(compute_acd(
+                    &mut net,
+                    &AcdParams::default(),
+                    &SeedStream::new(1),
+                ))
             });
         });
     }

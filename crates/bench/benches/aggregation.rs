@@ -51,7 +51,12 @@ fn bench_aggregation(c: &mut Criterion) {
             let in_s = vec![true; h.n_vertices()];
             b.iter(|| {
                 let mut net = ClusterNet::with_log_budget(&h, 32);
-                black_box(prefix_sums(&mut net, std::slice::from_ref(&tree), &values, &in_s))
+                black_box(prefix_sums(
+                    &mut net,
+                    std::slice::from_ref(&tree),
+                    &values,
+                    &in_s,
+                ))
             });
         });
     }

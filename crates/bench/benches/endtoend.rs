@@ -24,7 +24,11 @@ fn bench_endtoend(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("dense_blocks", blocks), &blocks, |b, _| {
             b.iter(|| {
                 let mut net = ClusterNet::with_log_budget(&h, 32);
-                black_box(color_cluster_graph(&mut net, &Params::laptop(h.n_vertices()), 2))
+                black_box(color_cluster_graph(
+                    &mut net,
+                    &Params::laptop(h.n_vertices()),
+                    2,
+                ))
             });
         });
     }
@@ -34,7 +38,11 @@ fn bench_endtoend(c: &mut Criterion) {
     g.bench_function("cabals_star_layout", |b| {
         b.iter(|| {
             let mut net = ClusterNet::with_log_budget(&cabal, 32);
-            black_box(color_cluster_graph(&mut net, &Params::laptop(cabal.n_vertices()), 3))
+            black_box(color_cluster_graph(
+                &mut net,
+                &Params::laptop(cabal.n_vertices()),
+                3,
+            ))
         });
     });
     g.finish();

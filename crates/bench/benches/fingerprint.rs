@@ -1,9 +1,9 @@
 //! Criterion: fingerprint primitives (§5) — sampling, merging,
 //! estimation, compressed encode/decode.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cgc_net::SeedStream;
 use cgc_sketch::{decode_maxima, encode_maxima, estimate_count, Fingerprint};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn maxima(d: usize, t: usize) -> Vec<i16> {

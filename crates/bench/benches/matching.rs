@@ -36,7 +36,13 @@ fn bench_matching(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("fingerprint", k), &k, |b, _| {
             b.iter(|| {
                 let mut net = ClusterNet::with_log_budget(&h, 32);
-                black_box(fingerprint_matching(&mut net, &seeds, 0, &info.cliques[0], 120))
+                black_box(fingerprint_matching(
+                    &mut net,
+                    &seeds,
+                    0,
+                    &info.cliques[0],
+                    120,
+                ))
             });
         });
     }

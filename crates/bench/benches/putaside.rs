@@ -62,7 +62,10 @@ fn bench_putaside(c: &mut Criterion) {
                         coloring.set(v, next);
                         next += 1;
                     }
-                    ctxs.push(CabalCtx { clique: k.clone(), putaside });
+                    ctxs.push(CabalCtx {
+                        clique: k.clone(),
+                        putaside,
+                    });
                 }
                 let params = Params::laptop(h.n_vertices());
                 black_box(color_putaside_sets(

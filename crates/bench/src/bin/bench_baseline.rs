@@ -1,0 +1,129 @@
+//! Records the PR's performance baseline as `BENCH_PR1.json`: the
+//! aggregation primitives and the end-to-end coloring pipeline on a
+//! G(n, p) instance with `n ≥ 50_000`, star-of-3 cluster layout.
+//!
+//! Usage: `cargo run --release -p cgc_bench --bin bench_baseline [out.json]`
+//!
+//! The JSON is the bench trajectory's first point; later PRs append
+//! `BENCH_PR<k>.json` files from the same binary so regressions show up
+//! as a diff.
+
+use cgc_cluster::ClusterNet;
+use cgc_core::{color_cluster_graph, coloring_stats, Params};
+use cgc_graphs::{gnp_spec, realize, Layout};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const N: usize = 50_000;
+const AVG_DEG: f64 = 16.0;
+const FOLD_ROUNDS: u32 = 50;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR1.json".to_owned());
+
+    eprintln!("building G({N}, {AVG_DEG}/n) with star-of-3 clusters ...");
+    let build_start = Instant::now();
+    let spec = gnp_spec(N, AVG_DEG / N as f64, 3);
+    let h = realize(&spec, Layout::Star(3), 1, 3);
+    let build_secs = build_start.elapsed().as_secs_f64();
+    let delta = h.max_degree();
+    eprintln!(
+        "built: n={} machines={} edges={} Δ={delta} dilation={} in {build_secs:.2}s",
+        h.n_vertices(),
+        h.n_machines(),
+        h.n_h_edges(),
+        h.dilation(),
+    );
+
+    // --- aggregation: warm fold rounds over the whole instance ---
+    let mut net = ClusterNet::with_log_budget(&h, 32);
+    let queries: Vec<u64> = (0..h.n_vertices() as u64).collect();
+    let mut out: Vec<u64> = Vec::new();
+    let mut degs: Vec<usize> = Vec::new();
+    // Warm-up sizes every buffer.
+    net.neighbor_fold_into(
+        16,
+        16,
+        &queries,
+        |_, _, _, qu| Some(*qu),
+        |_| 0u64,
+        |a, c| *a = (*a).max(c),
+        &mut out,
+    );
+    net.exact_degrees_into(&mut degs);
+    let h_rounds_before = net.meter.h_rounds();
+    let agg_start = Instant::now();
+    for _ in 0..FOLD_ROUNDS {
+        net.neighbor_fold_into(
+            16,
+            16,
+            &queries,
+            |_, _, _, qu| Some(*qu),
+            |_| 0u64,
+            |a, c| *a = (*a).max(c),
+            &mut out,
+        );
+        net.exact_degrees_into(&mut degs);
+    }
+    let agg_secs = agg_start.elapsed().as_secs_f64();
+    let agg_h_rounds = net.meter.h_rounds() - h_rounds_before;
+    let fold_ms = agg_secs * 1e3 / f64::from(FOLD_ROUNDS);
+    eprintln!(
+        "aggregation: {FOLD_ROUNDS} fold+degree rounds in {agg_secs:.3}s \
+         ({fold_ms:.3} ms/round, {agg_h_rounds} H-rounds charged)"
+    );
+
+    // --- end-to-end: the full coloring pipeline ---
+    let mut net = ClusterNet::with_log_budget(&h, 32);
+    let params = Params::laptop(h.n_vertices());
+    let e2e_start = Instant::now();
+    let run = color_cluster_graph(&mut net, &params, 42);
+    let e2e_secs = e2e_start.elapsed().as_secs_f64();
+    assert!(
+        run.coloring.is_total(),
+        "baseline run must produce a total coloring"
+    );
+    assert!(run.coloring.is_proper(&h), "baseline run must be proper");
+    let stats = coloring_stats(&h, &run.coloring);
+    eprintln!(
+        "endtoend: colored n={} with {} colors in {e2e_secs:.2}s \
+         ({} H-rounds, {} G-rounds)",
+        h.n_vertices(),
+        stats.colors_used,
+        run.report.h_rounds,
+        run.report.g_rounds,
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"instance\": {{");
+    let _ = writeln!(json, "    \"kind\": \"gnp\",");
+    let _ = writeln!(json, "    \"n\": {},", h.n_vertices());
+    let _ = writeln!(json, "    \"avg_degree_target\": {AVG_DEG},");
+    let _ = writeln!(json, "    \"layout\": \"star3\",");
+    let _ = writeln!(json, "    \"n_machines\": {},", h.n_machines());
+    let _ = writeln!(json, "    \"n_h_edges\": {},", h.n_h_edges());
+    let _ = writeln!(json, "    \"delta\": {delta},");
+    let _ = writeln!(json, "    \"dilation\": {},", h.dilation());
+    let _ = writeln!(json, "    \"build_secs\": {build_secs:.4}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"aggregation\": {{");
+    let _ = writeln!(json, "    \"rounds\": {FOLD_ROUNDS},");
+    let _ = writeln!(json, "    \"wall_secs\": {agg_secs:.4},");
+    let _ = writeln!(json, "    \"ms_per_round\": {fold_ms:.4},");
+    let _ = writeln!(json, "    \"h_rounds_charged\": {agg_h_rounds}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"endtoend\": {{");
+    let _ = writeln!(json, "    \"wall_secs\": {e2e_secs:.4},");
+    let _ = writeln!(json, "    \"h_rounds\": {},", run.report.h_rounds);
+    let _ = writeln!(json, "    \"g_rounds\": {},", run.report.g_rounds);
+    let _ = writeln!(json, "    \"bits\": {},", run.report.bits);
+    let _ = writeln!(json, "    \"colors_used\": {},", stats.colors_used);
+    let _ = writeln!(json, "    \"delta_plus_one\": {}", delta + 1);
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write baseline json");
+    eprintln!("wrote {out_path}");
+}

@@ -11,7 +11,15 @@ use cgc_sketch::CountingParams;
 fn main() {
     let mut t = Table::new(
         "E10: ACD quality — fingerprint vs oracle (4 planted blocks of 24)",
-        &["anti_p", "eps", "mode", "n_cliques", "n_sparse", "valid", "min_int_frac"],
+        &[
+            "anti_p",
+            "eps",
+            "mode",
+            "n_cliques",
+            "n_sparse",
+            "valid",
+            "min_int_frac",
+        ],
     );
     for anti_p in [0.0f64, 0.04, 0.08] {
         let cfg = MixtureConfig {
@@ -41,7 +49,11 @@ fn main() {
                 epsilon: eps,
                 buddy: BuddyParams {
                     xi: (1.5 * eps).min(0.3),
-                    counting: CountingParams { xi: 0.1, t_factor: 3.0, min_trials: 1536 },
+                    counting: CountingParams {
+                        xi: 0.1,
+                        t_factor: 3.0,
+                        min_trials: 1536,
+                    },
                 },
                 min_clique_frac: 0.55,
             };

@@ -14,7 +14,11 @@ fn main() {
     );
     let spec = gnp_spec(60, 0.1, 11);
     for m in [1usize, 2, 4, 8, 16, 32] {
-        let layout = if m == 1 { Layout::Singleton } else { Layout::Path(m) };
+        let layout = if m == 1 {
+            Layout::Singleton
+        } else {
+            Layout::Path(m)
+        };
         let g = realize(&spec, layout, 1, 11);
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let run = color_cluster_graph(&mut net, &Params::laptop(g.n_vertices()), 21);

@@ -9,7 +9,14 @@ use cgc_graphs::{gnp_spec, realize, square_spec, Layout};
 fn main() {
     let mut t = Table::new(
         "E12: distance-2 coloring via G² (Corollary 1.3)",
-        &["n", "delta_G", "delta2", "colors_used", "bound_ok", "H_rounds"],
+        &[
+            "n",
+            "delta_G",
+            "delta2",
+            "colors_used",
+            "bound_ok",
+            "H_rounds",
+        ],
     );
     for n in [100usize, 200, 400, 800] {
         let base = gnp_spec(n, 3.0 / n as f64, 1200 + n as u64);

@@ -11,7 +11,13 @@ use cgc_net::SeedStream;
 fn main() {
     let mut t = Table::new(
         "E13: shattering — uncolored components vs trial rounds (n = 2000, Δ ≈ 10)",
-        &["rounds", "uncolored", "n_components", "max_component", "avg_component"],
+        &[
+            "rounds",
+            "uncolored",
+            "n_components",
+            "max_component",
+            "avg_component",
+        ],
     );
     let n = 2000usize;
     let spec = gnp_spec(n, 10.0 / n as f64, 13);
@@ -23,7 +29,11 @@ fn main() {
         let comps = uncolored_components(&g, &coloring);
         let uncolored: usize = comps.iter().map(Vec::len).sum();
         let max_c = comps.iter().map(Vec::len).max().unwrap_or(0);
-        let avg = if comps.is_empty() { 0.0 } else { uncolored as f64 / comps.len() as f64 };
+        let avg = if comps.is_empty() {
+            0.0
+        } else {
+            uncolored as f64 / comps.len() as f64
+        };
         t.row(vec![
             rounds.to_string(),
             uncolored.to_string(),

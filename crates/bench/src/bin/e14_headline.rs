@@ -11,11 +11,26 @@ use cgc_net::SeedStream;
 fn main() {
     let mut t = Table::new(
         "E14: headline comparison (rounds on H; all Δ+1-proper)",
-        &["instance", "n", "delta", "ours_H", "ours_maxbits", "greedy_H", "johansson_H", "naive_x"],
+        &[
+            "instance",
+            "n",
+            "delta",
+            "ours_H",
+            "ours_maxbits",
+            "greedy_H",
+            "johansson_H",
+            "naive_x",
+        ],
     );
     let instances: Vec<(String, ClusterGraph)> = vec![
-        ("gnp-sparse".into(), realize(&gnp_spec(300, 0.02, 14), Layout::Singleton, 1, 14)),
-        ("gnp-dense".into(), realize(&gnp_spec(200, 0.25, 15), Layout::Singleton, 1, 15)),
+        (
+            "gnp-sparse".into(),
+            realize(&gnp_spec(300, 0.02, 14), Layout::Singleton, 1, 14),
+        ),
+        (
+            "gnp-dense".into(),
+            realize(&gnp_spec(200, 0.25, 15), Layout::Singleton, 1, 15),
+        ),
         ("planted-dense".into(), dense_instance(4, 28, 16)),
         ("cabals".into(), {
             let (s, _) = cabal_spec(4, 26, 3, 6, 17);

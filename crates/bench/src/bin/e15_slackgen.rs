@@ -11,7 +11,13 @@ use cgc_net::SeedStream;
 fn main() {
     let mut t = Table::new(
         "E15: slack generation vs activation p (2 blocks of 30 + sparse bg)",
-        &["p_act", "colored", "sparse_reuse_avg", "dense_reuse_avg", "max_block_frac"],
+        &[
+            "p_act",
+            "colored",
+            "sparse_reuse_avg",
+            "dense_reuse_avg",
+            "max_block_frac",
+        ],
     );
     let cfg = MixtureConfig {
         n_cliques: 2,
@@ -54,8 +60,8 @@ fn main() {
                     .map(|&v| coloring.reuse_slack(&g, v) as f64)
                     .sum::<f64>()
                     / (k.len() * info.cliques.len()) as f64;
-                let frac = k.iter().filter(|&&v| coloring.is_colored(v)).count() as f64
-                    / k.len() as f64;
+                let frac =
+                    k.iter().filter(|&&v| coloring.is_colored(v)).count() as f64 / k.len() as f64;
                 max_frac = max_frac.max(frac);
             }
         }

@@ -13,7 +13,13 @@ use cgc_net::SeedStream;
 fn main() {
     let mut t = Table::new(
         "E16: SCT leftovers vs external degree (4 blocks of 30)",
-        &["ext_per_vertex", "participants", "colored", "leftover_avg", "bound_24emax"],
+        &[
+            "ext_per_vertex",
+            "participants",
+            "colored",
+            "leftover_avg",
+            "bound_24emax",
+        ],
     );
     for ext in [0usize, 1, 2, 4, 6] {
         let cfg = MixtureConfig {
@@ -38,7 +44,11 @@ fn main() {
                 .cliques
                 .iter()
                 .enumerate()
-                .map(|(ci, k)| SctGroup { clique: ci, members: k.clone(), reserved: 0 })
+                .map(|(ci, k)| SctGroup {
+                    clique: ci,
+                    members: k.clone(),
+                    reserved: 0,
+                })
                 .collect();
             parts = groups.iter().map(|g| g.members.len()).sum();
             let c = synchronized_color_trial(

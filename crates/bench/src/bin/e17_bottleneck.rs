@@ -11,7 +11,15 @@ use cgc_graphs::bottleneck_instance;
 fn main() {
     let mut t = Table::new(
         "E17: adversarial bottleneck layouts (complete conflict graph)",
-        &["clusters", "path_len", "delta", "H_rounds", "G_rounds", "max_msg_bits", "oversized"],
+        &[
+            "clusters",
+            "path_len",
+            "delta",
+            "H_rounds",
+            "G_rounds",
+            "max_msg_bits",
+            "oversized",
+        ],
     );
     for clusters in [6usize, 10, 14] {
         for path_len in [2usize, 6, 12] {

@@ -14,17 +14,53 @@ use cgc_graphs::{cabal_spec, realize, Layout};
 fn main() {
     let mut t = Table::new(
         "E19: stage ablation (all runs end total & proper)",
-        &["instance", "variant", "H_rounds", "sct_colored", "match_pairs", "fallback"],
+        &[
+            "instance",
+            "variant",
+            "H_rounds",
+            "sct_colored",
+            "match_pairs",
+            "fallback",
+        ],
     );
     let variants: Vec<(&str, Ablation)> = vec![
         ("full", Ablation::default()),
-        ("-slackgen", Ablation { slackgen: false, ..Ablation::default() }),
-        ("-matching", Ablation { matching: false, ..Ablation::default() }),
-        ("-sct", Ablation { sct: false, ..Ablation::default() }),
-        ("-putaside", Ablation { putaside: false, ..Ablation::default() }),
+        (
+            "-slackgen",
+            Ablation {
+                slackgen: false,
+                ..Ablation::default()
+            },
+        ),
+        (
+            "-matching",
+            Ablation {
+                matching: false,
+                ..Ablation::default()
+            },
+        ),
+        (
+            "-sct",
+            Ablation {
+                sct: false,
+                ..Ablation::default()
+            },
+        ),
+        (
+            "-putaside",
+            Ablation {
+                putaside: false,
+                ..Ablation::default()
+            },
+        ),
         (
             "-all",
-            Ablation { slackgen: false, matching: false, sct: false, putaside: false },
+            Ablation {
+                slackgen: false,
+                matching: false,
+                sct: false,
+                putaside: false,
+            },
         ),
     ];
 

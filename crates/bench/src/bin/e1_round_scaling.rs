@@ -16,7 +16,15 @@ use cgc_net::SeedStream;
 fn main() {
     let mut t = Table::new(
         "E1: rounds vs n (ours ~flat, Johansson ~log n)",
-        &["n", "delta", "ours_H", "ours_G", "fallback", "johansson", "ratio_J/ours"],
+        &[
+            "n",
+            "delta",
+            "ours_H",
+            "ours_G",
+            "fallback",
+            "johansson",
+            "ratio_J/ours",
+        ],
     );
     for (c, k) in [(4usize, 16usize), (8, 22), (16, 32), (32, 44), (64, 64)] {
         let g = dense_instance(c, k, 1000 + c as u64);

@@ -14,35 +14,42 @@ use cgc_net::CommGraph;
 fn main() {
     let mut t = Table::new(
         "E20: distance-2 as a virtual graph (Appendix A) vs explicit square",
-        &["n", "delta2", "congestion", "colors_virtual", "colors_square", "G_virtual", "G_square"],
+        &[
+            "n",
+            "delta2",
+            "congestion",
+            "colors_virtual",
+            "colors_square",
+            "G_virtual",
+            "G_square",
+        ],
     );
     for n in [80usize, 160, 320] {
         let base_spec = gnp_spec(n, 3.0 / n as f64, 2000 + n as u64);
-        let base =
-            CommGraph::from_edges(n, &base_spec.edges).expect("valid base network");
+        let base = CommGraph::from_edges(n, &base_spec.edges).expect("valid base network");
 
         // Virtual-graph route: overlapping closed-neighborhood supports.
         let vg = VirtualGraph::distance2(base);
         let (h_virtual, congestion) = vg.as_cluster_instance();
         let mut net_v = ClusterNet::with_log_budget(&h_virtual, 32);
-        let run_v =
-            color_cluster_graph(&mut net_v, &Params::laptop(h_virtual.n_vertices()), 31);
+        let run_v = color_cluster_graph(&mut net_v, &Params::laptop(h_virtual.n_vertices()), 31);
         assert!(run_v.coloring.is_total() && run_v.coloring.is_proper(&h_virtual));
         // Pay the Appendix A overhead: congestion × dilation on G-rounds.
-        let g_virtual =
-            run_v.report.g_rounds * congestion as u64 * vg.dilation() as u64;
+        let g_virtual = run_v.report.g_rounds * congestion as u64 * vg.dilation() as u64;
 
         // Explicit-square route (the E12 substitution).
         let sq = square_spec(&base_spec);
         let h_square = realize(&sq, Layout::Singleton, 1, 31);
         let mut net_s = ClusterNet::with_log_budget(&h_square, 32);
-        let run_s =
-            color_cluster_graph(&mut net_s, &Params::laptop(h_square.n_vertices()), 31);
+        let run_s = color_cluster_graph(&mut net_s, &Params::laptop(h_square.n_vertices()), 31);
         assert!(run_s.coloring.is_total() && run_s.coloring.is_proper(&h_square));
 
         let sv = coloring_stats(&h_virtual, &run_v.coloring);
         let ss = coloring_stats(&h_square, &run_s.coloring);
-        assert!(sv.colors_used <= vg.max_degree() + 1, "Δ₂+1 bound (virtual)");
+        assert!(
+            sv.colors_used <= vg.max_degree() + 1,
+            "Δ₂+1 bound (virtual)"
+        );
         assert!(ss.colors_used <= sq.max_degree() + 1, "Δ₂+1 bound (square)");
 
         t.row(vec![

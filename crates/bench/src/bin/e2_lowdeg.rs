@@ -9,7 +9,16 @@ use cgc_graphs::{gnp_spec, realize, Layout};
 fn main() {
     let mut t = Table::new(
         "E2: low-degree path — rounds & shattering vs n (Δ ≈ 8)",
-        &["n", "delta", "H_rounds", "shatter_col", "n_comp", "max_comp", "finish_rounds", "fallback"],
+        &[
+            "n",
+            "delta",
+            "H_rounds",
+            "shatter_col",
+            "n_comp",
+            "max_comp",
+            "finish_rounds",
+            "fallback",
+        ],
     );
     for n in [128usize, 256, 512, 1024, 2048, 4096] {
         let spec = gnp_spec(n, 8.0 / n as f64, 2000 + n as u64);

@@ -9,7 +9,14 @@ use cgc_graphs::{gnp_spec, realize, Layout};
 fn main() {
     let mut t = Table::new(
         "E3: exact vs naive link-count degree (multi-link layouts)",
-        &["links_per_edge", "layout", "max_exact", "max_naive", "avg_overcount", "rounds_exact"],
+        &[
+            "links_per_edge",
+            "layout",
+            "max_exact",
+            "max_naive",
+            "avg_overcount",
+            "rounds_exact",
+        ],
     );
     let spec = gnp_spec(80, 0.1, 3);
     for links in [1usize, 2, 4, 8] {

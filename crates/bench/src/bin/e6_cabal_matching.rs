@@ -24,8 +24,7 @@ fn main() {
                 let g = realize(&spec, Layout::Singleton, 1, rep);
                 let mut net = ClusterNet::with_log_budget(&g, 32);
                 let seeds = SeedStream::new(600 + rep);
-                let pairs =
-                    fingerprint_matching(&mut net, &seeds, rep, &info.cliques[0], trials);
+                let pairs = fingerprint_matching(&mut net, &seeds, rep, &info.cliques[0], trials);
                 matched += pairs.len() as f64;
                 // Coverage: fraction of members with a_v ≤ M_K. Planted
                 // anti-degrees are 1 for 2·anti members, 0 otherwise.

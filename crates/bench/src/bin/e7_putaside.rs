@@ -13,60 +13,68 @@ use cgc_net::SeedStream;
 fn main() {
     let mut t = Table::new(
         "E7: put-aside coloring outcomes (3 cabals of 30)",
-        &["r_target", "mode", "putaside_ok", "free", "donated", "fallback", "total_ok"],
+        &[
+            "r_target",
+            "mode",
+            "putaside_ok",
+            "free",
+            "donated",
+            "fallback",
+            "total_ok",
+        ],
     );
     for (mode, force_donation) in [("natural", false), ("forced-donation", true)] {
-    for r in [2usize, 4, 6, 8] {
-        let reps = 5u64;
-        let mut ok = 0usize;
-        let (mut free, mut don, mut fb) = (0usize, 0usize, 0usize);
-        let mut totals = 0usize;
-        for rep in 0..reps {
-            let (spec, _) = cabal_spec(3, 30, 3, 5, 7000 + rep);
-            let g = realize(&spec, Layout::Singleton, 1, rep);
-            let acd = acd_oracle(&g, 0.25);
-            let mut net = ClusterNet::with_log_budget(&g, 32);
-            let seeds = SeedStream::new(700 + rep);
-            let mut params = Params::laptop(g.n_vertices());
-            params.ell = 1e9; // all cabals
-            params.rho = r as f64 / params.ell.max(1.0); // target r directly
-            params.ell = r as f64; // cabal_putaside_size = rho·ell ≈ r
-            params.rho = 1.0;
-            if force_donation {
-                params.ls = 1_000_000; // palette never "wide": §7 Steps 4-6
+        for r in [2usize, 4, 6, 8] {
+            let reps = 5u64;
+            let mut ok = 0usize;
+            let (mut free, mut don, mut fb) = (0usize, 0usize, 0usize);
+            let mut totals = 0usize;
+            for rep in 0..reps {
+                let (spec, _) = cabal_spec(3, 30, 3, 5, 7000 + rep);
+                let g = realize(&spec, Layout::Singleton, 1, rep);
+                let acd = acd_oracle(&g, 0.25);
+                let mut net = ClusterNet::with_log_budget(&g, 32);
+                let seeds = SeedStream::new(700 + rep);
+                let mut params = Params::laptop(g.n_vertices());
+                params.ell = 1e9; // all cabals
+                params.rho = r as f64 / params.ell.max(1.0); // target r directly
+                params.ell = r as f64; // cabal_putaside_size = rho·ell ≈ r
+                params.rho = 1.0;
+                if force_donation {
+                    params.ls = 1_000_000; // palette never "wide": §7 Steps 4-6
+                }
+                let profile = degree_profile(&mut net, &acd, &params.counting, &seeds.child(1));
+                let info = classify_cabals(&profile, g.max_degree(), 1e9, params.rho, 0.25);
+                let mut coloring = Coloring::new(g.n_vertices(), g.max_degree() + 1);
+                let report = color_cabals(
+                    &mut net,
+                    &mut coloring,
+                    &seeds.child(2),
+                    &params,
+                    &acd,
+                    &profile,
+                    &info,
+                );
+                if report.putaside_ok {
+                    ok += 1;
+                }
+                free += report.donation.free_colored;
+                don += report.donation.donated;
+                fb += report.donation.fallback;
+                if coloring.is_total() && coloring.is_proper(&g) {
+                    totals += 1;
+                }
             }
-            let profile = degree_profile(&mut net, &acd, &params.counting, &seeds.child(1));
-            let info = classify_cabals(&profile, g.max_degree(), 1e9, params.rho, 0.25);
-            let mut coloring = Coloring::new(g.n_vertices(), g.max_degree() + 1);
-            let report = color_cabals(
-                &mut net,
-                &mut coloring,
-                &seeds.child(2),
-                &params,
-                &acd,
-                &profile,
-                &info,
-            );
-            if report.putaside_ok {
-                ok += 1;
-            }
-            free += report.donation.free_colored;
-            don += report.donation.donated;
-            fb += report.donation.fallback;
-            if coloring.is_total() && coloring.is_proper(&g) {
-                totals += 1;
-            }
+            t.row(vec![
+                r.to_string(),
+                mode.to_owned(),
+                format!("{ok}/{reps}"),
+                f3(free as f64 / reps as f64),
+                f3(don as f64 / reps as f64),
+                f3(fb as f64 / reps as f64),
+                format!("{totals}/{reps}"),
+            ]);
         }
-        t.row(vec![
-            r.to_string(),
-            mode.to_owned(),
-            format!("{ok}/{reps}"),
-            f3(free as f64 / reps as f64),
-            f3(don as f64 / reps as f64),
-            f3(fb as f64 / reps as f64),
-            format!("{totals}/{reps}"),
-        ]);
-    }
     }
     t.print();
 }

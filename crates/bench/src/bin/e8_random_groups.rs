@@ -9,7 +9,13 @@ use cgc_net::{CommGraph, SeedStream};
 fn main() {
     let mut t = Table::new(
         "E8: random groups in a 200-clique (Lemma 4.4)",
-        &["x_groups", "instance", "min_size", "max_size", "majority_fail_rate"],
+        &[
+            "x_groups",
+            "instance",
+            "min_size",
+            "max_size",
+            "majority_fail_rate",
+        ],
     );
     let clique200 = ClusterGraph::singletons(CommGraph::complete(200));
     let (spec, info) = cabal_spec(1, 200, 10, 0, 8);

@@ -14,7 +14,14 @@ use cgc_graphs::{cabal_spec, realize, Layout};
 fn main() {
     let mut t = Table::new(
         "E9: bandwidth — per-phase logical message sizes and β response",
-        &["layout", "beta", "budget_bits", "H_rounds", "sketch_phase_max", "coloring_phase_max"],
+        &[
+            "layout",
+            "beta",
+            "budget_bits",
+            "H_rounds",
+            "sketch_phase_max",
+            "coloring_phase_max",
+        ],
     );
     let (spec, _) = cabal_spec(3, 24, 2, 5, 9);
     for (name, layout) in [

@@ -33,7 +33,10 @@ impl BfsTree {
     /// Parent lookup by vertex id (linear in tree size; trees are small or
     /// the caller keeps its own map).
     pub fn parent_of(&self, v: VertexId) -> Option<VertexId> {
-        self.members.iter().position(|&m| m == v).and_then(|j| self.parent[j])
+        self.members
+            .iter()
+            .position(|&m| m == v)
+            .and_then(|j| self.parent[j])
     }
 }
 
@@ -108,7 +111,12 @@ impl BfsForest {
                     }
                 }
             }
-            trees.push(BfsTree { source: s, members, parent, depth });
+            trees.push(BfsTree {
+                source: s,
+                members,
+                parent,
+                depth,
+            });
         }
         BfsForest { trees, tree_of }
     }
@@ -129,8 +137,7 @@ mod tests {
     fn bfs_covers_subgraph_within_hops() {
         let h = path6();
         let mut net = ClusterNet::new(&h, 64);
-        let forest =
-            BfsForest::run(&mut net, &[vec![0, 1, 2], vec![3, 4, 5]], &[0, 5], 5);
+        let forest = BfsForest::run(&mut net, &[vec![0, 1, 2], vec![3, 4, 5]], &[0, 5], 5);
         assert_eq!(forest.trees.len(), 2);
         assert_eq!(forest.trees[0].members, vec![0, 1, 2]);
         assert_eq!(forest.trees[0].depth, vec![0, 1, 2]);

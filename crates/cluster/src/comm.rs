@@ -18,9 +18,83 @@
 //!   `deg(v) · |msg|` bits and is charged with pipelining, which is exactly
 //!   why high-degree algorithms must avoid it (and why the low-degree §9
 //!   algorithms may use it when `Δ = O(log n)`).
+//!
+//! # Allocation discipline
+//!
+//! A driver run executes thousands of aggregation rounds, so the runtime
+//! keeps a [`RoundScratch`] workspace and offers `*_into` variants of every
+//! primitive: after warm-up, a metered round performs **zero heap
+//! allocations**. The common fold shapes (`bool` any-hit, `usize` sums,
+//! `u64` bitmaps) have dedicated entry points
+//! ([`ClusterNet::neighbor_fold_flags`] and friends) that lend out the
+//! workspace buffers directly, and [`ClusterNet::neighbor_collect`] returns
+//! a flat CSR-shaped [`NeighborLists`] (offsets + arena) instead of a
+//! `Vec<Vec<_>>` — its rows are aligned with [`ClusterGraph::neighbors`].
 
 use crate::graph::{ClusterGraph, VertexId};
 use cgc_net::CostMeter;
+
+/// CSR-shaped result of a [`ClusterNet::neighbor_collect`] round: row `v`
+/// holds `(u, message_of_u)` for every distinct neighbor `u` of `v`, in
+/// ascending neighbor order (the same order as [`ClusterGraph::neighbors`]).
+///
+/// Reuse one instance across rounds via
+/// [`ClusterNet::neighbor_collect_into`] to keep the round allocation-free
+/// after warm-up.
+#[derive(Debug, Clone)]
+pub struct NeighborLists<Q> {
+    offsets: Vec<usize>,
+    data: Vec<(VertexId, Q)>,
+}
+
+impl<Q> Default for NeighborLists<Q> {
+    fn default() -> Self {
+        NeighborLists {
+            offsets: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+}
+
+impl<Q> NeighborLists<Q> {
+    /// An empty buffer ready to be filled by
+    /// [`ClusterNet::neighbor_collect_into`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows (vertices) in the last filled round.
+    pub fn n_rows(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The `(neighbor, message)` pairs received by vertex `v`.
+    #[inline]
+    pub fn row(&self, v: VertexId) -> &[(VertexId, Q)] {
+        &self.data[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Iterates `(v, row(v))` over all vertices.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &[(VertexId, Q)])> + '_ {
+        (0..self.n_rows()).map(move |v| (v, self.row(v)))
+    }
+
+    /// The flat `(neighbor, message)` arena across all rows.
+    #[inline]
+    pub fn flat(&self) -> &[(VertexId, Q)] {
+        &self.data
+    }
+}
+
+/// Reusable per-round buffers owned by [`ClusterNet`]; grown on first use,
+/// then recycled so metered rounds allocate nothing (SNIPPETS §1's
+/// `local_workspace_set` idiom, applied to the aggregation hot path).
+#[derive(Debug, Default)]
+pub struct RoundScratch {
+    flags: Vec<bool>,
+    counts: Vec<usize>,
+    words: Vec<u64>,
+}
 
 /// Metered runtime handle over a [`ClusterGraph`].
 #[derive(Debug)]
@@ -31,6 +105,7 @@ pub struct ClusterNet<'a> {
     pub meter: CostMeter,
     total_tree_edges: u64,
     n_links: u64,
+    scratch: RoundScratch,
 }
 
 impl<'a> ClusterNet<'a> {
@@ -40,13 +115,15 @@ impl<'a> ClusterNet<'a> {
     ///
     /// Panics if `budget_bits == 0`.
     pub fn new(g: &'a ClusterGraph, budget_bits: u64) -> Self {
-        let total_tree_edges =
-            (0..g.n_vertices()).map(|v| g.support(v).n_edges() as u64).sum();
+        let total_tree_edges = (0..g.n_vertices())
+            .map(|v| g.support(v).n_edges() as u64)
+            .sum();
         ClusterNet {
             g,
             meter: CostMeter::new(budget_bits),
             total_tree_edges,
             n_links: g.links().len() as u64,
+            scratch: RoundScratch::default(),
         }
     }
 
@@ -104,13 +181,34 @@ impl<'a> ClusterNet<'a> {
     }
 
     /// Charges `count` full H-rounds (broadcast + link + converge) with
-    /// messages of at most `msg_bits`.
+    /// messages of at most `msg_bits`, in O(1) meter arithmetic: the
+    /// sub-round counts are identical every iteration, so bits, rounds and
+    /// pipelining penalties scale linearly and need no per-round loop.
     pub fn charge_full_rounds(&mut self, count: u64, msg_bits: u64) {
-        for _ in 0..count {
-            self.charge_broadcast(msg_bits);
-            self.charge_link_round(msg_bits);
-            self.charge_converge(msg_bits);
+        if count == 0 {
+            return;
         }
+        // Broadcast + converge are symmetric tree phases: 2·count of them.
+        self.charge_tree_phases(msg_bits, 2 * count);
+        let sub_link = self
+            .meter
+            .charge_messages_repeated(msg_bits, 2 * self.n_links, count);
+        self.meter.charge_rounds(count * sub_link, count * sub_link);
+    }
+
+    /// Charges `phases` identical tree phases (broadcasts or converge-casts
+    /// — the two are symmetric for fixed-size messages) in O(1) meter
+    /// arithmetic. Returns the sub-rounds of one phase.
+    pub fn charge_tree_phases(&mut self, msg_bits: u64, phases: u64) -> u64 {
+        if phases == 0 {
+            return 1;
+        }
+        let sub = self
+            .meter
+            .charge_messages_repeated(msg_bits, self.total_tree_edges, phases);
+        self.meter
+            .charge_rounds(phases * sub, phases * sub * self.dilation());
+        sub
     }
 
     /// Sets the phase label on the meter (costs are grouped per phase).
@@ -127,6 +225,12 @@ impl<'a> ClusterNet<'a> {
     /// converge(`response_bits`). `response_bits` must bound the encoded
     /// size of the (partially aggregated) fold value.
     ///
+    /// Allocates one output vector; round loops should prefer
+    /// [`Self::neighbor_fold_into`] (or the typed wrappers
+    /// [`Self::neighbor_fold_flags`], [`Self::neighbor_fold_counts`],
+    /// [`Self::neighbor_fold_words`]) which reuse a caller- or
+    /// runtime-owned buffer.
+    ///
     /// # Panics
     ///
     /// Panics if `queries.len() != n_vertices`.
@@ -135,17 +239,53 @@ impl<'a> ClusterNet<'a> {
         query_bits: u64,
         response_bits: u64,
         queries: &[Q],
-        mut edge: impl FnMut(VertexId, VertexId, &Q, &Q) -> Option<C>,
-        mut init: impl FnMut(VertexId) -> R,
-        mut fold: impl FnMut(&mut R, C),
+        edge: impl FnMut(VertexId, VertexId, &Q, &Q) -> Option<C>,
+        init: impl FnMut(VertexId) -> R,
+        fold: impl FnMut(&mut R, C),
     ) -> Vec<R> {
-        assert_eq!(queries.len(), self.g.n_vertices(), "one query per vertex required");
+        let mut out = Vec::new();
+        self.neighbor_fold_into(
+            query_bits,
+            response_bits,
+            queries,
+            edge,
+            init,
+            fold,
+            &mut out,
+        );
+        out
+    }
+
+    /// [`Self::neighbor_fold`] writing into a reusable buffer: `out` is
+    /// cleared and refilled, so a warm buffer makes the round
+    /// allocation-free. The edge sweep walks the flat CSR edge table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.len() != n_vertices`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn neighbor_fold_into<Q, C, R>(
+        &mut self,
+        query_bits: u64,
+        response_bits: u64,
+        queries: &[Q],
+        mut edge: impl FnMut(VertexId, VertexId, &Q, &Q) -> Option<C>,
+        init: impl FnMut(VertexId) -> R,
+        mut fold: impl FnMut(&mut R, C),
+        out: &mut Vec<R>,
+    ) {
+        assert_eq!(
+            queries.len(),
+            self.g.n_vertices(),
+            "one query per vertex required"
+        );
         self.charge_broadcast(query_bits);
         self.charge_link_round(query_bits);
         self.charge_converge(response_bits);
 
-        let mut out: Vec<R> = (0..self.g.n_vertices()).map(&mut init).collect();
-        for (u, v) in self.g.h_edges() {
+        out.clear();
+        out.extend((0..self.g.n_vertices()).map(init));
+        for &(u, v) in self.g.h_edge_slice() {
             if let Some(c) = edge(v, u, &queries[v], &queries[u]) {
                 fold(&mut out[v], c);
             }
@@ -153,10 +293,81 @@ impl<'a> ClusterNet<'a> {
                 fold(&mut out[u], c);
             }
         }
-        out
     }
 
-    /// Every vertex receives the full list of `(neighbor, message)` pairs.
+    /// Any-hit fold: `flags[v]` is true iff some distinct neighbor `u`
+    /// satisfies `edge(v, u, ..)`. The returned slice borrows the runtime's
+    /// [`RoundScratch`]; copy it out if it must survive the next round.
+    pub fn neighbor_fold_flags<Q>(
+        &mut self,
+        query_bits: u64,
+        response_bits: u64,
+        queries: &[Q],
+        mut edge: impl FnMut(VertexId, VertexId, &Q, &Q) -> bool,
+    ) -> &[bool] {
+        let mut buf = std::mem::take(&mut self.scratch.flags);
+        self.neighbor_fold_into(
+            query_bits,
+            response_bits,
+            queries,
+            |v, u, qv, qu| edge(v, u, qv, qu).then_some(()),
+            |_| false,
+            |acc, ()| *acc = true,
+            &mut buf,
+        );
+        self.scratch.flags = buf;
+        &self.scratch.flags
+    }
+
+    /// Summing fold over `usize` contributions, reusing the runtime's
+    /// [`RoundScratch`].
+    pub fn neighbor_fold_counts<Q>(
+        &mut self,
+        query_bits: u64,
+        response_bits: u64,
+        queries: &[Q],
+        edge: impl FnMut(VertexId, VertexId, &Q, &Q) -> Option<usize>,
+    ) -> &[usize] {
+        let mut buf = std::mem::take(&mut self.scratch.counts);
+        self.neighbor_fold_into(
+            query_bits,
+            response_bits,
+            queries,
+            edge,
+            |_| 0usize,
+            |acc, c| *acc += c,
+            &mut buf,
+        );
+        self.scratch.counts = buf;
+        &self.scratch.counts
+    }
+
+    /// Bitwise-OR fold over `u64` bitmap contributions, reusing the
+    /// runtime's [`RoundScratch`].
+    pub fn neighbor_fold_words<Q>(
+        &mut self,
+        query_bits: u64,
+        response_bits: u64,
+        queries: &[Q],
+        edge: impl FnMut(VertexId, VertexId, &Q, &Q) -> Option<u64>,
+    ) -> &[u64] {
+        let mut buf = std::mem::take(&mut self.scratch.words);
+        self.neighbor_fold_into(
+            query_bits,
+            response_bits,
+            queries,
+            edge,
+            |_| 0u64,
+            |acc, c| *acc |= c,
+            &mut buf,
+        );
+        self.scratch.words = buf;
+        &self.scratch.words
+    }
+
+    /// Every vertex receives the full list of `(neighbor, message)` pairs,
+    /// as a flat CSR buffer whose row `v` mirrors
+    /// [`ClusterGraph::neighbors`]`(v)`.
     ///
     /// Charged honestly: the converge-cast for vertex `v` carries
     /// `deg(v) · query_bits` bits, so the round is pipelined over
@@ -170,36 +381,64 @@ impl<'a> ClusterNet<'a> {
         &mut self,
         query_bits: u64,
         queries: &[Q],
-    ) -> Vec<Vec<(VertexId, Q)>> {
-        assert_eq!(queries.len(), self.g.n_vertices(), "one query per vertex required");
+    ) -> NeighborLists<Q> {
+        let mut out = NeighborLists::new();
+        self.neighbor_collect_into(query_bits, queries, &mut out);
+        out
+    }
+
+    /// [`Self::neighbor_collect`] into a reusable [`NeighborLists`]:
+    /// offsets and arena are cleared and refilled in place, so a warm
+    /// buffer makes the round allocation-free (modulo `Q::clone`). The fill
+    /// is a single sweep of the graph's CSR adjacency — no per-row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries.len() != n_vertices`.
+    pub fn neighbor_collect_into<Q: Clone>(
+        &mut self,
+        query_bits: u64,
+        queries: &[Q],
+        out: &mut NeighborLists<Q>,
+    ) {
+        assert_eq!(
+            queries.len(),
+            self.g.n_vertices(),
+            "one query per vertex required"
+        );
         self.charge_broadcast(query_bits);
         self.charge_link_round(query_bits);
         let max_deg = self.g.max_degree() as u64;
         self.charge_converge(query_bits.saturating_mul(max_deg.max(1)));
 
-        let mut out: Vec<Vec<(VertexId, Q)>> =
-            (0..self.g.n_vertices()).map(|v| Vec::with_capacity(self.g.degree(v))).collect();
-        for (u, v) in self.g.h_edges() {
-            out[v].push((u, queries[u].clone()));
-            out[u].push((v, queries[v].clone()));
-        }
-        out
+        let (offsets, adj) = self.g.adjacency_csr();
+        out.offsets.clear();
+        out.offsets.extend_from_slice(offsets);
+        out.data.clear();
+        out.data
+            .extend(adj.iter().map(|&u| (u, queries[u].clone())));
     }
 
     /// Exact degree computation in one aggregation round (§1.1): neighbors
     /// deduplicate their parallel links so each contributes exactly 1.
     pub fn exact_degrees(&mut self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.exact_degrees_into(&mut out);
+        out
+    }
+
+    /// [`Self::exact_degrees`] into a reusable buffer. After the dedup
+    /// round, each vertex's count equals its deduplicated CSR degree, so
+    /// the fold is resolved directly from the topology.
+    pub fn exact_degrees_into(&mut self, out: &mut Vec<usize>) {
         // One converge inside each neighbor to cut extra links, then the
         // counting round itself: constant rounds, O(log n)-bit messages.
         self.charge_full_rounds(1, self.id_bits());
-        self.neighbor_fold(
-            1,
-            self.id_bits(),
-            &vec![(); self.g.n_vertices()],
-            |_, _, _, _| Some(1usize),
-            |_| 0usize,
-            |acc, c| *acc += c,
-        )
+        self.charge_broadcast(1);
+        self.charge_link_round(1);
+        self.charge_converge(self.id_bits());
+        out.clear();
+        out.extend((0..self.g.n_vertices()).map(|v| self.g.degree(v)));
     }
 
     /// The naive link-counting "degree" (counts parallel links): what a
@@ -224,7 +463,16 @@ mod tests {
     fn multi_link() -> ClusterGraph {
         let comm = CommGraph::from_edges(
             6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (3, 4),
+                (4, 5),
+                (0, 3),
+                (1, 4),
+                (2, 5),
+            ],
         )
         .unwrap();
         ClusterGraph::build(comm, vec![0, 0, 0, 1, 1, 1]).unwrap()
@@ -258,16 +506,73 @@ mod tests {
     }
 
     #[test]
+    fn fold_into_reuses_buffer_and_matches_fold() {
+        let h = multi_link();
+        let mut net = ClusterNet::new(&h, 64);
+        let vals = vec![10u64, 20u64];
+        let mut buf: Vec<u64> = Vec::new();
+        for _ in 0..3 {
+            net.neighbor_fold_into(
+                8,
+                8,
+                &vals,
+                |_, _, _, qu| Some(*qu),
+                |_| 0u64,
+                |acc, c| *acc += c,
+                &mut buf,
+            );
+            assert_eq!(buf, vec![20, 10]);
+        }
+    }
+
+    #[test]
+    fn typed_wrappers_match_generic_fold() {
+        let comm = CommGraph::path(5);
+        let h = ClusterGraph::singletons(comm);
+        let mut net = ClusterNet::new(&h, 64);
+        let vals: Vec<u64> = (0..5).collect();
+
+        let counts = net
+            .neighbor_fold_counts(8, 8, &vals, |_, _, _, _| Some(1usize))
+            .to_vec();
+        assert_eq!(counts, vec![1, 2, 2, 2, 1]);
+
+        let flags = net
+            .neighbor_fold_flags(8, 1, &vals, |_, _, _, qu| *qu >= 3)
+            .to_vec();
+        assert_eq!(flags, vec![false, false, true, true, true]);
+
+        let words = net
+            .neighbor_fold_words(8, 8, &vals, |_, _, _, qu| Some(1u64 << qu))
+            .to_vec();
+        assert_eq!(words, vec![0b00010, 0b00101, 0b01010, 0b10100, 0b01000]);
+    }
+
+    #[test]
     fn neighbor_collect_returns_all_neighbors() {
         let comm = CommGraph::path(4);
         let h = ClusterGraph::singletons(comm);
         let mut net = ClusterNet::new(&h, 64);
         let msgs = vec![0u8, 1, 2, 3];
         let got = net.neighbor_collect(8, &msgs);
-        assert_eq!(got[0], vec![(1, 1)]);
-        let mut g1 = got[1].clone();
-        g1.sort_unstable();
-        assert_eq!(g1, vec![(0, 0), (2, 2)]);
+        assert_eq!(got.n_rows(), 4);
+        assert_eq!(got.row(0), &[(1, 1)]);
+        // CSR rows are sorted by neighbor id.
+        assert_eq!(got.row(1), &[(0, 0), (2, 2)]);
+        assert_eq!(got.row(3), &[(2, 2)]);
+    }
+
+    #[test]
+    fn collect_into_reuses_buffers() {
+        let comm = CommGraph::path(4);
+        let h = ClusterGraph::singletons(comm);
+        let mut net = ClusterNet::new(&h, 64);
+        let mut lists = NeighborLists::new();
+        for round in 0..3u32 {
+            let msgs = vec![round; 4];
+            net.neighbor_collect_into(8, &msgs, &mut lists);
+            assert_eq!(lists.row(2), &[(1, round), (3, round)]);
+        }
     }
 
     #[test]
@@ -298,6 +603,38 @@ mod tests {
         net.charge_broadcast(33); // ceil(33/8) = 5 sub-rounds
         assert_eq!(net.meter.h_rounds() - before, 5);
         assert!(!net.meter.report().within_budget());
+    }
+
+    #[test]
+    fn full_rounds_arithmetic_matches_per_round_loop() {
+        // The O(1) charge must agree exactly with charging one round at a
+        // time, including pipelining penalties (33 bits on budget 8).
+        let h = multi_link();
+        for msg in [1u64, 8, 33] {
+            let mut bulk = ClusterNet::new(&h, 8);
+            bulk.charge_full_rounds(7, msg);
+            let mut looped = ClusterNet::new(&h, 8);
+            for _ in 0..7 {
+                looped.charge_broadcast(msg);
+                looped.charge_link_round(msg);
+                looped.charge_converge(msg);
+            }
+            let (rb, rl) = (bulk.meter.report(), looped.meter.report());
+            assert_eq!(rb.h_rounds, rl.h_rounds, "msg={msg}");
+            assert_eq!(rb.g_rounds, rl.g_rounds, "msg={msg}");
+            assert_eq!(rb.bits, rl.bits, "msg={msg}");
+            assert_eq!(rb.oversized_msgs, rl.oversized_msgs, "msg={msg}");
+            assert_eq!(rb.max_msg_bits, rl.max_msg_bits, "msg={msg}");
+        }
+    }
+
+    #[test]
+    fn zero_full_rounds_charge_nothing() {
+        let h = multi_link();
+        let mut net = ClusterNet::new(&h, 8);
+        net.charge_full_rounds(0, 64);
+        assert_eq!(net.meter.report().h_rounds, 0);
+        assert_eq!(net.meter.report().bits, 0);
     }
 
     #[test]

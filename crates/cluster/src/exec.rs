@@ -10,7 +10,6 @@
 //! the accounting is honest?".
 
 use crate::graph::ClusterGraph;
-use std::collections::BTreeMap;
 
 /// What actually happened on the wires during one executed phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +42,12 @@ pub fn execute_broadcast(g: &ClusterGraph, payload_bits: u64) -> ExecTrace {
             max_link = max_link.max(payload_bits);
         }
     }
-    ExecTrace { rounds: rounds.max(1), max_link_bits_per_round: max_link, total_bits: total, messages }
+    ExecTrace {
+        rounds: rounds.max(1),
+        max_link_bits_per_round: max_link,
+        total_bits: total,
+        messages,
+    }
 }
 
 /// Executes a converge-cast: partial aggregates of `agg_bits` flow up
@@ -59,11 +63,14 @@ pub fn execute_converge(g: &ClusterGraph, agg_bits: u64) -> ExecTrace {
 /// but *parallel links between the same cluster pair each carry their
 /// own copy*, which is what the per-link map below records.
 pub fn execute_link_exchange(g: &ClusterGraph, msg_bits: u64) -> ExecTrace {
-    let mut per_link: BTreeMap<(usize, usize), u64> = BTreeMap::new();
-    for &(a, b, _, _) in g.links() {
-        *per_link.entry((a.min(b), a.max(b))).or_insert(0) += 2 * msg_bits;
-    }
-    let max_link = per_link.values().copied().max().unwrap_or(0);
+    // The communication graph is simple, so every inter-cluster link is a
+    // distinct machine pair: each carries exactly one message per
+    // direction, 2 · msg_bits — no per-link tally needed.
+    let max_link = if g.links().is_empty() {
+        0
+    } else {
+        2 * msg_bits
+    };
     let messages = 2 * g.links().len() as u64;
     ExecTrace {
         rounds: 1,

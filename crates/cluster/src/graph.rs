@@ -9,7 +9,6 @@
 //! yet contribute a single edge of `H`.
 
 use cgc_net::{CommGraph, MachineId, NetError};
-use std::collections::BTreeMap;
 
 /// Identifier of a node of the cluster graph `H` (a cluster of machines).
 pub type VertexId = usize;
@@ -55,8 +54,14 @@ pub struct ClusterGraph {
     /// Inter-cluster links `(machine_u, machine_v, cluster_u, cluster_v)`
     /// with `cluster_u < cluster_v`.
     links: Vec<(MachineId, MachineId, VertexId, VertexId)>,
-    /// Multiplicity of each `H`-edge (number of parallel `G`-links).
-    multiplicity: BTreeMap<(VertexId, VertexId), usize>,
+    /// Deduplicated `H`-edges `(u, v)` with `u < v`, sorted — rows of the
+    /// same lower endpoint are contiguous (CSR-aligned via `edge_offsets`).
+    edges: Vec<(VertexId, VertexId)>,
+    /// Multiplicity column parallel to `edges` (parallel `G`-links per edge).
+    edge_mult: Vec<u32>,
+    /// `edges[edge_offsets[u]..edge_offsets[u + 1]]` are the edges whose
+    /// lower endpoint is `u`, sorted by upper endpoint.
+    edge_offsets: Vec<usize>,
     dilation: usize,
     max_degree: usize,
 }
@@ -76,7 +81,10 @@ impl ClusterGraph {
     pub fn build(comm: CommGraph, assignment: Vec<VertexId>) -> Result<Self, NetError> {
         let n = comm.n_machines();
         if assignment.len() != n {
-            return Err(NetError::AssignmentLength { expected: n, actual: assignment.len() });
+            return Err(NetError::AssignmentLength {
+                expected: n,
+                actual: assignment.len(),
+            });
         }
         let k = assignment.iter().copied().max().map_or(0, |m| m + 1);
         let mut members: Vec<Vec<MachineId>> = vec![Vec::new(); k];
@@ -85,13 +93,14 @@ impl ClusterGraph {
         }
 
         // Support trees: BFS inside each cluster from its smallest machine.
+        // `members` is consumed so each machine list moves into its tree.
         let mut support = Vec::with_capacity(k);
         let mut in_subset = vec![false; n];
-        for (c, ms) in members.iter().enumerate() {
+        for (c, ms) in members.into_iter().enumerate() {
             if ms.is_empty() {
                 return Err(NetError::DisconnectedCluster { cluster: c });
             }
-            for &m in ms {
+            for &m in &ms {
                 in_subset[m] = true;
             }
             let leader = ms[0];
@@ -100,7 +109,7 @@ impl ClusterGraph {
             let mut depth = Vec::with_capacity(ms.len());
             let mut height = 0usize;
             let mut ok = true;
-            for &m in ms {
+            for &m in &ms {
                 if depth_all[m] == usize::MAX {
                     ok = false;
                     break;
@@ -109,29 +118,62 @@ impl ClusterGraph {
                 depth.push(depth_all[m]);
                 height = height.max(depth_all[m]);
             }
-            for &m in ms {
+            for &m in &ms {
                 in_subset[m] = false;
             }
             if !ok {
                 return Err(NetError::DisconnectedCluster { cluster: c });
             }
-            support.push(SupportTree { leader, machines: ms.clone(), parent, depth, height });
+            support.push(SupportTree {
+                leader,
+                machines: ms,
+                parent,
+                depth,
+                height,
+            });
         }
 
-        // Inter-cluster links and H adjacency.
+        // Inter-cluster links; the H-edge table is the sorted deduplication
+        // of the link endpoints, with a multiplicity column counting the
+        // parallel links each edge absorbed (Figure 1).
         let mut links = Vec::new();
-        let mut multiplicity: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
         for &(a, b) in comm.edges() {
             let (ca, cb) = (assignment[a], assignment[b]);
             if ca != cb {
-                let (lo, hi, mlo, mhi) =
-                    if ca < cb { (ca, cb, a, b) } else { (cb, ca, b, a) };
+                let (lo, hi, mlo, mhi) = if ca < cb {
+                    (ca, cb, a, b)
+                } else {
+                    (cb, ca, b, a)
+                };
                 links.push((mlo, mhi, lo, hi));
-                *multiplicity.entry((lo, hi)).or_insert(0) += 1;
+                pairs.push((lo, hi));
             }
         }
+        pairs.sort_unstable();
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(pairs.len());
+        let mut edge_mult: Vec<u32> = Vec::new();
+        for p in pairs {
+            if edges.last() == Some(&p) {
+                *edge_mult.last_mut().expect("parallel mult column") += 1;
+            } else {
+                edges.push(p);
+                edge_mult.push(1);
+            }
+        }
+
+        // CSR row bounds over the lower endpoint (edges are sorted, so rows
+        // are contiguous and sorted by upper endpoint).
+        let mut edge_offsets = vec![0usize; k + 1];
+        for &(u, _) in &edges {
+            edge_offsets[u + 1] += 1;
+        }
+        for i in 0..k {
+            edge_offsets[i + 1] += edge_offsets[i];
+        }
+
         let mut deg = vec![0usize; k];
-        for &(u, v) in multiplicity.keys() {
+        for &(u, v) in &edges {
             deg[u] += 1;
             deg[v] += 1;
         }
@@ -142,14 +184,14 @@ impl ClusterGraph {
         }
         let mut h_adj = vec![0usize; h_offsets[k]];
         let mut cursor = h_offsets[..k].to_vec();
-        for &(u, v) in multiplicity.keys() {
+        for &(u, v) in &edges {
             h_adj[cursor[u]] = v;
             cursor[u] += 1;
             h_adj[cursor[v]] = u;
             cursor[v] += 1;
         }
-        // CSR rows are sorted because multiplicity keys iterate in order for
-        // the `u` side; the `v` side needs a sort.
+        // CSR rows are sorted because the edge table is sorted for the `u`
+        // side; the `v` side needs a sort.
         for c in 0..k {
             h_adj[h_offsets[c]..h_offsets[c + 1]].sort_unstable();
         }
@@ -163,7 +205,9 @@ impl ClusterGraph {
             h_offsets,
             h_adj,
             links,
-            multiplicity,
+            edges,
+            edge_mult,
+            edge_offsets,
             dilation,
             max_degree,
         })
@@ -242,16 +286,32 @@ impl ClusterGraph {
 
     /// Number of parallel `G`-links realizing the `H`-edge `{u, v}`
     /// (0 when not adjacent). Figure 1's multi-link phenomenon.
+    ///
+    /// Resolved by a binary search over the CSR row of the lower endpoint
+    /// in the flat edge table — `O(log deg)` with no pointer chasing.
     pub fn link_multiplicity(&self, u: VertexId, v: VertexId) -> usize {
+        // Out-of-range ids are simply non-edges (the seed's map lookup
+        // semantics), never an index panic; u < v implies only the larger
+        // needs checking.
+        if u == v || u.max(v) >= self.n_vertices() {
+            return 0;
+        }
         let key = (u.min(v), u.max(v));
-        self.multiplicity.get(&key).copied().unwrap_or(0)
+        let row = &self.edges[self.edge_offsets[key.0]..self.edge_offsets[key.0 + 1]];
+        match row.binary_search(&key) {
+            Ok(i) => self.edge_mult[self.edge_offsets[key.0] + i] as usize,
+            Err(_) => 0,
+        }
     }
 
     /// Number of inter-cluster links incident to cluster `v` — the naive
     /// "degree" a cluster would compute by counting links (§1.1), which can
     /// grossly overestimate [`Self::degree`].
     pub fn incident_links(&self, v: VertexId) -> usize {
-        self.links.iter().filter(|&&(_, _, cu, cv)| cu == v || cv == v).count()
+        self.links
+            .iter()
+            .filter(|&&(_, _, cu, cv)| cu == v || cv == v)
+            .count()
     }
 
     /// All inter-cluster links `(machine_u, machine_v, cluster_u, cluster_v)`.
@@ -260,14 +320,36 @@ impl ClusterGraph {
         &self.links
     }
 
-    /// Iterates over the deduplicated edges of `H` with `u < v`.
+    /// Iterates over the deduplicated edges of `H` with `u < v`, in
+    /// lexicographic order — a plain slice walk over the flat edge table.
     pub fn h_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.multiplicity.keys().copied()
+        self.edges.iter().copied()
+    }
+
+    /// The flat edge table itself: deduplicated `(u, v)` pairs with
+    /// `u < v`, sorted lexicographically.
+    #[inline]
+    pub fn h_edge_slice(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Multiplicity column parallel to [`Self::h_edge_slice`].
+    #[inline]
+    pub fn h_edge_multiplicities(&self) -> &[u32] {
+        &self.edge_mult
+    }
+
+    /// The deduplicated CSR adjacency of `H`: `(offsets, targets)` with
+    /// the neighbors of `v` at `targets[offsets[v]..offsets[v + 1]]`,
+    /// sorted. This is the layout [`crate::comm::NeighborLists`] mirrors.
+    #[inline]
+    pub fn adjacency_csr(&self) -> (&[usize], &[VertexId]) {
+        (&self.h_offsets, &self.h_adj)
     }
 
     /// Number of edges of `H`.
     pub fn n_h_edges(&self) -> usize {
-        self.multiplicity.len()
+        self.edges.len()
     }
 }
 
@@ -281,7 +363,16 @@ mod tests {
         // Links (0,3), (1,4), (2,5) all join the same pair of clusters.
         let comm = CommGraph::from_edges(
             6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (3, 4),
+                (4, 5),
+                (0, 3),
+                (1, 4),
+                (2, 5),
+            ],
         )
         .unwrap();
         ClusterGraph::build(comm, vec![0, 0, 0, 1, 1, 1]).unwrap()
@@ -317,14 +408,23 @@ mod tests {
         let comm = CommGraph::path(4);
         // Machines 0 and 3 are not connected within cluster 0.
         let r = ClusterGraph::build(comm, vec![0, 1, 1, 0]);
-        assert!(matches!(r, Err(NetError::DisconnectedCluster { cluster: 0 })));
+        assert!(matches!(
+            r,
+            Err(NetError::DisconnectedCluster { cluster: 0 })
+        ));
     }
 
     #[test]
     fn assignment_length_checked() {
         let comm = CommGraph::path(4);
         let r = ClusterGraph::build(comm, vec![0, 0, 0]);
-        assert!(matches!(r, Err(NetError::AssignmentLength { expected: 4, actual: 3 })));
+        assert!(matches!(
+            r,
+            Err(NetError::AssignmentLength {
+                expected: 4,
+                actual: 3
+            })
+        ));
     }
 
     #[test]

@@ -81,18 +81,25 @@ pub fn check_groups(net: &ClusterNet<'_>, clique: &[VertexId], groups: &Groups) 
     let mut majority_adjacency = true;
     'outer: for &v in clique {
         for g in &groups.members {
-            let others: Vec<_> = g.iter().copied().filter(|&u| u != v).collect();
-            if others.is_empty() {
+            let n_others = g.iter().filter(|&&u| u != v).count();
+            if n_others == 0 {
                 continue;
             }
-            let adj = others.iter().filter(|&&u| net.g.has_edge(v, u)).count();
-            if 2 * adj <= others.len() {
+            let adj = g
+                .iter()
+                .filter(|&&u| u != v && net.g.has_edge(v, u))
+                .count();
+            if 2 * adj <= n_others {
                 majority_adjacency = false;
                 break 'outer;
             }
         }
     }
-    GroupCheck { min_size, max_size, majority_adjacency }
+    GroupCheck {
+        min_size,
+        max_size,
+        majority_adjacency,
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +135,10 @@ mod tests {
         let clique: Vec<_> = (0..60).collect();
         let g = random_groups(&mut net, &clique, 3, &mut rng);
         let chk = check_groups(&net, &clique, &g);
-        assert!(chk.majority_adjacency, "a true clique is adjacent to everyone");
+        assert!(
+            chk.majority_adjacency,
+            "a true clique is adjacent to everyone"
+        );
         assert!(chk.min_size >= 1);
     }
 

@@ -43,9 +43,11 @@ pub mod overlay;
 pub mod prefix;
 
 pub use bfs::{BfsForest, BfsTree};
-pub use comm::ClusterNet;
-pub use exec::{execute_broadcast, execute_converge, execute_full_round, execute_link_exchange, ExecTrace};
+pub use comm::{ClusterNet, NeighborLists, RoundScratch};
+pub use exec::{
+    execute_broadcast, execute_converge, execute_full_round, execute_link_exchange, ExecTrace,
+};
 pub use graph::{ClusterGraph, SupportTree, VertexId};
 pub use groups::{check_groups, random_groups, GroupCheck, Groups};
 pub use overlay::VirtualGraph;
-pub use prefix::{dfs_preorder, prefix_sums, OrderedTree};
+pub use prefix::{dfs_preorder, prefix_sums, prefix_sums_into, OrderedTree};

@@ -76,7 +76,10 @@ impl VirtualGraph {
             s.dedup();
             for &m in &s {
                 if m >= n_machines {
-                    return Err(NetError::MachineOutOfRange { machine: m, n: n_machines });
+                    return Err(NetError::MachineOutOfRange {
+                        machine: m,
+                        n: n_machines,
+                    });
                 }
                 in_subset[m] = true;
             }
@@ -247,16 +250,15 @@ impl VirtualGraph {
 
     /// Charges one virtual-graph aggregation round on `net`: a cluster
     /// round whose tree phases repeat `congestion` times (trees sharing a
-    /// link take turns) and span `dilation` levels.
+    /// link take turns) and span `dilation` levels. O(1) meter arithmetic
+    /// regardless of the congestion factor.
     pub fn charge_overlay_round(&self, net: &mut ClusterNet<'_>, msg_bits: u64) {
-        for _ in 0..self.congestion {
-            net.charge_broadcast(msg_bits);
-            net.charge_converge(msg_bits);
-        }
+        net.charge_tree_phases(msg_bits, 2 * self.congestion as u64);
         net.charge_link_round(msg_bits);
         // The auxiliary instance has dilation 1; pay the true dilation.
         let extra = (self.dilation.saturating_sub(1)) as u64;
-        net.meter.charge_rounds(0, 2 * extra * self.congestion as u64);
+        net.meter
+            .charge_rounds(0, 2 * extra * self.congestion as u64);
     }
 }
 
@@ -299,9 +301,7 @@ mod tests {
     fn build_rejects_disjoint_conflict_supports() {
         let g = CommGraph::path(4);
         let supports = vec![vec![0, 1], vec![2, 3]];
-        let r = std::panic::catch_unwind(|| {
-            VirtualGraph::build(g, supports, &[(0, 1)])
-        });
+        let r = std::panic::catch_unwind(|| VirtualGraph::build(g, supports, &[(0, 1)]));
         assert!(r.is_err(), "disjoint supports must violate Definition A.1");
     }
 

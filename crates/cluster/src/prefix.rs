@@ -27,7 +27,11 @@ impl OrderedTree {
     /// by vertex id.
     pub fn from_bfs(tree: &BfsTree) -> OrderedTree {
         let order = dfs_preorder(tree);
-        OrderedTree { root: tree.source, order, depth: tree.height() }
+        OrderedTree {
+            root: tree.source,
+            order,
+            depth: tree.height(),
+        }
     }
 }
 
@@ -77,6 +81,24 @@ pub fn prefix_sums(
     values: &[i64],
     in_s: &[bool],
 ) -> Vec<i64> {
+    let mut out = Vec::new();
+    prefix_sums_into(net, trees, values, in_s, &mut out);
+    out
+}
+
+/// [`prefix_sums`] into a reusable buffer (cleared and refilled), for
+/// callers that run many enumeration rounds.
+///
+/// # Panics
+///
+/// Panics if `values` or `in_s` have wrong length.
+pub fn prefix_sums_into(
+    net: &mut ClusterNet<'_>,
+    trees: &[OrderedTree],
+    values: &[i64],
+    in_s: &[bool],
+    out: &mut Vec<i64>,
+) {
     let n = net.g.n_vertices();
     assert_eq!(values.len(), n, "one value per vertex");
     assert_eq!(in_s.len(), n, "membership flag per vertex");
@@ -87,7 +109,8 @@ pub fn prefix_sums(
     let bits = 2 * net.id_bits() + 2;
     net.charge_full_rounds(2 * (max_depth.max(1)) as u64, bits);
 
-    let mut out = vec![0i64; n];
+    out.clear();
+    out.resize(n, 0i64);
     for t in trees {
         let mut run = 0i64;
         for &v in &t.order {
@@ -97,7 +120,6 @@ pub fn prefix_sums(
             }
         }
     }
-    out
 }
 
 /// Gives members of `S` (within each tree) distinct 0-based indices in tree
@@ -118,7 +140,13 @@ pub fn enumerate_subset(
     }
     sums.iter()
         .enumerate()
-        .map(|(v, &s)| if in_s[v] && covered[v] { Some(s as usize) } else { None })
+        .map(|(v, &s)| {
+            if in_s[v] && covered[v] {
+                Some(s as usize)
+            } else {
+                None
+            }
+        })
         .collect()
 }
 
@@ -178,8 +206,7 @@ mod tests {
     fn rounds_scale_with_depth() {
         let h = ClusterGraph::singletons(CommGraph::path(8));
         let mut net = ClusterNet::new(&h, 64);
-        let forest =
-            BfsForest::run(&mut net, &[(0..8).collect::<Vec<_>>()], &[0], 7);
+        let forest = BfsForest::run(&mut net, &[(0..8).collect::<Vec<_>>()], &[0], 7);
         let t = OrderedTree::from_bfs(&forest.trees[0]);
         let h0 = net.meter.h_rounds();
         prefix_sums(&mut net, &[t], &[1; 8], &[true; 8]);
@@ -191,8 +218,7 @@ mod tests {
     fn parallel_trees_single_charge() {
         let h = ClusterGraph::singletons(CommGraph::path(6));
         let mut net = ClusterNet::new(&h, 64);
-        let forest =
-            BfsForest::run(&mut net, &[vec![0, 1, 2], vec![3, 4, 5]], &[0, 3], 2);
+        let forest = BfsForest::run(&mut net, &[vec![0, 1, 2], vec![3, 4, 5]], &[0, 3], 2);
         let t0 = OrderedTree::from_bfs(&forest.trees[0]);
         let t1 = OrderedTree::from_bfs(&forest.trees[1]);
         let in_s = vec![true; 6];

@@ -1,0 +1,158 @@
+//! Verifies the PR's headline guarantee: after warm-up, the metered
+//! aggregation primitives (`neighbor_fold_into`, the typed fold wrappers,
+//! `neighbor_collect_into`, `exact_degrees_into`, `charge_full_rounds`)
+//! perform **zero heap allocations per round**.
+//!
+//! A counting global allocator tallies every allocation; each test warms
+//! the buffers once, snapshots the counter, runs many rounds, and asserts
+//! the counter did not move.
+
+use cgc_cluster::{ClusterGraph, ClusterNet, NeighborLists};
+use cgc_net::CommGraph;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A graph with both multi-link edges and non-trivial support trees.
+fn instance() -> ClusterGraph {
+    // 8 clusters of 3 machines in a path each; ring + chords of links.
+    let mut edges = Vec::new();
+    for c in 0..8usize {
+        let base = 3 * c;
+        edges.push((base, base + 1));
+        edges.push((base + 1, base + 2));
+    }
+    for c in 0..8usize {
+        let d = (c + 1) % 8;
+        edges.push((3 * c, 3 * d + 2)); // ring, one link
+        edges.push((3 * c + 1, 3 * d + 1)); // ring, parallel link
+    }
+    for c in 0..4usize {
+        edges.push((3 * c + 2, 3 * (c + 4))); // chords
+    }
+    let comm = CommGraph::from_edges(24, &edges).unwrap();
+    ClusterGraph::build(comm, (0..24).map(|m| m / 3).collect()).unwrap()
+}
+
+#[test]
+fn neighbor_fold_into_is_allocation_free_when_warm() {
+    let h = instance();
+    let mut net = ClusterNet::new(&h, 64);
+    let queries: Vec<u64> = (0..h.n_vertices() as u64).collect();
+    let mut out: Vec<u64> = Vec::new();
+    // Warm-up round sizes the buffer.
+    net.neighbor_fold_into(
+        16,
+        16,
+        &queries,
+        |_, _, _, qu| Some(*qu),
+        |_| 0u64,
+        |a, c| *a = (*a).max(c),
+        &mut out,
+    );
+    let warm = out.clone();
+    let before = allocations();
+    for _ in 0..100 {
+        net.neighbor_fold_into(
+            16,
+            16,
+            &queries,
+            |_, _, _, qu| Some(*qu),
+            |_| 0u64,
+            |a, c| *a = (*a).max(c),
+            &mut out,
+        );
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "warm neighbor_fold_into must not allocate"
+    );
+    assert_eq!(out, warm, "results stay identical across reused rounds");
+}
+
+#[test]
+fn typed_fold_wrappers_are_allocation_free_when_warm() {
+    let h = instance();
+    let mut net = ClusterNet::new(&h, 64);
+    let queries: Vec<u64> = (0..h.n_vertices() as u64).collect();
+    // Warm up all three scratch columns.
+    net.neighbor_fold_flags(8, 1, &queries, |_, _, _, qu| *qu > 3);
+    net.neighbor_fold_counts(8, 8, &queries, |_, _, _, _| Some(1));
+    net.neighbor_fold_words(8, 8, &queries, |_, _, _, qu| Some(1u64 << (qu % 64)));
+    let before = allocations();
+    for _ in 0..100 {
+        net.neighbor_fold_flags(8, 1, &queries, |_, _, _, qu| *qu > 3);
+        net.neighbor_fold_counts(8, 8, &queries, |_, _, _, _| Some(1));
+        net.neighbor_fold_words(8, 8, &queries, |_, _, _, qu| Some(1u64 << (qu % 64)));
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "warm fold wrappers must not allocate"
+    );
+}
+
+#[test]
+fn neighbor_collect_into_is_allocation_free_when_warm() {
+    let h = instance();
+    let mut net = ClusterNet::new(&h, 64);
+    let queries: Vec<u64> = (0..h.n_vertices() as u64).collect();
+    let mut lists: NeighborLists<u64> = NeighborLists::new();
+    net.neighbor_collect_into(16, &queries, &mut lists);
+    let before = allocations();
+    for _ in 0..100 {
+        net.neighbor_collect_into(16, &queries, &mut lists);
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "warm neighbor_collect_into must not allocate"
+    );
+    for v in 0..h.n_vertices() {
+        assert_eq!(lists.row(v).len(), h.degree(v));
+    }
+}
+
+#[test]
+fn exact_degrees_into_and_full_rounds_are_allocation_free_when_warm() {
+    let h = instance();
+    let mut net = ClusterNet::new(&h, 64);
+    let mut degs: Vec<usize> = Vec::new();
+    net.exact_degrees_into(&mut degs);
+    // set_phase interns the phase label once; warm it too.
+    net.set_phase("steady");
+    net.charge_full_rounds(1, 16);
+    let before = allocations();
+    for _ in 0..100 {
+        net.exact_degrees_into(&mut degs);
+        net.charge_full_rounds(1000, 16);
+    }
+    assert_eq!(allocations() - before, 0, "warm metering must not allocate");
+}

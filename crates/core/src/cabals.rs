@@ -56,14 +56,14 @@ pub fn color_cabals(
     let delta = net.g.max_degree();
     let mut report = CabalReport::default();
 
-    let cabal_ids: Vec<usize> =
-        (0..acd.n_cliques()).filter(|&i| cabal_info.is_cabal[i]).collect();
+    let cabal_ids: Vec<usize> = (0..acd.n_cliques())
+        .filter(|&i| cabal_info.is_cabal[i])
+        .collect();
     if cabal_ids.is_empty() {
         report.putaside_ok = true;
         return report;
     }
-    let cliques: Vec<Vec<VertexId>> =
-        cabal_ids.iter().map(|&i| acd.cliques[i].clone()).collect();
+    let cliques: Vec<Vec<VertexId>> = cabal_ids.iter().map(|&i| acd.cliques[i].clone()).collect();
     let reserve = params.global_reserve(delta);
     // All cabals share the reserved prefix r = ρ·ℓ (Equation 2 with
     // ẽ_K ≤ ℓ), capped against Δ.
@@ -115,15 +115,9 @@ pub fn color_cabals(
         net.charge_full_rounds(1, net.color_bits()); // the cancellation round
         let esc_cliques: Vec<Vec<VertexId>> =
             escalated.iter().map(|&j| cliques[j].clone()).collect();
-        let pair_lists = fingerprint_matching_all(
-            net,
-            seeds,
-            0x6B,
-            &esc_cliques,
-            params.fp_matching_trials,
-        );
-        let all_pairs: Vec<(VertexId, VertexId)> =
-            pair_lists.into_iter().flatten().collect();
+        let pair_lists =
+            fingerprint_matching_all(net, seeds, 0x6B, &esc_cliques, params.fp_matching_trials);
+        let all_pairs: Vec<(VertexId, VertexId)> = pair_lists.into_iter().flatten().collect();
         report.fp_pairs = all_pairs.len();
         let left = color_anti_matching(net, coloring, seeds, 0x6C, &all_pairs, reserve, 20);
         debug_assert!(left.is_empty() || !all_pairs.is_empty());
@@ -154,10 +148,17 @@ pub fn color_cabals(
         &outliers,
         1.0,
         params.trycolor_rounds,
-        |_, rng| if r < q { Some(rng.random_range(r..q)) } else { None },
+        |_, rng| {
+            if r < q {
+                Some(rng.random_range(r..q))
+            } else {
+                None
+            }
+        },
     );
-    let outlier_left: Vec<VertexId> =
-        (0..n).filter(|&v| outliers[v] && !coloring.is_colored(v)).collect();
+    let outlier_left: Vec<VertexId> = (0..n)
+        .filter(|&v| outliers[v] && !coloring.is_colored(v))
+        .collect();
     let left = multicolor_trial(
         net,
         coloring,
@@ -182,8 +183,10 @@ pub fn color_cabals(
     // Target r per cabal, shrunk so candidates stay a small fraction of
     // the pool — the paper's sampling regime (3r ≪ |K|), without which
     // cross-cabal candidate conflicts kill every attempt.
-    let targets: Vec<usize> =
-        pools.iter().map(|p| r.min(p.len() / 6).max(1).min(p.len())).collect();
+    let targets: Vec<usize> = pools
+        .iter()
+        .map(|p| r.min(p.len() / 6).max(1).min(p.len()))
+        .collect();
     let putaside = if params.ablation.putaside {
         compute_putaside_sets(
             net,
@@ -214,9 +217,7 @@ pub fn color_cabals(
         let s_k: Vec<VertexId> = k
             .iter()
             .copied()
-            .filter(|&v| {
-                inlier_flag[v] && !coloring.is_colored(v) && !in_putaside[v]
-            })
+            .filter(|&v| inlier_flag[v] && !coloring.is_colored(v) && !in_putaside[v])
             .collect();
         let take = s_k.len().min(pal.n_free().saturating_sub(r));
         groups.push(SctGroup {
@@ -253,11 +254,21 @@ pub fn color_cabals(
     for &v in &left {
         elig[v] = true;
     }
-    try_color_rounds(net, coloring, seeds, 0x75, &elig, 1.0, params.trycolor_rounds, {
-        move |_, rng| Some(rng.random_range(0..q))
-    });
-    let mut still: Vec<VertexId> =
-        left.iter().copied().filter(|&v| !coloring.is_colored(v)).collect();
+    try_color_rounds(
+        net,
+        coloring,
+        seeds,
+        0x75,
+        &elig,
+        1.0,
+        params.trycolor_rounds,
+        move |_, rng| Some(rng.random_range(0..q)),
+    );
+    let mut still: Vec<VertexId> = left
+        .iter()
+        .copied()
+        .filter(|&v| !coloring.is_colored(v))
+        .collect();
     // Sequential charged finish for non-put-aside stragglers.
     while let Some(&v) = still.first() {
         net.charge_full_rounds(1, net.color_bits() + net.id_bits());
@@ -272,7 +283,10 @@ pub fn color_cabals(
     let ctxs: Vec<CabalCtx> = cliques
         .iter()
         .zip(&putaside)
-        .map(|(k, p)| CabalCtx { clique: k.clone(), putaside: p.clone() })
+        .map(|(k, p)| CabalCtx {
+            clique: k.clone(),
+            putaside: p.clone(),
+        })
         .collect();
     report.donation = color_putaside_sets(net, coloring, seeds, 0x76, params, &ctxs);
     report
@@ -318,8 +332,16 @@ mod tests {
     #[test]
     fn colors_cabals_with_anti_edges_totally() {
         let (g, coloring, report) = pipeline(2, 20, 4, 4, 400);
-        assert!(coloring.is_proper(&g), "conflicts: {:?}", coloring.conflicts(&g));
-        assert!(coloring.is_total(), "uncolored: {:?} ({report:?})", coloring.uncolored());
+        assert!(
+            coloring.is_proper(&g),
+            "conflicts: {:?}",
+            coloring.conflicts(&g)
+        );
+        assert!(
+            coloring.is_total(),
+            "uncolored: {:?} ({report:?})",
+            coloring.uncolored()
+        );
     }
 
     #[test]
@@ -328,7 +350,11 @@ mod tests {
         // no matching needed and put-aside machinery still works.
         let (g, coloring, report) = pipeline(2, 16, 0, 2, 401);
         assert!(coloring.is_proper(&g));
-        assert!(coloring.is_total(), "uncolored: {:?} ({report:?})", coloring.uncolored());
+        assert!(
+            coloring.is_total(),
+            "uncolored: {:?} ({report:?})",
+            coloring.uncolored()
+        );
     }
 
     #[test]

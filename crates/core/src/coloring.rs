@@ -26,7 +26,10 @@ impl Coloring {
     /// Panics if `q == 0`.
     pub fn new(n: usize, q: usize) -> Self {
         assert!(q > 0, "need at least one color");
-        Coloring { colors: vec![None; n], q }
+        Coloring {
+            colors: vec![None; n],
+            q,
+        }
     }
 
     /// Number of available colors `q` (usually `Δ + 1`).
@@ -90,7 +93,9 @@ impl Coloring {
 
     /// All uncolored vertices.
     pub fn uncolored(&self) -> Vec<VertexId> {
-        (0..self.colors.len()).filter(|&v| self.colors[v].is_none()).collect()
+        (0..self.colors.len())
+            .filter(|&v| self.colors[v].is_none())
+            .collect()
     }
 
     /// Whether the coloring is proper on `g` (monochromatic edges only
@@ -102,9 +107,9 @@ impl Coloring {
     /// All monochromatic edges.
     pub fn conflicts(&self, g: &ClusterGraph) -> Vec<(VertexId, VertexId)> {
         g.h_edges()
-            .filter(|&(u, v)| {
-                matches!((self.colors[u], self.colors[v]), (Some(a), Some(b)) if a == b)
-            })
+            .filter(
+                |&(u, v)| matches!((self.colors[u], self.colors[v]), (Some(a), Some(b)) if a == b),
+            )
             .collect()
     }
 
@@ -126,7 +131,10 @@ impl Coloring {
 
     /// Uncolored degree `deg_φ(v)`.
     pub fn uncolored_degree(&self, g: &ClusterGraph, v: VertexId) -> usize {
-        g.neighbors(v).iter().filter(|&&u| self.colors[u].is_none()).count()
+        g.neighbors(v)
+            .iter()
+            .filter(|&&u| self.colors[u].is_none())
+            .count()
     }
 
     /// Slack `s_φ(v) = |L(v)| − deg_φ(v)` (oracle view, §3.1).

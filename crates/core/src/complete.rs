@@ -66,9 +66,7 @@ fn z_values(
                 .g
                 .neighbors(v)
                 .iter()
-                .filter(|&&u| {
-                    !in_k(u) && matches!(coloring.get(u), Some(c) if c >= group.reserved)
-                })
+                .filter(|&&u| !in_k(u) && matches!(coloring.get(u), Some(c) if c >= group.reserved))
                 .count() as f64;
             let z = (q - r) - k_nonres - e_nonres
                 + params.gamma * group.e_avg
@@ -115,8 +113,7 @@ pub fn complete_noncabals(
                     // Sample a uniform non-reserved clique-palette color.
                     let span = pal.free_count_in(g.reserved, q);
                     if span > 0 {
-                        let mut rng =
-                            seeds.rng_for(v as u64, salt ^ 0xC0 ^ ((it as u64) << 8));
+                        let mut rng = seeds.rng_for(v as u64, salt ^ 0xC0 ^ ((it as u64) << 8));
                         let idx = rng.random_range(0..span);
                         chosen[v] = pal.nth_free_in(idx, g.reserved, q);
                     }
@@ -124,9 +121,15 @@ pub fn complete_noncabals(
             }
         }
         let chosen_ref = chosen.clone();
-        try_color_round(net, coloring, seeds, salt ^ (it as u64), &eligible, 1.0, |v, _| {
-            chosen_ref[v]
-        });
+        try_color_round(
+            net,
+            coloring,
+            seeds,
+            salt ^ (it as u64),
+            &eligible,
+            1.0,
+            |v, _| chosen_ref[v],
+        );
     }
 
     // ---- Phase I tail: reserved-color MCT for still-slackless-in-palette
@@ -216,9 +219,12 @@ mod tests {
             })
             .collect();
         let x_v = vec![0.0; g.n_vertices()];
-        let left =
-            complete_noncabals(&mut net, &mut coloring, &seeds, 0, &params, &groups, &x_v);
-        assert!(coloring.is_proper(&g), "conflicts: {:?}", coloring.conflicts(&g));
+        let left = complete_noncabals(&mut net, &mut coloring, &seeds, 0, &params, &groups, &x_v);
+        assert!(
+            coloring.is_proper(&g),
+            "conflicts: {:?}",
+            coloring.conflicts(&g)
+        );
         assert!(left.len() <= 2, "left: {left:?}");
     }
 
@@ -240,9 +246,7 @@ mod tests {
         coloring.set(cliques[0][0], 10);
         coloring.set(cliques[0][1], 11);
         let after = z_values(&net, &coloring, &group, &params, &x_v);
-        let f = |zs: &[(usize, f64)], v: usize| {
-            zs.iter().find(|&&(u, _)| u == v).map(|&(_, z)| z)
-        };
+        let f = |zs: &[(usize, f64)], v: usize| zs.iter().find(|&&(u, _)| u == v).map(|&(_, z)| z);
         let v = cliques[0][5];
         assert!(f(&after, v).unwrap() < f(&before, v).unwrap());
     }
@@ -260,7 +264,11 @@ mod tests {
         for k in &cliques {
             let mut next = reserved;
             for &v in &k[..k.len() / 2] {
-                while g.neighbors(v).iter().any(|&u| coloring.get(u) == Some(next)) {
+                while g
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| coloring.get(u) == Some(next))
+                {
                     next += 1;
                 }
                 coloring.set(v, next);

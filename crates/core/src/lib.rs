@@ -48,6 +48,7 @@ pub mod noncabal;
 pub mod palette_query;
 pub mod params;
 pub mod putaside;
+pub mod rounds;
 pub mod sct;
 pub mod slackgen;
 pub mod trycolor;

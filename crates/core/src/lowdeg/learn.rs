@@ -56,8 +56,11 @@ pub fn learn_free_colors(
                 tried[j][c] = true;
                 // The neighbors answer whether c is taken (one bit each,
                 // OR-aggregated) — computable at the links.
-                let free =
-                    net.g.neighbors(v).iter().all(|&u| coloring.get(u) != Some(c));
+                let free = net
+                    .g
+                    .neighbors(v)
+                    .iter()
+                    .all(|&u| coloring.get(u) != Some(c));
                 if free {
                     lists[j].push(c);
                 }
@@ -123,8 +126,7 @@ mod tests {
             coloring.set(u, pal[0]);
         }
         let mut net = ClusterNet::with_log_budget(&g, 32);
-        let out =
-            learn_free_colors(&mut net, &coloring, &SeedStream::new(24), 0, &[0], 8, 16);
+        let out = learn_free_colors(&mut net, &coloring, &SeedStream::new(24), 0, &[0], 8, 16);
         let (_, list, reached) = &out[0];
         assert!(*reached);
         // Learned colors avoid all the neighbors' colors.
@@ -142,8 +144,7 @@ mod tests {
         let g = cgc_cluster::ClusterGraph::singletons(cgc_net::CommGraph::star(20));
         let coloring = Coloring::new(20, 20);
         let mut net = ClusterNet::with_log_budget(&g, 32);
-        let out =
-            learn_free_colors(&mut net, &coloring, &SeedStream::new(25), 0, &[0], 1, 1);
+        let out = learn_free_colors(&mut net, &coloring, &SeedStream::new(25), 0, &[0], 1, 1);
         let (_, list, reached) = &out[0];
         assert!(!reached, "hub needs 20 colors, got {}", list.len());
     }

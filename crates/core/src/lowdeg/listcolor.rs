@@ -40,8 +40,9 @@ pub fn color_components(
     let cap = (4.0 * (total.max(2) as f64).ln()).ceil() as usize + 8;
     let mut rounds = 0usize;
     for r in 0..cap {
-        let pending: Vec<VertexId> =
-            (0..n).filter(|&v| member[v] && !coloring.is_colored(v)).collect();
+        let pending: Vec<VertexId> = (0..n)
+            .filter(|&v| member[v] && !coloring.is_colored(v))
+            .collect();
         if pending.is_empty() {
             break;
         }
@@ -57,8 +58,9 @@ pub fn color_components(
                 }
             })
             .collect();
-        let eligible: Vec<bool> =
-            (0..n).map(|v| member[v] && !coloring.is_colored(v)).collect();
+        let eligible: Vec<bool> = (0..n)
+            .map(|v| member[v] && !coloring.is_colored(v))
+            .collect();
         try_color_round(
             net,
             coloring,
@@ -108,8 +110,7 @@ mod tests {
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let seeds = SeedStream::new(220);
         let comps = vec![(0..g.n_vertices()).collect::<Vec<_>>()];
-        let (rounds, fallback) =
-            color_components(&mut net, &mut coloring, &seeds, 0, &comps);
+        let (rounds, fallback) = color_components(&mut net, &mut coloring, &seeds, 0, &comps);
         assert!(coloring.is_total());
         assert!(coloring.is_proper(&g));
         assert!(rounds <= 30, "rounds {rounds}");
@@ -122,8 +123,7 @@ mod tests {
         let mut coloring = Coloring::new(4, 3);
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let seeds = SeedStream::new(221);
-        let (rounds, fallback) =
-            color_components(&mut net, &mut coloring, &seeds, 0, &[]);
+        let (rounds, fallback) = color_components(&mut net, &mut coloring, &seeds, 0, &[]);
         assert_eq!((rounds, fallback), (0, 0));
     }
 
@@ -131,8 +131,7 @@ mod tests {
     fn disjoint_components_finish_in_parallel() {
         // Two disjoint triangles: same rounds as one.
         let g = ClusterGraph::singletons(
-            CommGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
-                .unwrap(),
+            CommGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap(),
         );
         let mut coloring = Coloring::new(6, 3);
         let mut net = ClusterNet::with_log_budget(&g, 32);

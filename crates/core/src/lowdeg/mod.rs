@@ -53,8 +53,7 @@ pub fn color_low_degree(
 ) -> LowDegReport {
     let mut report = LowDegReport::default();
     net.set_phase("lowdeg-shatter");
-    report.shatter_colored =
-        shatter(net, coloring, seeds, 0x9A11, params.shatter_rounds);
+    report.shatter_colored = shatter(net, coloring, seeds, 0x9A11, params.shatter_rounds);
 
     let comps = uncolored_components(net.g, coloring);
     report.n_components = comps.len();
@@ -70,7 +69,7 @@ pub fn color_low_degree(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use cgc_graphs::{gnp_spec, realize, Layout};
 
     #[test]

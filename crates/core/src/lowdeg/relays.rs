@@ -108,7 +108,10 @@ mod tests {
     use super::*;
     use cgc_graphs::{cabal_spec, realize, Layout};
 
-    fn setup(k: usize, pairs: usize) -> (cgc_cluster::ClusterGraph, Vec<usize>, Vec<(usize, usize)>) {
+    fn setup(
+        k: usize,
+        pairs: usize,
+    ) -> (cgc_cluster::ClusterGraph, Vec<usize>, Vec<(usize, usize)>) {
         let (spec, info) = cabal_spec(1, k, pairs, 0, 5);
         let g = realize(&spec, Layout::Singleton, 1, 5);
         let clique = info.cliques[0].clone();
@@ -136,8 +139,7 @@ mod tests {
     fn empty_anti_edges_is_trivial() {
         let (g, clique, _) = setup(12, 0);
         let mut net = ClusterNet::with_log_budget(&g, 32);
-        let relays =
-            select_relays(&mut net, &SeedStream::new(2), 0, &clique, &[], 2).unwrap();
+        let relays = select_relays(&mut net, &SeedStream::new(2), 0, &clique, &[], 2).unwrap();
         assert!(relays.is_empty());
     }
 

@@ -36,9 +36,15 @@ pub fn fingerprint_matching(
     clique: &[VertexId],
     k_trials: usize,
 ) -> Vec<(VertexId, VertexId)> {
-    fingerprint_matching_all(net, seeds, salt, std::slice::from_ref(&clique.to_vec()), k_trials)
-        .pop()
-        .unwrap_or_default()
+    fingerprint_matching_all(
+        net,
+        seeds,
+        salt,
+        std::slice::from_ref(&clique.to_vec()),
+        k_trials,
+    )
+    .pop()
+    .unwrap_or_default()
 }
 
 /// Runs [`fingerprint_matching`] in *parallel* over vertex-disjoint
@@ -87,15 +93,21 @@ fn fp_match_compute(
     if kn < 2 {
         return (Vec::new(), 0);
     }
-    let pos_of: BTreeMap<VertexId, usize> =
-        clique.iter().copied().enumerate().map(|(i, v)| (v, i)).collect();
+    let pos_of: BTreeMap<VertexId, usize> = clique
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
 
     // Step 2: sample vectors and compute per-vertex / clique maxima.
     let samples: Vec<Vec<i16>> = clique
         .iter()
         .map(|&v| {
             let mut rng = seeds.rng_for(v as u64, salt ^ 0xF9);
-            (0..k_trials).map(|_| sample_geometric(&mut rng, 0.5) as i16).collect()
+            (0..k_trials)
+                .map(|_| sample_geometric(&mut rng, 0.5) as i16)
+                .collect()
         })
         .collect();
 
@@ -166,8 +178,9 @@ fn fp_match_compute(
         }
         // A_i: members whose neighborhood max differs (anti-neighbors of
         // u_i), excluding u_i itself.
-        let a_i: Vec<usize> =
-            (0..kn).filter(|&j| j != uj && y_v[j][i] != y_k[i]).collect();
+        let a_i: Vec<usize> = (0..kn)
+            .filter(|&j| j != uj && y_v[j][i] != y_k[i])
+            .collect();
         if a_i.is_empty() {
             continue;
         }
@@ -175,7 +188,9 @@ fn fp_match_compute(
         let mut rng = seeds.rng_for(i as u64, salt ^ 0x3117);
         let h = MinWiseHash::new(&mut rng, 0.25, kn as u64);
         let ids: Vec<u64> = a_i.iter().map(|&j| j as u64).collect();
-        let Some(w) = h.argmin(&ids).map(|w| w as usize) else { continue };
+        let Some(w) = h.argmin(&ids).map(|w| w as usize) else {
+            continue;
+        };
         if matched[w] {
             continue; // Step 11: w already taken by an earlier trial
         }
@@ -251,9 +266,9 @@ pub fn color_anti_matching(
                     if pj >= pi || c2 != c || !adopted[pj] {
                         continue;
                     }
-                    let touch = [a, b].iter().any(|&v| {
-                        net.g.has_edge(v, a2) || net.g.has_edge(v, b2)
-                    });
+                    let touch = [a, b]
+                        .iter()
+                        .any(|&v| net.g.has_edge(v, a2) || net.g.has_edge(v, b2));
                     if touch {
                         ok = false;
                         break;

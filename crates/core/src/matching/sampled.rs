@@ -9,6 +9,7 @@
 //! `a_K = Ω(log n)` (cabals with few anti-edges need §6 instead).
 
 use crate::coloring::{Color, Coloring};
+use crate::rounds::{candidate_conflict_round, ConflictQueries, TieRule};
 use cgc_cluster::{ClusterNet, VertexId};
 use cgc_net::SeedStream;
 use rand::RngExt;
@@ -43,6 +44,10 @@ pub fn sampled_colorful_matching(
     }
 
     let mut dry_iters = 0usize;
+    // Round buffers hoisted across iterations (allocation-free when warm).
+    let mut cand: Vec<Option<Color>> = Vec::new();
+    let mut queries = ConflictQueries::new();
+    let mut blocked: Vec<bool> = Vec::new();
     for it in 0..iters {
         // Early exit: three consecutive iterations with no new pair mean the
         // remaining anti-edges are (nearly) exhausted — the O(1/ε) bound
@@ -52,7 +57,8 @@ pub fn sampled_colorful_matching(
         }
         let before: usize = gained.iter().sum();
         // Candidates.
-        let mut cand: Vec<Option<Color>> = vec![None; n];
+        cand.clear();
+        cand.resize(n, None);
         for (i, k) in cliques.iter().enumerate() {
             for &v in k {
                 if coloring.is_colored(v) {
@@ -68,28 +74,16 @@ pub fn sampled_colorful_matching(
         // A candidate is viable iff no neighbor already holds the color
         // and no *adjacent* candidate shares it (same-color adjacent pairs
         // would be improper; non-adjacent same-color pairs are the goal).
-        #[derive(Clone)]
-        struct Q {
-            cand: Option<Color>,
-            cur: Option<Color>,
-        }
-        let queries: Vec<Q> =
-            (0..n).map(|v| Q { cand: cand[v], cur: coloring.get(v) }).collect();
-        let blocked = net.neighbor_fold(
+        let flags = candidate_conflict_round(
+            net,
             net.color_bits() + 2,
-            1,
-            &queries,
-            |_v, _u, qv, qu| {
-                let c = qv.cand?;
-                if qu.cur == Some(c) || qu.cand == Some(c) {
-                    Some(())
-                } else {
-                    None
-                }
-            },
-            |_| false,
-            |acc, ()| *acc = true,
+            &cand,
+            coloring,
+            TieRule::BothBlocked,
+            &mut queries,
         );
+        blocked.clear();
+        blocked.extend_from_slice(flags);
 
         // Pairing inside each clique: one ordered aggregation round.
         net.charge_full_rounds(1, net.color_bits() + net.id_bits());

@@ -87,9 +87,15 @@ pub fn multicolor_trial(
     }
 
     let mut stalled = 0usize;
+    // Round buffers hoisted across the trial loop: the live set, the
+    // per-vertex tried sets and the query column are refilled in place, so
+    // a warm round performs no heap allocation.
+    let mut live: Vec<VertexId> = Vec::new();
+    let mut tried: Vec<Vec<Color>> = vec![Vec::new(); n];
+    let mut queries: Vec<Option<Color>> = Vec::new();
     for round in 0..max_rounds {
-        let live: Vec<VertexId> =
-            members.iter().copied().filter(|&v| !coloring.is_colored(v)).collect();
+        live.clear();
+        live.extend(members.iter().copied().filter(|&v| !coloring.is_colored(v)));
         if live.is_empty() {
             break;
         }
@@ -104,62 +110,55 @@ pub fn multicolor_trial(
 
         // Materialize tried sets; the wire format is
         // (lo, hi, family index, position salt): O(log n) bits.
-        let mut tried: Vec<Vec<Color>> = vec![Vec::new(); n];
+        for xs in &mut tried {
+            xs.clear();
+        }
         for &v in &live {
             let iv = space(v);
             if iv.is_empty() {
                 continue;
             }
             let universe = iv.len();
-            let fam = families.entry(universe).or_insert_with(|| {
-                RepFamily::new(universe, X_MAX.min(universe), FAMILY, 0xFAA17)
-            });
+            let fam = families
+                .entry(universe)
+                .or_insert_with(|| RepFamily::new(universe, X_MAX.min(universe), FAMILY, 0xFAA17));
             let mut rng = seeds.rng_for(v as u64, salt_base ^ (round as u64) << 20);
             let idx = rng.random_range(0..fam.family_size());
             let pos_salt: u64 = rng.random();
             let set = fam.set(idx);
-            let mut xs: Vec<Color> = pick_positions(set.len(), x, pos_salt)
-                .into_iter()
-                .map(|p| set[p] + iv.lo)
-                .collect();
+            let xs = &mut tried[v];
+            xs.extend(
+                pick_positions(set.len(), x, pos_salt)
+                    .into_iter()
+                    .map(|p| set[p] + iv.lo),
+            );
             xs.sort_unstable();
             xs.dedup();
-            tried[v] = xs;
         }
 
         // One aggregation round: blocked-position bitmaps.
         let qbits = 2 * net.color_bits() + 12 + 16;
-        #[derive(Clone)]
-        struct Q {
-            cur: Option<Color>,
-        }
-        let queries: Vec<Q> = (0..n).map(|v| Q { cur: coloring.get(v) }).collect();
+        queries.clear();
+        queries.extend((0..n).map(|v| coloring.get(v)));
         let tried_ref = &tried;
-        let blocked: Vec<u64> = net.neighbor_fold(
-            qbits,
-            x as u64,
-            &queries,
-            |v, u, _qv, qu| {
-                let xs = &tried_ref[v];
-                if xs.is_empty() {
-                    return None;
+        let blocked = net.neighbor_fold_words(qbits, x as u64, &queries, |v, u, _qv, qu| {
+            let xs = &tried_ref[v];
+            if xs.is_empty() {
+                return None;
+            }
+            let mut bits = 0u64;
+            for (j, &c) in xs.iter().enumerate() {
+                let hit = *qu == Some(c) || tried_ref[u].binary_search(&c).is_ok();
+                if hit {
+                    bits |= 1 << j;
                 }
-                let mut bits = 0u64;
-                for (j, &c) in xs.iter().enumerate() {
-                    let hit = qu.cur == Some(c) || tried_ref[u].binary_search(&c).is_ok();
-                    if hit {
-                        bits |= 1 << j;
-                    }
-                }
-                if bits != 0 {
-                    Some(bits)
-                } else {
-                    None
-                }
-            },
-            |_| 0u64,
-            |acc, b| *acc |= b,
-        );
+            }
+            if bits != 0 {
+                Some(bits)
+            } else {
+                None
+            }
+        });
 
         for &v in &live {
             for (j, &c) in tried[v].iter().enumerate() {
@@ -169,8 +168,7 @@ pub fn multicolor_trial(
                 }
             }
         }
-        let live_after =
-            members.iter().filter(|&&v| !coloring.is_colored(v)).count();
+        let live_after = members.iter().filter(|&&v| !coloring.is_colored(v)).count();
         if live_after == live_before && x == X_MAX.min(64) {
             stalled += 1;
         } else if live_after < live_before {
@@ -178,7 +176,11 @@ pub fn multicolor_trial(
         }
     }
 
-    members.iter().copied().filter(|&v| !coloring.is_colored(v)).collect()
+    members
+        .iter()
+        .copied()
+        .filter(|&v| !coloring.is_colored(v))
+        .collect()
 }
 
 #[cfg(test)]
@@ -243,7 +245,15 @@ mod tests {
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let seeds = SeedStream::new(32);
         let members: Vec<_> = (0..8).collect();
-        multicolor_trial(&mut net, &mut c, &seeds, 0, &members, |_| ColorInterval::new(0, 8), 20);
+        multicolor_trial(
+            &mut net,
+            &mut c,
+            &seeds,
+            0,
+            &members,
+            |_| ColorInterval::new(0, 8),
+            20,
+        );
         assert!(c.is_proper(&g));
     }
 

@@ -47,13 +47,16 @@ pub fn color_noncabals(
     let delta = net.g.max_degree();
     let mut report = NoncabalReport::default();
 
-    let noncabal_ids: Vec<usize> =
-        (0..acd.n_cliques()).filter(|&i| !cabal_info.is_cabal[i]).collect();
+    let noncabal_ids: Vec<usize> = (0..acd.n_cliques())
+        .filter(|&i| !cabal_info.is_cabal[i])
+        .collect();
     if noncabal_ids.is_empty() {
         return report;
     }
-    let cliques: Vec<Vec<VertexId>> =
-        noncabal_ids.iter().map(|&i| acd.cliques[i].clone()).collect();
+    let cliques: Vec<Vec<VertexId>> = noncabal_ids
+        .iter()
+        .map(|&i| acd.cliques[i].clone())
+        .collect();
 
     // ---- Step 1: colorful matching ----
     net.set_phase("noncabal-matching");
@@ -118,8 +121,9 @@ pub fn color_noncabals(
             }
         },
     );
-    let outlier_left: Vec<VertexId> =
-        (0..n).filter(|&v| outliers[v] && !coloring.is_colored(v)).collect();
+    let outlier_left: Vec<VertexId> = (0..n)
+        .filter(|&v| outliers[v] && !coloring.is_colored(v))
+        .collect();
     let left = multicolor_trial(
         net,
         coloring,
@@ -199,10 +203,14 @@ mod tests {
         let seeds = SeedStream::new(seed);
         let mut params = Params::laptop(g.n_vertices());
         params.ell = 1.0; // force everything to be a non-cabal
-        let profile =
-            degree_profile(&mut net, &acd, &params.counting, &seeds.child(1));
-        let cabal_info =
-            classify_cabals(&profile, g.max_degree(), params.ell, params.rho, params.reserve_cap_frac);
+        let profile = degree_profile(&mut net, &acd, &params.counting, &seeds.child(1));
+        let cabal_info = classify_cabals(
+            &profile,
+            g.max_degree(),
+            params.ell,
+            params.rho,
+            params.reserve_cap_frac,
+        );
         let mut coloring = Coloring::new(g.n_vertices(), g.max_degree() + 1);
         let report = color_noncabals(
             &mut net,
@@ -219,7 +227,11 @@ mod tests {
     #[test]
     fn colors_dense_vertices_properly() {
         let (g, coloring, report) = pipeline(300);
-        assert!(coloring.is_proper(&g), "conflicts: {:?}", coloring.conflicts(&g));
+        assert!(
+            coloring.is_proper(&g),
+            "conflicts: {:?}",
+            coloring.conflicts(&g)
+        );
         // Most of the 60 dense vertices must be colored by the stage.
         assert!(
             coloring.n_colored() >= 50,
@@ -232,9 +244,7 @@ mod tests {
     #[test]
     fn stage_counters_are_consistent() {
         let (_, coloring, report) = pipeline(301);
-        let total = report.matching_pairs * 2
-            + report.outliers_colored
-            + report.sct_colored;
+        let total = report.matching_pairs * 2 + report.outliers_colored + report.sct_colored;
         assert!(total <= coloring.n_colored() + report.leftover + 60);
         assert!(report.sct_colored > 0, "SCT colored nothing: {report:?}");
     }

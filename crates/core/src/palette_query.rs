@@ -41,7 +41,10 @@ impl CliquePalette {
         cliques: &[Vec<VertexId>],
     ) -> Vec<Self> {
         net.charge_full_rounds(1, net.color_bits() + 1);
-        cliques.iter().map(|k| Self::snapshot(coloring, k)).collect()
+        cliques
+            .iter()
+            .map(|k| Self::snapshot(coloring, k))
+            .collect()
     }
 
     /// Charge for one batch of parallel queries (Lemma 4.8: `O(1)` rounds
@@ -69,7 +72,12 @@ impl CliquePalette {
         }
         let free: Vec<Color> = (0..q).filter(|&c| !used[c]).collect();
         let n_distinct = q - free.len();
-        CliquePalette { used, free, n_colored, n_distinct }
+        CliquePalette {
+            used,
+            free,
+            n_colored,
+            n_distinct,
+        }
     }
 
     /// Whether color `c` is unused in the clique.
@@ -165,7 +173,11 @@ mod tests {
         let h0 = net.meter.h_rounds();
         let ps = CliquePalette::build_all(&mut net, &c, &[vec![0, 1], vec![2, 3]]);
         assert_eq!(ps.len(), 2);
-        assert_eq!(net.meter.h_rounds() - h0, 3, "one full round for all cliques");
+        assert_eq!(
+            net.meter.h_rounds() - h0,
+            3,
+            "one full round for all cliques"
+        );
     }
 
     #[test]

@@ -29,7 +29,12 @@ pub struct Ablation {
 
 impl Default for Ablation {
     fn default() -> Self {
-        Ablation { slackgen: true, matching: true, sct: true, putaside: true }
+        Ablation {
+            slackgen: true,
+            matching: true,
+            sct: true,
+            putaside: true,
+        }
     }
 }
 
@@ -93,7 +98,11 @@ impl Params {
             global_reserve_frac: 0.3,
             slack_activation: 0.05,
             delta_low: 16,
-            counting: CountingParams { xi: 0.35, t_factor: 8.0, min_trials: 128 },
+            counting: CountingParams {
+                xi: 0.35,
+                t_factor: 8.0,
+                min_trials: 128,
+            },
             acd: AcdParams::default(),
             trycolor_rounds: 8,
             mct_max_rounds: 40,
@@ -123,8 +132,15 @@ impl Params {
             global_reserve_frac: 300.0 / 2000.0,
             slack_activation: 1.0 / 200.0,
             delta_low: (log_n.powi(21)).min(1e18) as usize,
-            counting: CountingParams { xi: 0.01, t_factor: 200.0, min_trials: 1024 },
-            acd: AcdParams { epsilon: 1.0 / 2000.0, ..AcdParams::default() },
+            counting: CountingParams {
+                xi: 0.01,
+                t_factor: 200.0,
+                min_trials: 1024,
+            },
+            acd: AcdParams {
+                epsilon: 1.0 / 2000.0,
+                ..AcdParams::default()
+            },
             trycolor_rounds: 64,
             mct_max_rounds: 64,
             matching_iters: 2000,

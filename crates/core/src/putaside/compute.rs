@@ -42,8 +42,11 @@ pub fn compute_putaside_sets(
         let mut cands: Vec<Vec<VertexId>> = Vec::with_capacity(pools.len());
         let mut feasible = true;
         for (i, (pool, &r)) in pools.iter().zip(targets).enumerate() {
-            let avail: Vec<VertexId> =
-                pool.iter().copied().filter(|&v| !coloring.is_colored(v)).collect();
+            let avail: Vec<VertexId> = pool
+                .iter()
+                .copied()
+                .filter(|&v| !coloring.is_colored(v))
+                .collect();
             if avail.len() < r {
                 feasible = false;
                 break;
@@ -74,9 +77,10 @@ pub fn compute_putaside_sets(
                 .iter()
                 .copied()
                 .filter(|&v| {
-                    net.g.neighbors(v).iter().all(|&u| {
-                        cand_of[u].is_none() || cand_of[u] == Some(i)
-                    })
+                    net.g
+                        .neighbors(v)
+                        .iter()
+                        .all(|&u| cand_of[u].is_none() || cand_of[u] == Some(i))
                 })
                 .collect();
             if survivors.len() < targets[i] {
@@ -146,7 +150,11 @@ pub fn check_putaside(
             .count();
         max_exposure = max_exposure.max(exposed as f64 / k.len().max(1) as f64);
     }
-    PutAsideCheck { sizes_ok, independent, max_exposure }
+    PutAsideCheck {
+        sizes_ok,
+        independent,
+        max_exposure,
+    }
 }
 
 #[cfg(test)]
@@ -162,16 +170,9 @@ mod tests {
         let coloring = Coloring::new(g.n_vertices(), g.max_degree() + 1);
         let seeds = SeedStream::new(80);
         let targets = vec![3usize; 3];
-        let sets = compute_putaside_sets(
-            &mut net,
-            &coloring,
-            &seeds,
-            0,
-            &info.cliques,
-            &targets,
-            6,
-        )
-        .expect("should succeed on sparse cross edges");
+        let sets =
+            compute_putaside_sets(&mut net, &coloring, &seeds, 0, &info.cliques, &targets, 6)
+                .expect("should succeed on sparse cross edges");
         let chk = check_putaside(&net, &info.cliques, &sets, &targets);
         assert!(chk.sizes_ok);
         assert!(chk.independent);
@@ -189,15 +190,7 @@ mod tests {
             coloring.set(v, v);
         }
         let seeds = SeedStream::new(81);
-        let r = compute_putaside_sets(
-            &mut net,
-            &coloring,
-            &seeds,
-            0,
-            &info.cliques,
-            &[3, 3],
-            4,
-        );
+        let r = compute_putaside_sets(&mut net, &coloring, &seeds, 0, &info.cliques, &[3, 3], 4);
         assert!(r.is_none(), "only 2 uncolored members remain in cabal 0");
     }
 
@@ -208,16 +201,8 @@ mod tests {
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let coloring = Coloring::new(g.n_vertices(), g.max_degree() + 1);
         let seeds = SeedStream::new(82);
-        let sets = compute_putaside_sets(
-            &mut net,
-            &coloring,
-            &seeds,
-            0,
-            &info.cliques,
-            &[4, 4],
-            6,
-        )
-        .unwrap();
+        let sets = compute_putaside_sets(&mut net, &coloring, &seeds, 0, &info.cliques, &[4, 4], 6)
+            .unwrap();
         for (s, k) in sets.iter().zip(&info.cliques) {
             for &v in s {
                 assert!(k.contains(&v), "{v} outside its cabal");

@@ -91,12 +91,13 @@ pub fn color_putaside_sets(
     // vertex-disjoint, so each regime runs in parallel with one set of
     // round charges for the whole family.
     let ls = params.ls.max(1);
-    let free_idx: Vec<usize> =
-        (0..cabals.len()).filter(|&i| palettes[i].n_free() >= ls).collect();
-    let don_idx: Vec<usize> =
-        (0..cabals.len()).filter(|&i| palettes[i].n_free() < ls).collect();
-    out.free_colored +=
-        try_free_colors_all(net, coloring, seeds, salt ^ 0xF00D, cabals, &free_idx);
+    let free_idx: Vec<usize> = (0..cabals.len())
+        .filter(|&i| palettes[i].n_free() >= ls)
+        .collect();
+    let don_idx: Vec<usize> = (0..cabals.len())
+        .filter(|&i| palettes[i].n_free() < ls)
+        .collect();
+    out.free_colored += try_free_colors_all(net, coloring, seeds, salt ^ 0xF00D, cabals, &free_idx);
     if !don_idx.is_empty() {
         // Shared charges for the donation pipeline (Algorithms 9–10 and
         // the Equation-11 donation messages).
@@ -106,12 +107,20 @@ pub fn color_putaside_sets(
         CliquePalette::charge_query_batch(net); // Alg. 10 palette samples
         net.charge_full_rounds(1, net.color_bits() + 1); // c(v) ∈ L(v) test
         let k_samples = 8u64;
-        let msg_bits = ClusterNet::bits_for((coloring.q() / b).max(1))
-            + k_samples * ClusterNet::bits_for(b);
+        let msg_bits =
+            ClusterNet::bits_for((coloring.q() / b).max(1)) + k_samples * ClusterNet::bits_for(b);
         net.charge_full_rounds(2, msg_bits); // donation offers + bitmaps
         for &i in &don_idx {
-            out.donated +=
-                donate(net, coloring, seeds, salt ^ 0xD0_4A7E, params, cabals, &in_putaside, i);
+            out.donated += donate(
+                net,
+                coloring,
+                seeds,
+                salt ^ 0xD0_4A7E,
+                params,
+                cabals,
+                &in_putaside,
+                i,
+            );
         }
     }
 
@@ -158,8 +167,7 @@ fn try_free_colors_all(
         }
         // One palette rebuild, one query batch and one conflict round for
         // the whole family per iteration.
-        let cliques: Vec<Vec<VertexId>> =
-            idx.iter().map(|&i| cabals[i].clique.clone()).collect();
+        let cliques: Vec<Vec<VertexId>> = idx.iter().map(|&i| cabals[i].clique.clone()).collect();
         let pals = CliquePalette::build_all(net, coloring, &cliques);
         CliquePalette::charge_query_batch(net);
         net.charge_full_rounds(1, net.color_bits() + net.id_bits());
@@ -190,11 +198,16 @@ fn try_free_colors_all(
                 taken.insert(pidx, u);
             }
             for (pidx, u) in taken {
-                let Some(c) = pal.nth_free_in(pidx, 0, coloring.q()) else { continue };
+                let Some(c) = pal.nth_free_in(pidx, 0, coloring.q()) else {
+                    continue;
+                };
                 // External conflict check (the hash-probe of §7.1 Step 2,
                 // realized as an exact membership test on the links).
-                let ok =
-                    net.g.neighbors(u).iter().all(|&w| coloring.get(w) != Some(c));
+                let ok = net
+                    .g
+                    .neighbors(u)
+                    .iter()
+                    .all(|&w| coloring.get(w) != Some(c));
                 if ok {
                     coloring.set(u, c);
                     colored += 1;
@@ -237,7 +250,9 @@ fn donate(
         .iter()
         .copied()
         .filter(|&v| {
-            let Some(c) = coloring.get(v) else { return false };
+            let Some(c) = coloring.get(v) else {
+                return false;
+            };
             if mult[&c] != 1 {
                 return false;
             }
@@ -266,9 +281,10 @@ fn donate(
         .iter()
         .copied()
         .filter(|&v| {
-            net.g.neighbors(v).iter().all(|&u| {
-                !active[u] || cabal_index(cabals, u) == Some(i)
-            })
+            net.g
+                .neighbors(v)
+                .iter()
+                .all(|&u| !active[u] || cabal_index(cabals, u) == Some(i))
         })
         .collect();
 
@@ -282,9 +298,16 @@ fn donate(
     for &v in &q_k {
         let mut rng = seeds.rng_for(v as u64, salt ^ 0x5AFE);
         let idx = rng.random_range(0..pal.n_free());
-        let Some(c) = pal.nth_free_in(idx, 0, q) else { continue };
+        let Some(c) = pal.nth_free_in(idx, 0, q) else {
+            continue;
+        };
         // c must be in L(v): no neighbor of v holds c.
-        if net.g.neighbors(v).iter().any(|&u| coloring.get(u) == Some(c)) {
+        if net
+            .g
+            .neighbors(v)
+            .iter()
+            .any(|&u| coloring.get(u) == Some(c))
+        {
             continue;
         }
         let block = coloring.get(v).expect("donors are colored") / b;
@@ -298,8 +321,10 @@ fn donate(
             *e = (block, members.len());
         }
     }
-    let mut choices: Vec<(Color, usize, usize)> =
-        best_per_color.into_iter().map(|(c, (blk, sz))| (c, blk, sz)).collect();
+    let mut choices: Vec<(Color, usize, usize)> = best_per_color
+        .into_iter()
+        .map(|(c, (blk, sz))| (c, blk, sz))
+        .collect();
     choices.sort_by_key(|&(_, _, sz)| std::cmp::Reverse(sz));
 
     // ---- DonateColors (§7.1 Step 6) ----
@@ -352,7 +377,9 @@ fn donate(
 }
 
 fn cabal_index(cabals: &[CabalCtx], v: VertexId) -> Option<usize> {
-    cabals.iter().position(|c| c.clique.binary_search(&v).is_ok())
+    cabals
+        .iter()
+        .position(|c| c.clique.binary_search(&v).is_ok())
 }
 
 #[cfg(test)]
@@ -379,9 +406,7 @@ mod tests {
                 .iter()
                 .rev()
                 .copied()
-                .filter(|&v| {
-                    g.neighbors(v).iter().all(|&u| clique.contains(&u))
-                })
+                .filter(|&v| g.neighbors(v).iter().all(|&u| clique.contains(&u)))
                 .take(2)
                 .collect();
             assert_eq!(putaside.len(), 2, "need 2 isolated members");
@@ -408,7 +433,10 @@ mod tests {
                 coloring.set(v, next);
                 next += 1;
             }
-            cabals.push(CabalCtx { clique: clique.clone(), putaside });
+            cabals.push(CabalCtx {
+                clique: clique.clone(),
+                putaside,
+            });
         }
         (g, cabals, coloring)
     }
@@ -424,10 +452,13 @@ mod tests {
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let seeds = SeedStream::new(90);
         let params = Params::laptop(g.n_vertices());
-        let out =
-            color_putaside_sets(&mut net, &mut coloring, &seeds, 0, &params, &cabals);
+        let out = color_putaside_sets(&mut net, &mut coloring, &seeds, 0, &params, &cabals);
         assert!(coloring.is_total(), "uncolored: {:?}", coloring.uncolored());
-        assert!(coloring.is_proper(&g), "conflicts: {:?}", coloring.conflicts(&g));
+        assert!(
+            coloring.is_proper(&g),
+            "conflicts: {:?}",
+            coloring.conflicts(&g)
+        );
         let total = out.free_colored + out.donated + out.fallback;
         assert_eq!(total, 4, "outcome {out:?}");
     }
@@ -448,8 +479,7 @@ mod tests {
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let seeds = SeedStream::new(91);
         let params = Params::laptop(g.n_vertices());
-        let out =
-            color_putaside_sets(&mut net, &mut coloring, &seeds, 0, &params, &cabals);
+        let out = color_putaside_sets(&mut net, &mut coloring, &seeds, 0, &params, &cabals);
         assert!(coloring.is_total());
         assert!(coloring.is_proper(&g));
         assert!(out.free_colored >= 6, "outcome {out:?}");
@@ -465,10 +495,13 @@ mod tests {
         params.ls = 1_000; // force donation path regardless of palette
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let seeds = SeedStream::new(92);
-        let out =
-            color_putaside_sets(&mut net, &mut coloring, &seeds, 0, &params, &cabals);
+        let out = color_putaside_sets(&mut net, &mut coloring, &seeds, 0, &params, &cabals);
         assert!(coloring.is_total());
-        assert!(coloring.is_proper(&g), "conflicts: {:?}", coloring.conflicts(&g));
+        assert!(
+            coloring.is_proper(&g),
+            "conflicts: {:?}",
+            coloring.conflicts(&g)
+        );
         assert!(out.donated + out.fallback >= 4, "outcome {out:?}");
     }
 
@@ -485,13 +518,15 @@ mod tests {
         coloring.set(k[1], 0);
         coloring.set(k[2], 1);
         coloring.set(k[3], 1);
-        let cabals = vec![CabalCtx { clique: k.clone(), putaside: k[4..].to_vec() }];
+        let cabals = vec![CabalCtx {
+            clique: k.clone(),
+            putaside: k[4..].to_vec(),
+        }];
         let mut params = Params::laptop(g.n_vertices());
         params.ls = 1_000;
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let seeds = SeedStream::new(93);
-        let out =
-            color_putaside_sets(&mut net, &mut coloring, &seeds, 0, &params, &cabals);
+        let out = color_putaside_sets(&mut net, &mut coloring, &seeds, 0, &params, &cabals);
         assert!(coloring.is_total());
         assert!(coloring.is_proper(&g));
         assert!(out.fallback > 0 || out.donated > 0);

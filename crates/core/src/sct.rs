@@ -15,6 +15,7 @@
 
 use crate::coloring::Coloring;
 use crate::palette_query::CliquePalette;
+use crate::rounds::{candidate_conflict_round, commit_unblocked, ConflictQueries, TieRule};
 use cgc_cluster::{ClusterNet, VertexId};
 use cgc_net::SeedStream;
 use rand::RngExt;
@@ -80,38 +81,16 @@ pub fn synchronized_color_trial(
 
     // Conflict round: colored neighbors or smaller-id simultaneous tries
     // (cross-clique; intra-clique candidates are distinct).
-    #[derive(Clone)]
-    struct Q {
-        cand: Option<usize>,
-        cur: Option<usize>,
-    }
-    let queries: Vec<Q> = (0..n).map(|v| Q { cand: cand[v], cur: coloring.get(v) }).collect();
-    let blocked = net.neighbor_fold(
+    let mut queries = ConflictQueries::new();
+    let blocked = candidate_conflict_round(
+        net,
         net.color_bits() + 2,
-        1,
-        &queries,
-        |v, u, qv, qu| {
-            let c = qv.cand?;
-            if qu.cur == Some(c) || (qu.cand == Some(c) && u < v) {
-                Some(())
-            } else {
-                None
-            }
-        },
-        |_| false,
-        |acc, ()| *acc = true,
+        &cand,
+        coloring,
+        TieRule::SmallerIdWins,
+        &mut queries,
     );
-
-    let mut colored = 0usize;
-    for v in 0..n {
-        if let Some(c) = cand[v] {
-            if !blocked[v] {
-                coloring.set(v, c);
-                colored += 1;
-            }
-        }
-    }
-    colored
+    commit_unblocked(coloring, &cand, blocked)
 }
 
 #[cfg(test)]
@@ -132,10 +111,12 @@ mod tests {
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let seeds = SeedStream::new(50);
         let pal = CliquePalette::build(&mut net, &c, &(0..16).collect::<Vec<_>>());
-        let group =
-            SctGroup { clique: 0, members: (0..16).collect(), reserved: 0 };
-        let colored =
-            synchronized_color_trial(&mut net, &mut c, &seeds, 0, &[group], &[pal]);
+        let group = SctGroup {
+            clique: 0,
+            members: (0..16).collect(),
+            reserved: 0,
+        };
+        let colored = synchronized_color_trial(&mut net, &mut c, &seeds, 0, &[group], &[pal]);
         assert_eq!(colored, 16);
         assert!(c.is_proper(&g));
         assert!(c.is_total());
@@ -148,7 +129,11 @@ mod tests {
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let seeds = SeedStream::new(51);
         let pal = CliquePalette::build(&mut net, &c, &(0..10).collect::<Vec<_>>());
-        let group = SctGroup { clique: 0, members: (0..10).collect(), reserved: 4 };
+        let group = SctGroup {
+            clique: 0,
+            members: (0..10).collect(),
+            reserved: 4,
+        };
         synchronized_color_trial(&mut net, &mut c, &seeds, 0, &[group], &[pal]);
         for v in 0..10 {
             if let Some(col) = c.get(v) {
@@ -166,9 +151,12 @@ mod tests {
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let seeds = SeedStream::new(52);
         let pal = CliquePalette::build(&mut net, &c, &(0..8).collect::<Vec<_>>());
-        let group = SctGroup { clique: 0, members: (2..8).collect(), reserved: 0 };
-        let colored =
-            synchronized_color_trial(&mut net, &mut c, &seeds, 0, &[group], &[pal]);
+        let group = SctGroup {
+            clique: 0,
+            members: (2..8).collect(),
+            reserved: 0,
+        };
+        let colored = synchronized_color_trial(&mut net, &mut c, &seeds, 0, &[group], &[pal]);
         assert_eq!(colored, 6);
         assert!(c.is_proper(&g));
         assert!(c.is_total());
@@ -198,8 +186,16 @@ mod tests {
             &[(0..6).collect::<Vec<_>>(), (6..12).collect::<Vec<_>>()],
         );
         let groups = vec![
-            SctGroup { clique: 0, members: (0..6).collect(), reserved: 0 },
-            SctGroup { clique: 1, members: (6..12).collect(), reserved: 0 },
+            SctGroup {
+                clique: 0,
+                members: (0..6).collect(),
+                reserved: 0,
+            },
+            SctGroup {
+                clique: 1,
+                members: (6..12).collect(),
+                reserved: 0,
+            },
         ];
         synchronized_color_trial(&mut net, &mut c, &seeds, 0, &groups, &pals);
         assert!(c.is_proper(&g), "conflicts: {:?}", c.conflicts(&g));

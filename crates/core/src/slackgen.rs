@@ -10,6 +10,7 @@
 
 use crate::coloring::Coloring;
 use crate::params::Params;
+use crate::rounds::{candidate_conflict_round, commit_unblocked, ConflictQueries, TieRule};
 use cgc_cluster::ClusterNet;
 use cgc_net::SeedStream;
 use rand::RngExt;
@@ -50,32 +51,19 @@ pub fn slack_generation(
     }
 
     // Symmetric conflict resolution: any same-color contact kills both.
-    let blocked = net.neighbor_fold(
+    // Slack generation runs before anything else is colored, so the
+    // current-color half of the query is always empty and the wire cost
+    // stays at color_bits + 1 presence bit, matching the seed accounting.
+    let mut queries = ConflictQueries::new();
+    let blocked = candidate_conflict_round(
+        net,
         net.color_bits() + 1,
-        1,
         &cand,
-        |_v, _u, qv, qu| {
-            let c = (*qv)?;
-            if *qu == Some(c) {
-                Some(())
-            } else {
-                None
-            }
-        },
-        |_| false,
-        |acc, ()| *acc = true,
+        coloring,
+        TieRule::BothBlocked,
+        &mut queries,
     );
-
-    let mut colored = 0usize;
-    for v in 0..n {
-        if let Some(c) = cand[v] {
-            if !blocked[v] {
-                coloring.set(v, c);
-                colored += 1;
-            }
-        }
-    }
-    colored
+    commit_unblocked(coloring, &cand, blocked)
 }
 
 #[cfg(test)]
@@ -98,8 +86,7 @@ mod tests {
         let seeds = SeedStream::new(40);
         let mut p = Params::laptop(31);
         p.slack_activation = 0.5;
-        let colored =
-            slack_generation(&mut net, &mut c, &seeds, 0, &[true; 31], &p);
+        let colored = slack_generation(&mut net, &mut c, &seeds, 0, &[true; 31], &p);
         assert!(c.is_proper(&g));
         assert!(colored > 0, "with p=0.5 someone must get colored");
     }
@@ -131,7 +118,11 @@ mod tests {
         p.slack_activation = 1.0; // every leaf tries: collisions guaranteed
         slack_generation(&mut net, &mut c, &seeds, 0, &[true; 31], &p);
         // Leaves sample from ~21 colors; 30 leaves: expect several repeats.
-        assert!(c.reuse_slack(&g, 0) >= 1, "reuse slack {}", c.reuse_slack(&g, 0));
+        assert!(
+            c.reuse_slack(&g, 0) >= 1,
+            "reuse slack {}",
+            c.reuse_slack(&g, 0)
+        );
     }
 
     #[test]

@@ -8,10 +8,26 @@
 //! per round when vertices have constant relative slack in their space.
 
 use crate::coloring::{Color, Coloring};
+use crate::rounds::{candidate_conflict_round, commit_unblocked, ConflictQueries, TieRule};
 use cgc_cluster::{ClusterNet, VertexId};
 use cgc_net::SeedStream;
 use rand::RngExt;
 use rand_chacha::ChaCha8Rng;
+
+/// Reusable buffers for a sequence of trial rounds; hoisting one instance
+/// across a round loop makes every round allocation-free after warm-up.
+#[derive(Debug, Default)]
+pub struct TrialScratch {
+    cand: Vec<Option<Color>>,
+    queries: ConflictQueries,
+}
+
+impl TrialScratch {
+    /// Fresh (empty) buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// One round of `TryColor`.
 ///
@@ -32,13 +48,45 @@ pub fn try_color_round(
     salt: u64,
     eligible: &[bool],
     activation_p: f64,
+    sampler: impl FnMut(VertexId, &mut ChaCha8Rng) -> Option<Color>,
+) -> usize {
+    let mut scratch = TrialScratch::new();
+    try_color_round_with(
+        net,
+        coloring,
+        seeds,
+        salt,
+        eligible,
+        activation_p,
+        sampler,
+        &mut scratch,
+    )
+}
+
+/// [`try_color_round`] with caller-owned buffers — the form round loops
+/// use to keep the metered hot path allocation-free.
+///
+/// # Panics
+///
+/// Panics if `eligible.len()` differs from the vertex count.
+#[allow(clippy::too_many_arguments)]
+pub fn try_color_round_with(
+    net: &mut ClusterNet<'_>,
+    coloring: &mut Coloring,
+    seeds: &SeedStream,
+    salt: u64,
+    eligible: &[bool],
+    activation_p: f64,
     mut sampler: impl FnMut(VertexId, &mut ChaCha8Rng) -> Option<Color>,
+    scratch: &mut TrialScratch,
 ) -> usize {
     let n = net.g.n_vertices();
     assert_eq!(eligible.len(), n, "eligibility flag per vertex");
 
     // Candidate colors (vertex-local randomness).
-    let mut cand: Vec<Option<Color>> = vec![None; n];
+    let cand = &mut scratch.cand;
+    cand.clear();
+    cand.resize(n, None);
     for v in 0..n {
         if !eligible[v] || coloring.is_colored(v) {
             continue;
@@ -53,44 +101,22 @@ pub fn try_color_round(
     // current color is already public at link machines but charging it
     // keeps the accounting conservative.
     let cbits = net.color_bits() + 2;
-    #[derive(Clone)]
-    struct Q {
-        cand: Option<Color>,
-        cur: Option<Color>,
-    }
-    let queries: Vec<Q> =
-        (0..n).map(|v| Q { cand: cand[v], cur: coloring.get(v) }).collect();
-    let blocked = net.neighbor_fold(
+    let blocked = candidate_conflict_round(
+        net,
         cbits,
-        1,
-        &queries,
-        |v, u, qv, qu| {
-            let c = qv.cand?;
-            let hit = qu.cur == Some(c) || (qu.cand == Some(c) && u < v);
-            if hit {
-                Some(())
-            } else {
-                None
-            }
-        },
-        |_| false,
-        |acc, ()| *acc = true,
+        cand,
+        coloring,
+        TieRule::SmallerIdWins,
+        &mut scratch.queries,
     );
-
-    let mut colored = 0usize;
-    for v in 0..n {
-        if let Some(c) = cand[v] {
-            if !blocked[v] {
-                coloring.set(v, c);
-                colored += 1;
-            }
-        }
-    }
-    colored
+    commit_unblocked(coloring, cand, blocked)
 }
 
 /// A sampler over the color interval `[lo, hi)`.
-pub fn interval_sampler(lo: Color, hi: Color) -> impl FnMut(VertexId, &mut ChaCha8Rng) -> Option<Color> {
+pub fn interval_sampler(
+    lo: Color,
+    hi: Color,
+) -> impl FnMut(VertexId, &mut ChaCha8Rng) -> Option<Color> {
     move |_, rng| {
         if lo >= hi {
             None
@@ -114,11 +140,12 @@ pub fn try_color_rounds(
     mut sampler: impl FnMut(VertexId, &mut ChaCha8Rng) -> Option<Color>,
 ) -> usize {
     let mut total = 0usize;
+    let mut scratch = TrialScratch::new();
     for r in 0..rounds {
         if (0..eligible.len()).all(|v| !eligible[v] || coloring.is_colored(v)) {
             break;
         }
-        total += try_color_round(
+        total += try_color_round_with(
             net,
             coloring,
             seeds,
@@ -126,6 +153,7 @@ pub fn try_color_rounds(
             eligible,
             activation_p,
             &mut sampler,
+            &mut scratch,
         );
     }
     total
@@ -149,7 +177,15 @@ mod tests {
         let seeds = SeedStream::new(7);
         let all = vec![true; 12];
         for r in 0..30 {
-            try_color_round(&mut net, &mut c, &seeds, r, &all, 1.0, interval_sampler(0, 12));
+            try_color_round(
+                &mut net,
+                &mut c,
+                &seeds,
+                r,
+                &all,
+                1.0,
+                interval_sampler(0, 12),
+            );
             assert!(c.is_proper(&g), "conflict after round {r}");
         }
     }
@@ -161,7 +197,16 @@ mod tests {
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let seeds = SeedStream::new(8);
         let all = vec![true; 10];
-        try_color_rounds(&mut net, &mut c, &seeds, 0, &all, 1.0, 200, interval_sampler(0, 10));
+        try_color_rounds(
+            &mut net,
+            &mut c,
+            &seeds,
+            0,
+            &all,
+            1.0,
+            200,
+            interval_sampler(0, 10),
+        );
         assert!(c.is_total(), "uncolored: {:?}", c.uncolored());
         assert!(c.is_proper(&g));
     }
@@ -174,7 +219,16 @@ mod tests {
         let seeds = SeedStream::new(9);
         let mut elig = vec![false; 8];
         elig[3] = true;
-        try_color_rounds(&mut net, &mut c, &seeds, 0, &elig, 1.0, 10, interval_sampler(0, 8));
+        try_color_rounds(
+            &mut net,
+            &mut c,
+            &seeds,
+            0,
+            &elig,
+            1.0,
+            10,
+            interval_sampler(0, 8),
+        );
         assert!(c.is_colored(3));
         assert_eq!(c.n_colored(), 1);
     }
@@ -200,7 +254,9 @@ mod tests {
         let mut c = Coloring::new(2, 2);
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let seeds = SeedStream::new(11);
-        try_color_round(&mut net, &mut c, &seeds, 0, &[true, true], 1.0, |_, _| Some(0));
+        try_color_round(&mut net, &mut c, &seeds, 0, &[true, true], 1.0, |_, _| {
+            Some(0)
+        });
         assert_eq!(c.get(0), Some(0));
         assert_eq!(c.get(1), None);
     }
@@ -221,8 +277,16 @@ mod tests {
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let seeds = SeedStream::new(12);
         let all = vec![true; 40];
-        let colored =
-            try_color_rounds(&mut net, &mut c, &seeds, 0, &all, 1.0, 6, interval_sampler(0, 8));
+        let colored = try_color_rounds(
+            &mut net,
+            &mut c,
+            &seeds,
+            0,
+            &all,
+            1.0,
+            6,
+            interval_sampler(0, 8),
+        );
         assert!(colored >= 30, "only {colored} colored in 6 rounds");
         assert!(c.is_proper(&g));
     }

@@ -60,7 +60,9 @@ impl AlmostCliqueDecomp {
 
     /// Sparse vertices.
     pub fn sparse_vertices(&self) -> Vec<VertexId> {
-        (0..self.kind.len()).filter(|&v| self.is_sparse(v)).collect()
+        (0..self.kind.len())
+            .filter(|&v| self.is_sparse(v))
+            .collect()
     }
 
     /// Validates Definition 4.2 exactly against the graph.
@@ -77,8 +79,11 @@ impl AlmostCliqueDecomp {
                 size_ok = false;
             }
             for &v in k {
-                let internal =
-                    g.neighbors(v).iter().filter(|&&u| k.binary_search(&u).is_ok()).count();
+                let internal = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| k.binary_search(&u).is_ok())
+                    .count();
                 let frac = internal as f64 / k.len() as f64;
                 min_internal_frac = min_internal_frac.min(frac);
             }
@@ -222,11 +227,16 @@ fn repair_cliques(
             let internal: Vec<usize> = k
                 .iter()
                 .map(|&v| {
-                    g.neighbors(v).iter().filter(|&&u| k.binary_search(&u).is_ok()).count()
+                    g.neighbors(v)
+                        .iter()
+                        .filter(|&&u| k.binary_search(&u).is_ok())
+                        .count()
                 })
                 .collect();
             let need = ((1.0 - epsilon) * k.len() as f64).ceil() as usize;
-            let worst = (0..k.len()).min_by_key(|&i| internal[i]).expect("nonempty clique");
+            let worst = (0..k.len())
+                .min_by_key(|&i| internal[i])
+                .expect("nonempty clique");
             if k.len() > max_size || internal[worst] < need {
                 k.remove(worst);
                 peeled += 1;
@@ -248,7 +258,11 @@ fn assemble(n: usize, epsilon: f64, cliques: Vec<Vec<VertexId>>) -> AlmostClique
             kind[v] = NodeKind::Dense { clique: i };
         }
     }
-    AlmostCliqueDecomp { epsilon, kind, cliques }
+    AlmostCliqueDecomp {
+        epsilon,
+        kind,
+        cliques,
+    }
 }
 
 /// Proposition 4.3: computes an ε-almost-clique decomposition on the
@@ -270,28 +284,21 @@ pub fn compute_acd(
     let buddy = buddy_edges(net, &params.buddy, &seeds.child(11));
 
     // (2) Exact buddy-degree: one deduplicated aggregation (§1.1 pattern).
-    let buddy_deg = net.neighbor_fold(
-        1,
-        net.id_bits(),
-        &(0..n).collect::<Vec<_>>(),
-        |v, u, _, _| {
-            let key = (v.min(u), v.max(u));
-            if buddy.get(&key).copied().unwrap_or(false) {
-                Some(1usize)
-            } else {
-                None
-            }
-        },
-        |_| 0usize,
-        |a, c| *a += c,
-    );
+    let id_bits = net.id_bits();
+    let buddy_deg = net.neighbor_fold_counts(1, id_bits, &vec![(); n], |v, u, _, _| {
+        let key = (v.min(u), v.max(u));
+        if buddy.get(&key).copied().unwrap_or(false) {
+            Some(1usize)
+        } else {
+            None
+        }
+    });
 
     // (3) Dense candidates and components; the BFS is O(1) rounds because
     // almost-cliques have diameter 2 [ACK19, Lemma 4.8].
     let xi = params.buddy.xi;
     let threshold = ((1.0 - 2.0 * xi) * delta).max(1.0);
-    let candidate: Vec<bool> =
-        buddy_deg.iter().map(|&d| d as f64 >= threshold).collect();
+    let candidate: Vec<bool> = buddy_deg.iter().map(|&d| d as f64 >= threshold).collect();
     net.charge_full_rounds(3, net.id_bits()); // component BFS + leader ids
     let raw = buddy_components(n, &buddy, &candidate);
 
@@ -321,8 +328,7 @@ pub fn acd_oracle(g: &ClusterGraph, epsilon: f64) -> AlmostCliqueDecomp {
         }
     }
     let threshold = ((1.0 - 2.0 * xi) * delta).max(1.0);
-    let candidate: Vec<bool> =
-        buddy_deg.iter().map(|&d| d as f64 >= threshold).collect();
+    let candidate: Vec<bool> = buddy_deg.iter().map(|&d| d as f64 >= threshold).collect();
     let raw = buddy_components(n, &friendly, &candidate);
     let (cliques, _) = repair_cliques(g, raw, epsilon, 0.55);
     assemble(n, epsilon, cliques)

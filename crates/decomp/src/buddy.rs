@@ -25,7 +25,10 @@ pub struct BuddyParams {
 
 impl Default for BuddyParams {
     fn default() -> Self {
-        BuddyParams { xi: 0.1, counting: CountingParams::default() }
+        BuddyParams {
+            xi: 0.1,
+            counting: CountingParams::default(),
+        }
     }
 }
 
@@ -50,13 +53,20 @@ pub fn buddy_edges(
     let deg_est: Vec<f64> = fps.agg.iter().map(|f| f.estimate()).collect();
 
     // Low-degree vertices answer No on all incident edges.
-    let low: Vec<bool> = deg_est.iter().map(|&d| d < (1.0 - 1.5 * xi_p) * delta).collect();
+    let low: Vec<bool> = deg_est
+        .iter()
+        .map(|&d| d < (1.0 - 1.5 * xi_p) * delta)
+        .collect();
 
     // Joint neighborhoods: the two link machines exchange their clusters'
     // aggregated fingerprints and merge. One link round with compressed
     // fingerprints.
-    let link_bits =
-        fps.agg.iter().map(|f| encoded_bits(f.maxima())).max().unwrap_or(0);
+    let link_bits = fps
+        .agg
+        .iter()
+        .map(|f| encoded_bits(f.maxima()))
+        .max()
+        .unwrap_or(0);
     net.charge_link_round(link_bits);
 
     let mut out = BTreeMap::new();
@@ -121,7 +131,11 @@ mod tests {
         let seeds = SeedStream::new(500);
         let params = BuddyParams {
             xi: 0.3,
-            counting: CountingParams { xi: 0.08, t_factor: 60.0, min_trials: 1024 },
+            counting: CountingParams {
+                xi: 0.08,
+                t_factor: 60.0,
+                min_trials: 1024,
+            },
         };
         let buddy = buddy_edges(&mut net, &params, &seeds);
         // Clear positives: intra-clique edges share 22 of Δ=24 neighbors.

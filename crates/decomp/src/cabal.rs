@@ -48,7 +48,11 @@ pub fn classify_cabals(
         let r = (rho * ek.max(ell)).ceil() as usize;
         reserved.push(r.clamp(1, cap));
     }
-    CabalInfo { ell, is_cabal, reserved }
+    CabalInfo {
+        ell,
+        is_cabal,
+        reserved,
+    }
 }
 
 #[cfg(test)]

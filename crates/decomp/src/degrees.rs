@@ -51,8 +51,9 @@ pub fn degree_profile(
     let est = approx_count_neighbors(net, counting, &seeds.child(21), 0, |v, u| {
         acd.clique_of(v).is_some() && acd.clique_of(v) != acd.clique_of(u)
     });
-    let e_est: Vec<f64> =
-        (0..n).map(|v| if acd.is_sparse(v) { 0.0 } else { est[v] }).collect();
+    let e_est: Vec<f64> = (0..n)
+        .map(|v| if acd.is_sparse(v) { 0.0 } else { est[v] })
+        .collect();
 
     // |K| exactly and ẽ_K by aggregation on a BFS tree spanning K.
     net.charge_full_rounds(3, 2 * net.id_bits());
@@ -78,14 +79,25 @@ pub fn degree_profile(
     for v in 0..n {
         if let Some(c) = acd.clique_of(v) {
             let k = &acd.cliques[c];
-            let internal =
-                net.g.neighbors(v).iter().filter(|&&u| k.binary_search(&u).is_ok()).count();
+            let internal = net
+                .g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| k.binary_search(&u).is_ok())
+                .count();
             e_exact[v] = net.g.degree(v) - internal;
             a_exact[v] = k.len() - 1 - internal;
         }
     }
 
-    DegreeProfile { e_est, e_avg, clique_size, x_v, e_exact, a_exact }
+    DegreeProfile {
+        e_est,
+        e_avg,
+        clique_size,
+        x_v,
+        e_exact,
+        a_exact,
+    }
 }
 
 #[cfg(test)]
@@ -121,7 +133,11 @@ mod tests {
         let p = degree_profile(
             &mut net,
             &acd,
-            &CountingParams { xi: 0.1, t_factor: 40.0, min_trials: 512 },
+            &CountingParams {
+                xi: 0.1,
+                t_factor: 40.0,
+                min_trials: 512,
+            },
             &SeedStream::new(1000),
         );
         // Members 0..6 of each clique have one external edge.
@@ -141,7 +157,11 @@ mod tests {
         let p = degree_profile(
             &mut net,
             &acd,
-            &CountingParams { xi: 0.1, t_factor: 60.0, min_trials: 1024 },
+            &CountingParams {
+                xi: 0.1,
+                t_factor: 60.0,
+                min_trials: 1024,
+            },
             &SeedStream::new(1001),
         );
         for v in 0..g.n_vertices() {
@@ -151,7 +171,11 @@ mod tests {
             if exact == 0.0 {
                 assert!(p.e_est[v] < 0.5, "v={v}: {}", p.e_est[v]);
             } else {
-                assert!(p.e_est[v] > 0.3 && p.e_est[v] < 4.0, "v={v}: {}", p.e_est[v]);
+                assert!(
+                    p.e_est[v] > 0.3 && p.e_est[v] < 4.0,
+                    "v={v}: {}",
+                    p.e_est[v]
+                );
             }
         }
         // Average external degree: 6 of 20 members have e=1.
@@ -168,7 +192,11 @@ mod tests {
         let p = degree_profile(
             &mut net,
             &acd,
-            &CountingParams { xi: 0.1, t_factor: 40.0, min_trials: 512 },
+            &CountingParams {
+                xi: 0.1,
+                t_factor: 40.0,
+                min_trials: 512,
+            },
             &SeedStream::new(1002),
         );
         let delta = g.max_degree() as f64; // 20 (clique 19 + 1 external)

@@ -41,7 +41,10 @@ pub fn noncabal_inliers(
 /// Cabal inliers of clique `c` (§4.3: external-degree condition only).
 pub fn cabal_inliers(profile: &DegreeProfile, clique: &[VertexId], c: usize) -> Vec<bool> {
     let ek = profile.e_avg[c];
-    clique.iter().map(|&v| profile.e_est[v] <= EXT_FACTOR * ek + 1.0).collect()
+    clique
+        .iter()
+        .map(|&v| profile.e_est[v] <= EXT_FACTOR * ek + 1.0)
+        .collect()
 }
 
 #[cfg(test)]

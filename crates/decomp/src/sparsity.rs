@@ -38,7 +38,11 @@ pub fn exact_sparsity(g: &ClusterGraph) -> Vec<f64> {
     let choose2 = delta * (delta - 1.0) / 2.0;
     (0..g.n_vertices())
         .map(|v| {
-            let sum: usize = g.neighbors(v).iter().map(|&u| common_neighbors(g, u, v)).sum();
+            let sum: usize = g
+                .neighbors(v)
+                .iter()
+                .map(|&u| common_neighbors(g, u, v))
+                .sum();
             (choose2 - 0.5 * sum as f64) / delta
         })
         .collect()

@@ -34,7 +34,10 @@ mod tests {
         let h = gnp_spec(n, p, 4);
         let expect = p * (n * (n - 1) / 2) as f64;
         let m = h.edges.len() as f64;
-        assert!((m - expect).abs() < 0.35 * expect, "m = {m}, expect ≈ {expect}");
+        assert!(
+            (m - expect).abs() < 0.35 * expect,
+            "m = {m}, expect ≈ {expect}"
+        );
     }
 
     #[test]

@@ -184,8 +184,12 @@ mod tests {
 
     #[test]
     fn edge_preservation_over_all_layouts() {
-        for layout in [Layout::Singleton, Layout::Path(4), Layout::Star(4), Layout::BinaryTree(4)]
-        {
+        for layout in [
+            Layout::Singleton,
+            Layout::Path(4),
+            Layout::Star(4),
+            Layout::BinaryTree(4),
+        ] {
             let g = realize(&triangle(), layout, 2, 9);
             for &(u, v) in &triangle().edges {
                 assert!(g.has_edge(u, v), "missing edge ({u},{v}) under {layout:?}");

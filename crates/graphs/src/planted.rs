@@ -32,7 +32,13 @@ pub fn planted_cliques_spec(c: usize, k: usize, _seed: u64) -> (HSpec, PlantedIn
         }
         cliques.push((base..base + k).collect());
     }
-    (HSpec::new(c * k, edges), PlantedInfo { cliques, sparse: Vec::new() })
+    (
+        HSpec::new(c * k, edges),
+        PlantedInfo {
+            cliques,
+            sparse: Vec::new(),
+        },
+    )
 }
 
 /// Configuration for a Reed-style mixture instance.
@@ -76,7 +82,10 @@ impl Default for MixtureConfig {
 ///
 /// Panics if probabilities are outside `[0, 1]`.
 pub fn mixture_spec(cfg: &MixtureConfig, seed: u64) -> (HSpec, PlantedInfo) {
-    assert!((0.0..=1.0).contains(&cfg.anti_edge_prob), "anti_edge_prob in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&cfg.anti_edge_prob),
+        "anti_edge_prob in [0,1]"
+    );
     assert!((0.0..=1.0).contains(&cfg.sparse_p), "sparse_p in [0,1]");
     let mut rng = SeedStream::new(seed).rng_for(0x4D49_5854, 0);
     let dense_n = cfg.n_cliques * cfg.clique_size;
@@ -107,7 +116,11 @@ pub fn mixture_spec(cfg: &MixtureConfig, seed: u64) -> (HSpec, PlantedInfo) {
             while ext[v] < cap && guard < 64 * cap {
                 guard += 1;
                 let u = rng.random_range(0..n);
-                let u_block = if u < dense_n { u / cfg.clique_size } else { usize::MAX };
+                let u_block = if u < dense_n {
+                    u / cfg.clique_size
+                } else {
+                    usize::MAX
+                };
                 if u != v && u_block != block && ext[u] < cap {
                     edges.push((v.min(u), v.max(u)));
                     ext[v] += 1;
@@ -128,7 +141,10 @@ pub fn mixture_spec(cfg: &MixtureConfig, seed: u64) -> (HSpec, PlantedInfo) {
 
     (
         HSpec::new(n, edges),
-        PlantedInfo { cliques, sparse: (dense_n..n).collect() },
+        PlantedInfo {
+            cliques,
+            sparse: (dense_n..n).collect(),
+        },
     )
 }
 
@@ -176,7 +192,13 @@ pub fn cabal_spec(
             placed += 1;
         }
     }
-    (HSpec::new(n, edges), PlantedInfo { cliques, sparse: Vec::new() })
+    (
+        HSpec::new(n, edges),
+        PlantedInfo {
+            cliques,
+            sparse: Vec::new(),
+        },
+    )
 }
 
 #[cfg(test)]
@@ -205,11 +227,12 @@ mod tests {
             deg[u] += 1;
             deg[v] += 1;
         }
-        let dense_avg: f64 =
-            (0..72).map(|v| deg[v] as f64).sum::<f64>() / 72.0;
-        let sparse_avg: f64 =
-            (72..h.n).map(|v| deg[v] as f64).sum::<f64>() / 48.0;
-        assert!(dense_avg > 2.0 * sparse_avg, "dense {dense_avg} sparse {sparse_avg}");
+        let dense_avg: f64 = (0..72).map(|v| deg[v] as f64).sum::<f64>() / 72.0;
+        let sparse_avg: f64 = (72..h.n).map(|v| deg[v] as f64).sum::<f64>() / 48.0;
+        assert!(
+            dense_avg > 2.0 * sparse_avg,
+            "dense {dense_avg} sparse {sparse_avg}"
+        );
     }
 
     #[test]

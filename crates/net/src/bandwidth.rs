@@ -75,8 +75,12 @@ pub struct CostMeter {
     bits: u128,
     max_msg_bits: u64,
     oversized_msgs: u64,
+    /// Flushed per-phase tallies; the active phase lives in `current`.
     phases: BTreeMap<String, PhaseCost>,
     current_phase: String,
+    /// Accumulator for the active phase — charges are plain arithmetic on
+    /// this struct, with no map lookup or string traffic per charge.
+    current: PhaseCost,
 }
 
 impl CostMeter {
@@ -96,6 +100,7 @@ impl CostMeter {
             oversized_msgs: 0,
             phases: BTreeMap::new(),
             current_phase: "init".to_owned(),
+            current: PhaseCost::default(),
         }
     }
 
@@ -105,9 +110,17 @@ impl CostMeter {
         self.budget_bits
     }
 
-    /// Sets the label under which subsequent costs are recorded.
+    /// Sets the label under which subsequent costs are recorded. Reentering
+    /// a phase resumes its tally. Only this switch touches the phase map —
+    /// individual charges are constant-time arithmetic.
     pub fn set_phase(&mut self, phase: &str) {
-        self.current_phase = phase.to_owned();
+        if phase == self.current_phase {
+            return;
+        }
+        self.flush_current();
+        self.current = self.phases.get(phase).copied().unwrap_or_default();
+        self.current_phase.clear();
+        self.current_phase.push_str(phase);
     }
 
     /// Currently active phase label.
@@ -115,8 +128,11 @@ impl CostMeter {
         &self.current_phase
     }
 
-    fn phase_entry(&mut self) -> &mut PhaseCost {
-        self.phases.entry(self.current_phase.clone()).or_default()
+    /// Writes the active accumulator back into the phase map.
+    fn flush_current(&mut self) {
+        if self.current != PhaseCost::default() {
+            self.phases.insert(self.current_phase.clone(), self.current);
+        }
     }
 
     /// Records a single message of `bits` bits and returns the number of
@@ -127,10 +143,9 @@ impl CostMeter {
             self.max_msg_bits = bits;
         }
         let budget = self.budget_bits;
-        let e = self.phase_entry();
-        e.bits += u128::from(bits);
-        if bits > e.max_msg_bits {
-            e.max_msg_bits = bits;
+        self.current.bits += u128::from(bits);
+        if bits > self.current.max_msg_bits {
+            self.current.max_msg_bits = bits;
         }
         let sub = bits.div_ceil(budget).max(1);
         if sub > 1 {
@@ -149,10 +164,9 @@ impl CostMeter {
             self.max_msg_bits = bits_each;
         }
         let budget = self.budget_bits;
-        let e = self.phase_entry();
-        e.bits += u128::from(bits_each) * u128::from(count);
-        if bits_each > e.max_msg_bits {
-            e.max_msg_bits = bits_each;
+        self.current.bits += u128::from(bits_each) * u128::from(count);
+        if bits_each > self.current.max_msg_bits {
+            self.current.max_msg_bits = bits_each;
         }
         let sub = bits_each.div_ceil(budget).max(1);
         if sub > 1 {
@@ -161,13 +175,37 @@ impl CostMeter {
         sub
     }
 
+    /// Records `repeats` identical batches of `count` messages of
+    /// `bits_each` bits — the O(1) equivalent of calling
+    /// [`Self::charge_messages`] `repeats` times. Returns the sub-rounds
+    /// one batch needs (identical for every batch by construction).
+    pub fn charge_messages_repeated(&mut self, bits_each: u64, count: u64, repeats: u64) -> u64 {
+        if count == 0 || repeats == 0 {
+            return 1;
+        }
+        let total = u128::from(bits_each) * u128::from(count) * u128::from(repeats);
+        self.bits += total;
+        if bits_each > self.max_msg_bits {
+            self.max_msg_bits = bits_each;
+        }
+        let budget = self.budget_bits;
+        self.current.bits += total;
+        if bits_each > self.current.max_msg_bits {
+            self.current.max_msg_bits = bits_each;
+        }
+        let sub = bits_each.div_ceil(budget).max(1);
+        if sub > 1 {
+            self.oversized_msgs += count * repeats;
+        }
+        sub
+    }
+
     /// Adds `h` cluster-level rounds and `g` network-level rounds.
     pub fn charge_rounds(&mut self, h: u64, g: u64) {
         self.h_rounds += h;
         self.g_rounds += g;
-        let e = self.phase_entry();
-        e.h_rounds += h;
-        e.g_rounds += g;
+        self.current.h_rounds += h;
+        self.current.g_rounds += g;
     }
 
     /// Total cluster-level rounds so far.
@@ -184,6 +222,10 @@ impl CostMeter {
 
     /// Takes a snapshot of all counters.
     pub fn report(&self) -> CostReport {
+        let mut phases = self.phases.clone();
+        if self.current != PhaseCost::default() {
+            phases.insert(self.current_phase.clone(), self.current);
+        }
         CostReport {
             h_rounds: self.h_rounds,
             g_rounds: self.g_rounds,
@@ -191,7 +233,7 @@ impl CostMeter {
             max_msg_bits: self.max_msg_bits,
             budget_bits: self.budget_bits,
             oversized_msgs: self.oversized_msgs,
-            phases: self.phases.clone(),
+            phases,
         }
     }
 }
@@ -236,6 +278,23 @@ mod tests {
         assert_eq!(r.h_rounds, 3);
         assert_eq!(r.g_rounds, 9);
         assert_eq!(r.bits, 48);
+    }
+
+    #[test]
+    fn repeated_batches_match_a_loop_of_batches() {
+        for (bits, count, repeats) in [(4u64, 3u64, 5u64), (25, 2, 7), (0, 4, 2)] {
+            let mut bulk = CostMeter::new(8);
+            let sub_bulk = bulk.charge_messages_repeated(bits, count, repeats);
+            let mut looped = CostMeter::new(8);
+            let mut sub_loop = 1;
+            for _ in 0..repeats {
+                sub_loop = looped.charge_messages(bits, count);
+            }
+            assert_eq!(sub_bulk, sub_loop);
+            assert_eq!(bulk.report().bits, looped.report().bits);
+            assert_eq!(bulk.report().oversized_msgs, looped.report().oversized_msgs);
+            assert_eq!(bulk.report().max_msg_bits, looped.report().max_msg_bits);
+        }
     }
 
     #[test]

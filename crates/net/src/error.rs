@@ -41,10 +41,16 @@ impl fmt::Display for NetError {
             }
             NetError::SelfLoop { machine } => write!(f, "self-loop at machine {machine}"),
             NetError::DisconnectedCluster { cluster } => {
-                write!(f, "cluster {cluster} is not connected in the communication graph")
+                write!(
+                    f,
+                    "cluster {cluster} is not connected in the communication graph"
+                )
             }
             NetError::AssignmentLength { expected, actual } => {
-                write!(f, "cluster assignment has length {actual}, expected {expected}")
+                write!(
+                    f,
+                    "cluster assignment has length {actual}, expected {expected}"
+                )
             }
             NetError::EmptyGraph => write!(f, "communication graph has no machines"),
         }
@@ -63,7 +69,10 @@ mod tests {
             NetError::MachineOutOfRange { machine: 7, n: 3 },
             NetError::SelfLoop { machine: 1 },
             NetError::DisconnectedCluster { cluster: 2 },
-            NetError::AssignmentLength { expected: 4, actual: 2 },
+            NetError::AssignmentLength {
+                expected: 4,
+                actual: 2,
+            },
             NetError::EmptyGraph,
         ];
         for e in errs {

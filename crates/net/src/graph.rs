@@ -79,7 +79,12 @@ impl CommGraph {
             adj[cursor[v]] = u;
             cursor[v] += 1;
         }
-        Ok(CommGraph { n, offsets, adj, edges: canon })
+        Ok(CommGraph {
+            n,
+            offsets,
+            adj,
+            edges: canon,
+        })
     }
 
     /// A path `0 - 1 - ... - (n-1)`.
@@ -253,7 +258,10 @@ mod tests {
             CommGraph::from_edges(2, &[(1, 1)]),
             Err(NetError::SelfLoop { machine: 1 })
         ));
-        assert!(matches!(CommGraph::from_edges(0, &[]), Err(NetError::EmptyGraph)));
+        assert!(matches!(
+            CommGraph::from_edges(0, &[]),
+            Err(NetError::EmptyGraph)
+        ));
     }
 
     #[test]

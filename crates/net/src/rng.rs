@@ -54,13 +54,17 @@ impl SeedStream {
     /// Derives the RNG for entity `id` with the given `salt`
     /// (e.g. a round number or a stage tag).
     pub fn rng_for(&self, id: u64, salt: u64) -> ChaCha8Rng {
-        let k = splitmix64(self.master ^ splitmix64(id) ^ splitmix64(salt.wrapping_mul(0xA24B_AED4_963E_E407)));
+        let k = splitmix64(
+            self.master ^ splitmix64(id) ^ splitmix64(salt.wrapping_mul(0xA24B_AED4_963E_E407)),
+        );
         ChaCha8Rng::seed_from_u64(k)
     }
 
     /// Derives a child factory, useful to namespace a whole stage.
     pub fn child(&self, salt: u64) -> SeedStream {
-        SeedStream { master: splitmix64(self.master ^ splitmix64(salt)) }
+        SeedStream {
+            master: splitmix64(self.master ^ splitmix64(salt)),
+        }
     }
 }
 

@@ -93,10 +93,12 @@ mod tests {
 
     #[test]
     fn mul_mod_agrees_with_naive() {
-        let cases = [(0u64, 0u64), (1, MERSENNE_61 - 1), (123456789, 987654321), (
-            MERSENNE_61 - 1,
-            MERSENNE_61 - 1,
-        )];
+        let cases = [
+            (0u64, 0u64),
+            (1, MERSENNE_61 - 1),
+            (123456789, 987654321),
+            (MERSENNE_61 - 1, MERSENNE_61 - 1),
+        ];
         for (a, b) in cases {
             let expect = ((u128::from(a) * u128::from(b)) % u128::from(MERSENNE_61)) as u64;
             assert_eq!(mul_mod(a, b), expect, "a={a} b={b}");

@@ -33,7 +33,9 @@ impl MinWiseHash {
         assert!(n > 0, "universe must be nonempty");
         let k = (2.0 * (1.0 / eps).log2()).ceil().max(2.0) as usize;
         let range = (4 * n * n).max(4);
-        MinWiseHash { inner: KWiseHash::new(rng, k, range) }
+        MinWiseHash {
+            inner: KWiseHash::new(rng, k, range),
+        }
     }
 
     /// Evaluates the function.

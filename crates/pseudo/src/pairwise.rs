@@ -23,7 +23,9 @@ impl PairwiseHash {
     ///
     /// Panics if `m == 0`.
     pub fn new(rng: &mut impl Rng, m: u64) -> Self {
-        PairwiseHash { inner: KWiseHash::new(rng, 2, m) }
+        PairwiseHash {
+            inner: KWiseHash::new(rng, 2, m),
+        }
     }
 
     /// Evaluates the hash.

@@ -77,7 +77,12 @@ impl RepFamily {
 
     /// Builds from Lemma C.6 parameters.
     pub fn with_params(universe: usize, params: RepParams, seed: u64) -> Self {
-        Self::new(universe, params.set_size(), params.family_size(universe), seed)
+        Self::new(
+            universe,
+            params.set_size(),
+            params.family_size(universe),
+            seed,
+        )
     }
 
     /// Universe size `k`.
@@ -154,7 +159,11 @@ mod tests {
     #[test]
     fn density_approximation_for_large_sets() {
         let k = 200usize;
-        let params = RepParams { alpha: 0.5, delta: 0.25, nu: 0.05 };
+        let params = RepParams {
+            alpha: 0.5,
+            delta: 0.25,
+            nu: 0.05,
+        };
         let f = RepFamily::with_params(k, params, 31);
         let test: Vec<bool> = (0..k).map(|x| x % 3 != 0).collect(); // |T| ≈ 2k/3
         let density = test.iter().filter(|&&b| b).count() as f64 / k as f64;
@@ -179,7 +188,11 @@ mod tests {
     #[test]
     fn no_overestimate_for_small_sets() {
         let k = 200usize;
-        let params = RepParams { alpha: 0.5, delta: 0.25, nu: 0.05 };
+        let params = RepParams {
+            alpha: 0.5,
+            delta: 0.25,
+            nu: 0.05,
+        };
         let f = RepFamily::with_params(k, params, 33);
         // |T| = 10 < δk = 50.
         let test: Vec<bool> = (0..k).map(|x| x < 10).collect();

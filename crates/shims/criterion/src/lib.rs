@@ -1,0 +1,281 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the front-end API the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], …) backed by a
+//! simple wall-clock harness: a warm-up probe sizes the iteration count to
+//! a fixed time budget, then the mean per-iteration time is reported on
+//! stdout and appended as JSON lines to
+//! `target/shim-criterion/<group>.jsonl` so runs can be diffed.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark time budget after warm-up.
+const MEASURE_BUDGET: Duration = Duration::from_millis(700);
+/// Hard cap on measured iterations (beyond this the mean is stable).
+const MAX_ITERS: u64 = 10_000;
+
+/// Identifier `function/parameter` for one benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/param`, mirroring criterion's display form.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// A parameter-only id (criterion's `from_parameter`).
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Accepts both `&str` names and full [`BenchmarkId`]s.
+pub trait IntoBenchmarkId {
+    /// The display id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    /// `Some((iters, total))` once the routine has been measured.
+    result: Option<(u64, Duration)>,
+    /// When set, run the routine exactly once (`--test` mode).
+    smoke_only: bool,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up probe, then a budgeted timed loop.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up + probe.
+        let probe_start = Instant::now();
+        std::hint::black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        if self.smoke_only {
+            self.result = Some((1, probe));
+            return;
+        }
+        let iters =
+            (MEASURE_BUDGET.as_nanos() / probe.as_nanos()).clamp(1, u128::from(MAX_ITERS)) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    filter: Option<String>,
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    /// Parses harness-relevant CLI args (`--test`, a positional filter);
+    /// every other flag cargo forwards is accepted and ignored.
+    fn default() -> Self {
+        let mut filter = None;
+        let mut smoke_only = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke_only = true,
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_owned()),
+            }
+        }
+        Criterion { filter, smoke_only }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            crit: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into_id();
+        run_one(self, "ungrouped", &id, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    crit: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion API compatibility; the shim sizes iterations by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Criterion API compatibility; the shim uses a fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into_id();
+        run_one(self.crit, &self.name, &id, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(self.crit, &self.name, &id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (stdout reporting happens per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_one(crit: &Criterion, group: &str, id: &str, mut f: impl FnMut(&mut Bencher)) {
+    let full = format!("{group}/{id}");
+    if let Some(filter) = &crit.filter {
+        if !full.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        result: None,
+        smoke_only: crit.smoke_only,
+    };
+    f(&mut b);
+    let Some((iters, total)) = b.result else {
+        println!("{full:<50} (no measurement: closure never called iter)");
+        return;
+    };
+    let mean_ns = total.as_nanos() as f64 / iters as f64;
+    println!("{full:<50} {:>14}  ({iters} iters)", format_ns(mean_ns));
+    append_record(group, id, mean_ns, iters);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn append_record(group: &str, id: &str, mean_ns: f64, iters: u64) {
+    let dir = PathBuf::from("target/shim-criterion");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{}.jsonl", group.replace('/', "_")));
+    if let Ok(mut file) = fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(
+            file,
+            "{{\"group\":\"{group}\",\"bench\":\"{id}\",\"mean_ns\":{mean_ns:.1},\"iters\":{iters}}}"
+        );
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            result: None,
+            smoke_only: true,
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        let (iters, total) = b.result.expect("measured");
+        assert_eq!(iters, 1);
+        assert!(total.as_nanos() > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("fold", 800).id, "fold/800");
+        assert_eq!(BenchmarkId::from_parameter(3).id, "3");
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

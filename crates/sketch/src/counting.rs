@@ -28,7 +28,11 @@ pub struct CountingParams {
 
 impl Default for CountingParams {
     fn default() -> Self {
-        CountingParams { xi: 0.25, t_factor: 20.0, min_trials: 64 }
+        CountingParams {
+            xi: 0.25,
+            t_factor: 20.0,
+            min_trials: 64,
+        }
     }
 }
 
@@ -79,8 +83,16 @@ pub fn neighborhood_fingerprints(
 
     // Charge with the actual compressed sizes: the query is a single
     // element's vector, the converge-cast carries partial aggregates.
-    let qbits = own.iter().map(|f| encoded_bits(f.maxima())).max().unwrap_or(0);
-    let rbits = agg.iter().map(|f| encoded_bits(f.maxima())).max().unwrap_or(0);
+    let qbits = own
+        .iter()
+        .map(|f| encoded_bits(f.maxima()))
+        .max()
+        .unwrap_or(0);
+    let rbits = agg
+        .iter()
+        .map(|f| encoded_bits(f.maxima()))
+        .max()
+        .unwrap_or(0);
     net.charge_broadcast(qbits);
     net.charge_link_round(qbits);
     net.charge_converge(rbits);
@@ -132,8 +144,16 @@ pub fn approx_weighted_count(
             agg[u].merge(&own[v]);
         }
     }
-    let qbits = own.iter().map(|f| encoded_bits(f.maxima())).max().unwrap_or(0);
-    let rbits = agg.iter().map(|f| encoded_bits(f.maxima())).max().unwrap_or(0);
+    let qbits = own
+        .iter()
+        .map(|f| encoded_bits(f.maxima()))
+        .max()
+        .unwrap_or(0);
+    let rbits = agg
+        .iter()
+        .map(|f| encoded_bits(f.maxima()))
+        .max()
+        .unwrap_or(0);
     net.charge_broadcast(qbits);
     net.charge_link_round(qbits);
     net.charge_converge(rbits);
@@ -171,7 +191,11 @@ mod tests {
         let h = clique_h(200);
         let mut net = ClusterNet::with_log_budget(&h, 32);
         let seeds = SeedStream::new(77);
-        let params = CountingParams { xi: 0.2, t_factor: 40.0, min_trials: 256 };
+        let params = CountingParams {
+            xi: 0.2,
+            t_factor: 40.0,
+            min_trials: 256,
+        };
         let est = approx_count_neighbors(&mut net, &params, &seeds, 0, |_, _| true);
         for (v, &e) in est.iter().enumerate() {
             let d = 199.0;
@@ -185,7 +209,11 @@ mod tests {
         let h = clique_h(120);
         let mut net = ClusterNet::with_log_budget(&h, 32);
         let seeds = SeedStream::new(78);
-        let params = CountingParams { xi: 0.25, t_factor: 40.0, min_trials: 256 };
+        let params = CountingParams {
+            xi: 0.25,
+            t_factor: 40.0,
+            min_trials: 256,
+        };
         // Count only even-id neighbors: exactly 60 or 59 of them.
         let est = approx_count_neighbors(&mut net, &params, &seeds, 1, |_, u| u % 2 == 0);
         for (v, &e) in est.iter().enumerate() {
@@ -226,7 +254,7 @@ mod tests {
         let mut net = ClusterNet::with_log_budget(&h, 32);
         let seeds = SeedStream::new(81);
         let b = 2u32; // weights in quarters
-        // Vertex u has weight (u % 4 + 1) / 4.
+                      // Vertex u has weight (u % 4 + 1) / 4.
         let k_u: Vec<u64> = (0..60).map(|u| (u % 4 + 1) as u64).collect();
         let est = approx_weighted_count(&mut net, 2048, &seeds, 0, &k_u, b, |_, _| true);
         for (v, &e) in est.iter().enumerate() {
@@ -245,8 +273,7 @@ mod tests {
         let mut net = ClusterNet::with_log_budget(&h, 32);
         let seeds = SeedStream::new(82);
         let k_u = vec![1u64; 40];
-        let est =
-            approx_weighted_count(&mut net, 1024, &seeds, 1, &k_u, 0, |_, u| u < 20);
+        let est = approx_weighted_count(&mut net, 1024, &seeds, 1, &k_u, 0, |_, u| u < 20);
         // Weight 1 each, only the 20 low-id neighbors count.
         for (v, &e) in est.iter().enumerate().skip(20) {
             let err = (e - 20.0).abs() / 20.0;
@@ -265,7 +292,11 @@ mod tests {
 
     #[test]
     fn trials_formula_scales() {
-        let p = CountingParams { xi: 0.1, t_factor: 20.0, min_trials: 64 };
+        let p = CountingParams {
+            xi: 0.1,
+            t_factor: 20.0,
+            min_trials: 64,
+        };
         assert!(p.trials(1000) > p.trials(10));
         let p2 = CountingParams { xi: 0.2, ..p };
         assert!(p2.trials(1000) < p.trials(1000));

@@ -77,9 +77,7 @@ fn best_baseline(maxima: &[i16]) -> i16 {
     let mut sorted: Vec<i16> = maxima.to_vec();
     sorted.sort_unstable();
     let median = sorted[sorted.len() / 2];
-    let cost = |k: i16| -> u64 {
-        maxima.iter().map(|&y| u64::from(y.abs_diff(k)) + 2).sum()
-    };
+    let cost = |k: i16| -> u64 { maxima.iter().map(|&y| u64::from(y.abs_diff(k)) + 2).sum() };
     let mut best = median;
     let mut best_cost = cost(median);
     for delta in -2i16..=2 {
@@ -97,7 +95,11 @@ fn best_baseline(maxima: &[i16]) -> i16 {
 /// buffer (used for bandwidth charging).
 pub fn encoded_bits(maxima: &[i16]) -> u64 {
     let k = best_baseline(maxima);
-    HEADER_BITS + maxima.iter().map(|&y| u64::from(y.abs_diff(k)) + 2).sum::<u64>()
+    HEADER_BITS
+        + maxima
+            .iter()
+            .map(|&y| u64::from(y.abs_diff(k)) + 2)
+            .sum::<u64>()
 }
 
 /// Encodes a maxima vector under the Lemma 5.6 scheme.

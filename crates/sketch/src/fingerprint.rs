@@ -39,7 +39,9 @@ pub struct Fingerprint {
 impl Fingerprint {
     /// A fingerprint of the empty set with `t` trials.
     pub fn empty(t: usize) -> Self {
-        Fingerprint { maxima: vec![EMPTY; t] }
+        Fingerprint {
+            maxima: vec![EMPTY; t],
+        }
     }
 
     /// Samples a single element's vector (`λ = 1/2`).
@@ -75,7 +77,11 @@ impl Fingerprint {
     ///
     /// Panics if the trial counts differ.
     pub fn merge(&mut self, other: &Fingerprint) {
-        assert_eq!(self.maxima.len(), other.maxima.len(), "fingerprint lengths must match");
+        assert_eq!(
+            self.maxima.len(),
+            other.maxima.len(),
+            "fingerprint lengths must match"
+        );
         for (a, &b) in self.maxima.iter_mut().zip(&other.maxima) {
             if b > *a {
                 *a = b;
@@ -203,8 +209,7 @@ mod tests {
                 })
                 .collect();
             let best = *xs.iter().max().unwrap();
-            let argmax: Vec<usize> =
-                (0..d).filter(|&i| xs[i] == best).collect();
+            let argmax: Vec<usize> = (0..d).filter(|&i| xs[i] == best).collect();
             if argmax.len() == 1 {
                 hits[argmax[0]] += 1;
                 total += 1;

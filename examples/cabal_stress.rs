@@ -39,7 +39,10 @@ fn main() {
     assert!(run.coloring.is_total() && run.coloring.is_proper(&h));
 
     println!("\npipeline report:");
-    println!("  almost-cliques: {} ({} cabals)", run.stats.n_cliques, run.stats.n_cabals);
+    println!(
+        "  almost-cliques: {} ({} cabals)",
+        run.stats.n_cliques, run.stats.n_cabals
+    );
     let c = &run.stats.cabal;
     println!(
         "  matching: {} sampled pairs, {} fingerprint escalations, {} fp pairs",

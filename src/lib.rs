@@ -73,13 +73,11 @@ pub use cgc_sketch as sketch;
 pub mod prelude {
     pub use cgc_baselines::{greedy_coloring, luby_coloring, naive_simulation_cost};
     pub use cgc_cluster::{ClusterGraph, ClusterNet, VertexId};
-    pub use cgc_core::{
-        color_cluster_graph, coloring_stats, Coloring, Params, RunResult,
-    };
+    pub use cgc_core::{color_cluster_graph, coloring_stats, Coloring, Params, RunResult};
     pub use cgc_decomp::{acd_oracle, compute_acd, AcdParams};
     pub use cgc_graphs::{
-        bottleneck_instance, cabal_spec, gnp_spec, mixture_spec, realize, square_spec,
-        HSpec, Layout, MixtureConfig,
+        bottleneck_instance, cabal_spec, gnp_spec, mixture_spec, realize, square_spec, HSpec,
+        Layout, MixtureConfig,
     };
     pub use cgc_net::{CommGraph, CostMeter, CostReport, SeedStream};
     pub use cgc_sketch::{approx_count_neighbors, CountingParams, Fingerprint};

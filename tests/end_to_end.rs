@@ -7,8 +7,16 @@ fn run_on(h: &ClusterGraph, seed: u64, beta: u64) -> RunResult {
     let mut net = ClusterNet::with_log_budget(h, beta);
     let params = Params::laptop(h.n_vertices());
     let run = color_cluster_graph(&mut net, &params, seed);
-    assert!(run.coloring.is_total(), "not total: {:?}", run.coloring.uncolored());
-    assert!(run.coloring.is_proper(h), "conflicts: {:?}", run.coloring.conflicts(h));
+    assert!(
+        run.coloring.is_total(),
+        "not total: {:?}",
+        run.coloring.uncolored()
+    );
+    assert!(
+        run.coloring.is_proper(h),
+        "conflicts: {:?}",
+        run.coloring.conflicts(h)
+    );
     assert_eq!(run.coloring.q(), h.max_degree() + 1, "exactly Δ+1 colors");
     run
 }
@@ -46,13 +54,20 @@ fn planted_mixtures_high_degree_path() {
         let (spec, _) = mixture_spec(&cfg, seed);
         let h = realize(&spec, Layout::Singleton, 1, seed);
         let run = run_on(&h, seed, 32);
-        assert!(matches!(run.stats.path, cluster_coloring::core::driver::AlgoPath::HighDegree));
+        assert!(matches!(
+            run.stats.path,
+            cluster_coloring::core::driver::AlgoPath::HighDegree
+        ));
     }
 }
 
 #[test]
 fn cabal_instances_all_layouts() {
-    for (seed, layout) in [(6u64, Layout::Singleton), (7, Layout::Star(3)), (8, Layout::Path(4))] {
+    for (seed, layout) in [
+        (6u64, Layout::Singleton),
+        (7, Layout::Star(3)),
+        (8, Layout::Path(4)),
+    ] {
         let (spec, _) = cabal_spec(3, 22, 2, 4, seed);
         let h = realize(&spec, layout, 1, seed);
         let run = run_on(&h, seed, 32);

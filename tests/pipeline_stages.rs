@@ -24,7 +24,11 @@ fn distributed_acd_is_valid_on_noisy_mixture() {
     let acd = compute_acd(&mut net, &AcdParams::default(), &SeedStream::new(32));
     let q = acd.validate(&h);
     assert!(q.is_valid(), "{q:?}");
-    assert!(q.n_cliques >= 2, "found {} of 3 planted blocks", q.n_cliques);
+    assert!(
+        q.n_cliques >= 2,
+        "found {} of 3 planted blocks",
+        q.n_cliques
+    );
     // Planted sparse vertices must not be swallowed into cliques.
     for &v in &info.sparse {
         assert!(acd.is_sparse(v), "background vertex {v} classified dense");
@@ -117,7 +121,7 @@ fn slackgen_postconditions_on_mixture() {
         external_per_vertex: 2,
         sparse_n: 80,
         sparse_p: 0.25,
-        };
+    };
     let (spec, info) = mixture_spec(&cfg, 39);
     let h = realize(&spec, Layout::Singleton, 1, 39);
     let mut net = ClusterNet::with_log_budget(&h, 32);
@@ -145,7 +149,11 @@ fn slackgen_postconditions_on_mixture() {
         );
     }
     // Some sparse vertex sees reuse slack.
-    let reuse: usize = info.sparse.iter().map(|&v| coloring.reuse_slack(&h, v)).sum();
+    let reuse: usize = info
+        .sparse
+        .iter()
+        .map(|&v| coloring.reuse_slack(&h, v))
+        .sum();
     assert!(reuse > 0, "no reuse slack generated across the sparse part");
 }
 

@@ -10,7 +10,12 @@ use cluster_coloring::prelude::*;
 #[test]
 fn charges_dominate_execution_across_layouts() {
     let spec = gnp_spec(60, 0.1, 61);
-    for layout in [Layout::Singleton, Layout::Path(4), Layout::Star(5), Layout::BinaryTree(7)] {
+    for layout in [
+        Layout::Singleton,
+        Layout::Path(4),
+        Layout::Star(5),
+        Layout::BinaryTree(7),
+    ] {
         for links in [1usize, 3] {
             let h = realize(&spec, layout, links, 61);
             for msg in [4u64, 16, 64] {
@@ -87,8 +92,7 @@ fn virtual_overlay_coloring_is_proper_with_congestion_accounting() {
     let run = color_cluster_graph(&mut net, &Params::laptop(h.n_vertices()), 66);
     assert!(run.coloring.is_total() && run.coloring.is_proper(&h));
     // Appendix A: the simulated cost is G-rounds × congestion × dilation.
-    let overlay_cost =
-        run.report.g_rounds * congestion as u64 * vg.dilation() as u64;
+    let overlay_cost = run.report.g_rounds * congestion as u64 * vg.dilation() as u64;
     assert!(overlay_cost >= run.report.g_rounds);
 }
 
