@@ -1,31 +1,103 @@
-//! Records the PR's performance baseline as `BENCH_PR1.json`: the
-//! aggregation primitives and the end-to-end coloring pipeline on a
-//! G(n, p) instance with `n ≥ 50_000`, star-of-3 cluster layout.
+//! Records the PR's performance baseline (default `BENCH_PR2.json`): the
+//! aggregation primitives sequential *and* shard-parallel at several
+//! thread counts, the end-to-end coloring pipeline, and a skewed-degree
+//! (Chung–Lu power-law) fold workload — all on `n ≥ 50_000` instances.
 //!
 //! Usage: `cargo run --release -p cgc_bench --bin bench_baseline [out.json]`
 //!
-//! The JSON is the bench trajectory's first point; later PRs append
-//! `BENCH_PR<k>.json` files from the same binary so regressions show up
-//! as a diff.
+//! Environment: `CGC_BENCH_N` overrides the instance size (CI smoke runs
+//! use a small `n` so regressions in the harness itself fail fast);
+//! `CGC_THREADS` adds its selected thread count to the sweep and raises
+//! the count used for the parallel end-to-end run.
+//!
+//! Besides timing, the binary **asserts bit-identity**: every parallel
+//! fold's outputs and meter totals must equal the sequential run's, and
+//! the parallel end-to-end coloring must equal the sequential coloring.
+//! A determinism regression therefore fails the bench loudly rather than
+//! producing a fast-but-wrong baseline.
 
-use cgc_cluster::ClusterNet;
-use cgc_core::{color_cluster_graph, coloring_stats, Params};
-use cgc_graphs::{gnp_spec, realize, Layout};
+use cgc_cluster::{available_threads, ClusterNet, ParallelConfig};
+use cgc_core::{color_cluster_graph_with, coloring_stats, DriverOptions, Params};
+use cgc_graphs::{gnp_spec, power_law_spec, realize, Layout, PowerLawConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const N: usize = 50_000;
+const DEFAULT_N: usize = 50_000;
 const AVG_DEG: f64 = 16.0;
 const FOLD_ROUNDS: u32 = 50;
+
+/// One timed fold+degree round pair (the PR1 baseline's unit of work).
+fn fold_round(
+    net: &mut ClusterNet<'_>,
+    queries: &[u64],
+    out: &mut Vec<u64>,
+    degs: &mut Vec<usize>,
+) {
+    net.neighbor_fold_into(
+        16,
+        16,
+        queries,
+        |_, _, _, qu| Some(*qu),
+        |_| 0u64,
+        |a, c| *a = (*a).max(c),
+        out,
+    );
+    net.exact_degrees_into(degs);
+}
+
+/// Times `FOLD_ROUNDS` warm rounds under `par` (best of three trials, to
+/// shave scheduler noise on shared machines); returns
+/// `(ms_per_round, outputs, meter_report)` for identity checks.
+fn time_folds(
+    h: &cgc_cluster::ClusterGraph,
+    par: ParallelConfig,
+    queries: &[u64],
+) -> (f64, Vec<u64>, Vec<usize>, cgc_net::CostReport) {
+    let mut net = ClusterNet::with_parallel(h, 32, par);
+    let mut out: Vec<u64> = Vec::new();
+    let mut degs: Vec<usize> = Vec::new();
+    fold_round(&mut net, queries, &mut out, &mut degs); // warm-up sizes buffers
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..FOLD_ROUNDS {
+            fold_round(&mut net, queries, &mut out, &mut degs);
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (
+        best * 1e3 / f64::from(FOLD_ROUNDS),
+        out,
+        degs,
+        net.meter.report(),
+    )
+}
 
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR1.json".to_owned());
+        .unwrap_or_else(|| "BENCH_PR2.json".to_owned());
+    let n: usize = std::env::var("CGC_BENCH_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_N);
+    let cores = available_threads();
+    // The sweep covers {1, 2, 4, 8} plus the detected core count plus
+    // whatever CGC_THREADS selects, so the env-selected configuration is
+    // always among the measured (and bit-identity-checked) points.
+    let env_threads = ParallelConfig::from_env().threads();
+    let mut sweep: Vec<usize> = vec![1, 2, 4, 8];
+    for extra in [cores, env_threads] {
+        if !sweep.contains(&extra) {
+            sweep.push(extra);
+        }
+    }
+    sweep.sort_unstable();
+    sweep.retain(|&t| t <= 8.max(cores).max(env_threads));
 
-    eprintln!("building G({N}, {AVG_DEG}/n) with star-of-3 clusters ...");
+    eprintln!("building G({n}, {AVG_DEG}/n) with star-of-3 clusters ...");
     let build_start = Instant::now();
-    let spec = gnp_spec(N, AVG_DEG / N as f64, 3);
+    let spec = gnp_spec(n, AVG_DEG / n as f64, 3);
     let h = realize(&spec, Layout::Star(3), 1, 3);
     let build_secs = build_start.elapsed().as_secs_f64();
     let delta = h.max_degree();
@@ -37,67 +109,104 @@ fn main() {
         h.dilation(),
     );
 
-    // --- aggregation: warm fold rounds over the whole instance ---
-    let mut net = ClusterNet::with_log_budget(&h, 32);
+    // --- aggregation: warm fold+degree rounds, sequential reference ---
     let queries: Vec<u64> = (0..h.n_vertices() as u64).collect();
-    let mut out: Vec<u64> = Vec::new();
-    let mut degs: Vec<usize> = Vec::new();
-    // Warm-up sizes every buffer.
-    net.neighbor_fold_into(
-        16,
-        16,
-        &queries,
-        |_, _, _, qu| Some(*qu),
-        |_| 0u64,
-        |a, c| *a = (*a).max(c),
-        &mut out,
-    );
-    net.exact_degrees_into(&mut degs);
-    let h_rounds_before = net.meter.h_rounds();
-    let agg_start = Instant::now();
-    for _ in 0..FOLD_ROUNDS {
-        net.neighbor_fold_into(
-            16,
-            16,
-            &queries,
-            |_, _, _, qu| Some(*qu),
-            |_| 0u64,
-            |a, c| *a = (*a).max(c),
-            &mut out,
+    let (seq_ms, seq_out, seq_degs, seq_report) =
+        time_folds(&h, ParallelConfig::serial(), &queries);
+    eprintln!("aggregation sequential: {seq_ms:.4} ms/round");
+
+    // --- the same rounds at each thread count, with identity checks ---
+    let mut par_rows_json = Vec::new();
+    for &threads in &sweep {
+        let (ms, out, degs, report) =
+            time_folds(&h, ParallelConfig::with_threads(threads), &queries);
+        assert_eq!(out, seq_out, "parallel fold diverged at {threads} threads");
+        assert_eq!(
+            degs, seq_degs,
+            "parallel degrees diverged at {threads} threads"
         );
-        net.exact_degrees_into(&mut degs);
+        assert_eq!(
+            report, seq_report,
+            "parallel CostMeter diverged at {threads} threads"
+        );
+        eprintln!(
+            "aggregation threads={threads}: {ms:.4} ms/round (x{:.2} vs sequential)",
+            seq_ms / ms
+        );
+        par_rows_json.push(format!(
+            "{{ \"threads\": {threads}, \"ms_per_round\": {ms:.4}, \"speedup\": {:.4} }}",
+            seq_ms / ms
+        ));
     }
-    let agg_secs = agg_start.elapsed().as_secs_f64();
-    let agg_h_rounds = net.meter.h_rounds() - h_rounds_before;
-    let fold_ms = agg_secs * 1e3 / f64::from(FOLD_ROUNDS);
+
+    // --- skewed-degree workload: power-law fold rounds ---
+    let pl_cfg = PowerLawConfig {
+        n,
+        exponent: 2.5,
+        avg_degree: AVG_DEG,
+    };
+    let gen_start = Instant::now();
+    let pl_spec = power_law_spec(&pl_cfg, 7, &ParallelConfig::max_parallel());
+    let pl_gen_secs = gen_start.elapsed().as_secs_f64();
+    let pl = realize(&pl_spec, Layout::Singleton, 1, 7);
+    let pl_queries: Vec<u64> = (0..pl.n_vertices() as u64).collect();
+    let (pl_seq_ms, pl_out, pl_degs, pl_report) =
+        time_folds(&pl, ParallelConfig::serial(), &pl_queries);
+    let best_threads = cores.max(env_threads).clamp(1, 8);
+    let (pl_par_ms, pl_pout, pl_pdegs, pl_preport) =
+        time_folds(&pl, ParallelConfig::with_threads(best_threads), &pl_queries);
+    assert_eq!(pl_pout, pl_out, "power-law fold diverged");
+    assert_eq!(pl_pdegs, pl_degs, "power-law degrees diverged");
+    assert_eq!(pl_preport, pl_report, "power-law CostMeter diverged");
     eprintln!(
-        "aggregation: {FOLD_ROUNDS} fold+degree rounds in {agg_secs:.3}s \
-         ({fold_ms:.3} ms/round, {agg_h_rounds} H-rounds charged)"
+        "power-law (Δ={}): gen {pl_gen_secs:.2}s, fold seq {pl_seq_ms:.4} / par {pl_par_ms:.4} ms/round",
+        pl.max_degree()
     );
 
-    // --- end-to-end: the full coloring pipeline ---
-    let mut net = ClusterNet::with_log_budget(&h, 32);
+    // --- end-to-end: sequential vs parallel, identical colorings ---
     let params = Params::laptop(h.n_vertices());
+    let mut net = ClusterNet::with_log_budget(&h, 32);
     let e2e_start = Instant::now();
-    let run = color_cluster_graph(&mut net, &params, 42);
+    let opts_seq = DriverOptions {
+        oracle_acd: false,
+        parallel: ParallelConfig::serial(),
+    };
+    let run = color_cluster_graph_with(&mut net, &params, 42, opts_seq);
     let e2e_secs = e2e_start.elapsed().as_secs_f64();
-    assert!(
-        run.coloring.is_total(),
-        "baseline run must produce a total coloring"
-    );
-    assert!(run.coloring.is_proper(&h), "baseline run must be proper");
+    assert!(run.coloring.is_total(), "baseline must be total");
+    assert!(run.coloring.is_proper(&h), "baseline must be proper");
     let stats = coloring_stats(&h, &run.coloring);
+
+    let mut net_p = ClusterNet::with_log_budget(&h, 32);
+    let e2e_par_start = Instant::now();
+    let opts_par = DriverOptions {
+        oracle_acd: false,
+        parallel: ParallelConfig::with_threads(best_threads),
+    };
+    let run_p = color_cluster_graph_with(&mut net_p, &params, 42, opts_par);
+    let e2e_par_secs = e2e_par_start.elapsed().as_secs_f64();
+    assert_eq!(
+        run_p.coloring, run.coloring,
+        "parallel end-to-end coloring diverged"
+    );
+    assert_eq!(
+        run_p.report, run.report,
+        "parallel end-to-end cost report diverged"
+    );
     eprintln!(
-        "endtoend: colored n={} with {} colors in {e2e_secs:.2}s \
-         ({} H-rounds, {} G-rounds)",
-        h.n_vertices(),
-        stats.colors_used,
-        run.report.h_rounds,
-        run.report.g_rounds,
+        "endtoend: {} colors, seq {e2e_secs:.2}s / par({best_threads}) {e2e_par_secs:.2}s, \
+         {} H-rounds",
+        stats.colors_used, run.report.h_rounds,
     );
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"hardware\": {{ \"detected_cores\": {cores}, \"note\": \"threads beyond the \
+         detected core count only add scoped-spawn overhead; the bit-identity asserts \
+         still run at every swept count\" }},"
+    );
     let _ = writeln!(json, "  \"instance\": {{");
     let _ = writeln!(json, "    \"kind\": \"gnp\",");
     let _ = writeln!(json, "    \"n\": {},", h.n_vertices());
@@ -111,12 +220,27 @@ fn main() {
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"aggregation\": {{");
     let _ = writeln!(json, "    \"rounds\": {FOLD_ROUNDS},");
-    let _ = writeln!(json, "    \"wall_secs\": {agg_secs:.4},");
-    let _ = writeln!(json, "    \"ms_per_round\": {fold_ms:.4},");
-    let _ = writeln!(json, "    \"h_rounds_charged\": {agg_h_rounds}");
+    let _ = writeln!(json, "    \"sequential_ms_per_round\": {seq_ms:.4},");
+    let _ = writeln!(json, "    \"parallel\": [");
+    let _ = writeln!(json, "      {}", par_rows_json.join(",\n      "));
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"bit_identical_to_sequential\": true");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"power_law\": {{");
+    let _ = writeln!(json, "    \"n\": {},", pl.n_vertices());
+    let _ = writeln!(json, "    \"exponent\": 2.5,");
+    let _ = writeln!(json, "    \"delta\": {},", pl.max_degree());
+    let _ = writeln!(json, "    \"n_h_edges\": {},", pl.n_h_edges());
+    let _ = writeln!(json, "    \"gen_secs\": {pl_gen_secs:.4},");
+    let _ = writeln!(json, "    \"sequential_ms_per_round\": {pl_seq_ms:.4},");
+    let _ = writeln!(json, "    \"parallel_ms_per_round\": {pl_par_ms:.4},");
+    let _ = writeln!(json, "    \"parallel_threads\": {best_threads}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"endtoend\": {{");
     let _ = writeln!(json, "    \"wall_secs\": {e2e_secs:.4},");
+    let _ = writeln!(json, "    \"parallel_wall_secs\": {e2e_par_secs:.4},");
+    let _ = writeln!(json, "    \"parallel_threads\": {best_threads},");
+    let _ = writeln!(json, "    \"coloring_bit_identical\": true,");
     let _ = writeln!(json, "    \"h_rounds\": {},", run.report.h_rounds);
     let _ = writeln!(json, "    \"g_rounds\": {},", run.report.g_rounds);
     let _ = writeln!(json, "    \"bits\": {},", run.report.bits);

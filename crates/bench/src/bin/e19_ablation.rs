@@ -85,7 +85,10 @@ fn main() {
                     &mut net,
                     &params,
                     33 + rep,
-                    DriverOptions { oracle_acd: true },
+                    DriverOptions {
+                        oracle_acd: true,
+                        ..DriverOptions::default()
+                    },
                 );
                 assert!(run.coloring.is_total() && run.coloring.is_proper(g));
                 h += run.report.h_rounds as f64;

@@ -41,7 +41,10 @@ fn main() {
                 &mut net,
                 &params,
                 7 + rep,
-                DriverOptions { oracle_acd: true },
+                DriverOptions {
+                    oracle_acd: true,
+                    ..DriverOptions::default()
+                },
             );
             ours_h += run.report.h_rounds as f64;
             ours_g += run.report.g_rounds as f64;

@@ -24,14 +24,28 @@
 //! A driver run executes thousands of aggregation rounds, so the runtime
 //! keeps a [`RoundScratch`] workspace and offers `*_into` variants of every
 //! primitive: after warm-up, a metered round performs **zero heap
-//! allocations**. The common fold shapes (`bool` any-hit, `usize` sums,
-//! `u64` bitmaps) have dedicated entry points
-//! ([`ClusterNet::neighbor_fold_flags`] and friends) that lend out the
-//! workspace buffers directly, and [`ClusterNet::neighbor_collect`] returns
-//! a flat CSR-shaped [`NeighborLists`] (offsets + arena) instead of a
-//! `Vec<Vec<_>>` — its rows are aligned with [`ClusterGraph::neighbors`].
+//! allocations** under the sequential [`ParallelConfig`]. The common fold
+//! shapes (`bool` any-hit, `usize` sums, `u64` bitmaps) have dedicated
+//! entry points ([`ClusterNet::neighbor_fold_flags`] and friends) that lend
+//! out the workspace buffers directly, and [`ClusterNet::neighbor_collect`]
+//! returns a flat CSR-shaped [`NeighborLists`] (offsets + arena) instead of
+//! a `Vec<Vec<_>>` — its rows are aligned with [`ClusterGraph::neighbors`].
+//!
+//! # Parallel execution
+//!
+//! The aggregation primitives shard the vertex set across worker threads
+//! when the runtime carries a [`ParallelConfig`] with `threads > 1`
+//! ([`ClusterNet::set_parallel`] / [`ClusterNet::with_parallel`]). Each
+//! shard computes the fold for its own contiguous vertex range into a
+//! disjoint slice of the output buffer, walking the vertex's CSR row in
+//! ascending neighbor order — the *same* contribution order the sequential
+//! sweep applies — and every [`CostMeter`] charge happens once, on the
+//! calling thread, before the compute. Results and cost totals are
+//! therefore **bit-identical at any thread count**; the `Fn` (not `FnMut`)
+//! bounds on the edge/init/fold closures enforce the purity this needs.
 
 use crate::graph::{ClusterGraph, VertexId};
+use crate::par::{fill_sharded, fill_sharded_entries, ParallelConfig, ShardPlan};
 use cgc_net::CostMeter;
 
 /// CSR-shaped result of a [`ClusterNet::neighbor_collect`] round: row `v`
@@ -106,15 +120,29 @@ pub struct ClusterNet<'a> {
     total_tree_edges: u64,
     n_links: u64,
     scratch: RoundScratch,
+    par: ParallelConfig,
+    plan: ShardPlan,
 }
 
 impl<'a> ClusterNet<'a> {
-    /// Creates a runtime with an explicit per-link per-round bit budget.
+    /// Creates a sequential runtime with an explicit per-link per-round bit
+    /// budget.
     ///
     /// # Panics
     ///
     /// Panics if `budget_bits == 0`.
     pub fn new(g: &'a ClusterGraph, budget_bits: u64) -> Self {
+        Self::with_parallel(g, budget_bits, ParallelConfig::serial())
+    }
+
+    /// Creates a runtime with an explicit budget and parallel executor
+    /// configuration. The shard plan is computed once, here, so per-round
+    /// dispatch costs nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_bits == 0`.
+    pub fn with_parallel(g: &'a ClusterGraph, budget_bits: u64, par: ParallelConfig) -> Self {
         let total_tree_edges = (0..g.n_vertices())
             .map(|v| g.support(v).n_edges() as u64)
             .sum();
@@ -124,11 +152,14 @@ impl<'a> ClusterNet<'a> {
             total_tree_edges,
             n_links: g.links().len() as u64,
             scratch: RoundScratch::default(),
+            plan: ShardPlan::plan(g, &par),
+            par,
         }
     }
 
-    /// Creates a runtime with budget `beta * ceil(log2(n_machines + 1))`,
-    /// the concrete reading of the paper's `O(log n)` bandwidth.
+    /// Creates a sequential runtime with budget
+    /// `beta * ceil(log2(n_machines + 1))`, the concrete reading of the
+    /// paper's `O(log n)` bandwidth.
     ///
     /// # Panics
     ///
@@ -136,6 +167,25 @@ impl<'a> ClusterNet<'a> {
     pub fn with_log_budget(g: &'a ClusterGraph, beta: u64) -> Self {
         let logn = (u64::BITS - (g.n_machines() as u64).leading_zeros()) as u64;
         Self::new(g, beta * logn.max(1))
+    }
+
+    /// Reconfigures the parallel executor (replans the shards). Outputs and
+    /// meter totals do not depend on this — only wall-clock does.
+    pub fn set_parallel(&mut self, par: ParallelConfig) {
+        self.plan = ShardPlan::plan(self.g, &par);
+        self.par = par;
+    }
+
+    /// The active parallel executor configuration.
+    #[inline]
+    pub fn parallel(&self) -> &ParallelConfig {
+        &self.par
+    }
+
+    /// The active shard plan (one contiguous vertex range per worker).
+    #[inline]
+    pub fn shard_plan(&self) -> &ShardPlan {
+        &self.plan
     }
 
     /// `ceil(log2(x + 1))` — bits to address one of `x` values.
@@ -234,14 +284,14 @@ impl<'a> ClusterNet<'a> {
     /// # Panics
     ///
     /// Panics if `queries.len() != n_vertices`.
-    pub fn neighbor_fold<Q, C, R>(
+    pub fn neighbor_fold<Q: Sync, C, R: Send>(
         &mut self,
         query_bits: u64,
         response_bits: u64,
         queries: &[Q],
-        edge: impl FnMut(VertexId, VertexId, &Q, &Q) -> Option<C>,
-        init: impl FnMut(VertexId) -> R,
-        fold: impl FnMut(&mut R, C),
+        edge: impl Fn(VertexId, VertexId, &Q, &Q) -> Option<C> + Sync,
+        init: impl Fn(VertexId) -> R + Sync,
+        fold: impl Fn(&mut R, C) + Sync,
     ) -> Vec<R> {
         let mut out = Vec::new();
         self.neighbor_fold_into(
@@ -258,20 +308,28 @@ impl<'a> ClusterNet<'a> {
 
     /// [`Self::neighbor_fold`] writing into a reusable buffer: `out` is
     /// cleared and refilled, so a warm buffer makes the round
-    /// allocation-free. The edge sweep walks the flat CSR edge table.
+    /// allocation-free under the sequential config.
+    ///
+    /// Each vertex's fold walks its CSR adjacency row in ascending neighbor
+    /// order with the accumulator in a register, shard-parallel across the
+    /// runtime's [`ShardPlan`] into disjoint output slices. The contribution
+    /// order per vertex equals the flat edge-table sweep's (neighbors below
+    /// `v` ascending, then above), so results are bit-identical to the
+    /// historical sequential path at any thread count — even for
+    /// non-commutative folds.
     ///
     /// # Panics
     ///
     /// Panics if `queries.len() != n_vertices`.
     #[allow(clippy::too_many_arguments)]
-    pub fn neighbor_fold_into<Q, C, R>(
+    pub fn neighbor_fold_into<Q: Sync, C, R: Send>(
         &mut self,
         query_bits: u64,
         response_bits: u64,
         queries: &[Q],
-        mut edge: impl FnMut(VertexId, VertexId, &Q, &Q) -> Option<C>,
-        init: impl FnMut(VertexId) -> R,
-        mut fold: impl FnMut(&mut R, C),
+        edge: impl Fn(VertexId, VertexId, &Q, &Q) -> Option<C> + Sync,
+        init: impl Fn(VertexId) -> R + Sync,
+        fold: impl Fn(&mut R, C) + Sync,
         out: &mut Vec<R>,
     ) {
         assert_eq!(
@@ -283,27 +341,54 @@ impl<'a> ClusterNet<'a> {
         self.charge_link_round(query_bits);
         self.charge_converge(response_bits);
 
-        out.clear();
-        out.extend((0..self.g.n_vertices()).map(init));
-        for &(u, v) in self.g.h_edge_slice() {
-            if let Some(c) = edge(v, u, &queries[v], &queries[u]) {
-                fold(&mut out[v], c);
+        if self.plan.n_shards() <= 1 {
+            // Sequential: one sweep of the flat edge table (half the gather
+            // traffic of the row walk, and the historical reference
+            // semantics). For each vertex, contributions arrive from
+            // neighbors below it in ascending order, then neighbors above
+            // it in ascending order — i.e. ascending neighbor order.
+            out.clear();
+            out.extend((0..self.g.n_vertices()).map(&init));
+            for &(u, v) in self.g.h_edge_slice() {
+                if let Some(c) = edge(v, u, &queries[v], &queries[u]) {
+                    fold(&mut out[v], c);
+                }
+                if let Some(c) = edge(u, v, &queries[u], &queries[v]) {
+                    fold(&mut out[u], c);
+                }
             }
-            if let Some(c) = edge(u, v, &queries[u], &queries[v]) {
-                fold(&mut out[u], c);
-            }
+        } else {
+            // Sharded: each worker folds its own vertices by walking their
+            // CSR rows — ascending neighbor order, so the per-vertex
+            // contribution order (and thus the result) is identical to the
+            // sequential sweep, while every write lands in the worker's
+            // disjoint output slice.
+            let (offsets, adj) = self.g.adjacency_csr();
+            fill_sharded(out, &self.plan, |start, slot| {
+                for (i, cell) in slot.iter_mut().enumerate() {
+                    let v = start + i;
+                    let mut acc = init(v);
+                    let qv = &queries[v];
+                    for &u in &adj[offsets[v]..offsets[v + 1]] {
+                        if let Some(c) = edge(v, u, qv, &queries[u]) {
+                            fold(&mut acc, c);
+                        }
+                    }
+                    cell.write(acc);
+                }
+            });
         }
     }
 
     /// Any-hit fold: `flags[v]` is true iff some distinct neighbor `u`
     /// satisfies `edge(v, u, ..)`. The returned slice borrows the runtime's
     /// [`RoundScratch`]; copy it out if it must survive the next round.
-    pub fn neighbor_fold_flags<Q>(
+    pub fn neighbor_fold_flags<Q: Sync>(
         &mut self,
         query_bits: u64,
         response_bits: u64,
         queries: &[Q],
-        mut edge: impl FnMut(VertexId, VertexId, &Q, &Q) -> bool,
+        edge: impl Fn(VertexId, VertexId, &Q, &Q) -> bool + Sync,
     ) -> &[bool] {
         let mut buf = std::mem::take(&mut self.scratch.flags);
         self.neighbor_fold_into(
@@ -321,12 +406,12 @@ impl<'a> ClusterNet<'a> {
 
     /// Summing fold over `usize` contributions, reusing the runtime's
     /// [`RoundScratch`].
-    pub fn neighbor_fold_counts<Q>(
+    pub fn neighbor_fold_counts<Q: Sync>(
         &mut self,
         query_bits: u64,
         response_bits: u64,
         queries: &[Q],
-        edge: impl FnMut(VertexId, VertexId, &Q, &Q) -> Option<usize>,
+        edge: impl Fn(VertexId, VertexId, &Q, &Q) -> Option<usize> + Sync,
     ) -> &[usize] {
         let mut buf = std::mem::take(&mut self.scratch.counts);
         self.neighbor_fold_into(
@@ -344,12 +429,12 @@ impl<'a> ClusterNet<'a> {
 
     /// Bitwise-OR fold over `u64` bitmap contributions, reusing the
     /// runtime's [`RoundScratch`].
-    pub fn neighbor_fold_words<Q>(
+    pub fn neighbor_fold_words<Q: Sync>(
         &mut self,
         query_bits: u64,
         response_bits: u64,
         queries: &[Q],
-        edge: impl FnMut(VertexId, VertexId, &Q, &Q) -> Option<u64>,
+        edge: impl Fn(VertexId, VertexId, &Q, &Q) -> Option<u64> + Sync,
     ) -> &[u64] {
         let mut buf = std::mem::take(&mut self.scratch.words);
         self.neighbor_fold_into(
@@ -377,7 +462,7 @@ impl<'a> ClusterNet<'a> {
     /// # Panics
     ///
     /// Panics if `queries.len() != n_vertices`.
-    pub fn neighbor_collect<Q: Clone>(
+    pub fn neighbor_collect<Q: Clone + Send + Sync>(
         &mut self,
         query_bits: u64,
         queries: &[Q],
@@ -389,13 +474,16 @@ impl<'a> ClusterNet<'a> {
 
     /// [`Self::neighbor_collect`] into a reusable [`NeighborLists`]:
     /// offsets and arena are cleared and refilled in place, so a warm
-    /// buffer makes the round allocation-free (modulo `Q::clone`). The fill
-    /// is a single sweep of the graph's CSR adjacency — no per-row vectors.
+    /// buffer makes the round allocation-free under the sequential config
+    /// (modulo `Q::clone`). The arena fill is sharded over the runtime's
+    /// [`ShardPlan`]: shard `s` writes the CSR entries of its own vertex
+    /// rows, a disjoint arena slice, so the filled buffer is bit-identical
+    /// to the sequential sweep at any thread count.
     ///
     /// # Panics
     ///
     /// Panics if `queries.len() != n_vertices`.
-    pub fn neighbor_collect_into<Q: Clone>(
+    pub fn neighbor_collect_into<Q: Clone + Send + Sync>(
         &mut self,
         query_bits: u64,
         queries: &[Q],
@@ -414,9 +502,13 @@ impl<'a> ClusterNet<'a> {
         let (offsets, adj) = self.g.adjacency_csr();
         out.offsets.clear();
         out.offsets.extend_from_slice(offsets);
-        out.data.clear();
-        out.data
-            .extend(adj.iter().map(|&u| (u, queries[u].clone())));
+        fill_sharded_entries(&mut out.data, &self.plan, offsets, |range, slot| {
+            let base = offsets[range.start];
+            for (i, cell) in slot.iter_mut().enumerate() {
+                let u = adj[base + i];
+                cell.write((u, queries[u].clone()));
+            }
+        });
     }
 
     /// Exact degree computation in one aggregation round (§1.1): neighbors
@@ -429,7 +521,8 @@ impl<'a> ClusterNet<'a> {
 
     /// [`Self::exact_degrees`] into a reusable buffer. After the dedup
     /// round, each vertex's count equals its deduplicated CSR degree, so
-    /// the fold is resolved directly from the topology.
+    /// the fold is resolved directly from the topology — shard-parallel
+    /// into disjoint output slices like every other primitive.
     pub fn exact_degrees_into(&mut self, out: &mut Vec<usize>) {
         // One converge inside each neighbor to cut extra links, then the
         // counting round itself: constant rounds, O(log n)-bit messages.
@@ -437,8 +530,13 @@ impl<'a> ClusterNet<'a> {
         self.charge_broadcast(1);
         self.charge_link_round(1);
         self.charge_converge(self.id_bits());
-        out.clear();
-        out.extend((0..self.g.n_vertices()).map(|v| self.g.degree(v)));
+        let (offsets, _) = self.g.adjacency_csr();
+        fill_sharded(out, &self.plan, |start, slot| {
+            for (i, cell) in slot.iter_mut().enumerate() {
+                let v = start + i;
+                cell.write(offsets[v + 1] - offsets[v]);
+            }
+        });
     }
 
     /// The naive link-counting "degree" (counts parallel links): what a

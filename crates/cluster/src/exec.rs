@@ -10,6 +10,7 @@
 //! the accounting is honest?".
 
 use crate::graph::ClusterGraph;
+use crate::par::{map_reduce_sharded, ParallelConfig, ShardPlan};
 
 /// What actually happened on the wires during one executed phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,30 +25,66 @@ pub struct ExecTrace {
     pub messages: u64,
 }
 
+impl ExecTrace {
+    /// Merges another trace of the *same phase* executed on a disjoint
+    /// cluster shard: rounds and per-link maxima combine by `max`, traffic
+    /// by sum. This is the shard-ordered deterministic reduction of the
+    /// parallel trace executors.
+    fn absorb_shard(&mut self, other: ExecTrace) {
+        self.rounds = self.rounds.max(other.rounds);
+        self.max_link_bits_per_round = self
+            .max_link_bits_per_round
+            .max(other.max_link_bits_per_round);
+        self.total_bits += other.total_bits;
+        self.messages += other.messages;
+    }
+}
+
 /// Executes a leader broadcast in every cluster: the payload travels one
 /// tree level per network round.
 pub fn execute_broadcast(g: &ClusterGraph, payload_bits: u64) -> ExecTrace {
-    let mut rounds = 0u64;
-    let mut total = 0u128;
-    let mut messages = 0u64;
-    let mut max_link = 0u64;
-    for v in 0..g.n_vertices() {
-        let t = g.support(v);
-        rounds = rounds.max(t.height as u64);
-        // One message per tree edge; each link carries exactly the
-        // payload in the round matching the child's depth.
-        messages += t.n_edges() as u64;
-        total += u128::from(payload_bits) * t.n_edges() as u128;
-        if t.n_edges() > 0 {
-            max_link = max_link.max(payload_bits);
-        }
-    }
-    ExecTrace {
-        rounds: rounds.max(1),
-        max_link_bits_per_round: max_link,
-        total_bits: total,
-        messages,
-    }
+    execute_broadcast_with(g, payload_bits, &ParallelConfig::serial())
+}
+
+/// [`execute_broadcast`] with the clusters sharded across worker threads;
+/// partial traces merge in fixed shard order, so the result is identical
+/// to the sequential trace at any thread count.
+pub fn execute_broadcast_with(
+    g: &ClusterGraph,
+    payload_bits: u64,
+    par: &ParallelConfig,
+) -> ExecTrace {
+    let plan = ShardPlan::plan(g, par);
+    let mut trace = map_reduce_sharded(
+        &plan,
+        |range| {
+            let mut rounds = 0u64;
+            let mut total = 0u128;
+            let mut messages = 0u64;
+            let mut max_link = 0u64;
+            for v in range {
+                let t = g.support(v);
+                rounds = rounds.max(t.height as u64);
+                // One message per tree edge; each link carries exactly the
+                // payload in the round matching the child's depth.
+                messages += t.n_edges() as u64;
+                total += u128::from(payload_bits) * t.n_edges() as u128;
+                if t.n_edges() > 0 {
+                    max_link = max_link.max(payload_bits);
+                }
+            }
+            ExecTrace {
+                rounds,
+                max_link_bits_per_round: max_link,
+                total_bits: total,
+                messages,
+            }
+        },
+        ExecTrace::absorb_shard,
+    )
+    .expect("plan always has at least one shard");
+    trace.rounds = trace.rounds.max(1);
+    trace
 }
 
 /// Executes a converge-cast: partial aggregates of `agg_bits` flow up
@@ -56,6 +93,11 @@ pub fn execute_converge(g: &ClusterGraph, agg_bits: u64) -> ExecTrace {
     // Symmetric to broadcast for fixed-size aggregates: same edge count,
     // same height. (Variable-size aggregates are the caller's bits.)
     execute_broadcast(g, agg_bits)
+}
+
+/// [`execute_converge`] on the sharded executor.
+pub fn execute_converge_with(g: &ClusterGraph, agg_bits: u64, par: &ParallelConfig) -> ExecTrace {
+    execute_broadcast_with(g, agg_bits, par)
 }
 
 /// Executes one inter-cluster link exchange: every link carries one
@@ -83,9 +125,14 @@ pub fn execute_link_exchange(g: &ClusterGraph, msg_bits: u64) -> ExecTrace {
 /// Executes a full §3.2 round (broadcast + link exchange + converge) and
 /// returns the combined trace.
 pub fn execute_full_round(g: &ClusterGraph, msg_bits: u64) -> ExecTrace {
-    let b = execute_broadcast(g, msg_bits);
+    execute_full_round_with(g, msg_bits, &ParallelConfig::serial())
+}
+
+/// [`execute_full_round`] on the sharded executor.
+pub fn execute_full_round_with(g: &ClusterGraph, msg_bits: u64, par: &ParallelConfig) -> ExecTrace {
+    let b = execute_broadcast_with(g, msg_bits, par);
     let l = execute_link_exchange(g, msg_bits);
-    let c = execute_converge(g, msg_bits);
+    let c = execute_converge_with(g, msg_bits, par);
     ExecTrace {
         rounds: b.rounds + l.rounds + c.rounds,
         max_link_bits_per_round: b

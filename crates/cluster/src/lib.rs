@@ -40,14 +40,17 @@ pub mod exec;
 pub mod graph;
 pub mod groups;
 pub mod overlay;
+pub mod par;
 pub mod prefix;
 
 pub use bfs::{BfsForest, BfsTree};
 pub use comm::{ClusterNet, NeighborLists, RoundScratch};
 pub use exec::{
-    execute_broadcast, execute_converge, execute_full_round, execute_link_exchange, ExecTrace,
+    execute_broadcast, execute_broadcast_with, execute_converge, execute_converge_with,
+    execute_full_round, execute_full_round_with, execute_link_exchange, ExecTrace,
 };
 pub use graph::{ClusterGraph, SupportTree, VertexId};
 pub use groups::{check_groups, random_groups, GroupCheck, Groups};
 pub use overlay::VirtualGraph;
+pub use par::{available_threads, map_reduce_sharded, ParallelConfig, ShardPlan, ShardStrategy};
 pub use prefix::{dfs_preorder, prefix_sums, prefix_sums_into, OrderedTree};

@@ -1,0 +1,425 @@
+//! Sharded multi-threaded execution of aggregation rounds.
+//!
+//! The simulator *models* a distributed network, so its hot loops are
+//! embarrassingly parallel by construction: every vertex's fold result
+//! depends only on its own CSR row. This module partitions the vertices of
+//! an `H`-graph into contiguous per-thread shards, runs a kernel on each
+//! shard with `std::thread::scope` workers (no external dependencies), and
+//! writes each shard's results into a **disjoint slice** of the output
+//! buffer. The merge is the identity in a fixed shard order, so the
+//! parallel result is **bit-identical** to the sequential one at any
+//! thread count — the invariant `crates/cluster/tests/parallel_equivalence.rs`
+//! pins and the property that keeps [`cgc_net::CostMeter`] accounting
+//! trustworthy under parallel execution (costs are charged analytically on
+//! the calling thread, never inside workers).
+//!
+//! Determinism contract: kernels must be pure functions of `(vertex,
+//! topology, inputs)` — the `Fn` (not `FnMut`) bounds on the
+//! [`crate::ClusterNet`] primitives enforce this at the type level.
+
+use crate::graph::ClusterGraph;
+use std::mem::MaybeUninit;
+use std::num::NonZeroUsize;
+
+/// How vertices are partitioned into per-thread shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardStrategy {
+    /// Contiguous vertex ranges of (near-)equal vertex count. Cheap to
+    /// plan; fine when degrees are balanced (G(n,p), geometric).
+    EvenVertices,
+    /// Contiguous vertex ranges balanced by CSR adjacency mass (sum of
+    /// degrees), so a power-law head does not serialize one shard. This is
+    /// the default.
+    #[default]
+    BalancedEdges,
+}
+
+/// Thread count and shard strategy for the parallel executor.
+///
+/// `threads == 1` is the sequential path: primitives run inline on the
+/// calling thread with zero spawn overhead (and stay allocation-free when
+/// warm). Any `threads >= 2` runs shard workers; results are bit-identical
+/// either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    threads: usize,
+    strategy: ShardStrategy,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl ParallelConfig {
+    /// Sequential execution (one shard, calling thread).
+    pub fn serial() -> Self {
+        ParallelConfig {
+            threads: 1,
+            strategy: ShardStrategy::default(),
+        }
+    }
+
+    /// Explicit thread count (clamped to ≥ 1) and strategy.
+    pub fn new(threads: usize, strategy: ShardStrategy) -> Self {
+        ParallelConfig {
+            threads: threads.max(1),
+            strategy,
+        }
+    }
+
+    /// Explicit thread count with the default strategy.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(threads, ShardStrategy::default())
+    }
+
+    /// One thread per available hardware core.
+    pub fn max_parallel() -> Self {
+        Self::with_threads(available_threads())
+    }
+
+    /// Reads the `CGC_THREADS` environment variable: unset or unparsable
+    /// means sequential, `0` or `max` means one thread per core, any other
+    /// number is taken literally. This is how the CI matrix and the
+    /// experiment binaries select their thread count.
+    pub fn from_env() -> Self {
+        match std::env::var("CGC_THREADS") {
+            Err(_) => Self::serial(),
+            Ok(s) => match s.trim() {
+                "max" | "0" => Self::max_parallel(),
+                other => Self::with_threads(other.parse::<usize>().unwrap_or(1)),
+            },
+        }
+    }
+
+    /// Configured worker count (≥ 1).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Configured shard strategy.
+    #[inline]
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// Whether this config runs inline on the calling thread.
+    #[inline]
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+}
+
+/// Detected hardware parallelism (1 when detection fails).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A shard plan over `n` vertices: `bounds` has one entry per shard edge,
+/// `bounds[s]..bounds[s + 1]` being shard `s`'s contiguous vertex range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    bounds: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// One shard covering everything — the sequential plan.
+    pub fn serial(n: usize) -> Self {
+        ShardPlan { bounds: vec![0, n] }
+    }
+
+    /// Plans shards for `g` under `cfg`. The plan is a pure function of
+    /// `(topology, cfg)` — never of runtime load — so it is reproducible.
+    pub fn plan(g: &ClusterGraph, cfg: &ParallelConfig) -> Self {
+        let n = g.n_vertices();
+        let shards = cfg.threads.min(n.max(1));
+        if shards <= 1 {
+            return Self::serial(n);
+        }
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0);
+        match cfg.strategy {
+            ShardStrategy::EvenVertices => {
+                for s in 1..shards {
+                    bounds.push(s * n / shards);
+                }
+            }
+            ShardStrategy::BalancedEdges => {
+                // offsets[v] is the prefix sum of degrees — walk it once,
+                // cutting at each shard's target mass. `+ v` weights in the
+                // per-vertex work (init + row setup) so edgeless stretches
+                // still split.
+                let (offsets, _) = g.adjacency_csr();
+                let total = offsets[n] + n;
+                let mut v = 0usize;
+                for s in 1..shards {
+                    let target = s * total / shards;
+                    while v < n && offsets[v] + v < target {
+                        v += 1;
+                    }
+                    bounds.push(v.min(n));
+                }
+            }
+        }
+        bounds.push(n);
+        // Strategies above are monotone; normalize defensively anyway.
+        for i in 1..bounds.len() {
+            if bounds[i] < bounds[i - 1] {
+                bounds[i] = bounds[i - 1];
+            }
+        }
+        ShardPlan { bounds }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn n_shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Shard `s`'s vertex range.
+    #[inline]
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// The raw bounds array (`n_shards + 1` entries).
+    #[inline]
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// Total vertices covered.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        *self.bounds.last().unwrap()
+    }
+}
+
+/// Clears `out` and refills it with `n` elements, where element `v` is
+/// produced by `fill(v)` — shard-parallel, each worker writing its own
+/// disjoint slice of the (re)used allocation. Element order is always
+/// `0..n` regardless of shard count, and `fill` must be pure, so the
+/// result is identical to the sequential `out.extend((0..n).map(fill))`.
+///
+/// With one shard this runs inline and performs no allocation once `out`'s
+/// capacity is warm.
+pub(crate) fn fill_sharded<T: Send>(
+    out: &mut Vec<T>,
+    plan: &ShardPlan,
+    fill: impl Fn(usize, &mut [MaybeUninit<T>]) + Sync,
+) {
+    let n = plan.n_vertices();
+    out.clear();
+    out.reserve(n);
+    let spare = &mut out.spare_capacity_mut()[..n];
+    if plan.n_shards() <= 1 {
+        fill(0, spare);
+    } else {
+        run_sharded(plan, spare, |r| r.len(), &|range,
+                                                slot: &mut [MaybeUninit<
+            T,
+        >]| {
+            fill(range.start, slot)
+        });
+    }
+    // SAFETY: every worker writes its full shard slice (fill_range writes
+    // one element per index); a worker panic propagates out of the scope
+    // above before this line, leaving the length untouched.
+    unsafe { out.set_len(n) };
+}
+
+/// Like [`fill_sharded`] but for CSR *entry* output: shard `s` owns the
+/// entries of its vertices' rows, i.e. `offsets[bounds[s]]..offsets[bounds
+/// [s + 1]]`, and `fill` receives the shard's vertex range plus its entry
+/// slice. Used by `neighbor_collect_into`.
+pub(crate) fn fill_sharded_entries<T: Send>(
+    out: &mut Vec<T>,
+    plan: &ShardPlan,
+    offsets: &[usize],
+    fill: impl Fn(std::ops::Range<usize>, &mut [MaybeUninit<T>]) + Sync,
+) {
+    let n_entries = offsets[plan.n_vertices()];
+    out.clear();
+    out.reserve(n_entries);
+    let spare = &mut out.spare_capacity_mut()[..n_entries];
+    if plan.n_shards() <= 1 {
+        fill(0..plan.n_vertices(), spare);
+    } else {
+        run_sharded(
+            plan,
+            spare,
+            |r| offsets[r.end] - offsets[r.start],
+            &|range, slot: &mut [MaybeUninit<T>]| fill(range, slot),
+        );
+    }
+    // SAFETY: as in `fill_sharded` — slices are fully written or the scope
+    // panicked before reaching here.
+    unsafe { out.set_len(n_entries) };
+}
+
+/// Splits `spare` into per-shard slices (shard `s` gets `width(range_s)`
+/// elements, in shard order) and runs one scoped worker per non-empty
+/// shard. The first shard runs on the calling thread.
+fn run_sharded<T: Send>(
+    plan: &ShardPlan,
+    mut spare: &mut [MaybeUninit<T>],
+    width: impl Fn(std::ops::Range<usize>) -> usize,
+    fill: &(impl Fn(std::ops::Range<usize>, &mut [MaybeUninit<T>]) + Sync),
+) {
+    let shards = plan.n_shards();
+    let mut jobs: Vec<(std::ops::Range<usize>, &mut [MaybeUninit<T>])> = Vec::with_capacity(shards);
+    for s in 0..shards {
+        let range = plan.range(s);
+        let (head, tail) = spare.split_at_mut(width(range.clone()));
+        spare = tail;
+        if !range.is_empty() {
+            jobs.push((range, head));
+        }
+    }
+    std::thread::scope(|scope| {
+        let mut local = None;
+        for (i, (range, slot)) in jobs.into_iter().enumerate() {
+            if i == 0 {
+                local = Some((range, slot)); // calling thread's share
+            } else {
+                scope.spawn(move || fill(range, slot));
+            }
+        }
+        if let Some((range, slot)) = local {
+            fill(range, slot);
+        }
+    });
+}
+
+/// Runs `work` over every shard of `plan` concurrently, collecting each
+/// shard's result and folding them **in shard order** with `merge` — the
+/// deterministic reduction used by [`crate::exec`]'s trace functions and
+/// the parallel generators in `cgc_graphs`. With one shard, runs inline.
+pub fn map_reduce_sharded<T: Send>(
+    plan: &ShardPlan,
+    work: impl Fn(std::ops::Range<usize>) -> T + Sync,
+    mut merge: impl FnMut(&mut T, T),
+) -> Option<T> {
+    let shards = plan.n_shards();
+    if shards <= 1 {
+        return Some(work(plan.range(0)));
+    }
+    let mut results: Vec<Option<T>> = (0..shards).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let work = &work;
+        let mut iter = results.iter_mut().enumerate();
+        let (_, first) = iter.next().expect("at least one shard");
+        for (s, slot) in iter {
+            let range = plan.range(s);
+            scope.spawn(move || *slot = Some(work(range)));
+        }
+        *first = Some(work(plan.range(0)));
+    });
+    let mut acc: Option<T> = None;
+    for r in results {
+        let r = r.expect("every shard produced a result");
+        match &mut acc {
+            None => acc = Some(r),
+            Some(a) => merge(a, r),
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_net::CommGraph;
+
+    fn line_graph(n: usize) -> ClusterGraph {
+        ClusterGraph::singletons(CommGraph::path(n))
+    }
+
+    #[test]
+    fn serial_plan_is_one_shard() {
+        let g = line_graph(10);
+        let p = ShardPlan::plan(&g, &ParallelConfig::serial());
+        assert_eq!(p.n_shards(), 1);
+        assert_eq!(p.range(0), 0..10);
+    }
+
+    #[test]
+    fn plans_cover_all_vertices_without_overlap() {
+        let g = line_graph(23);
+        for threads in [2, 3, 4, 8, 64] {
+            for strategy in [ShardStrategy::EvenVertices, ShardStrategy::BalancedEdges] {
+                let p = ShardPlan::plan(&g, &ParallelConfig::new(threads, strategy));
+                assert_eq!(p.bounds()[0], 0);
+                assert_eq!(p.n_vertices(), 23);
+                for s in 1..p.bounds().len() {
+                    assert!(p.bounds()[s] >= p.bounds()[s - 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_vertices_collapses() {
+        let g = line_graph(3);
+        let p = ShardPlan::plan(&g, &ParallelConfig::with_threads(16));
+        assert!(p.n_shards() <= 3);
+        assert_eq!(p.n_vertices(), 3);
+    }
+
+    #[test]
+    fn balanced_edges_splits_a_skewed_star() {
+        // Star: vertex 0 has degree n-1, the rest degree 1. Balanced-edge
+        // sharding must not put everything in shard 0.
+        let g = ClusterGraph::singletons(CommGraph::star(101));
+        let p = ShardPlan::plan(&g, &ParallelConfig::new(4, ShardStrategy::BalancedEdges));
+        assert!(p.n_shards() >= 2);
+        // The heavy head occupies an early shard; later shards still get
+        // nonempty ranges.
+        assert!(!p.range(p.n_shards() - 1).is_empty());
+    }
+
+    #[test]
+    fn fill_sharded_matches_sequential_extend() {
+        let g = line_graph(57);
+        for threads in [1, 2, 3, 8] {
+            let plan = ShardPlan::plan(&g, &ParallelConfig::with_threads(threads));
+            let mut out: Vec<u64> = Vec::new();
+            fill_sharded(&mut out, &plan, |start, slot| {
+                for (i, cell) in slot.iter_mut().enumerate() {
+                    cell.write(((start + i) as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                }
+            });
+            let expect: Vec<u64> = (0..57u64)
+                .map(|v| v.wrapping_mul(0x9E3779B97F4A7C15))
+                .collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_is_shard_ordered() {
+        let g = line_graph(40);
+        for threads in [1, 2, 4, 7] {
+            let plan = ShardPlan::plan(&g, &ParallelConfig::with_threads(threads));
+            // Concatenation is order-sensitive: any non-shard-order merge
+            // would scramble the result.
+            let got = map_reduce_sharded(&plan, |r| r.collect::<Vec<usize>>(), |a, b| a.extend(b))
+                .unwrap();
+            assert_eq!(got, (0..40).collect::<Vec<usize>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn env_config_parses() {
+        // Only exercises the parser paths that don't depend on the
+        // environment (from_env itself is covered by the CI matrix).
+        assert!(ParallelConfig::serial().is_serial());
+        assert_eq!(ParallelConfig::with_threads(0).threads(), 1);
+        assert!(ParallelConfig::max_parallel().threads() >= 1);
+    }
+}

@@ -21,7 +21,7 @@ use crate::params::Params;
 use crate::slackgen::slack_generation;
 use crate::trycolor::{try_color_round, try_color_rounds};
 use crate::validate::coloring_stats;
-use cgc_cluster::ClusterNet;
+use cgc_cluster::{ClusterNet, ParallelConfig};
 use cgc_decomp::{acd_oracle, classify_cabals, compute_acd, degree_profile};
 use cgc_net::{CostReport, SeedStream};
 use rand::RngExt;
@@ -83,12 +83,29 @@ pub struct RunResult {
 
 /// Options modifying the driver (kept out of [`Params`] so the algorithm
 /// constants stay paper-comparable).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DriverOptions {
     /// Use the exact-oracle ACD (charged nominally) instead of the
     /// fingerprint ACD — for large-`n` experiments; E10 quantifies the
     /// fingerprint ACD separately.
     pub oracle_acd: bool,
+    /// Sharded-executor configuration installed on the net before the run.
+    /// Purely a wall-clock knob: colorings and `CostMeter` totals are
+    /// bit-identical at any thread count (`parallel_equivalence` and the
+    /// seeded-determinism tests pin this).
+    pub parallel: ParallelConfig,
+}
+
+impl Default for DriverOptions {
+    /// Honors `CGC_THREADS` (see [`ParallelConfig::from_env`]): unset means
+    /// sequential, so default runs match the historical driver exactly;
+    /// the CI matrix sets it to exercise every phase at max parallelism.
+    fn default() -> Self {
+        DriverOptions {
+            oracle_acd: false,
+            parallel: ParallelConfig::from_env(),
+        }
+    }
 }
 
 /// Colors the cluster graph bound to `net` with `Δ+1` colors.
@@ -107,6 +124,7 @@ pub fn color_cluster_graph_with(
     seed: u64,
     opts: DriverOptions,
 ) -> RunResult {
+    net.set_parallel(opts.parallel);
     let n = net.g.n_vertices();
     let delta = net.g.max_degree();
     let q = delta + 1;
@@ -361,8 +379,15 @@ mod tests {
         let g = realize(&spec, Layout::Singleton, 1, 5);
         let mut net = ClusterNet::with_log_budget(&g, 32);
         let params = Params::laptop(g.n_vertices());
-        let run =
-            color_cluster_graph_with(&mut net, &params, 7, DriverOptions { oracle_acd: true });
+        let run = color_cluster_graph_with(
+            &mut net,
+            &params,
+            7,
+            DriverOptions {
+                oracle_acd: true,
+                ..DriverOptions::default()
+            },
+        );
         assert!(run.coloring.is_total());
         assert!(run.stats.oracle_acd);
     }

@@ -55,7 +55,9 @@ pub mod trycolor;
 pub mod validate;
 
 pub use coloring::{Color, Coloring};
-pub use driver::{color_cluster_graph, RunResult, RunStats};
+pub use driver::{
+    color_cluster_graph, color_cluster_graph_with, AlgoPath, DriverOptions, RunResult, RunStats,
+};
 pub use palette_query::CliquePalette;
 pub use params::{Ablation, Params};
 pub use validate::{coloring_stats, ColoringStats};

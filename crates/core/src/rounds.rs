@@ -7,7 +7,12 @@
 //! candidate against each distinct neighbor, and a vertex keeps its
 //! candidate iff nothing blocked it. This module centralizes that round so
 //! every caller shares one allocation-free code path over
-//! [`ClusterNet::neighbor_fold_flags`].
+//! [`ClusterNet::neighbor_fold_flags`] — and therefore inherits the
+//! sharded parallel executor transparently: whatever
+//! [`cgc_cluster::ParallelConfig`] the driver installed on the net runs
+//! this round shard-parallel with bit-identical blocked flags and charges,
+//! for every phase that funnels through here (trycolor, slackgen, sct,
+//! sampled matching).
 
 use crate::coloring::{Color, Coloring};
 use cgc_cluster::{ClusterNet, VertexId};

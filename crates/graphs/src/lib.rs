@@ -12,16 +12,29 @@
 //!   Reed-style instances (sparse background + dense blocks);
 //! * [`layouts`] — cluster realizations over `G`;
 //! * [`power`] — square graphs for the distance-2 corollary (E12);
+//! * [`powerlaw`] — Chung–Lu power-law (skewed-degree) graphs, sampled by
+//!   per-row skip walks so generation shards across threads;
+//! * [`rgg`] — random geometric (spatially clustered) graphs with a
+//!   grid-bucketed, row-sharded edge scan;
 //! * [`adversarial`] — the Figure 2/3 bottleneck-link instances.
+//!
+//! The parallel generators take a [`cgc_cluster::ParallelConfig`]; their
+//! output is a pure function of the parameters and seed, never of the
+//! thread count.
 
 pub mod adversarial;
 pub mod gnp;
 pub mod layouts;
+mod parallel;
 pub mod planted;
 pub mod power;
+pub mod powerlaw;
+pub mod rgg;
 
 pub use adversarial::bottleneck_instance;
 pub use gnp::gnp_spec;
 pub use layouts::{realize, HSpec, Layout};
 pub use planted::{cabal_spec, mixture_spec, planted_cliques_spec, MixtureConfig, PlantedInfo};
 pub use power::square_spec;
+pub use powerlaw::{power_law_spec, power_law_weights, PowerLawConfig};
+pub use rgg::{geometric_spec, radius_for_avg_degree};

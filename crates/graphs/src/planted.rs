@@ -19,21 +19,34 @@ pub struct PlantedInfo {
     pub sparse: Vec<usize>,
 }
 
-/// `c` disjoint perfect `k`-cliques, no background.
-pub fn planted_cliques_spec(c: usize, k: usize, _seed: u64) -> (HSpec, PlantedInfo) {
+/// `c` disjoint perfect `k`-cliques, no background. The seed draws a
+/// uniform permutation of the vertex labels, so clique membership is not
+/// revealed by vertex-id contiguity (decomposition code that peeked at id
+/// blocks would pass contiguous instances vacuously).
+pub fn planted_cliques_spec(c: usize, k: usize, seed: u64) -> (HSpec, PlantedInfo) {
+    let n = c * k;
+    // Fisher–Yates under the seeded stream: label[i] is the public id of
+    // the i-th slot in the block layout.
+    let mut rng = SeedStream::new(seed).rng_for(0x00C1_10E5, 0);
+    let mut label: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        label.swap(i, rng.random_range(0..=i));
+    }
     let mut edges = Vec::new();
     let mut cliques = Vec::with_capacity(c);
     for i in 0..c {
         let base = i * k;
         for u in 0..k {
             for v in (u + 1)..k {
-                edges.push((base + u, base + v));
+                edges.push((label[base + u], label[base + v]));
             }
         }
-        cliques.push((base..base + k).collect());
+        let mut members: Vec<usize> = (base..base + k).map(|j| label[j]).collect();
+        members.sort_unstable();
+        cliques.push(members);
     }
     (
-        HSpec::new(c * k, edges),
+        HSpec::new(n, edges),
         PlantedInfo {
             cliques,
             sparse: Vec::new(),
@@ -212,6 +225,38 @@ mod tests {
         assert_eq!(h.edges.len(), 3 * 45);
         assert_eq!(info.cliques.len(), 3);
         assert_eq!(h.max_degree(), 9);
+        // Every planted block really is a clique on its (permuted) members.
+        for members in &info.cliques {
+            for (i, &u) in members.iter().enumerate() {
+                for &v in &members[i + 1..] {
+                    assert!(
+                        h.edges.binary_search(&(u.min(v), u.max(v))).is_ok(),
+                        "missing clique edge ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planted_cliques_honor_their_seed() {
+        // Same seed → identical instance; different seed → a different
+        // labeling (the historical bug: the seed was silently ignored).
+        let a = planted_cliques_spec(3, 8, 1);
+        let b = planted_cliques_spec(3, 8, 1);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        let c = planted_cliques_spec(3, 8, 2);
+        assert_ne!(a.0, c.0, "seed must reach the construction");
+        // The permutation scrambles membership: some clique is not a
+        // contiguous id block.
+        assert!(
+            c.1.cliques
+                .iter()
+                .any(|m| m.last().unwrap() - m.first().unwrap() + 1 != m.len()),
+            "cliques should not all be contiguous id blocks: {:?}",
+            c.1.cliques
+        );
     }
 
     #[test]
