@@ -1,7 +1,10 @@
-//! Records the PR's performance baseline (default `BENCH_PR2.json`): the
+//! Records the PR's performance baseline (default `BENCH_PR3.json`): the
 //! aggregation primitives sequential *and* shard-parallel at several
-//! thread counts, the end-to-end coloring pipeline, and a skewed-degree
-//! (Chung–Lu power-law) fold workload — all on `n ≥ 50_000` instances.
+//! thread counts, the end-to-end coloring pipeline through the unified
+//! [`Session`] API, and a skewed-degree (Chung–Lu power-law) fold
+//! workload — all on `n ≥ 50_000` instances, all addressed by
+//! [`WorkloadSpec`] strings and emitted through the shared `cgc-bench/v1`
+//! JSON schema.
 //!
 //! Usage: `cargo run --release -p cgc_bench --bin bench_baseline [out.json]`
 //!
@@ -16,10 +19,10 @@
 //! A determinism regression therefore fails the bench loudly rather than
 //! producing a fast-but-wrong baseline.
 
+use cgc_bench::{bench_report, write_json, Json};
 use cgc_cluster::{available_threads, ClusterNet, ParallelConfig};
-use cgc_core::{color_cluster_graph_with, coloring_stats, DriverOptions, Params};
-use cgc_graphs::{gnp_spec, power_law_spec, realize, Layout, PowerLawConfig};
-use std::fmt::Write as _;
+use cgc_core::{coloring_stats, Session, SessionBuilder};
+use cgc_graphs::{Layout, WorkloadSpec};
 use std::time::Instant;
 
 const DEFAULT_N: usize = 50_000;
@@ -76,7 +79,7 @@ fn time_folds(
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR2.json".to_owned());
+        .unwrap_or_else(|| "BENCH_PR3.json".to_owned());
     let n: usize = std::env::var("CGC_BENCH_N")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -95,31 +98,46 @@ fn main() {
     sweep.sort_unstable();
     sweep.retain(|&t| t <= 8.max(cores).max(env_threads));
 
-    eprintln!("building G({n}, {AVG_DEG}/n) with star-of-3 clusters ...");
-    let build_start = Instant::now();
-    let spec = gnp_spec(n, AVG_DEG / n as f64, 3);
-    let h = realize(&spec, Layout::Star(3), 1, 3);
-    let build_secs = build_start.elapsed().as_secs_f64();
-    let delta = h.max_degree();
+    // The session owns the one expensive build; the fold timings and the
+    // end-to-end runs all share its cached graph.
+    let gnp = WorkloadSpec::gnp(n, AVG_DEG / n as f64, 3).with_layout(Layout::Star(3));
+    eprintln!("building {gnp} ...");
+    let mut session: Session = SessionBuilder::new(gnp)
+        .parallel(ParallelConfig::serial())
+        .build();
+    let build_secs = session.build_secs();
+    let delta = session.graph().max_degree();
     eprintln!(
         "built: n={} machines={} edges={} Δ={delta} dilation={} in {build_secs:.2}s",
-        h.n_vertices(),
-        h.n_machines(),
-        h.n_h_edges(),
-        h.dilation(),
+        session.graph().n_vertices(),
+        session.graph().n_machines(),
+        session.graph().n_h_edges(),
+        session.graph().dilation(),
+    );
+
+    // Instance stats captured up front so the graph borrow never overlaps
+    // the session's mutable runs below.
+    let (h_n, h_machines, h_edges, h_dilation) = (
+        session.graph().n_vertices(),
+        session.graph().n_machines(),
+        session.graph().n_h_edges(),
+        session.graph().dilation(),
     );
 
     // --- aggregation: warm fold+degree rounds, sequential reference ---
-    let queries: Vec<u64> = (0..h.n_vertices() as u64).collect();
+    let queries: Vec<u64> = (0..h_n as u64).collect();
     let (seq_ms, seq_out, seq_degs, seq_report) =
-        time_folds(&h, ParallelConfig::serial(), &queries);
+        time_folds(session.graph(), ParallelConfig::serial(), &queries);
     eprintln!("aggregation sequential: {seq_ms:.4} ms/round");
 
     // --- the same rounds at each thread count, with identity checks ---
-    let mut par_rows_json = Vec::new();
+    let mut par_rows = Vec::new();
     for &threads in &sweep {
-        let (ms, out, degs, report) =
-            time_folds(&h, ParallelConfig::with_threads(threads), &queries);
+        let (ms, out, degs, report) = time_folds(
+            session.graph(),
+            ParallelConfig::with_threads(threads),
+            &queries,
+        );
         assert_eq!(out, seq_out, "parallel fold diverged at {threads} threads");
         assert_eq!(
             degs, seq_degs,
@@ -133,22 +151,18 @@ fn main() {
             "aggregation threads={threads}: {ms:.4} ms/round (x{:.2} vs sequential)",
             seq_ms / ms
         );
-        par_rows_json.push(format!(
-            "{{ \"threads\": {threads}, \"ms_per_round\": {ms:.4}, \"speedup\": {:.4} }}",
-            seq_ms / ms
-        ));
+        par_rows.push(Json::obj(vec![
+            ("threads", Json::from(threads)),
+            ("ms_per_round", Json::from(ms)),
+            ("speedup", Json::from(seq_ms / ms)),
+        ]));
     }
 
     // --- skewed-degree workload: power-law fold rounds ---
-    let pl_cfg = PowerLawConfig {
-        n,
-        exponent: 2.5,
-        avg_degree: AVG_DEG,
-    };
+    let pl_spec = WorkloadSpec::power_law(n, 2.5, AVG_DEG, 7);
     let gen_start = Instant::now();
-    let pl_spec = power_law_spec(&pl_cfg, 7, &ParallelConfig::max_parallel());
+    let pl = pl_spec.build_with(&ParallelConfig::max_parallel());
     let pl_gen_secs = gen_start.elapsed().as_secs_f64();
-    let pl = realize(&pl_spec, Layout::Singleton, 1, 7);
     let pl_queries: Vec<u64> = (0..pl.n_vertices() as u64).collect();
     let (pl_seq_ms, pl_out, pl_degs, pl_report) =
         time_folds(&pl, ParallelConfig::serial(), &pl_queries);
@@ -163,91 +177,91 @@ fn main() {
         pl.max_degree()
     );
 
-    // --- end-to-end: sequential vs parallel, identical colorings ---
-    let params = Params::laptop(h.n_vertices());
-    let mut net = ClusterNet::with_log_budget(&h, 32);
-    let e2e_start = Instant::now();
-    let opts_seq = DriverOptions {
-        oracle_acd: false,
-        parallel: ParallelConfig::serial(),
-    };
-    let run = color_cluster_graph_with(&mut net, &params, 42, opts_seq);
-    let e2e_secs = e2e_start.elapsed().as_secs_f64();
-    assert!(run.coloring.is_total(), "baseline must be total");
-    assert!(run.coloring.is_proper(&h), "baseline must be proper");
-    let stats = coloring_stats(&h, &run.coloring);
+    // --- end-to-end through the Session API: sequential vs parallel ---
+    let out_seq = session.run(42);
+    assert!(out_seq.run.coloring.is_total(), "baseline must be total");
+    assert!(
+        out_seq.run.coloring.is_proper(session.graph()),
+        "baseline must be proper"
+    );
+    let stats = coloring_stats(session.graph(), &out_seq.run.coloring);
 
-    let mut net_p = ClusterNet::with_log_budget(&h, 32);
-    let e2e_par_start = Instant::now();
-    let opts_par = DriverOptions {
-        oracle_acd: false,
-        parallel: ParallelConfig::with_threads(best_threads),
-    };
-    let run_p = color_cluster_graph_with(&mut net_p, &params, 42, opts_par);
-    let e2e_par_secs = e2e_par_start.elapsed().as_secs_f64();
+    session.set_parallel(ParallelConfig::with_threads(best_threads));
+    let out_par = session.run(42);
+    assert!(
+        out_par.graph_cached,
+        "thread sweep must reuse the session's cached build"
+    );
     assert_eq!(
-        run_p.coloring, run.coloring,
+        out_par.run.coloring, out_seq.run.coloring,
         "parallel end-to-end coloring diverged"
     );
     assert_eq!(
-        run_p.report, run.report,
+        out_par.run.report, out_seq.run.report,
         "parallel end-to-end cost report diverged"
     );
     eprintln!(
-        "endtoend: {} colors, seq {e2e_secs:.2}s / par({best_threads}) {e2e_par_secs:.2}s, \
-         {} H-rounds",
-        stats.colors_used, run.report.h_rounds,
+        "endtoend: {} colors, seq {:.2}s / par({best_threads}) {:.2}s, {} H-rounds",
+        stats.colors_used, out_seq.color_secs, out_par.color_secs, out_seq.run.report.h_rounds,
     );
 
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(
-        json,
-        "  \"hardware\": {{ \"detected_cores\": {cores}, \"note\": \"threads beyond the \
-         detected core count only add scoped-spawn overhead; the bit-identity asserts \
-         still run at every swept count\" }},"
+    let report = bench_report(
+        env_threads,
+        vec![
+            (
+                "instance",
+                Json::obj(vec![
+                    ("workload", Json::from(gnp.to_string())),
+                    ("n", Json::from(h_n)),
+                    ("avg_degree_target", Json::from(AVG_DEG)),
+                    ("n_machines", Json::from(h_machines)),
+                    ("n_h_edges", Json::from(h_edges)),
+                    ("delta", Json::from(delta)),
+                    ("dilation", Json::from(h_dilation)),
+                    ("build_secs", Json::from(build_secs)),
+                ]),
+            ),
+            (
+                "aggregation",
+                Json::obj(vec![
+                    ("rounds", Json::from(u64::from(FOLD_ROUNDS))),
+                    ("sequential_ms_per_round", Json::from(seq_ms)),
+                    ("parallel", Json::Arr(par_rows)),
+                    ("bit_identical_to_sequential", Json::from(true)),
+                ]),
+            ),
+            (
+                "power_law",
+                Json::obj(vec![
+                    ("workload", Json::from(pl_spec.to_string())),
+                    ("n", Json::from(pl.n_vertices())),
+                    ("delta", Json::from(pl.max_degree())),
+                    ("n_h_edges", Json::from(pl.n_h_edges())),
+                    ("gen_secs", Json::from(pl_gen_secs)),
+                    ("sequential_ms_per_round", Json::from(pl_seq_ms)),
+                    ("parallel_ms_per_round", Json::from(pl_par_ms)),
+                    ("parallel_threads", Json::from(best_threads)),
+                ]),
+            ),
+            (
+                "endtoend",
+                Json::obj(vec![
+                    ("workload", Json::from(out_seq.spec_string.clone())),
+                    ("run_seed", Json::from(out_seq.seed)),
+                    ("wall_secs", Json::from(out_seq.color_secs)),
+                    ("parallel_wall_secs", Json::from(out_par.color_secs)),
+                    ("parallel_threads", Json::from(best_threads)),
+                    ("session_build_cached", Json::from(out_par.graph_cached)),
+                    ("coloring_bit_identical", Json::from(true)),
+                    ("h_rounds", Json::from(out_seq.run.report.h_rounds)),
+                    ("g_rounds", Json::from(out_seq.run.report.g_rounds)),
+                    ("bits", Json::from(out_seq.run.report.bits)),
+                    ("colors_used", Json::from(stats.colors_used)),
+                    ("delta_plus_one", Json::from(delta + 1)),
+                ]),
+            ),
+        ],
     );
-    let _ = writeln!(json, "  \"instance\": {{");
-    let _ = writeln!(json, "    \"kind\": \"gnp\",");
-    let _ = writeln!(json, "    \"n\": {},", h.n_vertices());
-    let _ = writeln!(json, "    \"avg_degree_target\": {AVG_DEG},");
-    let _ = writeln!(json, "    \"layout\": \"star3\",");
-    let _ = writeln!(json, "    \"n_machines\": {},", h.n_machines());
-    let _ = writeln!(json, "    \"n_h_edges\": {},", h.n_h_edges());
-    let _ = writeln!(json, "    \"delta\": {delta},");
-    let _ = writeln!(json, "    \"dilation\": {},", h.dilation());
-    let _ = writeln!(json, "    \"build_secs\": {build_secs:.4}");
-    let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"aggregation\": {{");
-    let _ = writeln!(json, "    \"rounds\": {FOLD_ROUNDS},");
-    let _ = writeln!(json, "    \"sequential_ms_per_round\": {seq_ms:.4},");
-    let _ = writeln!(json, "    \"parallel\": [");
-    let _ = writeln!(json, "      {}", par_rows_json.join(",\n      "));
-    let _ = writeln!(json, "    ],");
-    let _ = writeln!(json, "    \"bit_identical_to_sequential\": true");
-    let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"power_law\": {{");
-    let _ = writeln!(json, "    \"n\": {},", pl.n_vertices());
-    let _ = writeln!(json, "    \"exponent\": 2.5,");
-    let _ = writeln!(json, "    \"delta\": {},", pl.max_degree());
-    let _ = writeln!(json, "    \"n_h_edges\": {},", pl.n_h_edges());
-    let _ = writeln!(json, "    \"gen_secs\": {pl_gen_secs:.4},");
-    let _ = writeln!(json, "    \"sequential_ms_per_round\": {pl_seq_ms:.4},");
-    let _ = writeln!(json, "    \"parallel_ms_per_round\": {pl_par_ms:.4},");
-    let _ = writeln!(json, "    \"parallel_threads\": {best_threads}");
-    let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"endtoend\": {{");
-    let _ = writeln!(json, "    \"wall_secs\": {e2e_secs:.4},");
-    let _ = writeln!(json, "    \"parallel_wall_secs\": {e2e_par_secs:.4},");
-    let _ = writeln!(json, "    \"parallel_threads\": {best_threads},");
-    let _ = writeln!(json, "    \"coloring_bit_identical\": true,");
-    let _ = writeln!(json, "    \"h_rounds\": {},", run.report.h_rounds);
-    let _ = writeln!(json, "    \"g_rounds\": {},", run.report.g_rounds);
-    let _ = writeln!(json, "    \"bits\": {},", run.report.bits);
-    let _ = writeln!(json, "    \"colors_used\": {},", stats.colors_used);
-    let _ = writeln!(json, "    \"delta_plus_one\": {}", delta + 1);
-    let _ = writeln!(json, "  }}");
-    let _ = writeln!(json, "}}");
-    std::fs::write(&out_path, json).expect("write baseline json");
+    write_json(&out_path, &report);
     eprintln!("wrote {out_path}");
 }

@@ -2,9 +2,9 @@
 //! (fingerprint) ACD vs the exact oracle across ε and noise levels.
 
 use cgc_bench::{f3, Table};
-use cgc_cluster::ClusterNet;
+use cgc_core::Session;
 use cgc_decomp::{acd_oracle, compute_acd, AcdParams, BuddyParams};
-use cgc_graphs::{mixture_spec, realize, Layout, MixtureConfig};
+use cgc_graphs::{WorkloadFamily, WorkloadSpec};
 use cgc_net::SeedStream;
 use cgc_sketch::CountingParams;
 
@@ -22,29 +22,35 @@ fn main() {
         ],
     );
     for anti_p in [0.0f64, 0.04, 0.08] {
-        let cfg = MixtureConfig {
-            n_cliques: 4,
-            clique_size: 24,
-            anti_edge_prob: anti_p,
-            external_per_vertex: 1,
-            sparse_n: 32,
-            sparse_p: 0.1,
-        };
-        let (spec, _) = mixture_spec(&cfg, 100 + (anti_p * 100.0) as u64);
-        let g = realize(&spec, Layout::Singleton, 1, 10);
+        let spec = WorkloadSpec::new(
+            WorkloadFamily::Mixture {
+                c: 4,
+                k: 24,
+                anti: anti_p,
+                ext: 1,
+                bg: 32,
+                bgp: 0.1,
+            },
+            100 + (anti_p * 100.0) as u64,
+        );
+        let session = Session::builder(spec).build();
+        let g = session.graph();
         for eps in [0.15f64, 0.2, 0.3] {
-            let oracle = acd_oracle(&g, eps);
-            let qo = oracle.validate(&g);
-            t.row(vec![
-                f3(anti_p),
-                f3(eps),
-                "oracle".into(),
-                qo.n_cliques.to_string(),
-                qo.n_sparse.to_string(),
-                qo.is_valid().to_string(),
-                f3(qo.min_internal_frac),
-            ]);
-            let mut net = ClusterNet::with_log_budget(&g, 32);
+            let oracle = acd_oracle(g, eps);
+            let qo = oracle.validate(g);
+            t.row_for(
+                &spec,
+                vec![
+                    f3(anti_p),
+                    f3(eps),
+                    "oracle".into(),
+                    qo.n_cliques.to_string(),
+                    qo.n_sparse.to_string(),
+                    qo.is_valid().to_string(),
+                    f3(qo.min_internal_frac),
+                ],
+            );
+            let mut net = session.make_net();
             let params = AcdParams {
                 epsilon: eps,
                 buddy: BuddyParams {
@@ -58,16 +64,19 @@ fn main() {
                 min_clique_frac: 0.55,
             };
             let acd = compute_acd(&mut net, &params, &SeedStream::new(1010));
-            let qd = acd.validate(&g);
-            t.row(vec![
-                f3(anti_p),
-                f3(eps),
-                "fingerprint".into(),
-                qd.n_cliques.to_string(),
-                qd.n_sparse.to_string(),
-                qd.is_valid().to_string(),
-                f3(qd.min_internal_frac),
-            ]);
+            let qd = acd.validate(g);
+            t.row_for(
+                &spec,
+                vec![
+                    f3(anti_p),
+                    f3(eps),
+                    "fingerprint".into(),
+                    qd.n_cliques.to_string(),
+                    qd.n_sparse.to_string(),
+                    qd.is_valid().to_string(),
+                    f3(qd.min_internal_frac),
+                ],
+            );
         }
     }
     t.print();

@@ -3,33 +3,35 @@
 //! cluster rounds stay put.
 
 use cgc_bench::{f3, Table};
-use cgc_cluster::ClusterNet;
-use cgc_core::{color_cluster_graph, Params};
-use cgc_graphs::{gnp_spec, realize, Layout};
+use cgc_core::Session;
+use cgc_graphs::{Layout, WorkloadSpec};
 
 fn main() {
     let mut t = Table::new(
         "E11: same H, growing cluster dilation (path clusters)",
         &["path_len", "dilation", "H_rounds", "G_rounds", "G/H"],
     );
-    let spec = gnp_spec(60, 0.1, 11);
+    let base = WorkloadSpec::gnp(60, 0.1, 11);
+    let mut session = Session::builder(base).build();
     for m in [1usize, 2, 4, 8, 16, 32] {
-        let layout = if m == 1 {
-            Layout::Singleton
+        let spec = if m == 1 {
+            base
         } else {
-            Layout::Path(m)
+            base.with_layout(Layout::Path(m))
         };
-        let g = realize(&spec, layout, 1, 11);
-        let mut net = ClusterNet::with_log_budget(&g, 32);
-        let run = color_cluster_graph(&mut net, &Params::laptop(g.n_vertices()), 21);
-        assert!(run.coloring.is_total());
-        t.row(vec![
-            m.to_string(),
-            g.dilation().to_string(),
-            run.report.h_rounds.to_string(),
-            run.report.g_rounds.to_string(),
-            f3(run.report.g_rounds as f64 / run.report.h_rounds.max(1) as f64),
-        ]);
+        session.set_workload(spec);
+        let out = session.run(21);
+        assert!(out.run.coloring.is_total());
+        t.row(
+            &out.spec_string,
+            vec![
+                m.to_string(),
+                session.graph().dilation().to_string(),
+                out.run.report.h_rounds.to_string(),
+                out.run.report.g_rounds.to_string(),
+                f3(out.run.report.g_rounds as f64 / out.run.report.h_rounds.max(1) as f64),
+            ],
+        );
     }
     t.print();
 }

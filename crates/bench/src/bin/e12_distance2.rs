@@ -2,9 +2,8 @@
 //! the square-graph reduction.
 
 use cgc_bench::{f3, Table};
-use cgc_cluster::ClusterNet;
-use cgc_core::{color_cluster_graph, coloring_stats, Params};
-use cgc_graphs::{gnp_spec, realize, square_spec, Layout};
+use cgc_core::{coloring_stats, Session};
+use cgc_graphs::{gnp_spec, WorkloadSpec};
 
 fn main() {
     let mut t = Table::new(
@@ -19,21 +18,26 @@ fn main() {
         ],
     );
     for n in [100usize, 200, 400, 800] {
-        let base = gnp_spec(n, 3.0 / n as f64, 1200 + n as u64);
-        let sq = square_spec(&base);
-        let g = realize(&sq, Layout::Singleton, 1, 12);
-        let mut net = ClusterNet::with_log_budget(&g, 32);
-        let run = color_cluster_graph(&mut net, &Params::laptop(n), 22);
-        assert!(run.coloring.is_total() && run.coloring.is_proper(&g));
-        let stats = coloring_stats(&g, &run.coloring);
-        t.row(vec![
-            n.to_string(),
-            base.max_degree().to_string(),
-            sq.max_degree().to_string(),
-            stats.colors_used.to_string(),
-            (stats.colors_used <= sq.max_degree() + 1).to_string(),
-            f3(run.report.h_rounds as f64),
-        ]);
+        let p = 3.0 / n as f64;
+        let seed = 1200 + n as u64;
+        let spec = WorkloadSpec::square_gnp(n, p, seed);
+        let mut session = Session::builder(spec).build();
+        let base_delta = gnp_spec(n, p, seed).max_degree();
+        let out = session.run(22);
+        assert!(out.run.coloring.is_total() && out.run.coloring.is_proper(session.graph()));
+        let stats = coloring_stats(session.graph(), &out.run.coloring);
+        let delta2 = session.graph().max_degree();
+        t.row(
+            &out.spec_string,
+            vec![
+                n.to_string(),
+                base_delta.to_string(),
+                delta2.to_string(),
+                stats.colors_used.to_string(),
+                (stats.colors_used <= delta2 + 1).to_string(),
+                f3(out.run.report.h_rounds as f64),
+            ],
+        );
     }
     t.print();
 }

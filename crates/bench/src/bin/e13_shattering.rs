@@ -2,10 +2,9 @@
 //! `r` rounds of palette trials shrink geometrically.
 
 use cgc_bench::{f3, Table};
-use cgc_cluster::ClusterNet;
 use cgc_core::lowdeg::{shatter, uncolored_components};
-use cgc_core::Coloring;
-use cgc_graphs::{gnp_spec, realize, Layout};
+use cgc_core::{Coloring, Session};
+use cgc_graphs::WorkloadSpec;
 use cgc_net::SeedStream;
 
 fn main() {
@@ -20,13 +19,15 @@ fn main() {
         ],
     );
     let n = 2000usize;
-    let spec = gnp_spec(n, 10.0 / n as f64, 13);
-    let g = realize(&spec, Layout::Singleton, 1, 13);
+    let spec = WorkloadSpec::gnp(n, 10.0 / n as f64, 13);
+    // One session: the graph is built once and every sweep point reuses it.
+    let session = Session::builder(spec).build();
+    let g = session.graph();
     for rounds in [0usize, 1, 2, 3, 4, 6, 8] {
         let mut coloring = Coloring::new(g.n_vertices(), g.max_degree() + 1);
-        let mut net = ClusterNet::with_log_budget(&g, 32);
+        let mut net = session.make_net();
         shatter(&mut net, &mut coloring, &SeedStream::new(1300), 0, rounds);
-        let comps = uncolored_components(&g, &coloring);
+        let comps = uncolored_components(g, &coloring);
         let uncolored: usize = comps.iter().map(Vec::len).sum();
         let max_c = comps.iter().map(Vec::len).max().unwrap_or(0);
         let avg = if comps.is_empty() {
@@ -34,13 +35,16 @@ fn main() {
         } else {
             uncolored as f64 / comps.len() as f64
         };
-        t.row(vec![
-            rounds.to_string(),
-            uncolored.to_string(),
-            comps.len().to_string(),
-            max_c.to_string(),
-            f3(avg),
-        ]);
+        t.row_for(
+            &spec,
+            vec![
+                rounds.to_string(),
+                uncolored.to_string(),
+                comps.len().to_string(),
+                max_c.to_string(),
+                f3(avg),
+            ],
+        );
     }
     t.print();
 }

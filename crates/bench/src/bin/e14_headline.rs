@@ -2,10 +2,9 @@
 //! Johansson and the naive-CONGEST simulation cost across workloads.
 
 use cgc_baselines::{greedy_coloring, johansson_stats, naive_simulation_cost};
-use cgc_bench::{dense_instance, f3, Table};
-use cgc_cluster::{ClusterGraph, ClusterNet};
-use cgc_core::{color_cluster_graph, coloring_stats, Params};
-use cgc_graphs::{bottleneck_instance, cabal_spec, gnp_spec, realize, Layout};
+use cgc_bench::{dense_workload, f3, Table};
+use cgc_core::{Session, SessionBuilder};
+use cgc_graphs::{Layout, WorkloadSpec};
 use cgc_net::SeedStream;
 
 fn main() {
@@ -22,53 +21,50 @@ fn main() {
             "naive_x",
         ],
     );
-    let instances: Vec<(String, ClusterGraph)> = vec![
+    let instances: Vec<(&str, WorkloadSpec)> = vec![
+        ("gnp-sparse", WorkloadSpec::gnp(300, 0.02, 14)),
+        ("gnp-dense", WorkloadSpec::gnp(200, 0.25, 15)),
+        ("planted-dense", dense_workload(4, 28, 16)),
+        ("cabals", WorkloadSpec::cabal(4, 26, 3, 6, 17)),
+        ("bottleneck", WorkloadSpec::bottleneck(14, 6)),
         (
-            "gnp-sparse".into(),
-            realize(&gnp_spec(300, 0.02, 14), Layout::Singleton, 1, 14),
+            "clusters-star",
+            WorkloadSpec::cabal(3, 22, 2, 4, 18)
+                .with_layout(Layout::Star(4))
+                .with_links(2),
         ),
-        (
-            "gnp-dense".into(),
-            realize(&gnp_spec(200, 0.25, 15), Layout::Singleton, 1, 15),
-        ),
-        ("planted-dense".into(), dense_instance(4, 28, 16)),
-        ("cabals".into(), {
-            let (s, _) = cabal_spec(4, 26, 3, 6, 17);
-            realize(&s, Layout::Singleton, 1, 17)
-        }),
-        ("bottleneck".into(), bottleneck_instance(14, 6)),
-        ("clusters-star".into(), {
-            let (s, _) = cabal_spec(3, 22, 2, 4, 18);
-            realize(&s, Layout::Star(4), 2, 18)
-        }),
     ];
-    for (name, g) in instances {
-        let n = g.n_vertices();
-        let mut net = ClusterNet::with_log_budget(&g, 32);
-        let run = color_cluster_graph(&mut net, &Params::laptop(n), 23);
-        assert!(run.coloring.is_total() && run.coloring.is_proper(&g));
-        let _ = coloring_stats(&g, &run.coloring);
+    for (name, spec) in instances {
+        let mut session: Session = SessionBuilder::new(spec).build();
+        let n = session.graph().n_vertices();
+        let delta = session.graph().max_degree();
+        let out = session.run(23);
+        assert!(out.run.coloring.is_total() && out.run.coloring.is_proper(session.graph()));
 
-        let mut gnet = ClusterNet::with_log_budget(&g, 32);
+        let mut gnet = session.make_net();
         let greedy = greedy_coloring(&mut gnet);
-        assert!(greedy.is_proper(&g));
+        assert!(greedy.is_proper(session.graph()));
+        let greedy_rounds = gnet.meter.h_rounds();
 
-        let mut jnet = ClusterNet::with_log_budget(&g, 32);
+        let mut jnet = session.make_net();
         let jo = johansson_stats(&mut jnet, &SeedStream::new(24), 100_000);
 
         // A tight budget (β = 2) exposes the collect-everything overhead.
-        let (_, naive_factor) = naive_simulation_cost(&g, 2, 1);
+        let (_, naive_factor) = naive_simulation_cost(session.graph(), 2, 1);
 
-        t.row(vec![
-            name,
-            n.to_string(),
-            g.max_degree().to_string(),
-            run.report.h_rounds.to_string(),
-            run.report.max_msg_bits.to_string(),
-            gnet.meter.h_rounds().to_string(),
-            jo.rounds.to_string(),
-            f3(naive_factor),
-        ]);
+        t.row(
+            &out.spec_string,
+            vec![
+                name.to_owned(),
+                n.to_string(),
+                delta.to_string(),
+                out.run.report.h_rounds.to_string(),
+                out.run.report.max_msg_bits.to_string(),
+                greedy_rounds.to_string(),
+                jo.rounds.to_string(),
+                f3(naive_factor),
+            ],
+        );
     }
     t.print();
 }

@@ -3,9 +3,8 @@
 //! fraction of each almost-clique.
 
 use cgc_bench::{f3, Table};
-use cgc_cluster::ClusterNet;
-use cgc_core::{slackgen::slack_generation, Coloring, Params};
-use cgc_graphs::{mixture_spec, realize, Layout, MixtureConfig};
+use cgc_core::{slackgen::slack_generation, Coloring, Session};
+use cgc_graphs::{WorkloadFamily, WorkloadSpec};
 use cgc_net::SeedStream;
 
 fn main() {
@@ -19,45 +18,48 @@ fn main() {
             "max_block_frac",
         ],
     );
-    let cfg = MixtureConfig {
-        n_cliques: 2,
-        clique_size: 30,
-        anti_edge_prob: 0.02,
-        external_per_vertex: 2,
-        sparse_n: 100,
-        sparse_p: 0.25,
-    };
-    let (spec, info) = mixture_spec(&cfg, 15);
-    let g = realize(&spec, Layout::Singleton, 1, 15);
+    let spec = WorkloadSpec::new(
+        WorkloadFamily::Mixture {
+            c: 2,
+            k: 30,
+            anti: 0.02,
+            ext: 2,
+            bg: 100,
+            bgp: 0.25,
+        },
+        15,
+    );
+    let mut session = Session::builder(spec).build();
     for p in [0.01f64, 0.05, 0.1, 0.2, 0.4] {
+        session.params_mut().slack_activation = p;
         let reps = 10u64;
         let mut colored = 0.0;
         let mut sparse_reuse = 0.0;
         let mut dense_reuse = 0.0;
         let mut max_frac: f64 = 0.0;
         for rep in 0..reps {
+            let g = session.graph();
+            let info = session.planted().expect("mixture ground truth");
             let mut coloring = Coloring::new(g.n_vertices(), g.max_degree() + 1);
-            let mut net = ClusterNet::with_log_budget(&g, 32);
-            let mut params = Params::laptop(g.n_vertices());
-            params.slack_activation = p;
+            let mut net = session.make_net();
             colored += slack_generation(
                 &mut net,
                 &mut coloring,
                 &SeedStream::new(1500 + rep),
                 0,
                 &vec![true; g.n_vertices()],
-                &params,
+                session.params(),
             ) as f64;
             sparse_reuse += info
                 .sparse
                 .iter()
-                .map(|&v| coloring.reuse_slack(&g, v) as f64)
+                .map(|&v| coloring.reuse_slack(g, v) as f64)
                 .sum::<f64>()
                 / info.sparse.len() as f64;
             for k in &info.cliques {
                 dense_reuse += k
                     .iter()
-                    .map(|&v| coloring.reuse_slack(&g, v) as f64)
+                    .map(|&v| coloring.reuse_slack(g, v) as f64)
                     .sum::<f64>()
                     / (k.len() * info.cliques.len()) as f64;
                 let frac =
@@ -66,13 +68,16 @@ fn main() {
             }
         }
         let r = reps as f64;
-        t.row(vec![
-            f3(p),
-            f3(colored / r),
-            f3(sparse_reuse / r),
-            f3(dense_reuse / r),
-            f3(max_frac),
-        ]);
+        t.row_for(
+            &spec,
+            vec![
+                f3(p),
+                f3(colored / r),
+                f3(sparse_reuse / r),
+                f3(dense_reuse / r),
+                f3(max_frac),
+            ],
+        );
     }
     t.print();
 }

@@ -3,11 +3,10 @@
 //! the external degree.
 
 use cgc_bench::{f3, Table};
-use cgc_cluster::ClusterNet;
 use cgc_core::palette_query::CliquePalette;
 use cgc_core::sct::{synchronized_color_trial, SctGroup};
-use cgc_core::Coloring;
-use cgc_graphs::{mixture_spec, realize, Layout, MixtureConfig};
+use cgc_core::{Coloring, Session};
+use cgc_graphs::{WorkloadFamily, WorkloadSpec};
 use cgc_net::SeedStream;
 
 fn main() {
@@ -22,23 +21,27 @@ fn main() {
         ],
     );
     for ext in [0usize, 1, 2, 4, 6] {
-        let cfg = MixtureConfig {
-            n_cliques: 4,
-            clique_size: 30,
-            anti_edge_prob: 0.0,
-            external_per_vertex: ext,
-            sparse_n: 0,
-            sparse_p: 0.0,
-        };
-        let (spec, info) = mixture_spec(&cfg, 1600 + ext as u64);
-        let g = realize(&spec, Layout::Singleton, 1, 16);
+        let spec = WorkloadSpec::new(
+            WorkloadFamily::Mixture {
+                c: 4,
+                k: 30,
+                anti: 0.0,
+                ext,
+                bg: 0,
+                bgp: 0.0,
+            },
+            1600 + ext as u64,
+        );
+        let session = Session::builder(spec).build();
+        let g = session.graph();
+        let info = session.planted().expect("mixture ground truth");
         let reps = 10u64;
         let mut colored = 0.0;
         let mut leftover = 0.0;
         let mut parts = 0usize;
         for rep in 0..reps {
             let mut coloring = Coloring::new(g.n_vertices(), g.max_degree() + 1);
-            let mut net = ClusterNet::with_log_budget(&g, 32);
+            let mut net = session.make_net();
             let pals = CliquePalette::build_all(&mut net, &coloring, &info.cliques);
             let groups: Vec<SctGroup> = info
                 .cliques
@@ -59,18 +62,21 @@ fn main() {
                 &groups,
                 &pals,
             );
-            assert!(coloring.is_proper(&g));
+            assert!(coloring.is_proper(g));
             colored += c as f64;
             leftover += (parts - c) as f64;
         }
         let r = reps as f64;
-        t.row(vec![
-            ext.to_string(),
-            parts.to_string(),
-            f3(colored / r),
-            f3(leftover / r),
-            f3(24.0 * (ext as f64).max(1.0)),
-        ]);
+        t.row_for(
+            &spec,
+            vec![
+                ext.to_string(),
+                parts.to_string(),
+                f3(colored / r),
+                f3(leftover / r),
+                f3(24.0 * (ext as f64).max(1.0)),
+            ],
+        );
     }
     t.print();
 }

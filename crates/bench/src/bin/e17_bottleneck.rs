@@ -4,9 +4,8 @@
 //! budget and its rounds scale with dilation, not with Δ.
 
 use cgc_bench::{f3, Table};
-use cgc_cluster::ClusterNet;
-use cgc_core::{color_cluster_graph, Params};
-use cgc_graphs::bottleneck_instance;
+use cgc_core::Session;
+use cgc_graphs::WorkloadSpec;
 
 fn main() {
     let mut t = Table::new(
@@ -23,19 +22,22 @@ fn main() {
     );
     for clusters in [6usize, 10, 14] {
         for path_len in [2usize, 6, 12] {
-            let g = bottleneck_instance(clusters, path_len);
-            let mut net = ClusterNet::with_log_budget(&g, 32);
-            let run = color_cluster_graph(&mut net, &Params::laptop(g.n_vertices()), 27);
-            assert!(run.coloring.is_total() && run.coloring.is_proper(&g));
-            t.row(vec![
-                clusters.to_string(),
-                path_len.to_string(),
-                g.max_degree().to_string(),
-                run.report.h_rounds.to_string(),
-                run.report.g_rounds.to_string(),
-                run.report.max_msg_bits.to_string(),
-                f3(run.report.oversized_msgs as f64),
-            ]);
+            let spec = WorkloadSpec::bottleneck(clusters, path_len);
+            let mut session = Session::builder(spec).build();
+            let out = session.run(27);
+            assert!(out.run.coloring.is_total() && out.run.coloring.is_proper(session.graph()));
+            t.row(
+                &out.spec_string,
+                vec![
+                    clusters.to_string(),
+                    path_len.to_string(),
+                    session.graph().max_degree().to_string(),
+                    out.run.report.h_rounds.to_string(),
+                    out.run.report.g_rounds.to_string(),
+                    out.run.report.max_msg_bits.to_string(),
+                    f3(out.run.report.oversized_msgs as f64),
+                ],
+            );
         }
     }
     t.print();

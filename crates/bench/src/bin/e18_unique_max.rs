@@ -41,12 +41,15 @@ fn main() {
             .iter()
             .map(|&h| (h as f64 - expect).abs() / expect.max(1.0))
             .fold(0.0f64, f64::max);
-        t.row(vec![
-            d.to_string(),
-            f3(unique as f64 / trials as f64),
-            f3(2.0 / 3.0),
-            f3(max_dev),
-        ]);
+        t.row(
+            &format!("sketch:d={d},trials={trials},seed=1800"),
+            vec![
+                d.to_string(),
+                f3(unique as f64 / trials as f64),
+                f3(2.0 / 3.0),
+                f3(max_dev),
+            ],
+        );
     }
     t.print();
 }

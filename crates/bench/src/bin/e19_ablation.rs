@@ -5,11 +5,9 @@
 //! feeds MCT, the matching rescues tight palettes, SCT clears almost all
 //! of every clique in one round, put-aside sets make cabal MCT possible.
 
-use cgc_bench::{dense_instance, f3, Table};
-use cgc_cluster::ClusterNet;
-use cgc_core::driver::{color_cluster_graph_with, DriverOptions};
-use cgc_core::{Ablation, Params};
-use cgc_graphs::{cabal_spec, realize, Layout};
+use cgc_bench::{dense_workload, f3, smoke, Table};
+use cgc_core::{Ablation, SessionBuilder};
+use cgc_graphs::WorkloadSpec;
 
 fn main() {
     let mut t = Table::new(
@@ -64,49 +62,45 @@ fn main() {
         ),
     ];
 
-    let mixture = dense_instance(3, 26, 19);
-    let cabals = {
-        let (spec, _) = cabal_spec(3, 26, 3, 5, 20);
-        realize(&spec, Layout::Singleton, 1, 20)
-    };
+    let (mk, ck) = if smoke() { (18, 18) } else { (26, 26) };
+    let instances = [
+        ("mixture", dense_workload(3, mk, 19)),
+        ("cabals", WorkloadSpec::cabal(3, ck, 3, 5, 20)),
+    ];
+    let reps = if smoke() { 1u64 } else { 3 };
 
-    for (iname, g) in [("mixture", &mixture), ("cabals", &cabals)] {
+    for (iname, spec) in instances {
+        // One session per instance: every ablation variant reruns on the
+        // cached graph, only the stage toggles change.
+        let mut session = SessionBuilder::new(spec).oracle_acd(true).build();
         for (vname, ab) in &variants {
-            let reps = 3u64;
+            session.params_mut().ablation = *ab;
             let mut h = 0.0;
             let mut sct = 0usize;
             let mut pairs = 0usize;
             let mut fb = 0usize;
             for rep in 0..reps {
-                let mut net = ClusterNet::with_log_budget(g, 32);
-                let mut params = Params::laptop(g.n_vertices());
-                params.ablation = *ab;
-                let run = color_cluster_graph_with(
-                    &mut net,
-                    &params,
-                    33 + rep,
-                    DriverOptions {
-                        oracle_acd: true,
-                        ..DriverOptions::default()
-                    },
-                );
-                assert!(run.coloring.is_total() && run.coloring.is_proper(g));
-                h += run.report.h_rounds as f64;
-                sct += run.stats.noncabal.sct_colored + run.stats.cabal.sct_colored;
-                pairs += run.stats.noncabal.matching_pairs
-                    + run.stats.cabal.sampled_pairs
-                    + run.stats.cabal.fp_pairs;
-                fb += run.stats.fallback_colored;
+                let out = session.run(33 + rep);
+                assert!(out.run.coloring.is_total() && out.run.coloring.is_proper(session.graph()));
+                h += out.run.report.h_rounds as f64;
+                sct += out.run.stats.noncabal.sct_colored + out.run.stats.cabal.sct_colored;
+                pairs += out.run.stats.noncabal.matching_pairs
+                    + out.run.stats.cabal.sampled_pairs
+                    + out.run.stats.cabal.fp_pairs;
+                fb += out.run.stats.fallback_colored;
             }
             let r = reps as f64;
-            t.row(vec![
-                iname.to_owned(),
-                (*vname).to_owned(),
-                f3(h / r),
-                f3(sct as f64 / r),
-                f3(pairs as f64 / r),
-                f3(fb as f64 / r),
-            ]);
+            t.row_for(
+                &spec,
+                vec![
+                    iname.to_owned(),
+                    (*vname).to_owned(),
+                    f3(h / r),
+                    f3(sct as f64 / r),
+                    f3(pairs as f64 / r),
+                    f3(fb as f64 / r),
+                ],
+            );
         }
     }
     t.print();

@@ -3,14 +3,12 @@
 //! grows like `log n`.
 //!
 //! Workload: `c` planted blocks of size `k ≈ √n`, singleton clusters.
-//! The oracle ACD is used (DriverOptions) so the series isolates the
-//! coloring pipeline; fingerprint-ACD accuracy is E10's experiment.
+//! The oracle ACD is used so the series isolates the coloring pipeline;
+//! fingerprint-ACD accuracy is E10's experiment.
 
 use cgc_baselines::johansson_stats;
-use cgc_bench::{dense_instance, f3, Table};
-use cgc_cluster::ClusterNet;
-use cgc_core::driver::{color_cluster_graph_with, DriverOptions};
-use cgc_core::Params;
+use cgc_bench::{dense_workload, f3, smoke, Table};
+use cgc_core::SessionBuilder;
 use cgc_net::SeedStream;
 
 fn main() {
@@ -26,42 +24,42 @@ fn main() {
             "ratio_J/ours",
         ],
     );
-    for (c, k) in [(4usize, 16usize), (8, 22), (16, 32), (32, 44), (64, 64)] {
-        let g = dense_instance(c, k, 1000 + c as u64);
-        let n = g.n_vertices();
+    let sweep: &[(usize, usize)] = if smoke() {
+        &[(4, 12), (8, 16)]
+    } else {
+        &[(4, 16), (8, 22), (16, 32), (32, 44), (64, 64)]
+    };
+    let reps = if smoke() { 1u64 } else { 3 };
+    for &(c, k) in sweep {
+        let spec = dense_workload(c, k, 1000 + c as u64);
+        let mut session = SessionBuilder::new(spec).oracle_acd(true).build();
+        let n = session.graph().n_vertices();
+        let delta = session.graph().max_degree();
         let mut ours_h = 0.0;
         let mut ours_g = 0.0;
         let mut fb = 0usize;
         let mut jo = 0.0;
-        let reps = 3;
         for rep in 0..reps {
-            let mut net = ClusterNet::with_log_budget(&g, 32);
-            let params = Params::laptop(n);
-            let run = color_cluster_graph_with(
-                &mut net,
-                &params,
-                7 + rep,
-                DriverOptions {
-                    oracle_acd: true,
-                    ..DriverOptions::default()
-                },
-            );
-            ours_h += run.report.h_rounds as f64;
-            ours_g += run.report.g_rounds as f64;
-            fb += run.stats.fallback_colored;
-            let mut net2 = ClusterNet::with_log_budget(&g, 32);
-            jo += johansson_stats(&mut net2, &SeedStream::new(70 + rep), 50_000).rounds as f64;
+            let out = session.run(7 + rep);
+            ours_h += out.run.report.h_rounds as f64;
+            ours_g += out.run.report.g_rounds as f64;
+            fb += out.run.stats.fallback_colored;
+            let mut net = session.make_net();
+            jo += johansson_stats(&mut net, &SeedStream::new(70 + rep), 50_000).rounds as f64;
         }
         let r = reps as f64;
-        t.row(vec![
-            n.to_string(),
-            g.max_degree().to_string(),
-            f3(ours_h / r),
-            f3(ours_g / r),
-            fb.to_string(),
-            f3(jo / r),
-            f3((jo / r) / (ours_h / r)),
-        ]);
+        t.row_for(
+            &spec,
+            vec![
+                n.to_string(),
+                delta.to_string(),
+                f3(ours_h / r),
+                f3(ours_g / r),
+                fb.to_string(),
+                f3(jo / r),
+                f3((jo / r) / (ours_h / r)),
+            ],
+        );
     }
     t.print();
 }

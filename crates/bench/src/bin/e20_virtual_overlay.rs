@@ -7,8 +7,8 @@
 
 use cgc_bench::{f3, Table};
 use cgc_cluster::{ClusterNet, VirtualGraph};
-use cgc_core::{color_cluster_graph, coloring_stats, Params};
-use cgc_graphs::{gnp_spec, realize, square_spec, Layout};
+use cgc_core::{color_cluster_graph, coloring_stats, Params, Session};
+use cgc_graphs::WorkloadSpec;
 use cgc_net::CommGraph;
 
 fn main() {
@@ -25,7 +25,15 @@ fn main() {
         ],
     );
     for n in [80usize, 160, 320] {
-        let base_spec = gnp_spec(n, 3.0 / n as f64, 2000 + n as u64);
+        let p = 3.0 / n as f64;
+        let seed = 2000 + n as u64;
+        let square = WorkloadSpec::square_gnp(n, p, seed);
+        // The virtual route shares the square workload's base graph: the
+        // spec string in the row rebuilds both sides.
+        let base_spec = WorkloadSpec::gnp(n, p, seed)
+            .conflict_spec()
+            .expect("gnp has a conflict spec")
+            .0;
         let base = CommGraph::from_edges(n, &base_spec.edges).expect("valid base network");
 
         // Virtual-graph route: overlapping closed-neighborhood supports.
@@ -37,30 +45,34 @@ fn main() {
         // Pay the Appendix A overhead: congestion × dilation on G-rounds.
         let g_virtual = run_v.report.g_rounds * congestion as u64 * vg.dilation() as u64;
 
-        // Explicit-square route (the E12 substitution).
-        let sq = square_spec(&base_spec);
-        let h_square = realize(&sq, Layout::Singleton, 1, 31);
-        let mut net_s = ClusterNet::with_log_budget(&h_square, 32);
-        let run_s = color_cluster_graph(&mut net_s, &Params::laptop(h_square.n_vertices()), 31);
-        assert!(run_s.coloring.is_total() && run_s.coloring.is_proper(&h_square));
+        // Explicit-square route (the E12 substitution), via the Session.
+        let mut session = Session::builder(square).build();
+        let out_s = session.run(31);
+        assert!(out_s.run.coloring.is_total() && out_s.run.coloring.is_proper(session.graph()));
 
         let sv = coloring_stats(&h_virtual, &run_v.coloring);
-        let ss = coloring_stats(&h_square, &run_s.coloring);
+        let ss = coloring_stats(session.graph(), &out_s.run.coloring);
         assert!(
             sv.colors_used <= vg.max_degree() + 1,
             "Δ₂+1 bound (virtual)"
         );
-        assert!(ss.colors_used <= sq.max_degree() + 1, "Δ₂+1 bound (square)");
+        assert!(
+            ss.colors_used <= session.graph().max_degree() + 1,
+            "Δ₂+1 bound (square)"
+        );
 
-        t.row(vec![
-            n.to_string(),
-            vg.max_degree().to_string(),
-            congestion.to_string(),
-            sv.colors_used.to_string(),
-            ss.colors_used.to_string(),
-            f3(g_virtual as f64),
-            f3(run_s.report.g_rounds as f64),
-        ]);
+        t.row(
+            &out_s.spec_string,
+            vec![
+                n.to_string(),
+                vg.max_degree().to_string(),
+                congestion.to_string(),
+                sv.colors_used.to_string(),
+                ss.colors_used.to_string(),
+                f3(g_virtual as f64),
+                f3(out_s.run.report.g_rounds as f64),
+            ],
+        );
     }
     t.print();
     println!(

@@ -2,9 +2,8 @@
 //! shattering leaves `O(Δ² log_Δ n)`-sized components (§9.1).
 
 use cgc_bench::{f3, Table};
-use cgc_cluster::ClusterNet;
-use cgc_core::{color_cluster_graph, Params};
-use cgc_graphs::{gnp_spec, realize, Layout};
+use cgc_core::SessionBuilder;
+use cgc_graphs::WorkloadSpec;
 
 fn main() {
     let mut t = Table::new(
@@ -21,8 +20,9 @@ fn main() {
         ],
     );
     for n in [128usize, 256, 512, 1024, 2048, 4096] {
-        let spec = gnp_spec(n, 8.0 / n as f64, 2000 + n as u64);
-        let g = realize(&spec, Layout::Singleton, 1, 1);
+        let spec = WorkloadSpec::gnp(n, 8.0 / n as f64, 2000 + n as u64);
+        // A huge Δ_low forces the §9 path for the whole sweep.
+        let mut session = SessionBuilder::new(spec).delta_low(1 << 20).build();
         let mut h_rounds = 0.0;
         let mut sc = 0usize;
         let mut nc = 0usize;
@@ -31,29 +31,29 @@ fn main() {
         let mut fb = 0usize;
         let reps = 3;
         for rep in 0..reps {
-            let mut net = ClusterNet::with_log_budget(&g, 32);
-            let mut params = Params::laptop(n);
-            params.delta_low = 1 << 20; // force the §9 path for the sweep
-            let run = color_cluster_graph(&mut net, &params, 40 + rep);
-            h_rounds += run.report.h_rounds as f64;
-            let ld = run.stats.lowdeg.expect("low-degree path");
+            let out = session.run(40 + rep);
+            h_rounds += out.run.report.h_rounds as f64;
+            let ld = out.run.stats.lowdeg.expect("low-degree path");
             sc += ld.shatter_colored;
             nc += ld.n_components;
             mc = mc.max(ld.max_component);
             fr += ld.finish_rounds;
-            fb += ld.fallback + run.stats.fallback_colored;
+            fb += ld.fallback + out.run.stats.fallback_colored;
         }
         let r = reps as f64;
-        t.row(vec![
-            n.to_string(),
-            g.max_degree().to_string(),
-            f3(h_rounds / r),
-            f3(sc as f64 / r),
-            f3(nc as f64 / r),
-            mc.to_string(),
-            f3(fr as f64 / r),
-            fb.to_string(),
-        ]);
+        t.row_for(
+            &spec,
+            vec![
+                n.to_string(),
+                session.graph().max_degree().to_string(),
+                f3(h_rounds / r),
+                f3(sc as f64 / r),
+                f3(nc as f64 / r),
+                mc.to_string(),
+                f3(fr as f64 / r),
+                fb.to_string(),
+            ],
+        );
     }
     t.print();
 }

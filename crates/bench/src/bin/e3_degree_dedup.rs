@@ -3,8 +3,8 @@
 //! computes them exactly in O(1) rounds.
 
 use cgc_bench::{f3, Table};
-use cgc_cluster::ClusterNet;
-use cgc_graphs::{gnp_spec, realize, Layout};
+use cgc_core::Session;
+use cgc_graphs::{Layout, WorkloadSpec};
 
 fn main() {
     let mut t = Table::new(
@@ -18,11 +18,13 @@ fn main() {
             "rounds_exact",
         ],
     );
-    let spec = gnp_spec(80, 0.1, 3);
     for links in [1usize, 2, 4, 8] {
         for (name, layout) in [("star4", Layout::Star(4)), ("path4", Layout::Path(4))] {
-            let g = realize(&spec, layout, links, 5 + links as u64);
-            let mut net = ClusterNet::with_log_budget(&g, 32);
+            let spec = WorkloadSpec::gnp(80, 0.1, 5 + links as u64)
+                .with_layout(layout)
+                .with_links(links);
+            let session = Session::builder(spec).build();
+            let mut net = session.make_net();
             let h0 = net.meter.h_rounds();
             let exact = net.exact_degrees();
             let rounds = net.meter.h_rounds() - h0;
@@ -35,14 +37,17 @@ fn main() {
                 .map(|(&e, &nv)| nv as f64 / e.max(1) as f64)
                 .sum::<f64>()
                 / exact.len() as f64;
-            t.row(vec![
-                links.to_string(),
-                name.to_owned(),
-                max_exact.to_string(),
-                max_naive.to_string(),
-                f3(over),
-                rounds.to_string(),
-            ]);
+            t.row_for(
+                &spec,
+                vec![
+                    links.to_string(),
+                    name.to_owned(),
+                    max_exact.to_string(),
+                    max_naive.to_string(),
+                    f3(over),
+                    rounds.to_string(),
+                ],
+            );
         }
     }
     t.print();

@@ -36,13 +36,18 @@ fn main() {
                 }
             }
             let bound = (6.0 * (-xi * xi * trials as f64 / 200.0).exp()).min(1.0);
-            t.row(vec![
-                d.to_string(),
-                trials.to_string(),
-                f3(errs / reps as f64),
-                f3(fails as f64 / reps as f64),
-                f3(bound),
-            ]);
+            // No graph here: the workload column carries the sketch
+            // parameters in the same key=value grammar.
+            t.row(
+                &format!("sketch:d={d},t={trials},seed=9000"),
+                vec![
+                    d.to_string(),
+                    trials.to_string(),
+                    f3(errs / reps as f64),
+                    f3(fails as f64 / reps as f64),
+                    f3(bound),
+                ],
+            );
         }
     }
     t.print();

@@ -13,21 +13,25 @@ fn main() {
     );
     for d in [16usize, 256, 4096, 65_536, 1_048_576] {
         for trials in [64usize, 256, 1024] {
-            let s = SeedStream::new(5000 + d as u64);
+            let seed = 5000 + d as u64;
+            let s = SeedStream::new(seed);
             let mut acc = Fingerprint::empty(trials);
             for id in 0..d {
                 acc.merge(&Fingerprint::sample(&mut s.rng_for(id as u64, 0), trials));
             }
             let bits = encoded_bits(acc.maxima());
             let naive = 16 * trials as u64;
-            t.row(vec![
-                d.to_string(),
-                trials.to_string(),
-                bits.to_string(),
-                f3(bits as f64 / trials as f64),
-                naive.to_string(),
-                f3(naive as f64 / bits as f64),
-            ]);
+            t.row(
+                &format!("sketch:d={d},t={trials},seed={seed}"),
+                vec![
+                    d.to_string(),
+                    trials.to_string(),
+                    bits.to_string(),
+                    f3(bits as f64 / trials as f64),
+                    naive.to_string(),
+                    f3(naive as f64 / bits as f64),
+                ],
+            );
         }
     }
     t.print();

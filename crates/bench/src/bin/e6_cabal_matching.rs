@@ -3,15 +3,16 @@
 //! (`a_v ≤ M_K` for a `(1 − 10ε)` fraction).
 
 use cgc_bench::{f3, Table};
-use cgc_cluster::ClusterNet;
 use cgc_core::matching::fingerprint_matching;
-use cgc_graphs::{cabal_spec, realize, Layout};
+use cgc_core::Session;
+use cgc_graphs::WorkloadSpec;
 use cgc_net::SeedStream;
 
 fn main() {
     let k = 40usize;
     let mut t = Table::new(
-        "E6: fingerprint matching size vs planted anti-matching (|K| = 40)",
+        "E6: fingerprint matching size vs planted anti-matching (|K| = 40; \
+         averages over workload seeds base..base+4)",
         &["anti_pairs", "trials", "matched_avg", "coverage_avg"],
     );
     for anti in [1usize, 2, 4, 8, 12, 16] {
@@ -19,12 +20,13 @@ fn main() {
             let reps = 5u64;
             let mut matched = 0.0;
             let mut coverage = 0.0;
+            let base = WorkloadSpec::cabal(1, k, anti, 0, 6000);
             for rep in 0..reps {
-                let (spec, info) = cabal_spec(1, k, anti, 0, 6000 + rep);
-                let g = realize(&spec, Layout::Singleton, 1, rep);
-                let mut net = ClusterNet::with_log_budget(&g, 32);
+                let session = Session::builder(base.with_seed(6000 + rep)).build();
+                let members = session.planted().expect("cabal ground truth").cliques[0].clone();
+                let mut net = session.make_net();
                 let seeds = SeedStream::new(600 + rep);
-                let pairs = fingerprint_matching(&mut net, &seeds, rep, &info.cliques[0], trials);
+                let pairs = fingerprint_matching(&mut net, &seeds, rep, &members, trials);
                 matched += pairs.len() as f64;
                 // Coverage: fraction of members with a_v ≤ M_K. Planted
                 // anti-degrees are 1 for 2·anti members, 0 otherwise.
@@ -37,12 +39,15 @@ fn main() {
                     .count();
                 coverage += covered as f64 / k as f64;
             }
-            t.row(vec![
-                anti.to_string(),
-                trials.to_string(),
-                f3(matched / reps as f64),
-                f3(coverage / reps as f64),
-            ]);
+            t.row_for(
+                &base,
+                vec![
+                    anti.to_string(),
+                    trials.to_string(),
+                    f3(matched / reps as f64),
+                    f3(coverage / reps as f64),
+                ],
+            );
         }
     }
     t.print();

@@ -3,16 +3,16 @@
 //! donation vs fallback) as the put-aside size grows.
 
 use cgc_bench::{f3, Table};
-use cgc_cluster::ClusterNet;
 use cgc_core::cabals::color_cabals;
-use cgc_core::{Coloring, Params};
+use cgc_core::{Coloring, Session};
 use cgc_decomp::{acd_oracle, classify_cabals, degree_profile};
-use cgc_graphs::{cabal_spec, realize, Layout};
+use cgc_graphs::WorkloadSpec;
 use cgc_net::SeedStream;
 
 fn main() {
     let mut t = Table::new(
-        "E7: put-aside coloring outcomes (3 cabals of 30)",
+        "E7: put-aside coloring outcomes (3 cabals of 30; \
+         averages over workload seeds base..base+4)",
         &[
             "r_target",
             "mode",
@@ -29,23 +29,25 @@ fn main() {
             let mut ok = 0usize;
             let (mut free, mut don, mut fb) = (0usize, 0usize, 0usize);
             let mut totals = 0usize;
+            let base = WorkloadSpec::cabal(3, 30, 3, 5, 7000);
             for rep in 0..reps {
-                let (spec, _) = cabal_spec(3, 30, 3, 5, 7000 + rep);
-                let g = realize(&spec, Layout::Singleton, 1, rep);
-                let acd = acd_oracle(&g, 0.25);
-                let mut net = ClusterNet::with_log_budget(&g, 32);
-                let seeds = SeedStream::new(700 + rep);
-                let mut params = Params::laptop(g.n_vertices());
-                params.ell = 1e9; // all cabals
-                params.rho = r as f64 / params.ell.max(1.0); // target r directly
+                let mut session = Session::builder(base.with_seed(7000 + rep)).build();
+                let g = session.graph();
+                let n = g.n_vertices();
+                let delta = g.max_degree();
+                let acd = acd_oracle(g, 0.25);
+                let params = session.params_mut();
                 params.ell = r as f64; // cabal_putaside_size = rho·ell ≈ r
                 params.rho = 1.0;
                 if force_donation {
                     params.ls = 1_000_000; // palette never "wide": §7 Steps 4-6
                 }
+                let params = session.params().clone();
+                let mut net = session.make_net();
+                let seeds = SeedStream::new(700 + rep);
                 let profile = degree_profile(&mut net, &acd, &params.counting, &seeds.child(1));
-                let info = classify_cabals(&profile, g.max_degree(), 1e9, params.rho, 0.25);
-                let mut coloring = Coloring::new(g.n_vertices(), g.max_degree() + 1);
+                let info = classify_cabals(&profile, delta, 1e9, params.rho, 0.25);
+                let mut coloring = Coloring::new(n, delta + 1);
                 let report = color_cabals(
                     &mut net,
                     &mut coloring,
@@ -61,19 +63,22 @@ fn main() {
                 free += report.donation.free_colored;
                 don += report.donation.donated;
                 fb += report.donation.fallback;
-                if coloring.is_total() && coloring.is_proper(&g) {
+                if coloring.is_total() && coloring.is_proper(session.graph()) {
                     totals += 1;
                 }
             }
-            t.row(vec![
-                r.to_string(),
-                mode.to_owned(),
-                format!("{ok}/{reps}"),
-                f3(free as f64 / reps as f64),
-                f3(don as f64 / reps as f64),
-                f3(fb as f64 / reps as f64),
-                format!("{totals}/{reps}"),
-            ]);
+            t.row_for(
+                &base,
+                vec![
+                    r.to_string(),
+                    mode.to_owned(),
+                    format!("{ok}/{reps}"),
+                    f3(free as f64 / reps as f64),
+                    f3(don as f64 / reps as f64),
+                    f3(fb as f64 / reps as f64),
+                    format!("{totals}/{reps}"),
+                ],
+            );
         }
     }
     t.print();

@@ -2,9 +2,10 @@
 //! size and every vertex is adjacent to a majority of every group.
 
 use cgc_bench::{f3, Table};
-use cgc_cluster::{check_groups, random_groups, ClusterGraph, ClusterNet};
-use cgc_graphs::{cabal_spec, realize, Layout};
-use cgc_net::{CommGraph, SeedStream};
+use cgc_cluster::{check_groups, random_groups};
+use cgc_core::Session;
+use cgc_graphs::WorkloadSpec;
+use cgc_net::SeedStream;
 
 fn main() {
     let mut t = Table::new(
@@ -17,20 +18,19 @@ fn main() {
             "majority_fail_rate",
         ],
     );
-    let clique200 = ClusterGraph::singletons(CommGraph::complete(200));
-    let (spec, info) = cabal_spec(1, 200, 10, 0, 8);
-    let noisy = realize(&spec, Layout::Singleton, 1, 8);
+    // A perfect 200-clique and a noisy one with a planted 10-pair
+    // anti-matching — both addressable specs.
+    let clique = Session::builder(WorkloadSpec::planted_cliques(1, 200, 8)).build();
+    let noisy = Session::builder(WorkloadSpec::cabal(1, 200, 10, 0, 8)).build();
     for x in [2usize, 4, 8, 16] {
-        for (name, g, members) in [
-            ("true-clique", &clique200, (0..200).collect::<Vec<_>>()),
-            ("anti-10pairs", &noisy, info.cliques[0].clone()),
-        ] {
+        for (name, session) in [("true-clique", &clique), ("anti-10pairs", &noisy)] {
+            let members = session.planted().expect("planted ground truth").cliques[0].clone();
             let reps = 20u64;
             let mut min_s = usize::MAX;
             let mut max_s = 0usize;
             let mut fails = 0usize;
             for rep in 0..reps {
-                let mut net = ClusterNet::with_log_budget(g, 32);
+                let mut net = session.make_net();
                 let mut rng = SeedStream::new(800 + rep).rng_for(x as u64, 0);
                 let groups = random_groups(&mut net, &members, x, &mut rng);
                 let chk = check_groups(&net, &members, &groups);
@@ -40,13 +40,16 @@ fn main() {
                     fails += 1;
                 }
             }
-            t.row(vec![
-                x.to_string(),
-                name.to_owned(),
-                min_s.to_string(),
-                max_s.to_string(),
-                f3(fails as f64 / reps as f64),
-            ]);
+            t.row_for(
+                session.spec(),
+                vec![
+                    x.to_string(),
+                    name.to_owned(),
+                    min_s.to_string(),
+                    max_s.to_string(),
+                    f3(fails as f64 / reps as f64),
+                ],
+            );
         }
     }
     t.print();

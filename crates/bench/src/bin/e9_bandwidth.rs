@@ -7,9 +7,8 @@
 //! rounds, and how the round count reacts to the budget β.
 
 use cgc_bench::{f3, Table};
-use cgc_cluster::ClusterNet;
-use cgc_core::{color_cluster_graph, Params};
-use cgc_graphs::{cabal_spec, realize, Layout};
+use cgc_core::SessionBuilder;
+use cgc_graphs::{Layout, WorkloadSpec};
 
 fn main() {
     let mut t = Table::new(
@@ -23,35 +22,37 @@ fn main() {
             "coloring_phase_max",
         ],
     );
-    let (spec, _) = cabal_spec(3, 24, 2, 5, 9);
     for (name, layout) in [
         ("singleton", Layout::Singleton),
         ("star4", Layout::Star(4)),
         ("path6", Layout::Path(6)),
     ] {
         for beta in [1u64, 8, 32, 128] {
-            let g = realize(&spec, layout, 1, 9);
-            let mut net = ClusterNet::with_log_budget(&g, beta);
-            let run = color_cluster_graph(&mut net, &Params::laptop(g.n_vertices()), 19);
-            assert!(run.coloring.is_total());
+            let spec = WorkloadSpec::cabal(3, 24, 2, 5, 9).with_layout(layout);
+            let mut session = SessionBuilder::new(spec).log_budget(beta).build();
+            let out = session.run(19);
+            assert!(out.run.coloring.is_total());
             let sketchy = ["acd", "degrees", "fp-matching", "complete"];
             let mut sketch_max = 0u64;
             let mut color_max = 0u64;
-            for (phase, cost) in &run.report.phases {
+            for (phase, cost) in &out.run.report.phases {
                 if sketchy.iter().any(|s| phase.starts_with(s)) {
                     sketch_max = sketch_max.max(cost.max_msg_bits);
                 } else {
                     color_max = color_max.max(cost.max_msg_bits);
                 }
             }
-            t.row(vec![
-                name.to_owned(),
-                beta.to_string(),
-                run.report.budget_bits.to_string(),
-                f3(run.report.h_rounds as f64),
-                sketch_max.to_string(),
-                color_max.to_string(),
-            ]);
+            t.row(
+                &out.spec_string,
+                vec![
+                    name.to_owned(),
+                    beta.to_string(),
+                    out.run.report.budget_bits.to_string(),
+                    f3(out.run.report.h_rounds as f64),
+                    sketch_max.to_string(),
+                    color_max.to_string(),
+                ],
+            );
         }
     }
     t.print();

@@ -1,41 +1,87 @@
-//! Experiment harness utilities: aligned-table output and shared
-//! instance builders used by the `e*` experiment binaries (see
-//! EXPERIMENTS.md for the experiment ↔ claim index).
+//! Experiment harness utilities: the uniform reporting layer ([`Table`],
+//! [`Json`]) and shared workload shorthands used by the `e*` experiment
+//! binaries and `bench_baseline`.
+//!
+//! Every table row carries the [`cgc_graphs::WorkloadSpec`] string of the
+//! instance it measured, and every table header carries the executor
+//! thread count and the detected hardware cores — so numbers from
+//! different machines (or different `CGC_THREADS` settings) stay
+//! comparable, and any row can be reproduced by parsing its workload
+//! column. [`Json`] is the shared emitter behind `BENCH_PR*.json`: one
+//! schema (`cgc-bench/v1`) for the baseline recorder and any future
+//! experiment that wants machine-readable output.
 
-use cgc_cluster::ClusterGraph;
-use cgc_graphs::{mixture_spec, realize, Layout, MixtureConfig};
+use cgc_cluster::{available_threads, ClusterGraph, ParallelConfig};
+use cgc_graphs::WorkloadSpec;
+use std::fmt::Write as _;
 
-/// A simple experiment table printed aligned and as CSV.
+/// An experiment table printed aligned and as CSV, with a mandatory
+/// threads/cores header and a workload spec column on every row.
 #[derive(Debug, Clone)]
 pub struct Table {
     title: String,
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
+    threads: usize,
+    cores: usize,
 }
 
 impl Table {
-    /// New table with column headers.
+    /// New table with the experiment's own column headers. The `workload`
+    /// column is prepended automatically and the executor context
+    /// (threads from `CGC_THREADS`, detected cores) is captured here —
+    /// override with [`Table::with_threads`] when runs use an explicit
+    /// [`ParallelConfig`].
     pub fn new(title: &str, headers: &[&str]) -> Self {
+        let mut all = Vec::with_capacity(headers.len() + 1);
+        all.push("workload".to_owned());
+        all.extend(headers.iter().map(|s| (*s).to_owned()));
         Table {
             title: title.to_owned(),
-            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            headers: all,
             rows: Vec::new(),
+            threads: ParallelConfig::from_env().threads(),
+            cores: available_threads(),
         }
     }
 
-    /// Appends one row (stringified cells).
+    /// Overrides the reported thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Appends one row measured on `workload` (stringified cells for the
+    /// experiment's own columns). Use the spec's `Display` string for
+    /// graph workloads; non-graph experiments (pure sketch measurements)
+    /// pass a compact `family:key=value` descriptor in the same grammar.
     ///
     /// # Panics
     ///
-    /// Panics if the arity differs from the header count.
-    pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
-        self.rows.push(cells);
+    /// Panics if the cell arity differs from the header count.
+    pub fn row(&mut self, workload: &str, cells: Vec<String>) {
+        assert_eq!(
+            cells.len() + 1,
+            self.headers.len(),
+            "row arity mismatch (headers do not count the workload column)"
+        );
+        let mut full = Vec::with_capacity(self.headers.len());
+        full.push(workload.to_owned());
+        full.extend(cells);
+        self.rows.push(full);
     }
 
-    /// Prints the table aligned, then as CSV (machine-readable).
+    /// [`Table::row`] taking the spec directly.
+    pub fn row_for(&mut self, workload: &WorkloadSpec, cells: Vec<String>) {
+        self.row(&workload.to_string(), cells);
+    }
+
+    /// Prints the table aligned, then as CSV (machine-readable). The CSV
+    /// carries `threads`/`cores` columns so concatenated CSVs from
+    /// different machines stay self-describing.
     pub fn print(&self) {
         println!("\n== {} ==", self.title);
+        println!("[threads={} cores={}]", self.threads, self.cores);
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (w, c) in widths.iter_mut().zip(row) {
@@ -55,11 +101,217 @@ impl Table {
             println!("{}", fmt_row(row));
         }
         println!("-- csv --");
-        println!("{}", self.headers.join(","));
+        println!("{},threads,cores", self.headers.join(","));
         for row in &self.rows {
-            println!("{}", row.join(","));
+            let cells: Vec<String> = row.iter().map(|c| csv_cell(c)).collect();
+            println!("{},{},{}", cells.join(","), self.threads, self.cores);
         }
     }
+
+    /// The table as a [`Json`] section in the shared bench schema.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                Json::Obj(
+                    self.headers
+                        .iter()
+                        .zip(row)
+                        .map(|(h, c)| (h.clone(), Json::Str(c.clone())))
+                        .collect(),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("title".into(), Json::Str(self.title.clone())),
+            ("threads".into(), Json::U64(self.threads as u64)),
+            ("cores".into(), Json::U64(self.cores as u64)),
+            ("rows".into(), Json::Arr(rows)),
+        ])
+    }
+}
+
+/// RFC-4180 quoting for one CSV cell: workload spec strings contain
+/// commas, so any cell with a comma, quote or newline is double-quoted.
+fn csv_cell(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
+    }
+}
+
+/// A JSON value for the shared bench/report schema — the workspace builds
+/// offline, so this stands in for a serde dependency.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Wide unsigned integer (the meter's bit totals are `u128`).
+    U128(u128),
+    /// Float (shortest round-trip form).
+    F64(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::U64(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::U64(v as u64)
+    }
+}
+impl From<u128> for Json {
+    fn from(v: u128) -> Self {
+        Json::U128(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_owned())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Arr(v)
+    }
+}
+
+impl Json {
+    /// Object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::U128(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    let _ = write!(out, "{pad}  \"{k}\": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+/// Wraps `sections` in the shared `cgc-bench/v1` envelope: schema tag plus
+/// the hardware/executor context every consumer needs to compare numbers
+/// across machines. `bench_baseline` writes `BENCH_PR*.json` through this;
+/// experiment binaries can emit the same schema via [`Table::to_json`].
+pub fn bench_report(threads: usize, sections: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![
+        ("schema", Json::from("cgc-bench/v1")),
+        (
+            "hardware",
+            Json::obj(vec![
+                ("detected_cores", Json::from(available_threads())),
+                ("threads", Json::from(threads)),
+            ]),
+        ),
+    ];
+    pairs.extend(sections);
+    Json::obj(pairs)
+}
+
+/// Writes a pretty-printed JSON document.
+///
+/// # Panics
+///
+/// Panics when the path is not writable.
+pub fn write_json(path: &str, json: &Json) {
+    std::fs::write(path, json.pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
 }
 
 /// Formats a float with 3 decimals.
@@ -67,19 +319,31 @@ pub fn f3(x: f64) -> String {
     format!("{x:.3}")
 }
 
-/// A planted high-degree instance with `c` blocks of size `k` (singleton
-/// layout) — the standard E1/E14 workload.
+/// True when `CGC_E_SMOKE` asks experiment binaries for tiny CI-sized
+/// sweeps (any value but `0`).
+pub fn smoke() -> bool {
+    std::env::var("CGC_E_SMOKE").is_ok_and(|v| v != "0")
+}
+
+/// The standard E1/E14 dense workload: `c` planted mixture blocks of size
+/// `k` over singleton clusters, as a [`WorkloadSpec`].
+pub fn dense_workload(c: usize, k: usize, seed: u64) -> WorkloadSpec {
+    WorkloadSpec::new(
+        cgc_graphs::WorkloadFamily::Mixture {
+            c,
+            k,
+            anti: 0.03,
+            ext: 2,
+            bg: (c * k) / 4,
+            bgp: 0.05,
+        },
+        seed,
+    )
+}
+
+/// Builds [`dense_workload`] directly (compatibility shorthand).
 pub fn dense_instance(c: usize, k: usize, seed: u64) -> ClusterGraph {
-    let cfg = MixtureConfig {
-        n_cliques: c,
-        clique_size: k,
-        anti_edge_prob: 0.03,
-        external_per_vertex: 2,
-        sparse_n: (c * k) / 4,
-        sparse_p: 0.05,
-    };
-    let (spec, _) = mixture_spec(&cfg, seed);
-    realize(&spec, Layout::Singleton, 1, seed)
+    dense_workload(c, k, seed).build()
 }
 
 #[cfg(test)]
@@ -89,7 +353,7 @@ mod tests {
     #[test]
     fn table_prints_consistent_arity() {
         let mut t = Table::new("demo", &["a", "b"]);
-        t.row(vec!["1".into(), "2".into()]);
+        t.row("gnp:n=10,p=0.5,seed=1", vec!["1".into(), "2".into()]);
         t.print();
     }
 
@@ -97,12 +361,60 @@ mod tests {
     #[should_panic(expected = "row arity mismatch")]
     fn arity_mismatch_panics() {
         let mut t = Table::new("demo", &["a"]);
-        t.row(vec!["1".into(), "2".into()]);
+        t.row("w", vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_cells_with_commas_are_quoted() {
+        assert_eq!(csv_cell("plain"), "plain");
+        assert_eq!(csv_cell("gnp:n=10,p=0.5"), "\"gnp:n=10,p=0.5\"");
+        assert_eq!(csv_cell("a\"b"), "\"a\"\"b\"");
+    }
+
+    #[test]
+    fn table_json_carries_context() {
+        let mut t = Table::new("demo", &["x"]).with_threads(4);
+        t.row_for(&WorkloadSpec::gnp(10, 0.5, 1), vec!["7".into()]);
+        let j = t.to_json();
+        let s = j.pretty();
+        assert!(s.contains("\"threads\": 4"));
+        assert!(s.contains("gnp:n=10,p=0.5,seed=1"));
+        assert!(s.contains("\"workload\""));
+    }
+
+    #[test]
+    fn json_escapes_and_nests() {
+        let j = Json::obj(vec![
+            ("s", Json::from("a\"b\\c\nd")),
+            ("arr", Json::Arr(vec![Json::U64(1), Json::Null])),
+            ("f", Json::from(0.25)),
+            ("empty", Json::Arr(Vec::new())),
+        ]);
+        let s = j.pretty();
+        assert!(s.contains("\"a\\\"b\\\\c\\nd\""));
+        assert!(s.contains("0.25"));
+        assert!(s.contains("[]"));
+    }
+
+    #[test]
+    fn bench_report_has_schema_and_hardware() {
+        let r = bench_report(2, vec![("x", Json::from(1u64))]);
+        let s = r.pretty();
+        assert!(s.contains("cgc-bench/v1"));
+        assert!(s.contains("\"detected_cores\""));
+        assert!(s.contains("\"threads\": 2"));
     }
 
     #[test]
     fn dense_instance_is_dense() {
         let g = dense_instance(2, 20, 1);
         assert!(g.max_degree() >= 19);
+    }
+
+    #[test]
+    fn dense_workload_roundtrips_as_string() {
+        let w = dense_workload(3, 26, 19);
+        let back: WorkloadSpec = w.to_string().parse().unwrap();
+        assert_eq!(back, w);
     }
 }

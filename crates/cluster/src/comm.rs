@@ -45,7 +45,7 @@
 //! bounds on the edge/init/fold closures enforce the purity this needs.
 
 use crate::graph::{ClusterGraph, VertexId};
-use crate::par::{fill_sharded, fill_sharded_entries, ParallelConfig, ShardPlan};
+use crate::par::{fill_sharded, fill_sharded_with_offsets, ParallelConfig, ShardPlan};
 use cgc_net::CostMeter;
 
 /// CSR-shaped result of a [`ClusterNet::neighbor_collect`] round: row `v`
@@ -165,13 +165,27 @@ impl<'a> ClusterNet<'a> {
     ///
     /// Panics if `beta == 0`.
     pub fn with_log_budget(g: &'a ClusterGraph, beta: u64) -> Self {
-        let logn = (u64::BITS - (g.n_machines() as u64).leading_zeros()) as u64;
-        Self::new(g, beta * logn.max(1))
+        Self::with_log_budget_parallel(g, beta, ParallelConfig::serial())
     }
 
-    /// Reconfigures the parallel executor (replans the shards). Outputs and
-    /// meter totals do not depend on this — only wall-clock does.
+    /// [`Self::with_log_budget`] with an explicit executor configuration —
+    /// the one place the paper's log-budget reading is spelled out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta == 0`.
+    pub fn with_log_budget_parallel(g: &'a ClusterGraph, beta: u64, par: ParallelConfig) -> Self {
+        let logn = (u64::BITS - (g.n_machines() as u64).leading_zeros()) as u64;
+        Self::with_parallel(g, beta * logn.max(1), par)
+    }
+
+    /// Reconfigures the parallel executor (replans the shards; a no-op
+    /// when the config is unchanged). Outputs and meter totals do not
+    /// depend on this — only wall-clock does.
     pub fn set_parallel(&mut self, par: ParallelConfig) {
+        if par == self.par {
+            return;
+        }
         self.plan = ShardPlan::plan(self.g, &par);
         self.par = par;
     }
@@ -500,13 +514,17 @@ impl<'a> ClusterNet<'a> {
         self.charge_converge(query_bits.saturating_mul(max_deg.max(1)));
 
         let (offsets, adj) = self.g.adjacency_csr();
-        out.offsets.clear();
-        out.offsets.extend_from_slice(offsets);
-        fill_sharded_entries(&mut out.data, &self.plan, offsets, |range, slot| {
-            let base = offsets[range.start];
-            for (i, cell) in slot.iter_mut().enumerate() {
-                let u = adj[base + i];
-                cell.write((u, queries[u].clone()));
+        // Offsets copy and arena fill are sharded together in one scope:
+        // shard `s` copies its own vertices' row starts and fills its own
+        // rows' entries — the last O(n) sequential passes of the warm
+        // round, removed without an extra spawn cycle.
+        fill_sharded_with_offsets(&mut out.offsets, &mut out.data, &self.plan, offsets, {
+            |range: std::ops::Range<usize>, slot: &mut [std::mem::MaybeUninit<_>]| {
+                let base = offsets[range.start];
+                for (i, cell) in slot.iter_mut().enumerate() {
+                    let u = adj[base + i];
+                    cell.write((u, queries[u].clone()));
+                }
             }
         });
     }
@@ -535,6 +553,28 @@ impl<'a> ClusterNet<'a> {
             for (i, cell) in slot.iter_mut().enumerate() {
                 let v = start + i;
                 cell.write(offsets[v + 1] - offsets[v]);
+            }
+        });
+    }
+
+    /// Builds a per-vertex vector shard-parallel over the runtime's
+    /// [`ShardPlan`]: element `v` is `f(v)`, bit-identical to the
+    /// sequential `(0..n).map(f).collect()` at any thread count because
+    /// each worker writes a disjoint contiguous slice and `f` is pure
+    /// (`Fn + Sync`). Used by the driver for its per-phase eligibility
+    /// masks — free of meter charges, like any local recomputation.
+    pub fn par_vertex_map<T: Send>(&self, f: impl Fn(VertexId) -> T + Sync) -> Vec<T> {
+        let mut out = Vec::new();
+        self.par_vertex_map_into(&mut out, f);
+        out
+    }
+
+    /// [`Self::par_vertex_map`] into a reusable buffer (allocation-free
+    /// once warm).
+    pub fn par_vertex_map_into<T: Send>(&self, out: &mut Vec<T>, f: impl Fn(VertexId) -> T + Sync) {
+        fill_sharded(out, &self.plan, |start, slot| {
+            for (i, cell) in slot.iter_mut().enumerate() {
+                cell.write(f(start + i));
             }
         });
     }

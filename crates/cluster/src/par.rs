@@ -233,33 +233,76 @@ pub(crate) fn fill_sharded<T: Send>(
     unsafe { out.set_len(n) };
 }
 
-/// Like [`fill_sharded`] but for CSR *entry* output: shard `s` owns the
-/// entries of its vertices' rows, i.e. `offsets[bounds[s]]..offsets[bounds
-/// [s + 1]]`, and `fill` receives the shard's vertex range plus its entry
-/// slice. Used by `neighbor_collect_into`.
-pub(crate) fn fill_sharded_entries<T: Send>(
-    out: &mut Vec<T>,
+/// CSR output fill where shard `s` owns both its vertices' row starts
+/// (copied into `out_offsets`) and the entries of its rows, i.e.
+/// `offsets[bounds[s]]..offsets[bounds[s + 1]]` of `out_data` — one
+/// `thread::scope` for both, so sharding the offsets copy costs no extra
+/// spawn cycle. The trailing `offsets[n]` end sentinel is appended after
+/// the parallel phase. Used by `neighbor_collect_into`.
+pub(crate) fn fill_sharded_with_offsets<T: Send>(
+    out_offsets: &mut Vec<usize>,
+    out_data: &mut Vec<T>,
     plan: &ShardPlan,
     offsets: &[usize],
     fill: impl Fn(std::ops::Range<usize>, &mut [MaybeUninit<T>]) + Sync,
 ) {
-    let n_entries = offsets[plan.n_vertices()];
-    out.clear();
-    out.reserve(n_entries);
-    let spare = &mut out.spare_capacity_mut()[..n_entries];
+    let n = plan.n_vertices();
+    let n_entries = offsets[n];
+    out_offsets.clear();
+    out_offsets.reserve(n + 1);
+    out_data.clear();
+    out_data.reserve(n_entries);
+    let copy_then_fill = |range: std::ops::Range<usize>,
+                          offs_slot: &mut [MaybeUninit<usize>],
+                          data_slot: &mut [MaybeUninit<T>]| {
+        for (i, cell) in offs_slot.iter_mut().enumerate() {
+            cell.write(offsets[range.start + i]);
+        }
+        fill(range, data_slot);
+    };
     if plan.n_shards() <= 1 {
-        fill(0..plan.n_vertices(), spare);
-    } else {
-        run_sharded(
-            plan,
-            spare,
-            |r| offsets[r.end] - offsets[r.start],
-            &|range, slot: &mut [MaybeUninit<T>]| fill(range, slot),
+        copy_then_fill(
+            0..n,
+            &mut out_offsets.spare_capacity_mut()[..n],
+            &mut out_data.spare_capacity_mut()[..n_entries],
         );
+    } else {
+        let mut offs_spare = &mut out_offsets.spare_capacity_mut()[..n];
+        let mut data_spare = &mut out_data.spare_capacity_mut()[..n_entries];
+        let mut jobs = Vec::with_capacity(plan.n_shards());
+        for s in 0..plan.n_shards() {
+            let range = plan.range(s);
+            let (offs_head, offs_tail) = offs_spare.split_at_mut(range.len());
+            offs_spare = offs_tail;
+            let (data_head, data_tail) =
+                data_spare.split_at_mut(offsets[range.end] - offsets[range.start]);
+            data_spare = data_tail;
+            if !range.is_empty() {
+                jobs.push((range, offs_head, data_head));
+            }
+        }
+        std::thread::scope(|scope| {
+            let copy_then_fill = &copy_then_fill;
+            let mut local = None;
+            for (i, (range, offs, data)) in jobs.into_iter().enumerate() {
+                if i == 0 {
+                    local = Some((range, offs, data)); // calling thread's share
+                } else {
+                    scope.spawn(move || copy_then_fill(range, offs, data));
+                }
+            }
+            if let Some((range, offs, data)) = local {
+                copy_then_fill(range, offs, data);
+            }
+        });
     }
-    // SAFETY: as in `fill_sharded` — slices are fully written or the scope
-    // panicked before reaching here.
-    unsafe { out.set_len(n_entries) };
+    // SAFETY: every worker writes its full offsets and arena slices; a
+    // worker panic propagates out of the scope before these lines.
+    unsafe {
+        out_offsets.set_len(n);
+        out_data.set_len(n_entries);
+    }
+    out_offsets.push(offsets[n]);
 }
 
 /// Splits `spare` into per-shard slices (shard `s` gets `width(range_s)`
@@ -300,33 +343,27 @@ fn run_sharded<T: Send>(
 /// shard's result and folding them **in shard order** with `merge` — the
 /// deterministic reduction used by [`crate::exec`]'s trace functions and
 /// the parallel generators in `cgc_graphs`. With one shard, runs inline.
+/// A plan always has at least one shard, so the reduction is total.
 pub fn map_reduce_sharded<T: Send>(
     plan: &ShardPlan,
     work: impl Fn(std::ops::Range<usize>) -> T + Sync,
     mut merge: impl FnMut(&mut T, T),
-) -> Option<T> {
+) -> T {
     let shards = plan.n_shards();
     if shards <= 1 {
-        return Some(work(plan.range(0)));
+        return work(plan.range(0));
     }
-    let mut results: Vec<Option<T>> = (0..shards).map(|_| None).collect();
-    std::thread::scope(|scope| {
+    let mut results: Vec<Option<T>> = (1..shards).map(|_| None).collect();
+    let mut acc = std::thread::scope(|scope| {
         let work = &work;
-        let mut iter = results.iter_mut().enumerate();
-        let (_, first) = iter.next().expect("at least one shard");
-        for (s, slot) in iter {
-            let range = plan.range(s);
+        for (i, slot) in results.iter_mut().enumerate() {
+            let range = plan.range(i + 1);
             scope.spawn(move || *slot = Some(work(range)));
         }
-        *first = Some(work(plan.range(0)));
+        work(plan.range(0)) // calling thread takes shard 0
     });
-    let mut acc: Option<T> = None;
     for r in results {
-        let r = r.expect("every shard produced a result");
-        match &mut acc {
-            None => acc = Some(r),
-            Some(a) => merge(a, r),
-        }
+        merge(&mut acc, r.expect("every spawned shard produced a result"));
     }
     acc
 }
@@ -402,14 +439,39 @@ mod tests {
     }
 
     #[test]
+    fn fill_sharded_with_offsets_matches_sequential() {
+        // A fake CSR: row v has v % 3 entries, entry values encode (row,
+        // slot) so any mis-split scrambles the arena.
+        let n = 41;
+        let mut offsets = vec![0usize];
+        for v in 0..n {
+            offsets.push(offsets[v] + v % 3);
+        }
+        let g = line_graph(n);
+        for threads in [1, 2, 3, 8] {
+            let plan = ShardPlan::plan(&g, &ParallelConfig::with_threads(threads));
+            let mut out_offsets: Vec<usize> = Vec::new();
+            let mut out_data: Vec<u64> = Vec::new();
+            fill_sharded_with_offsets(&mut out_offsets, &mut out_data, &plan, &offsets, |r, s| {
+                let base = offsets[r.start];
+                for (i, cell) in s.iter_mut().enumerate() {
+                    cell.write((base + i) as u64 * 31);
+                }
+            });
+            assert_eq!(out_offsets, offsets, "threads={threads}");
+            let expect: Vec<u64> = (0..offsets[n] as u64).map(|e| e * 31).collect();
+            assert_eq!(out_data, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn map_reduce_is_shard_ordered() {
         let g = line_graph(40);
         for threads in [1, 2, 4, 7] {
             let plan = ShardPlan::plan(&g, &ParallelConfig::with_threads(threads));
             // Concatenation is order-sensitive: any non-shard-order merge
             // would scramble the result.
-            let got = map_reduce_sharded(&plan, |r| r.collect::<Vec<usize>>(), |a, b| a.extend(b))
-                .unwrap();
+            let got = map_reduce_sharded(&plan, |r| r.collect::<Vec<usize>>(), |a, b| a.extend(b));
             assert_eq!(got, (0..40).collect::<Vec<usize>>(), "threads={threads}");
         }
     }

@@ -113,11 +113,38 @@ impl Default for DriverOptions {
 /// The returned coloring is always total and proper (the terminal
 /// fallback guarantees it); round/bit costs are in `net.meter` and echoed
 /// in the result.
+///
+/// This is the compatibility entry point for callers that already hold a
+/// [`ClusterNet`]; experiments and applications should prefer
+/// [`crate::Session`], which owns the instance, caches its build across
+/// runs, and bundles thread/timing context with the result.
+///
+/// An explicitly parallel `net` keeps its configuration; a serial net
+/// picks up `CGC_THREADS` via [`DriverOptions::default`]. Either way the
+/// outputs are bit-identical — only wall-clock differs. To pin a run
+/// sequential regardless of the environment (single-thread timing), pass
+/// [`ParallelConfig::serial`] through [`color_cluster_graph_with`].
 pub fn color_cluster_graph(net: &mut ClusterNet<'_>, params: &Params, seed: u64) -> RunResult {
-    color_cluster_graph_with(net, params, seed, DriverOptions::default())
+    let parallel = if net.parallel().is_serial() {
+        ParallelConfig::from_env()
+    } else {
+        *net.parallel()
+    };
+    color_cluster_graph_with(
+        net,
+        params,
+        seed,
+        DriverOptions {
+            oracle_acd: false,
+            parallel,
+        },
+    )
 }
 
-/// [`color_cluster_graph`] with explicit [`DriverOptions`].
+/// [`color_cluster_graph`] with explicit [`DriverOptions`] — the thin
+/// wrapper [`crate::Session::run`] goes through, kept public so legacy
+/// call sites and the Session-equivalence differential test can drive the
+/// pipeline without a [`crate::Session`].
 pub fn color_cluster_graph_with(
     net: &mut ClusterNet<'_>,
     params: &Params,
@@ -183,12 +210,10 @@ pub fn color_cluster_graph_with(
         stats.n_cabals = cabal_info.n_cabals();
 
         // ---- Step 2: slack generation outside cabals ----
-        let eligible: Vec<bool> = (0..n)
-            .map(|v| match acd.clique_of(v) {
-                Some(c) => !cabal_info.is_cabal[c],
-                None => true,
-            })
-            .collect();
+        let eligible: Vec<bool> = net.par_vertex_map(|v| match acd.clique_of(v) {
+            Some(c) => !cabal_info.is_cabal[c],
+            None => true,
+        });
         stats.slackgen_colored = if params.ablation.slackgen {
             slack_generation(net, &mut coloring, &seeds.child(3), 0, &eligible, params)
         } else {
@@ -197,7 +222,7 @@ pub fn color_cluster_graph_with(
 
         // ---- Step 3: sparse vertices ----
         net.set_phase("sparse");
-        let sparse: Vec<bool> = (0..n).map(|v| acd.is_sparse(v)).collect();
+        let sparse: Vec<bool> = net.par_vertex_map(|v| acd.is_sparse(v));
         stats.sparse_colored = try_color_rounds(
             net,
             &mut coloring,
@@ -249,19 +274,19 @@ pub fn color_cluster_graph_with(
     net.set_phase("fallback");
     let fb_seeds = seeds.child(8);
     let mut round = 0u64;
+    let mut palettes: Vec<Vec<usize>> = Vec::new();
+    let mut eligible: Vec<bool> = Vec::new();
     while !coloring.is_total() {
         round += 1;
         net.charge_full_rounds(1, (q as u64).min(4 * net.meter.budget_bits()));
-        let palettes: Vec<Vec<usize>> = (0..n)
-            .map(|v| {
-                if coloring.is_colored(v) {
-                    Vec::new()
-                } else {
-                    coloring.palette_oracle(net.g, v)
-                }
-            })
-            .collect();
-        let eligible: Vec<bool> = (0..n).map(|v| !coloring.is_colored(v)).collect();
+        net.par_vertex_map_into(&mut palettes, |v| {
+            if coloring.is_colored(v) {
+                Vec::new()
+            } else {
+                coloring.palette_oracle(net.g, v)
+            }
+        });
+        net.par_vertex_map_into(&mut eligible, |v| !coloring.is_colored(v));
         stats.fallback_colored += try_color_round(
             net,
             &mut coloring,

@@ -21,7 +21,12 @@
 //! * [`lowdeg`] — the low-degree algorithm (§9: shattering, palette
 //!   learning, small-instance list coloring);
 //! * [`driver`] — the top-level algorithm (Algorithms 2–3, Theorems
-//!   1.1–1.2) with validation and honest fallback accounting.
+//!   1.1–1.2) with validation and honest fallback accounting;
+//! * [`session`] — the unified run API: [`Session`]/[`SessionBuilder`]
+//!   own a [`cgc_graphs::WorkloadSpec`]-addressed instance, cache its
+//!   build across runs, and bundle each run into a [`RunOutcome`] with
+//!   timings and thread context. Preferred over calling the driver
+//!   directly.
 //!
 //! # Quickstart
 //!
@@ -50,6 +55,7 @@ pub mod params;
 pub mod putaside;
 pub mod rounds;
 pub mod sct;
+pub mod session;
 pub mod slackgen;
 pub mod trycolor;
 pub mod validate;
@@ -60,4 +66,5 @@ pub use driver::{
 };
 pub use palette_query::CliquePalette;
 pub use params::{Ablation, Params};
+pub use session::{ParamsProfile, RunOutcome, Session, SessionBuilder};
 pub use validate::{coloring_stats, ColoringStats};

@@ -1,0 +1,404 @@
+//! The unified run API: one builder-based entry point for every run,
+//! experiment and bench.
+//!
+//! A [`Session`] owns a built [`ClusterGraph`] addressed by a
+//! [`WorkloadSpec`] and caches it across runs — sweeping run seeds or
+//! thread counts over one instance pays `ClusterGraph::build` once, not
+//! per run (the build dominates setup at large `n`). Every run goes
+//! through [`Session::run`], which wires [`Params`], the
+//! [`ParallelConfig`], the log-budget and the [`DriverOptions`] through
+//! one place and returns a [`RunOutcome`]: the [`RunResult`] plus
+//! wall-clock phase timings, the thread count, the detected cores and the
+//! workload spec string — everything an experiment table or JSON baseline
+//! needs to make the run reproducible and comparable across hardware.
+//!
+//! ```
+//! use cgc_core::SessionBuilder;
+//!
+//! let mut session = SessionBuilder::parse("gnp:n=120,p=0.05,seed=1")
+//!     .unwrap()
+//!     .build();
+//! let out = session.run(11);
+//! assert!(out.run.coloring.is_proper(session.graph()));
+//! assert_eq!(out.spec_string, "gnp:n=120,p=0.05,seed=1");
+//! ```
+//!
+//! The legacy free functions
+//! [`color_cluster_graph`](crate::color_cluster_graph) /
+//! [`color_cluster_graph_with`](crate::color_cluster_graph_with) remain as
+//! thin compatibility wrappers for callers that already hold a
+//! [`ClusterNet`]; `Session` is the preferred entry point.
+
+use crate::driver::{color_cluster_graph_with, DriverOptions, RunResult};
+use crate::params::{Ablation, Params};
+use cgc_cluster::{available_threads, ClusterGraph, ClusterNet, ParallelConfig};
+use cgc_graphs::{PlantedInfo, WorkloadParseError, WorkloadSpec};
+use std::time::Instant;
+
+/// Which [`Params`] preset a session derives from the instance size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParamsProfile {
+    /// [`Params::laptop`] — scaled constants, the experiment default.
+    #[default]
+    Laptop,
+    /// [`Params::paper`] — the faithful constants.
+    Paper,
+}
+
+/// Everything one coloring run produced, bundled for uniform reporting.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The driver result: coloring, cost report, stage statistics.
+    pub run: RunResult,
+    /// Canonical string of the workload that was colored — parsing it
+    /// rebuilds the instance bit-for-bit.
+    pub spec_string: String,
+    /// The run seed (the workload seed lives inside `spec_string`).
+    pub seed: u64,
+    /// Executor thread count the run used.
+    pub threads: usize,
+    /// Hardware cores detected on this machine.
+    pub detected_cores: usize,
+    /// Wall-clock seconds `ClusterGraph::build` took for this instance
+    /// (`0.0` when the cached graph was reused).
+    pub build_secs: f64,
+    /// Whether this run reused the session's cached graph.
+    pub graph_cached: bool,
+    /// Wall-clock seconds of the coloring run itself.
+    pub color_secs: f64,
+}
+
+/// Builder for a [`Session`]; every knob the 21 experiment binaries used
+/// to hand-roll, behind fluent setters.
+///
+/// ```
+/// use cgc_core::{ParamsProfile, SessionBuilder};
+/// use cgc_graphs::WorkloadSpec;
+///
+/// let mut session = SessionBuilder::new(WorkloadSpec::gnp(60, 0.2, 7))
+///     .params(ParamsProfile::Paper)
+///     .log_budget(32)
+///     .oracle_acd(false)
+///     .build();
+/// let out = session.run(19);
+/// assert!(out.run.coloring.is_total());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    spec: WorkloadSpec,
+    profile: ParamsProfile,
+    beta: u64,
+    parallel: ParallelConfig,
+    oracle_acd: bool,
+    ablation: Option<Ablation>,
+    delta_low: Option<usize>,
+}
+
+impl SessionBuilder {
+    /// Builder for `spec` with the experiment defaults: laptop params,
+    /// `32·⌈log₂ n⌉`-bit budget, `CGC_THREADS`-honoring executor,
+    /// fingerprint ACD.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        SessionBuilder {
+            spec,
+            profile: ParamsProfile::Laptop,
+            beta: 32,
+            parallel: ParallelConfig::from_env(),
+            oracle_acd: false,
+            ablation: None,
+            delta_low: None,
+        }
+    }
+
+    /// Builder from a compact workload string (`"gnp:n=120,p=0.05,seed=1"`).
+    pub fn parse(spec: &str) -> Result<Self, WorkloadParseError> {
+        Ok(Self::new(spec.parse()?))
+    }
+
+    /// Selects the [`Params`] preset (default: laptop).
+    pub fn params(mut self, profile: ParamsProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Bandwidth budget factor `β` (budget = `β·⌈log₂ n_machines⌉` bits
+    /// per link per round; default 32).
+    pub fn log_budget(mut self, beta: u64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Overrides the executor configuration (default: honor `CGC_THREADS`).
+    pub fn parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Uses the exact-oracle ACD instead of the fingerprint ACD.
+    pub fn oracle_acd(mut self, oracle: bool) -> Self {
+        self.oracle_acd = oracle;
+        self
+    }
+
+    /// Installs stage toggles for ablation runs (E19).
+    pub fn ablation(mut self, ablation: Ablation) -> Self {
+        self.ablation = Some(ablation);
+        self
+    }
+
+    /// Overrides `Δ_low` (E2 forces the §9 path with a huge value).
+    pub fn delta_low(mut self, delta_low: usize) -> Self {
+        self.delta_low = Some(delta_low);
+        self
+    }
+
+    /// Builds the instance (timed) and returns the ready [`Session`].
+    pub fn build(self) -> Session {
+        let start = Instant::now();
+        let (graph, planted) = self.spec.build_with_info(&self.parallel);
+        let build_secs = start.elapsed().as_secs_f64();
+        let params = derive_params(
+            self.profile,
+            graph.n_vertices(),
+            self.ablation,
+            self.delta_low,
+        );
+        Session {
+            spec: self.spec,
+            graph,
+            planted,
+            build_secs,
+            runs_on_graph: 0,
+            profile: self.profile,
+            ablation: self.ablation,
+            delta_low: self.delta_low,
+            params,
+            beta: self.beta,
+            parallel: self.parallel,
+            oracle_acd: self.oracle_acd,
+        }
+    }
+}
+
+fn derive_params(
+    profile: ParamsProfile,
+    n: usize,
+    ablation: Option<Ablation>,
+    delta_low: Option<usize>,
+) -> Params {
+    let mut params = match profile {
+        ParamsProfile::Laptop => Params::laptop(n),
+        ParamsProfile::Paper => Params::paper(n),
+    };
+    if let Some(ab) = ablation {
+        params.ablation = ab;
+    }
+    if let Some(dl) = delta_low {
+        params.delta_low = dl;
+    }
+    params
+}
+
+/// A reusable coloring session: the built instance plus every run knob.
+/// See the [module docs](self) and [`SessionBuilder`].
+#[derive(Debug)]
+pub struct Session {
+    spec: WorkloadSpec,
+    graph: ClusterGraph,
+    planted: Option<PlantedInfo>,
+    build_secs: f64,
+    runs_on_graph: u64,
+    profile: ParamsProfile,
+    ablation: Option<Ablation>,
+    delta_low: Option<usize>,
+    params: Params,
+    beta: u64,
+    parallel: ParallelConfig,
+    oracle_acd: bool,
+}
+
+impl Session {
+    /// Shorthand for [`SessionBuilder::new`].
+    pub fn builder(spec: WorkloadSpec) -> SessionBuilder {
+        SessionBuilder::new(spec)
+    }
+
+    /// The workload currently loaded.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// The canonical string of the loaded workload.
+    pub fn spec_string(&self) -> String {
+        self.spec.to_string()
+    }
+
+    /// The built (cached) instance.
+    pub fn graph(&self) -> &ClusterGraph {
+        &self.graph
+    }
+
+    /// Planted ground truth of the loaded workload, when the family has
+    /// one (planted cliques, mixtures, cabals).
+    pub fn planted(&self) -> Option<&PlantedInfo> {
+        self.planted.as_ref()
+    }
+
+    /// Wall-clock seconds the loaded instance took to build.
+    pub fn build_secs(&self) -> f64 {
+        self.build_secs
+    }
+
+    /// The derived algorithm parameters for the loaded instance.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Mutable access for per-run tuning beyond the builder knobs. Changes
+    /// persist until [`Session::set_workload`] rebuilds the instance and
+    /// re-derives the params.
+    pub fn params_mut(&mut self) -> &mut Params {
+        &mut self.params
+    }
+
+    /// Executor thread count runs will use.
+    pub fn threads(&self) -> usize {
+        self.parallel.threads()
+    }
+
+    /// Replaces the executor configuration for subsequent runs (the cached
+    /// graph is kept — thread sweeps do not rebuild).
+    pub fn set_parallel(&mut self, parallel: ParallelConfig) {
+        self.parallel = parallel;
+    }
+
+    /// Swaps the workload. The graph is rebuilt **only when the spec
+    /// differs** from the loaded one; seed/thread sweeps over one instance
+    /// reuse the cached build.
+    pub fn set_workload(&mut self, spec: WorkloadSpec) {
+        if spec == self.spec {
+            return;
+        }
+        let start = Instant::now();
+        let (graph, planted) = spec.build_with_info(&self.parallel);
+        self.build_secs = start.elapsed().as_secs_f64();
+        self.runs_on_graph = 0;
+        self.graph = graph;
+        self.planted = planted;
+        self.spec = spec;
+        self.params = derive_params(
+            self.profile,
+            self.graph.n_vertices(),
+            self.ablation,
+            self.delta_low,
+        );
+    }
+
+    /// A fresh metered runtime over the cached graph, with the session's
+    /// budget and executor installed — for experiments that drive
+    /// pipeline stages directly instead of the full driver.
+    pub fn make_net(&self) -> ClusterNet<'_> {
+        ClusterNet::with_log_budget_parallel(&self.graph, self.beta, self.parallel)
+    }
+
+    /// Runs the full coloring pipeline with `seed` on the cached instance
+    /// and returns the bundled [`RunOutcome`]. Identical `(spec, seed)`
+    /// pairs produce bit-identical colorings and cost reports at any
+    /// thread count.
+    pub fn run(&mut self, seed: u64) -> RunOutcome {
+        let mut net = self.make_net();
+        let opts = DriverOptions {
+            oracle_acd: self.oracle_acd,
+            parallel: self.parallel,
+        };
+        let start = Instant::now();
+        let run = color_cluster_graph_with(&mut net, &self.params, seed, opts);
+        let color_secs = start.elapsed().as_secs_f64();
+        let graph_cached = self.runs_on_graph > 0;
+        self.runs_on_graph += 1;
+        RunOutcome {
+            run,
+            spec_string: self.spec.to_string(),
+            seed,
+            threads: self.parallel.threads(),
+            detected_cores: available_threads(),
+            build_secs: if graph_cached { 0.0 } else { self.build_secs },
+            graph_cached,
+            color_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgc_graphs::Layout;
+
+    #[test]
+    fn session_runs_and_caches_the_graph() {
+        let mut s = SessionBuilder::parse("gnp:n=100,p=0.06,seed=4")
+            .unwrap()
+            .build();
+        let a = s.run(9);
+        assert!(a.run.coloring.is_total() && a.run.coloring.is_proper(s.graph()));
+        assert!(!a.graph_cached);
+        let b = s.run(10);
+        assert!(b.graph_cached, "second run must reuse the built graph");
+        assert_eq!(b.build_secs, 0.0);
+        assert_ne!(a.run.coloring, b.run.coloring, "seed reaches the driver");
+        let c = s.run(9);
+        assert_eq!(a.run.coloring, c.run.coloring, "same seed, same coloring");
+        assert_eq!(a.run.report, c.run.report);
+    }
+
+    #[test]
+    fn set_workload_rebuilds_only_on_change() {
+        let spec = WorkloadSpec::cabal(2, 14, 2, 3, 5);
+        let mut s = Session::builder(spec).build();
+        let n0 = s.graph().n_vertices();
+        s.run(1);
+        s.set_workload(spec);
+        assert!(s.run(2).graph_cached, "identical spec keeps the cache");
+        s.set_workload(spec.with_seed(6));
+        let out = s.run(3);
+        assert!(!out.graph_cached, "changed spec rebuilds");
+        assert_eq!(s.graph().n_vertices(), n0);
+    }
+
+    #[test]
+    fn builder_knobs_reach_the_driver() {
+        let spec = WorkloadSpec::mixture(&cgc_graphs::MixtureConfig::default(), 5);
+        let mut s = SessionBuilder::new(spec).oracle_acd(true).build();
+        let out = s.run(7);
+        assert!(out.run.stats.oracle_acd);
+        assert!(out.run.coloring.is_total());
+
+        let mut forced = SessionBuilder::new(WorkloadSpec::gnp(60, 0.2, 7))
+            .params(ParamsProfile::Paper)
+            .build();
+        let out = forced.run(19);
+        assert_eq!(out.run.stats.path, crate::driver::AlgoPath::LowDegree);
+    }
+
+    #[test]
+    fn outcome_carries_reporting_context() {
+        let spec = WorkloadSpec::gnp(50, 0.1, 2).with_layout(Layout::Star(3));
+        let mut s = SessionBuilder::new(spec)
+            .parallel(ParallelConfig::with_threads(2))
+            .build();
+        let out = s.run(3);
+        assert_eq!(out.threads, 2);
+        assert!(out.detected_cores >= 1);
+        assert_eq!(out.spec_string, "gnp:n=50,p=0.1,seed=2,layout=star3");
+        assert_eq!(out.seed, 3);
+        assert!(out.color_secs >= 0.0);
+    }
+
+    #[test]
+    fn planted_info_available_for_ground_truth_checks() {
+        let mut s = Session::builder(WorkloadSpec::planted_cliques(3, 10, 8)).build();
+        assert_eq!(s.planted().unwrap().cliques.len(), 3);
+        let out = s.run(1);
+        assert!(out.run.coloring.is_proper(s.graph()));
+    }
+}

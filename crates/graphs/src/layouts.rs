@@ -75,6 +75,45 @@ impl Layout {
     }
 }
 
+impl std::fmt::Display for Layout {
+    /// Compact form used inside workload spec strings: `single`, `path8`,
+    /// `star4`, `tree15`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Layout::Singleton => write!(f, "single"),
+            Layout::Path(m) => write!(f, "path{m}"),
+            Layout::Star(m) => write!(f, "star{m}"),
+            Layout::BinaryTree(m) => write!(f, "tree{m}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Layout {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "single" {
+            return Ok(Layout::Singleton);
+        }
+        let (ctor, digits): (fn(usize) -> Layout, &str) = if let Some(d) = s.strip_prefix("path") {
+            (Layout::Path, d)
+        } else if let Some(d) = s.strip_prefix("star") {
+            (Layout::Star, d)
+        } else if let Some(d) = s.strip_prefix("tree") {
+            (Layout::BinaryTree, d)
+        } else {
+            return Err(format!("unknown layout `{s}`"));
+        };
+        let m: usize = digits
+            .parse()
+            .map_err(|_| format!("bad cluster size in layout `{s}`"))?;
+        if m < 2 {
+            return Err(format!("layout `{s}` needs at least 2 machines"));
+        }
+        Ok(ctor(m))
+    }
+}
+
 /// Realizes a spec over a communication network.
 ///
 /// Every `H`-edge is wired with `links_per_edge` distinct `G`-links whose

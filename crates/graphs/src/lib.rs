@@ -16,7 +16,9 @@
 //!   per-row skip walks so generation shards across threads;
 //! * [`rgg`] — random geometric (spatially clustered) graphs with a
 //!   grid-bucketed, row-sharded edge scan;
-//! * [`adversarial`] — the Figure 2/3 bottleneck-link instances.
+//! * [`adversarial`] — the Figure 2/3 bottleneck-link instances;
+//! * [`workload`] — [`WorkloadSpec`]: every family behind one typed,
+//!   string-addressable instance spec (`"gnp:n=300,p=0.02,seed=14"`).
 //!
 //! The parallel generators take a [`cgc_cluster::ParallelConfig`]; their
 //! output is a pure function of the parameters and seed, never of the
@@ -30,6 +32,7 @@ pub mod planted;
 pub mod power;
 pub mod powerlaw;
 pub mod rgg;
+pub mod workload;
 
 pub use adversarial::bottleneck_instance;
 pub use gnp::gnp_spec;
@@ -38,3 +41,4 @@ pub use planted::{cabal_spec, mixture_spec, planted_cliques_spec, MixtureConfig,
 pub use power::square_spec;
 pub use powerlaw::{power_law_spec, power_law_weights, PowerLawConfig};
 pub use rgg::{geometric_spec, radius_for_avg_degree};
+pub use workload::{WorkloadFamily, WorkloadParseError, WorkloadSpec};

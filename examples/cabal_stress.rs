@@ -3,9 +3,9 @@
 //! Cabals are almost-cliques with almost no external edges and almost no
 //! anti-edges: slack generation is useless, sampling matchings fail, and
 //! put-aside vertices must be colored by donation. This example plants an
-//! extreme cabal instance on the adversarial bottleneck layout (Figures
-//! 2–3: path clusters whose inter-cluster links attach only at the ends)
-//! and shows the pipeline still finishing within the bandwidth budget.
+//! extreme cabal instance on path clusters (Figures 2–3: all cross-cluster
+//! coordination squeezes through end-attached links) and shows the
+//! pipeline still finishing within the bandwidth budget.
 //!
 //! ```sh
 //! cargo run --release --example cabal_stress
@@ -15,35 +15,26 @@ use cluster_coloring::prelude::*;
 
 fn main() {
     // 4 cabals of 28 vertices, a 3-pair anti-matching each, only 6
-    // external edges in total.
-    let (spec, info) = cabal_spec(4, 28, 3, 6, 555);
+    // external edges in total, every cluster a path of 6 machines.
+    let spec = WorkloadSpec::cabal(4, 28, 3, 6, 555).with_layout(Layout::Path(6));
+    let mut session = Session::builder(spec).build();
     println!(
-        "cabal instance: {} vertices, {} edges, Δ = {}",
-        spec.n,
-        spec.edges.len(),
-        spec.max_degree()
+        "workload: {}\nlayout: path clusters, dilation d = {}, {} machines, Δ = {}",
+        session.spec_string(),
+        session.graph().dilation(),
+        session.graph().n_machines(),
+        session.graph().max_degree()
     );
 
-    // Adversarial layout: every cluster is a path of 6 machines, so all
-    // cross-cluster coordination squeezes through end-attached links.
-    let h = realize(&spec, Layout::Path(6), 1, 555);
-    println!(
-        "layout: path clusters, dilation d = {}, {} machines",
-        h.dilation(),
-        h.n_machines()
-    );
-
-    let mut net = ClusterNet::with_log_budget(&h, 32);
-    let params = Params::laptop(h.n_vertices());
-    let run = color_cluster_graph(&mut net, &params, 23);
-    assert!(run.coloring.is_total() && run.coloring.is_proper(&h));
+    let out = session.run(23);
+    assert!(out.run.coloring.is_total() && out.run.coloring.is_proper(session.graph()));
 
     println!("\npipeline report:");
     println!(
         "  almost-cliques: {} ({} cabals)",
-        run.stats.n_cliques, run.stats.n_cabals
+        out.run.stats.n_cliques, out.run.stats.n_cabals
     );
-    let c = &run.stats.cabal;
+    let c = &out.run.stats.cabal;
     println!(
         "  matching: {} sampled pairs, {} fingerprint escalations, {} fp pairs",
         c.sampled_pairs, c.fp_escalations, c.fp_pairs
@@ -54,14 +45,15 @@ fn main() {
     );
     println!(
         "  rounds: {} on H, {} on G; fallback colored {}",
-        run.report.h_rounds, run.report.g_rounds, run.stats.fallback_colored
+        out.run.report.h_rounds, out.run.report.g_rounds, out.run.stats.fallback_colored
     );
 
     // Verify each planted anti-pair: monochromatic pairs are legal.
+    let info = session.planted().expect("cabal ground truth");
     let mut reused = 0usize;
     for k in &info.cliques {
         for pair in k.chunks(2).take(3) {
-            if run.coloring.get(pair[0]) == run.coloring.get(pair[1]) {
+            if out.run.coloring.get(pair[0]) == out.run.coloring.get(pair[1]) {
                 reused += 1;
             }
         }

@@ -7,6 +7,12 @@
 //! builds such an instance directly from a communication network plus a
 //! contraction map, and colors it.
 //!
+//! A contraction map has no generator family, so there is no
+//! `WorkloadSpec` for this instance; the example uses
+//! [`color_cluster_graph`], the documented compatibility entry for
+//! custom-built [`ClusterGraph`]s (generator-backed runs go through
+//! [`Session`] — see `quickstart.rs`).
+//!
 //! ```sh
 //! cargo run --release --example contracted_flow_network
 //! ```

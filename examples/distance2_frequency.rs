@@ -4,7 +4,8 @@
 //! frequencies — a *distance-2* coloring of the access-point graph `G`,
 //! i.e. a vertex coloring of the square `G²` with `Δ₂ + 1` frequencies.
 //! The paper colors `G²` as a virtual graph over `G`; per DESIGN.md we
-//! color the explicit square with the cluster machinery.
+//! color the explicit square with the cluster machinery — the `square`
+//! workload family.
 //!
 //! ```sh
 //! cargo run --release --example distance2_frequency
@@ -23,25 +24,24 @@ fn main() {
         aps.max_degree()
     );
 
-    // Conflicts = distance ≤ 2 pairs.
-    let conflicts = square_spec(&aps);
+    // Conflicts = distance ≤ 2 pairs: the square workload over the same
+    // (n, p, seed) shares the base graph exactly.
+    let mut session = Session::builder(WorkloadSpec::square_gnp(180, 0.025, 99)).build();
     let d2 = delta_two(&aps);
     println!(
-        "conflict graph G²: {} edges, Δ₂ = {} (need ≤ {} frequencies)",
-        conflicts.edges.len(),
+        "conflict graph {}: Δ₂ = {} (need ≤ {} frequencies)",
+        session.spec_string(),
         d2,
         d2 + 1
     );
 
-    let h = realize(&conflicts, Layout::Singleton, 1, 99);
-    let mut net = ClusterNet::with_log_budget(&h, 32);
-    let run = color_cluster_graph(&mut net, &Params::laptop(h.n_vertices()), 11);
-    assert!(run.coloring.is_total() && run.coloring.is_proper(&h));
+    let out = session.run(11);
+    assert!(out.run.coloring.is_total() && out.run.coloring.is_proper(session.graph()));
 
-    let stats = coloring_stats(&h, &run.coloring);
+    let stats = coloring_stats(session.graph(), &out.run.coloring);
     println!(
         "allocated {} frequencies across {} access points in {} rounds",
-        stats.colors_used, stats.n_vertices, run.report.h_rounds
+        stats.colors_used, stats.n_vertices, out.run.report.h_rounds
     );
 
     // Spot-check the allocation: no two APs within distance 2 share one.
@@ -52,10 +52,18 @@ fn main() {
     }
     for u in 0..aps.n {
         for &v in &adj[u] {
-            assert_ne!(run.coloring.get(u), run.coloring.get(v), "distance-1 clash");
+            assert_ne!(
+                out.run.coloring.get(u),
+                out.run.coloring.get(v),
+                "distance-1 clash"
+            );
             for &w in &adj[v] {
                 if w != u {
-                    assert_ne!(run.coloring.get(u), run.coloring.get(w), "distance-2 clash");
+                    assert_ne!(
+                        out.run.coloring.get(u),
+                        out.run.coloring.get(w),
+                        "distance-2 clash"
+                    );
                 }
             }
         }

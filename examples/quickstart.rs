@@ -1,4 +1,5 @@
-//! Quickstart: color a cluster graph and inspect the cost report.
+//! Quickstart: color a cluster graph through the Session API and inspect
+//! the cost report.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -7,61 +8,58 @@
 use cluster_coloring::prelude::*;
 
 fn main() {
-    // A Reed-style mixture: dense planted blocks plus a sparse background.
-    let cfg = MixtureConfig {
-        n_cliques: 4,
-        clique_size: 24,
-        anti_edge_prob: 0.04,
-        external_per_vertex: 2,
-        sparse_n: 60,
-        sparse_p: 0.08,
-    };
-    let (spec, info) = mixture_spec(&cfg, 2024);
-    println!(
-        "conflict graph: {} vertices, {} edges, Δ = {}",
-        spec.n,
-        spec.edges.len(),
-        spec.max_degree()
-    );
+    // A Reed-style mixture: dense planted blocks plus a sparse background,
+    // laid out over star-shaped clusters of 4 machines with 2 parallel
+    // links per conflict edge (Figure 1's multiplicity). The whole
+    // instance is one addressable string.
+    let mut session = SessionBuilder::parse(
+        "mixture:c=4,k=24,anti=0.04,ext=2,bg=60,bgp=0.08,seed=2024,layout=star4,links=2",
+    )
+    .expect("valid workload spec")
+    .build();
 
-    // Lay it out over a communication network: every conflict-graph node
-    // becomes a star-shaped cluster of 4 machines, each H-edge realized by
-    // 2 parallel links (Figure 1's multiplicity).
-    let h = realize(&spec, Layout::Star(4), 2, 2024);
+    let h = session.graph();
     println!(
-        "network: {} machines, {} links, dilation d = {}",
+        "workload: {}\nnetwork: {} vertices, {} machines, {} links, dilation d = {}",
+        session.spec_string(),
+        h.n_vertices(),
         h.n_machines(),
         h.comm().n_links(),
         h.dilation()
     );
 
     // Run the paper's algorithm under a 32·⌈log₂ n⌉-bit budget.
-    let mut net = ClusterNet::with_log_budget(&h, 32);
-    let params = Params::laptop(h.n_vertices());
-    let run = color_cluster_graph(&mut net, &params, 7);
+    let out = session.run(7);
 
-    assert!(run.coloring.is_total() && run.coloring.is_proper(&h));
-    let stats = coloring_stats(&h, &run.coloring);
+    assert!(out.run.coloring.is_total() && out.run.coloring.is_proper(session.graph()));
+    let stats = coloring_stats(session.graph(), &out.run.coloring);
     println!(
         "\ncolored all {} vertices with {} colors (Δ+1 = {})",
         stats.n_vertices,
         stats.colors_used,
-        h.max_degree() + 1
+        session.graph().max_degree() + 1
     );
     println!(
         "rounds: {} on H, {} on G; total bits {}; max message {} bits (budget {})",
-        run.report.h_rounds,
-        run.report.g_rounds,
-        run.report.bits,
-        run.report.max_msg_bits,
-        run.report.budget_bits
+        out.run.report.h_rounds,
+        out.run.report.g_rounds,
+        out.run.report.bits,
+        out.run.report.max_msg_bits,
+        out.run.report.budget_bits
     );
     println!(
         "pipeline: {} almost-cliques ({} cabals), {} sparse; fallback colored {}",
-        run.stats.n_cliques, run.stats.n_cabals, run.stats.n_sparse, run.stats.fallback_colored
+        out.run.stats.n_cliques,
+        out.run.stats.n_cabals,
+        out.run.stats.n_sparse,
+        out.run.stats.fallback_colored
+    );
+    println!(
+        "wall clock: build {:.3}s, color {:.3}s on {} thread(s) ({} cores detected)",
+        out.build_secs, out.color_secs, out.threads, out.detected_cores
     );
     println!("\nper-phase cost:");
-    for (phase, cost) in &run.report.phases {
+    for (phase, cost) in &out.run.report.phases {
         println!(
             "  {phase:<22} {:>6} H-rounds  {:>8} bits",
             cost.h_rounds, cost.bits
@@ -69,5 +67,20 @@ fn main() {
     }
 
     // Compare with the planted ground truth.
-    println!("\nplanted blocks: {}", info.cliques.len());
+    println!(
+        "\nplanted blocks: {}",
+        session
+            .planted()
+            .expect("mixture ground truth")
+            .cliques
+            .len()
+    );
+
+    // A second run on the same instance reuses the cached build.
+    let again = session.run(8);
+    assert!(again.graph_cached);
+    println!(
+        "second run reused the cached graph (build_secs = {})",
+        again.build_secs
+    );
 }

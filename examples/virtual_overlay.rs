@@ -2,6 +2,12 @@
 //! clusters — each node's support is its closed neighborhood on the
 //! original network, and the simulation pays the measured congestion.
 //!
+//! The virtual instance is derived from a hand-built lattice rather than a
+//! generator family, so there is no `WorkloadSpec` for it; this example
+//! uses [`color_cluster_graph`], the documented compatibility entry for
+//! custom-built [`ClusterGraph`]s (generator-backed runs go through
+//! [`Session`] — see `quickstart.rs`).
+//!
 //! ```sh
 //! cargo run --release --example virtual_overlay
 //! ```

@@ -30,33 +30,31 @@
 //!
 //! ## Quickstart
 //!
+//! Every instance is addressed by a [`graphs::WorkloadSpec`] string and
+//! every run goes through a [`core::Session`]:
+//!
 //! ```
 //! use cluster_coloring::prelude::*;
 //!
-//! // Build a conflict graph (3 planted 16-cliques with light noise) and
-//! // lay it out over a network with star-shaped clusters of 4 machines.
-//! let cfg = MixtureConfig {
-//!     n_cliques: 3,
-//!     clique_size: 16,
-//!     anti_edge_prob: 0.04,
-//!     external_per_vertex: 1,
-//!     sparse_n: 20,
-//!     sparse_p: 0.1,
-//! };
-//! let (spec, _info) = mixture_spec(&cfg, 7);
-//! let h = realize(&spec, Layout::Star(4), 2, 7);
+//! // 3 planted 16-cliques with light noise, laid out over star-shaped
+//! // clusters of 4 machines, 2 parallel links per conflict edge.
+//! let mut session = SessionBuilder::parse(
+//!     "mixture:c=3,k=16,anti=0.04,ext=1,bg=20,bgp=0.1,seed=7,layout=star4,links=2",
+//! )
+//! .unwrap()
+//! .build();
 //!
 //! // Color it with the paper's algorithm under a 32·log n bit budget.
-//! let mut net = ClusterNet::with_log_budget(&h, 32);
-//! let run = color_cluster_graph(&mut net, &Params::laptop(h.n_vertices()), 42);
+//! let out = session.run(42);
 //!
-//! assert!(run.coloring.is_total());
-//! assert!(run.coloring.is_proper(&h));
+//! assert!(out.run.coloring.is_total());
+//! assert!(out.run.coloring.is_proper(session.graph()));
 //! println!(
-//!     "colored {} vertices in {} cluster rounds ({} network rounds)",
-//!     h.n_vertices(),
-//!     run.report.h_rounds,
-//!     run.report.g_rounds,
+//!     "colored {} ({} threads) in {} cluster rounds ({} network rounds)",
+//!     out.spec_string,
+//!     out.threads,
+//!     out.run.report.h_rounds,
+//!     out.run.report.g_rounds,
 //! );
 //! ```
 
@@ -72,12 +70,15 @@ pub use cgc_sketch as sketch;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use cgc_baselines::{greedy_coloring, luby_coloring, naive_simulation_cost};
-    pub use cgc_cluster::{ClusterGraph, ClusterNet, VertexId};
-    pub use cgc_core::{color_cluster_graph, coloring_stats, Coloring, Params, RunResult};
+    pub use cgc_cluster::{ClusterGraph, ClusterNet, ParallelConfig, VertexId};
+    pub use cgc_core::{
+        color_cluster_graph, coloring_stats, Coloring, Params, ParamsProfile, RunOutcome,
+        RunResult, Session, SessionBuilder,
+    };
     pub use cgc_decomp::{acd_oracle, compute_acd, AcdParams};
     pub use cgc_graphs::{
         bottleneck_instance, cabal_spec, gnp_spec, mixture_spec, realize, square_spec, HSpec,
-        Layout, MixtureConfig,
+        Layout, MixtureConfig, WorkloadFamily, WorkloadSpec,
     };
     pub use cgc_net::{CommGraph, CostMeter, CostReport, SeedStream};
     pub use cgc_sketch::{approx_count_neighbors, CountingParams, Fingerprint};

@@ -1,24 +1,31 @@
 //! End-to-end integration: the full pipeline across generators, layouts
-//! and seeds, with bandwidth-budget and determinism checks.
+//! and seeds, with bandwidth-budget and determinism checks — all driven
+//! through the unified [`Session`]/[`WorkloadSpec`] API.
 
 use cluster_coloring::prelude::*;
 
-fn run_on(h: &ClusterGraph, seed: u64, beta: u64) -> RunResult {
-    let mut net = ClusterNet::with_log_budget(h, beta);
-    let params = Params::laptop(h.n_vertices());
-    let run = color_cluster_graph(&mut net, &params, seed);
+/// Builds a session for `spec` with budget factor `beta`, runs `seed`,
+/// and asserts the universal postconditions (total, proper, exactly Δ+1
+/// colors).
+fn run_spec(spec: WorkloadSpec, seed: u64, beta: u64) -> (Session, RunOutcome) {
+    let mut session = SessionBuilder::new(spec).log_budget(beta).build();
+    let out = session.run(seed);
     assert!(
-        run.coloring.is_total(),
+        out.run.coloring.is_total(),
         "not total: {:?}",
-        run.coloring.uncolored()
+        out.run.coloring.uncolored()
     );
     assert!(
-        run.coloring.is_proper(h),
+        out.run.coloring.is_proper(session.graph()),
         "conflicts: {:?}",
-        run.coloring.conflicts(h)
+        out.run.coloring.conflicts(session.graph())
     );
-    assert_eq!(run.coloring.q(), h.max_degree() + 1, "exactly Δ+1 colors");
-    run
+    assert_eq!(
+        out.run.coloring.q(),
+        session.graph().max_degree() + 1,
+        "exactly Δ+1 colors"
+    );
+    (session, out)
 }
 
 #[test]
@@ -33,9 +40,10 @@ fn gnp_across_layouts_and_seeds() {
     .enumerate()
     {
         for seed in [1u64, 2] {
-            let spec = gnp_spec(90, 0.07, seed);
-            let h = realize(&spec, layout, 1 + li % 2, seed);
-            run_on(&h, seed * 31 + li as u64, 32);
+            let spec = WorkloadSpec::gnp(90, 0.07, seed)
+                .with_layout(layout)
+                .with_links(1 + li % 2);
+            run_spec(spec, seed * 31 + li as u64, 32);
         }
     }
 }
@@ -51,11 +59,9 @@ fn planted_mixtures_high_degree_path() {
             sparse_n: 30,
             sparse_p: 0.12,
         };
-        let (spec, _) = mixture_spec(&cfg, seed);
-        let h = realize(&spec, Layout::Singleton, 1, seed);
-        let run = run_on(&h, seed, 32);
+        let (_, out) = run_spec(WorkloadSpec::mixture(&cfg, seed), seed, 32);
         assert!(matches!(
-            run.stats.path,
+            out.run.stats.path,
             cluster_coloring::core::driver::AlgoPath::HighDegree
         ));
     }
@@ -68,60 +74,61 @@ fn cabal_instances_all_layouts() {
         (7, Layout::Star(3)),
         (8, Layout::Path(4)),
     ] {
-        let (spec, _) = cabal_spec(3, 22, 2, 4, seed);
-        let h = realize(&spec, layout, 1, seed);
-        let run = run_on(&h, seed, 32);
-        assert!(run.stats.n_cabals >= 1, "{:?}", run.stats);
+        let spec = WorkloadSpec::cabal(3, 22, 2, 4, seed).with_layout(layout);
+        let (_, out) = run_spec(spec, seed, 32);
+        assert!(out.run.stats.n_cabals >= 1, "{:?}", out.run.stats);
     }
 }
 
 #[test]
 fn bottleneck_layout_stays_within_budget() {
-    let h = bottleneck_instance(12, 8);
-    let run = run_on(&h, 9, 32);
+    let (_, out) = run_spec(WorkloadSpec::bottleneck(12, 8), 9, 32);
     // Aggregation-only messages: within the O(log n) budget throughout.
     assert!(
-        run.report.within_budget(),
+        out.run.report.within_budget(),
         "oversized messages: {} (max {} bits, budget {})",
-        run.report.oversized_msgs,
-        run.report.max_msg_bits,
-        run.report.budget_bits
+        out.run.report.oversized_msgs,
+        out.run.report.max_msg_bits,
+        out.run.report.budget_bits
     );
 }
 
 #[test]
 fn distance2_reduction_is_correct() {
-    let base = gnp_spec(100, 0.03, 10);
-    let sq = square_spec(&base);
-    let h = realize(&sq, Layout::Singleton, 1, 10);
-    let run = run_on(&h, 10, 32);
+    let (session, out) = run_spec(WorkloadSpec::square_gnp(100, 0.03, 10), 10, 32);
     // Δ₂ + 1 colors bound (the coloring uses H's Δ+1 = Δ₂+1).
-    let stats = coloring_stats(&h, &run.coloring);
-    assert!(stats.colors_used <= sq.max_degree() + 1);
+    let stats = coloring_stats(session.graph(), &out.run.coloring);
+    assert!(stats.colors_used <= session.graph().max_degree() + 1);
 }
 
 #[test]
 fn deterministic_across_identical_runs() {
-    let (spec, _) = cabal_spec(2, 18, 2, 3, 11);
-    let h = realize(&spec, Layout::Star(3), 2, 11);
-    let a = run_on(&h, 77, 32);
-    let b = run_on(&h, 77, 32);
-    assert_eq!(a.coloring, b.coloring);
-    assert_eq!(a.report, b.report);
-    let c = run_on(&h, 78, 32);
+    let spec = WorkloadSpec::cabal(2, 18, 2, 3, 11)
+        .with_layout(Layout::Star(3))
+        .with_links(2);
+    let (mut session, a) = run_spec(spec, 77, 32);
+    // Same session, same seed: cached graph, identical transcript.
+    let b = session.run(77);
+    assert!(b.graph_cached);
+    assert_eq!(a.run.coloring, b.run.coloring);
+    assert_eq!(a.run.report, b.run.report);
+    // A fresh session rebuilt from the printed spec string reproduces it.
+    let respec: WorkloadSpec = a.spec_string.parse().expect("spec strings round-trip");
+    let (_, c) = run_spec(respec, 77, 32);
+    assert_eq!(a.run.coloring, c.run.coloring);
+    assert_eq!(a.run.report, c.run.report);
     // A different seed almost surely yields a different transcript.
-    assert!(c.coloring != a.coloring || c.report != a.report);
+    let d = session.run(78);
+    assert!(d.run.coloring != a.run.coloring || d.run.report != a.run.report);
 }
 
 #[test]
 fn dilation_multiplies_g_rounds_not_h_rounds() {
-    let spec = gnp_spec(40, 0.12, 12);
-    let short = realize(&spec, Layout::Path(2), 1, 12);
-    let long = realize(&spec, Layout::Path(10), 1, 12);
-    let a = run_on(&short, 13, 32);
-    let b = run_on(&long, 13, 32);
-    let ratio_g = b.report.g_rounds as f64 / a.report.g_rounds.max(1) as f64;
-    let ratio_h = b.report.h_rounds as f64 / a.report.h_rounds.max(1) as f64;
+    let base = WorkloadSpec::gnp(40, 0.12, 12);
+    let (_, a) = run_spec(base.with_layout(Layout::Path(2)), 13, 32);
+    let (_, b) = run_spec(base.with_layout(Layout::Path(10)), 13, 32);
+    let ratio_g = b.run.report.g_rounds as f64 / a.run.report.g_rounds.max(1) as f64;
+    let ratio_h = b.run.report.h_rounds as f64 / a.run.report.h_rounds.max(1) as f64;
     assert!(
         ratio_g > 1.5 * ratio_h,
         "G-round ratio {ratio_g} should outgrow H-round ratio {ratio_h}"
@@ -130,14 +137,12 @@ fn dilation_multiplies_g_rounds_not_h_rounds() {
 
 #[test]
 fn tight_budget_forces_pipelining_but_still_colors() {
-    let (spec, _) = cabal_spec(2, 20, 2, 3, 14);
-    let h = realize(&spec, Layout::Singleton, 1, 14);
     // β = 1: a single ⌈log n⌉ bits per link per round.
-    let run = run_on(&h, 15, 1);
+    let (_, out) = run_spec(WorkloadSpec::cabal(2, 20, 2, 3, 14), 15, 1);
     // Fingerprint messages exceed one log-n word; the meter must show
     // pipelining rather than silent cheating.
-    assert!(run.report.oversized_msgs > 0);
-    assert!(run.report.h_rounds > 0);
+    assert!(out.run.report.oversized_msgs > 0);
+    assert!(out.run.report.h_rounds > 0);
 }
 
 #[test]
@@ -145,14 +150,30 @@ fn fallback_stays_small_on_sane_instances() {
     let mut total_fallback = 0usize;
     let mut total_n = 0usize;
     for seed in 20u64..25 {
-        let spec = gnp_spec(120, 0.06, seed);
-        let h = realize(&spec, Layout::Singleton, 1, seed);
-        let run = run_on(&h, seed, 32);
-        total_fallback += run.stats.fallback_colored;
-        total_n += h.n_vertices();
+        let (session, out) = run_spec(WorkloadSpec::gnp(120, 0.06, seed), seed, 32);
+        total_fallback += out.run.stats.fallback_colored;
+        total_n += session.graph().n_vertices();
     }
     assert!(
         total_fallback * 10 <= total_n,
         "fallback colored {total_fallback} of {total_n}"
     );
+}
+
+#[test]
+fn thread_count_is_a_pure_wall_clock_knob() {
+    // The same (spec, seed) at 1 thread and at max threads: identical
+    // coloring and identical meter totals.
+    let spec = WorkloadSpec::gnp(150, 0.08, 16).with_layout(Layout::Star(3));
+    let mut serial = SessionBuilder::new(spec)
+        .parallel(ParallelConfig::serial())
+        .build();
+    let mut parallel = SessionBuilder::new(spec)
+        .parallel(ParallelConfig::max_parallel())
+        .build();
+    let a = serial.run(17);
+    let b = parallel.run(17);
+    assert_eq!(a.run.coloring, b.run.coloring);
+    assert_eq!(a.run.report, b.run.report);
+    assert_eq!(b.threads, ParallelConfig::max_parallel().threads());
 }
