@@ -1,10 +1,13 @@
-//! Records the PR's performance baseline (default `BENCH_PR3.json`): the
+//! Records the PR's performance baseline (default `BENCH_PR4.json`): the
+//! instance **build phase** (tree/link/sort sub-timings, serial vs the
+//! pool-sharded `ClusterGraph::build` at swept thread counts), the
 //! aggregation primitives sequential *and* shard-parallel at several
-//! thread counts, the end-to-end coloring pipeline through the unified
-//! [`Session`] API, and a skewed-degree (Chung–Lu power-law) fold
-//! workload — all on `n ≥ 50_000` instances, all addressed by
-//! [`WorkloadSpec`] strings and emitted through the shared `cgc-bench/v1`
-//! JSON schema.
+//! thread counts (parallel rounds dispatch on the persistent
+//! [`WorkerPool`] — no per-round thread spawns), the end-to-end coloring
+//! pipeline through the unified [`Session`] API, and a skewed-degree
+//! (Chung–Lu power-law) fold workload — all on `n ≥ 50_000` instances,
+//! all addressed by [`WorkloadSpec`] strings and emitted through the
+//! shared `cgc-bench/v1` JSON schema.
 //!
 //! Usage: `cargo run --release -p cgc_bench --bin bench_baseline [out.json]`
 //!
@@ -13,16 +16,17 @@
 //! `CGC_THREADS` adds its selected thread count to the sweep and raises
 //! the count used for the parallel end-to-end run.
 //!
-//! Besides timing, the binary **asserts bit-identity**: every parallel
-//! fold's outputs and meter totals must equal the sequential run's, and
-//! the parallel end-to-end coloring must equal the sequential coloring.
-//! A determinism regression therefore fails the bench loudly rather than
-//! producing a fast-but-wrong baseline.
+//! Besides timing, the binary **asserts bit-identity**: every sharded
+//! build must equal the serial build (full structural equality), every
+//! parallel fold's outputs and meter totals must equal the sequential
+//! run's, and the parallel end-to-end coloring must equal the sequential
+//! coloring. A determinism regression therefore fails the bench loudly
+//! rather than producing a fast-but-wrong baseline.
 
 use cgc_bench::{bench_report, write_json, Json};
-use cgc_cluster::{available_threads, ClusterNet, ParallelConfig};
+use cgc_cluster::{available_threads, ClusterGraph, ClusterNet, ParallelConfig, WorkerPool};
 use cgc_core::{coloring_stats, Session, SessionBuilder};
-use cgc_graphs::{Layout, WorkloadSpec};
+use cgc_graphs::{realize_network, Layout, WorkloadSpec};
 use std::time::Instant;
 
 const DEFAULT_N: usize = 50_000;
@@ -60,6 +64,7 @@ fn time_folds(
     let mut out: Vec<u64> = Vec::new();
     let mut degs: Vec<usize> = Vec::new();
     fold_round(&mut net, queries, &mut out, &mut degs); // warm-up sizes buffers
+    let spawned_warm = WorkerPool::total_threads_spawned();
     let mut best = f64::INFINITY;
     for _ in 0..3 {
         let start = Instant::now();
@@ -68,6 +73,14 @@ fn time_folds(
         }
         best = best.min(start.elapsed().as_secs_f64());
     }
+    // Warm rounds dispatch on the parked pool: any spawn here is a
+    // regression to per-round scoped threads.
+    assert_eq!(
+        WorkerPool::total_threads_spawned(),
+        spawned_warm,
+        "timed rounds must not spawn threads (threads={})",
+        par.threads()
+    );
     (
         best * 1e3 / f64::from(FOLD_ROUNDS),
         out,
@@ -79,7 +92,7 @@ fn time_folds(
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR3.json".to_owned());
+        .unwrap_or_else(|| "BENCH_PR4.json".to_owned());
     let n: usize = std::env::var("CGC_BENCH_N")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -123,6 +136,60 @@ fn main() {
         session.graph().n_h_edges(),
         session.graph().dilation(),
     );
+
+    // --- build phase: serial vs pool-sharded ClusterGraph::build ---
+    // The realized network is produced once; only the executor config
+    // varies, and every sharded build must equal the serial one exactly.
+    let (h_spec, _) = session
+        .spec()
+        .conflict_spec()
+        .expect("gnp has a conflict spec");
+    let spec = *session.spec();
+    let (comm, assignment) = realize_network(&h_spec, spec.layout, spec.links, spec.seed);
+    let (serial_build, serial_bt) =
+        ClusterGraph::build_timed(comm.clone(), assignment.clone(), &ParallelConfig::serial())
+            .expect("realized clusters are connected");
+    assert_eq!(
+        &serial_build,
+        session.graph(),
+        "bench rebuild must reproduce the session's instance"
+    );
+    eprintln!(
+        "build serial: total {:.3}s (tree {:.3}s link {:.3}s sort {:.3}s)",
+        serial_bt.total_secs, serial_bt.tree_secs, serial_bt.link_secs, serial_bt.sort_secs
+    );
+    let build_timing_row = |t: &cgc_cluster::BuildTimings| {
+        Json::obj(vec![
+            ("threads", Json::from(t.threads)),
+            ("total_secs", Json::from(t.total_secs)),
+            ("tree_secs", Json::from(t.tree_secs)),
+            ("link_secs", Json::from(t.link_secs)),
+            ("sort_secs", Json::from(t.sort_secs)),
+        ])
+    };
+    let mut build_rows = Vec::new();
+    for &threads in &sweep {
+        let (sharded, bt) = ClusterGraph::build_timed(
+            comm.clone(),
+            assignment.clone(),
+            &ParallelConfig::with_threads(threads),
+        )
+        .expect("realized clusters are connected");
+        assert_eq!(
+            sharded, serial_build,
+            "sharded build diverged at {threads} threads"
+        );
+        eprintln!(
+            "build threads={threads}: total {:.3}s (tree {:.3}s link {:.3}s sort {:.3}s, x{:.2} vs serial)",
+            bt.total_secs,
+            bt.tree_secs,
+            bt.link_secs,
+            bt.sort_secs,
+            serial_bt.total_secs / bt.total_secs
+        );
+        build_rows.push(build_timing_row(&bt));
+    }
+    drop((comm, assignment, serial_build));
 
     // --- aggregation: warm fold+degree rounds, sequential reference ---
     let queries: Vec<u64> = (0..h_n as u64).collect();
@@ -222,9 +289,22 @@ fn main() {
                 ]),
             ),
             (
+                "build",
+                Json::obj(vec![
+                    ("serial", build_timing_row(&serial_bt)),
+                    ("sharded", Json::Arr(build_rows)),
+                    ("bit_identical_to_serial", Json::from(true)),
+                ]),
+            ),
+            (
                 "aggregation",
                 Json::obj(vec![
                     ("rounds", Json::from(u64::from(FOLD_ROUNDS))),
+                    ("dispatch", Json::from("persistent worker pool")),
+                    (
+                        "pool_threads_spawned_total",
+                        Json::from(WorkerPool::total_threads_spawned()),
+                    ),
                     ("sequential_ms_per_round", Json::from(seq_ms)),
                     ("parallel", Json::Arr(par_rows)),
                     ("bit_identical_to_sequential", Json::from(true)),

@@ -14,6 +14,11 @@
 use cgc_cluster::{available_threads, ClusterGraph, ParallelConfig};
 use cgc_graphs::WorkloadSpec;
 use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Tables emitted to the `CGC_TABLE_JSON` file so far in this process —
+/// the file is rewritten whole on every emission, staying valid JSON.
+static EMITTED_TABLES: Mutex<Vec<Json>> = Mutex::new(Vec::new());
 
 /// An experiment table printed aligned and as CSV, with a mandatory
 /// threads/cores header and a workload spec column on every row.
@@ -79,7 +84,42 @@ impl Table {
     /// Prints the table aligned, then as CSV (machine-readable). The CSV
     /// carries `threads`/`cores` columns so concatenated CSVs from
     /// different machines stay self-describing.
+    ///
+    /// When the `CGC_TABLE_JSON` environment variable names a file, the
+    /// table is additionally appended to that file in the `cgc-bench/v1`
+    /// JSON schema (see [`Table::emit_json`]) — experiment sweeps become
+    /// archivable exactly like `BENCH_PR*.json`.
     pub fn print(&self) {
+        self.print_aligned_csv();
+        if let Ok(path) = std::env::var("CGC_TABLE_JSON") {
+            if !path.is_empty() {
+                self.emit_json(&path);
+            }
+        }
+    }
+
+    /// Appends this table to the `cgc-bench/v1` JSON document at `path`:
+    /// all tables emitted by this process so far are accumulated and the
+    /// file is rewritten whole, so it is always valid JSON (one `tables`
+    /// array inside the shared envelope). One file per process — a later
+    /// path simply receives every table emitted so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the path is not writable.
+    pub fn emit_json(&self, path: &str) {
+        let mut acc = EMITTED_TABLES
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        acc.push(self.to_json());
+        let doc = bench_report(
+            ParallelConfig::from_env().threads(),
+            vec![("tables", Json::Arr(acc.clone()))],
+        );
+        write_json(path, &doc);
+    }
+
+    fn print_aligned_csv(&self) {
         println!("\n== {} ==", self.title);
         println!("[threads={} cores={}]", self.threads, self.cores);
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
@@ -380,6 +420,28 @@ mod tests {
         assert!(s.contains("\"threads\": 4"));
         assert!(s.contains("gnp:n=10,p=0.5,seed=1"));
         assert!(s.contains("\"workload\""));
+    }
+
+    #[test]
+    fn emit_json_accumulates_tables_in_one_valid_envelope() {
+        let path =
+            std::env::temp_dir().join(format!("cgc_table_json_test_{}.json", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        let mut a = Table::new("emit-alpha", &["x"]).with_threads(2);
+        a.row("gnp:n=10,p=0.5,seed=1", vec!["1".into()]);
+        a.emit_json(path_str);
+        let mut b = Table::new("emit-beta", &["y"]).with_threads(3);
+        b.row("gnp:n=20,p=0.5,seed=2", vec!["2".into()]);
+        b.emit_json(path_str);
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(doc.contains("cgc-bench/v1"), "schema envelope present");
+        assert!(doc.contains("\"tables\""));
+        assert!(
+            doc.contains("emit-alpha") && doc.contains("emit-beta"),
+            "both tables accumulated in the rewritten file"
+        );
+        assert!(doc.contains("gnp:n=20,p=0.5,seed=2"));
     }
 
     #[test]

@@ -45,8 +45,9 @@
 //! bounds on the edge/init/fold closures enforce the purity this needs.
 
 use crate::graph::{ClusterGraph, VertexId};
-use crate::par::{fill_sharded, fill_sharded_with_offsets, ParallelConfig, ShardPlan};
+use crate::par::{fill_sharded, fill_sharded_with_offsets, ParallelConfig, ShardPlan, WorkerPool};
 use cgc_net::CostMeter;
+use std::sync::Arc;
 
 /// CSR-shaped result of a [`ClusterNet::neighbor_collect`] round: row `v`
 /// holds `(u, message_of_u)` for every distinct neighbor `u` of `v`, in
@@ -122,6 +123,11 @@ pub struct ClusterNet<'a> {
     scratch: RoundScratch,
     par: ParallelConfig,
     plan: ShardPlan,
+    /// The persistent dispatch pool for `threads > 1` configs, acquired
+    /// from the process-global cache ([`WorkerPool::global`]) so every
+    /// runtime — and every round of every run — reuses the same parked
+    /// workers instead of spawning scoped threads per round.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl<'a> ClusterNet<'a> {
@@ -153,6 +159,7 @@ impl<'a> ClusterNet<'a> {
             n_links: g.links().len() as u64,
             scratch: RoundScratch::default(),
             plan: ShardPlan::plan(g, &par),
+            pool: WorkerPool::global(par.threads()),
             par,
         }
     }
@@ -187,7 +194,15 @@ impl<'a> ClusterNet<'a> {
             return;
         }
         self.plan = ShardPlan::plan(self.g, &par);
+        self.pool = WorkerPool::global(par.threads());
         self.par = par;
+    }
+
+    /// The persistent worker pool this runtime dispatches on (`None` under
+    /// the sequential config).
+    #[inline]
+    pub fn worker_pool(&self) -> Option<&WorkerPool> {
+        self.pool.as_deref()
     }
 
     /// The active parallel executor configuration.
@@ -378,7 +393,7 @@ impl<'a> ClusterNet<'a> {
             // sequential sweep, while every write lands in the worker's
             // disjoint output slice.
             let (offsets, adj) = self.g.adjacency_csr();
-            fill_sharded(out, &self.plan, |start, slot| {
+            fill_sharded(out, &self.plan, self.pool.as_deref(), |start, slot| {
                 for (i, cell) in slot.iter_mut().enumerate() {
                     let v = start + i;
                     let mut acc = init(v);
@@ -518,15 +533,22 @@ impl<'a> ClusterNet<'a> {
         // shard `s` copies its own vertices' row starts and fills its own
         // rows' entries — the last O(n) sequential passes of the warm
         // round, removed without an extra spawn cycle.
-        fill_sharded_with_offsets(&mut out.offsets, &mut out.data, &self.plan, offsets, {
-            |range: std::ops::Range<usize>, slot: &mut [std::mem::MaybeUninit<_>]| {
-                let base = offsets[range.start];
-                for (i, cell) in slot.iter_mut().enumerate() {
-                    let u = adj[base + i];
-                    cell.write((u, queries[u].clone()));
+        fill_sharded_with_offsets(
+            &mut out.offsets,
+            &mut out.data,
+            &self.plan,
+            self.pool.as_deref(),
+            offsets,
+            {
+                |range: std::ops::Range<usize>, slot: &mut [std::mem::MaybeUninit<_>]| {
+                    let base = offsets[range.start];
+                    for (i, cell) in slot.iter_mut().enumerate() {
+                        let u = adj[base + i];
+                        cell.write((u, queries[u].clone()));
+                    }
                 }
-            }
-        });
+            },
+        );
     }
 
     /// Exact degree computation in one aggregation round (§1.1): neighbors
@@ -549,7 +571,7 @@ impl<'a> ClusterNet<'a> {
         self.charge_link_round(1);
         self.charge_converge(self.id_bits());
         let (offsets, _) = self.g.adjacency_csr();
-        fill_sharded(out, &self.plan, |start, slot| {
+        fill_sharded(out, &self.plan, self.pool.as_deref(), |start, slot| {
             for (i, cell) in slot.iter_mut().enumerate() {
                 let v = start + i;
                 cell.write(offsets[v + 1] - offsets[v]);
@@ -572,7 +594,7 @@ impl<'a> ClusterNet<'a> {
     /// [`Self::par_vertex_map`] into a reusable buffer (allocation-free
     /// once warm).
     pub fn par_vertex_map_into<T: Send>(&self, out: &mut Vec<T>, f: impl Fn(VertexId) -> T + Sync) {
-        fill_sharded(out, &self.plan, |start, slot| {
+        fill_sharded(out, &self.plan, self.pool.as_deref(), |start, slot| {
             for (i, cell) in slot.iter_mut().enumerate() {
                 cell.write(f(start + i));
             }

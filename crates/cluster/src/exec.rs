@@ -10,7 +10,7 @@
 //! the accounting is honest?".
 
 use crate::graph::ClusterGraph;
-use crate::par::{map_reduce_sharded, ParallelConfig, ShardPlan};
+use crate::par::{map_reduce_on, ParallelConfig, ShardPlan, WorkerPool};
 
 /// What actually happened on the wires during one executed phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,17 +46,20 @@ pub fn execute_broadcast(g: &ClusterGraph, payload_bits: u64) -> ExecTrace {
     execute_broadcast_with(g, payload_bits, &ParallelConfig::serial())
 }
 
-/// [`execute_broadcast`] with the clusters sharded across worker threads;
-/// partial traces merge in fixed shard order, so the result is identical
-/// to the sequential trace at any thread count.
+/// [`execute_broadcast`] with the clusters sharded across worker threads
+/// (dispatched on the process-global persistent [`WorkerPool`]); partial
+/// traces merge in fixed shard order, so the result is identical to the
+/// sequential trace at any thread count.
 pub fn execute_broadcast_with(
     g: &ClusterGraph,
     payload_bits: u64,
     par: &ParallelConfig,
 ) -> ExecTrace {
     let plan = ShardPlan::plan(g, par);
-    let mut trace = map_reduce_sharded(
+    let pool = WorkerPool::global(par.threads());
+    let mut trace = map_reduce_on(
         &plan,
+        pool.as_deref(),
         |range| {
             let mut rounds = 0u64;
             let mut total = 0u128;

@@ -8,13 +8,15 @@
 //! Figure 1 phenomenon observable: two clusters can be joined by many links
 //! yet contribute a single edge of `H`.
 
-use cgc_net::{CommGraph, MachineId, NetError};
+use crate::par::{for_each_shard, map_reduce_on, ParallelConfig, SendPtr, ShardPlan, WorkerPool};
+use cgc_net::{BfsScratch, CommGraph, MachineId, NetError};
+use std::time::Instant;
 
 /// Identifier of a node of the cluster graph `H` (a cluster of machines).
 pub type VertexId = usize;
 
 /// A BFS tree spanning one cluster in the communication graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SupportTree {
     /// The cluster's leader (root of the tree).
     pub leader: MachineId,
@@ -41,8 +43,30 @@ impl SupportTree {
     }
 }
 
+/// Wall-clock sub-phase timings of one [`ClusterGraph::build_timed`] call
+/// — the build dominates instance setup at large `n`, so the bench
+/// baseline records these per thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildTimings {
+    /// Support-tree phase: per-cluster BFS (sharded by cluster id).
+    pub tree_secs: f64,
+    /// Link phase: inter-cluster link collection plus each shard's local
+    /// pair sort/dedup (sharded by `G`-edge ranges).
+    pub link_secs: f64,
+    /// Sort/assembly phase: fixed-order k-way merge of the shard pair
+    /// lists, CSR assembly, and the sharded per-row adjacency sorts.
+    pub sort_secs: f64,
+    /// End-to-end build time.
+    pub total_secs: f64,
+    /// Configured executor width the build ran under.
+    pub threads: usize,
+}
+
 /// The cluster graph `H` over a communication network `G`.
-#[derive(Debug, Clone)]
+///
+/// Equality is full structural equality over every derived table — the
+/// differential suites use it to pin the sharded build to the serial one.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterGraph {
     comm: CommGraph,
     /// machine → cluster id.
@@ -67,7 +91,8 @@ pub struct ClusterGraph {
 }
 
 impl ClusterGraph {
-    /// Builds the cluster graph from a machine→cluster assignment.
+    /// Builds the cluster graph from a machine→cluster assignment,
+    /// sequentially.
     ///
     /// Cluster ids must form a contiguous range `0..k` (holes are rejected
     /// by the connectivity check since an empty cluster is vacuously
@@ -79,6 +104,34 @@ impl ClusterGraph {
     /// * [`NetError::DisconnectedCluster`] if some cluster does not induce a
     ///   connected subgraph of `G` (Definition 3.1 requires connectivity).
     pub fn build(comm: CommGraph, assignment: Vec<VertexId>) -> Result<Self, NetError> {
+        Self::build_with(comm, assignment, &ParallelConfig::serial())
+    }
+
+    /// [`Self::build`] sharded over `par`'s threads (dispatched on the
+    /// process-global [`WorkerPool`], so repeated builds reuse the same
+    /// parked workers as the aggregation rounds). The three heavy phases
+    /// shard independently: support-tree BFS by cluster id (each worker
+    /// with its own subset scratch), link collection by `G`-edge ranges
+    /// (shard-local sort/dedup, fixed-order k-way merge), and the per-row
+    /// adjacency sorts by `H`-row mass. Every derived table is
+    /// **byte-identical** to the sequential build at any thread count
+    /// (`tests/build_equivalence.rs` pins this), including which error is
+    /// reported on invalid input.
+    pub fn build_with(
+        comm: CommGraph,
+        assignment: Vec<VertexId>,
+        par: &ParallelConfig,
+    ) -> Result<Self, NetError> {
+        Self::build_timed(comm, assignment, par).map(|(g, _)| g)
+    }
+
+    /// [`Self::build_with`] also returning per-phase [`BuildTimings`].
+    pub fn build_timed(
+        comm: CommGraph,
+        assignment: Vec<VertexId>,
+        par: &ParallelConfig,
+    ) -> Result<(Self, BuildTimings), NetError> {
+        let total_start = Instant::now();
         let n = comm.n_machines();
         if assignment.len() != n {
             return Err(NetError::AssignmentLength {
@@ -87,80 +140,96 @@ impl ClusterGraph {
             });
         }
         let k = assignment.iter().copied().max().map_or(0, |m| m + 1);
-        let mut members: Vec<Vec<MachineId>> = vec![Vec::new(); k];
+        let pool = WorkerPool::global(par.threads());
+        let pool = pool.as_deref();
+
+        // Member CSR via counting sort: machines ascend within each
+        // cluster, so `members(c)[0]` is the smallest machine — the leader.
+        let mut member_offsets = vec![0usize; k + 1];
+        for &c in &assignment {
+            member_offsets[c + 1] += 1;
+        }
+        for i in 0..k {
+            member_offsets[i + 1] += member_offsets[i];
+        }
+        let mut cursor = member_offsets[..k].to_vec();
+        let mut member_ids = vec![0usize; n];
         for (m, &c) in assignment.iter().enumerate() {
-            members[c].push(m);
+            member_ids[cursor[c]] = m;
+            cursor[c] += 1;
         }
 
-        // Support trees: BFS inside each cluster from its smallest machine.
-        // `members` is consumed so each machine list moves into its tree.
-        let mut support = Vec::with_capacity(k);
-        let mut in_subset = vec![false; n];
-        for (c, ms) in members.into_iter().enumerate() {
-            if ms.is_empty() {
-                return Err(NetError::DisconnectedCluster { cluster: c });
-            }
-            for &m in &ms {
-                in_subset[m] = true;
-            }
-            let leader = ms[0];
-            let (parent_all, depth_all) = comm.bfs_tree_within(leader, &in_subset);
-            let mut parent = Vec::with_capacity(ms.len());
-            let mut depth = Vec::with_capacity(ms.len());
-            let mut height = 0usize;
-            let mut ok = true;
-            for &m in &ms {
-                if depth_all[m] == usize::MAX {
-                    ok = false;
-                    break;
+        // ---- Phase 1: support trees, sharded by cluster id ----
+        // Shards are contiguous ascending cluster ranges merged in shard
+        // order, so the first error (by cluster id) wins exactly as in the
+        // sequential walk.
+        let tree_start = Instant::now();
+        let tree_plan = ShardPlan::from_prefix(&member_offsets, par.threads());
+        let support = map_reduce_on(
+            &tree_plan,
+            pool,
+            |range| build_support_trees(&comm, &member_offsets, &member_ids, range),
+            |acc: &mut Result<Vec<SupportTree>, NetError>, part| {
+                if let Ok(trees) = acc {
+                    match part {
+                        Ok(more) => trees.extend(more),
+                        Err(e) => *acc = Err(e),
+                    }
                 }
-                parent.push(parent_all[m]);
-                depth.push(depth_all[m]);
-                height = height.max(depth_all[m]);
-            }
-            for &m in &ms {
-                in_subset[m] = false;
-            }
-            if !ok {
-                return Err(NetError::DisconnectedCluster { cluster: c });
-            }
-            support.push(SupportTree {
-                leader,
-                machines: ms,
-                parent,
-                depth,
-                height,
-            });
-        }
+            },
+        )?;
+        let tree_secs = tree_start.elapsed().as_secs_f64();
 
-        // Inter-cluster links; the H-edge table is the sorted deduplication
-        // of the link endpoints, with a multiplicity column counting the
-        // parallel links each edge absorbed (Figure 1).
-        let mut links = Vec::new();
-        let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
-        for &(a, b) in comm.edges() {
-            let (ca, cb) = (assignment[a], assignment[b]);
-            if ca != cb {
-                let (lo, hi, mlo, mhi) = if ca < cb {
-                    (ca, cb, a, b)
-                } else {
-                    (cb, ca, b, a)
-                };
-                links.push((mlo, mhi, lo, hi));
-                pairs.push((lo, hi));
-            }
+        // ---- Phase 2: inter-cluster links, sharded by G-edge ranges ----
+        // Each shard walks its contiguous edge range in order (so the
+        // concatenated link table equals the sequential sweep's) and
+        // sorts/dedups its own pairs locally.
+        let link_start = Instant::now();
+        let link_plan = ShardPlan::even(comm.edges().len(), par.threads());
+        let parts: Vec<LinkShard> = map_reduce_on(
+            &link_plan,
+            pool,
+            |range| {
+                let mut links = Vec::new();
+                let mut raw: Vec<(VertexId, VertexId)> = Vec::new();
+                for &(a, b) in &comm.edges()[range] {
+                    let (ca, cb) = (assignment[a], assignment[b]);
+                    if ca != cb {
+                        let (lo, hi, mlo, mhi) = if ca < cb {
+                            (ca, cb, a, b)
+                        } else {
+                            (cb, ca, b, a)
+                        };
+                        links.push((mlo, mhi, lo, hi));
+                        raw.push((lo, hi));
+                    }
+                }
+                raw.sort_unstable();
+                let mut pairs: Vec<((VertexId, VertexId), u32)> = Vec::new();
+                for p in raw {
+                    match pairs.last_mut() {
+                        Some((last, mult)) if *last == p => *mult += 1,
+                        _ => pairs.push((p, 1)),
+                    }
+                }
+                vec![LinkShard { links, pairs }]
+            },
+            |acc: &mut Vec<LinkShard>, part| acc.extend(part),
+        );
+        let link_secs = link_start.elapsed().as_secs_f64();
+
+        // ---- Phase 3: deterministic merge + CSR assembly ----
+        let sort_start = Instant::now();
+        let mut links = Vec::with_capacity(parts.iter().map(|p| p.links.len()).sum());
+        let mut pair_lists = Vec::with_capacity(parts.len());
+        for part in parts {
+            links.extend(part.links);
+            pair_lists.push(part.pairs);
         }
-        pairs.sort_unstable();
-        let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(pairs.len());
-        let mut edge_mult: Vec<u32> = Vec::new();
-        for p in pairs {
-            if edges.last() == Some(&p) {
-                *edge_mult.last_mut().expect("parallel mult column") += 1;
-            } else {
-                edges.push(p);
-                edge_mult.push(1);
-            }
-        }
+        // Fixed-order k-way merge of the sorted, deduped shard pair lists:
+        // the sorted multiset union is unique, so `edges`/`edge_mult` equal
+        // the sequential sort+dedup byte for byte.
+        let (edges, edge_mult) = merge_pair_lists(pair_lists);
 
         // CSR row bounds over the lower endpoint (edges are sorted, so rows
         // are contiguous and sorted by upper endpoint).
@@ -191,26 +260,51 @@ impl ClusterGraph {
             cursor[v] += 1;
         }
         // CSR rows are sorted because the edge table is sorted for the `u`
-        // side; the `v` side needs a sort.
-        for c in 0..k {
-            h_adj[h_offsets[c]..h_offsets[c + 1]].sort_unstable();
+        // side; the `v` side needs a sort. Rows are disjoint slices, so the
+        // sorts shard by row mass; a fully sorted row is unique, making the
+        // result independent of the split.
+        {
+            let row_plan = ShardPlan::from_prefix(&h_offsets, par.threads());
+            let base = SendPtr::new(h_adj.as_mut_ptr());
+            let h_offsets = &h_offsets;
+            for_each_shard(pool, row_plan.n_shards(), &|s| {
+                for c in row_plan.range(s) {
+                    let (lo, hi) = (h_offsets[c], h_offsets[c + 1]);
+                    // SAFETY: rows of this shard's clusters are disjoint
+                    // sub-slices of `h_adj`.
+                    let row =
+                        unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+                    row.sort_unstable();
+                }
+            });
         }
+        let sort_secs = sort_start.elapsed().as_secs_f64();
 
         let dilation = support.iter().map(|t| t.height).max().unwrap_or(0).max(1);
         let max_degree = deg.iter().copied().max().unwrap_or(0);
-        Ok(ClusterGraph {
-            comm,
-            assignment,
-            support,
-            h_offsets,
-            h_adj,
-            links,
-            edges,
-            edge_mult,
-            edge_offsets,
-            dilation,
-            max_degree,
-        })
+        let timings = BuildTimings {
+            tree_secs,
+            link_secs,
+            sort_secs,
+            total_secs: total_start.elapsed().as_secs_f64(),
+            threads: par.threads(),
+        };
+        Ok((
+            ClusterGraph {
+                comm,
+                assignment,
+                support,
+                h_offsets,
+                h_adj,
+                links,
+                edges,
+                edge_mult,
+                edge_offsets,
+                dilation,
+                max_degree,
+            },
+            timings,
+        ))
     }
 
     /// The CONGEST special case: every machine is its own cluster
@@ -351,6 +445,119 @@ impl ClusterGraph {
     pub fn n_h_edges(&self) -> usize {
         self.edges.len()
     }
+}
+
+/// One link-collection shard's output: links in edge order, pairs sorted
+/// and deduplicated with local multiplicities.
+struct LinkShard {
+    links: Vec<(MachineId, MachineId, VertexId, VertexId)>,
+    pairs: Vec<((VertexId, VertexId), u32)>,
+}
+
+/// Builds the support trees of clusters `range` — one shard of the tree
+/// phase. The worker owns its subset mask and [`BfsScratch`], touching
+/// only member entries per cluster so a cluster costs
+/// `O(size + internal edges)` instead of the `O(n_machines)` the old
+/// per-cluster map allocations paid. Stops at the first failing cluster,
+/// which — with shards merged in ascending cluster order — reproduces the
+/// sequential error exactly.
+fn build_support_trees(
+    comm: &CommGraph,
+    member_offsets: &[usize],
+    member_ids: &[MachineId],
+    range: std::ops::Range<usize>,
+) -> Result<Vec<SupportTree>, NetError> {
+    let mut in_subset = vec![false; comm.n_machines()];
+    let mut scratch = BfsScratch::new();
+    let mut out = Vec::with_capacity(range.len());
+    for c in range {
+        let ms = &member_ids[member_offsets[c]..member_offsets[c + 1]];
+        if ms.is_empty() {
+            return Err(NetError::DisconnectedCluster { cluster: c });
+        }
+        for &m in ms {
+            in_subset[m] = true;
+        }
+        // BFS from the smallest member (members are sorted ascending).
+        let leader = ms[0];
+        comm.bfs_tree_within_scratch(leader, &in_subset, &mut scratch);
+        let mut parent = Vec::with_capacity(ms.len());
+        let mut depth = Vec::with_capacity(ms.len());
+        let mut height = 0usize;
+        let mut ok = true;
+        for &m in ms {
+            if scratch.depth(m) == usize::MAX {
+                ok = false;
+                break;
+            }
+            parent.push(scratch.parent(m));
+            depth.push(scratch.depth(m));
+            height = height.max(scratch.depth(m));
+        }
+        // Reset only this cluster's entries (the BFS touched no others).
+        scratch.reset(ms);
+        for &m in ms {
+            in_subset[m] = false;
+        }
+        if !ok {
+            return Err(NetError::DisconnectedCluster { cluster: c });
+        }
+        out.push(SupportTree {
+            leader,
+            machines: ms.to_vec(),
+            parent,
+            depth,
+            height,
+        });
+    }
+    Ok(out)
+}
+
+/// Fixed-order k-way merge of sorted, locally-deduplicated `(pair, mult)`
+/// lists into the global sorted edge table plus multiplicity column.
+/// Equal pairs across shards sum their multiplicities; the output is the
+/// unique sorted dedup of the union, independent of how the pairs were
+/// partitioned.
+fn merge_pair_lists(
+    lists: Vec<Vec<((VertexId, VertexId), u32)>>,
+) -> (Vec<(VertexId, VertexId)>, Vec<u32>) {
+    if lists.len() == 1 {
+        let only = lists.into_iter().next().expect("one list");
+        let mut edges = Vec::with_capacity(only.len());
+        let mut mult = Vec::with_capacity(only.len());
+        for (p, m) in only {
+            edges.push(p);
+            mult.push(m);
+        }
+        return (edges, mult);
+    }
+    let upper: usize = lists.iter().map(Vec::len).sum();
+    let mut edges = Vec::with_capacity(upper);
+    let mut mult = Vec::with_capacity(upper);
+    let mut heads = vec![0usize; lists.len()];
+    loop {
+        let mut best: Option<(VertexId, VertexId)> = None;
+        for (i, list) in lists.iter().enumerate() {
+            if let Some(&(p, _)) = list.get(heads[i]) {
+                if best.is_none_or(|b| p < b) {
+                    best = Some(p);
+                }
+            }
+        }
+        let Some(p) = best else { break };
+        let mut m = 0u32;
+        for (i, list) in lists.iter().enumerate() {
+            if let Some(&(q, c)) = list.get(heads[i]) {
+                if q == p {
+                    m += c;
+                    heads[i] += 1;
+                }
+            }
+        }
+        edges.push(p);
+        mult.push(m);
+    }
+    (edges, mult)
 }
 
 #[cfg(test)]

@@ -49,8 +49,11 @@ pub use exec::{
     execute_broadcast, execute_broadcast_with, execute_converge, execute_converge_with,
     execute_full_round, execute_full_round_with, execute_link_exchange, ExecTrace,
 };
-pub use graph::{ClusterGraph, SupportTree, VertexId};
+pub use graph::{BuildTimings, ClusterGraph, SupportTree, VertexId};
 pub use groups::{check_groups, random_groups, GroupCheck, Groups};
 pub use overlay::VirtualGraph;
-pub use par::{available_threads, map_reduce_sharded, ParallelConfig, ShardPlan, ShardStrategy};
+pub use par::{
+    available_threads, map_reduce_on, map_reduce_sharded, ParallelConfig, ShardPlan, ShardStrategy,
+    WorkerPool,
+};
 pub use prefix::{dfs_preorder, prefix_sums, prefix_sums_into, OrderedTree};

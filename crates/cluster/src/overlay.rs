@@ -64,6 +64,9 @@ impl VirtualGraph {
         let mut tree_parent = Vec::with_capacity(supports.len());
         let mut tree_height = Vec::with_capacity(supports.len());
         let mut in_subset = vec![false; n_machines];
+        // One reusable BFS workspace across all supports: per support the
+        // cost is O(size + internal edges), not O(n_machines).
+        let mut scratch = cgc_net::BfsScratch::new();
         let mut sorted_supports = Vec::with_capacity(supports.len());
 
         for (v, sup) in supports.iter().enumerate() {
@@ -83,18 +86,19 @@ impl VirtualGraph {
                 }
                 in_subset[m] = true;
             }
-            let (parent_all, depth_all) = base.bfs_tree_within(leader, &in_subset);
+            base.bfs_tree_within_scratch(leader, &in_subset, &mut scratch);
             let mut parent = Vec::with_capacity(s.len());
             let mut height = 0usize;
             let mut ok = true;
             for &m in &s {
-                if depth_all[m] == usize::MAX {
+                if scratch.depth(m) == usize::MAX {
                     ok = false;
                     break;
                 }
-                parent.push(parent_all[m]);
-                height = height.max(depth_all[m]);
+                parent.push(scratch.parent(m));
+                height = height.max(scratch.depth(m));
             }
+            scratch.reset(&s);
             for &m in &s {
                 in_subset[m] = false;
             }

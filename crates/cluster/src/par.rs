@@ -4,22 +4,44 @@
 //! embarrassingly parallel by construction: every vertex's fold result
 //! depends only on its own CSR row. This module partitions the vertices of
 //! an `H`-graph into contiguous per-thread shards, runs a kernel on each
-//! shard with `std::thread::scope` workers (no external dependencies), and
-//! writes each shard's results into a **disjoint slice** of the output
-//! buffer. The merge is the identity in a fixed shard order, so the
+//! shard, and writes each shard's results into a **disjoint slice** of the
+//! output buffer. The merge is the identity in a fixed shard order, so the
 //! parallel result is **bit-identical** to the sequential one at any
 //! thread count — the invariant `crates/cluster/tests/parallel_equivalence.rs`
 //! pins and the property that keeps [`cgc_net::CostMeter`] accounting
 //! trustworthy under parallel execution (costs are charged analytically on
 //! the calling thread, never inside workers).
 //!
+//! # The persistent worker pool
+//!
+//! A driver run executes thousands of aggregation rounds, and spawning
+//! scoped threads per round costs ~50–150 µs — more than a small round's
+//! compute. [`WorkerPool`] therefore keeps the worker threads **parked
+//! between rounds**: dispatch publishes a borrowed, type-erased job and
+//! bumps an epoch counter (seqlock style — workers spin briefly on the
+//! epoch, then park on a condvar), and completion is a countdown the
+//! caller waits on. A warm dispatch performs no heap allocation and spawns
+//! no threads. Worker `w` always runs shard `w + 1` of the caller's
+//! [`ShardPlan`] (the caller itself runs shard 0), so each worker
+//! permanently owns a contiguous vertex range of a given plan.
+//!
+//! Pools come from a process-global cache ([`WorkerPool::global`]) keyed
+//! by capacity, so every [`crate::ClusterNet`], every trace executor and
+//! every sharded [`ClusterGraph::build`] in the process reuses the same
+//! parked workers — across rounds, runs and seed/thread sweeps. The
+//! `std::thread::scope` path remains as the fallback for one-shot calls
+//! that have no pool (or need more shards than the pool holds).
+//!
 //! Determinism contract: kernels must be pure functions of `(vertex,
 //! topology, inputs)` — the `Fn` (not `FnMut`) bounds on the
 //! [`crate::ClusterNet`] primitives enforce this at the type level.
 
 use crate::graph::ClusterGraph;
+use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// How vertices are partitioned into per-thread shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -136,37 +158,61 @@ impl ShardPlan {
     /// `(topology, cfg)` — never of runtime load — so it is reproducible.
     pub fn plan(g: &ClusterGraph, cfg: &ParallelConfig) -> Self {
         let n = g.n_vertices();
-        let shards = cfg.threads.min(n.max(1));
+        match cfg.strategy {
+            ShardStrategy::EvenVertices => Self::even(n, cfg.threads),
+            // offsets[v] is the prefix sum of degrees — cut it at each
+            // shard's target mass (plus a per-vertex constant so edgeless
+            // stretches still split).
+            ShardStrategy::BalancedEdges => Self::from_prefix(g.adjacency_csr().0, cfg.threads),
+        }
+    }
+
+    /// At most `shards` contiguous ranges of (near-)equal item count over
+    /// `n` items.
+    pub fn even(n: usize, shards: usize) -> Self {
+        let shards = shards.min(n.max(1));
         if shards <= 1 {
             return Self::serial(n);
         }
         let mut bounds = Vec::with_capacity(shards + 1);
         bounds.push(0);
-        match cfg.strategy {
-            ShardStrategy::EvenVertices => {
-                for s in 1..shards {
-                    bounds.push(s * n / shards);
-                }
-            }
-            ShardStrategy::BalancedEdges => {
-                // offsets[v] is the prefix sum of degrees — walk it once,
-                // cutting at each shard's target mass. `+ v` weights in the
-                // per-vertex work (init + row setup) so edgeless stretches
-                // still split.
-                let (offsets, _) = g.adjacency_csr();
-                let total = offsets[n] + n;
-                let mut v = 0usize;
-                for s in 1..shards {
-                    let target = s * total / shards;
-                    while v < n && offsets[v] + v < target {
-                        v += 1;
-                    }
-                    bounds.push(v.min(n));
-                }
-            }
+        for s in 1..shards {
+            bounds.push(s * n / shards);
         }
         bounds.push(n);
-        // Strategies above are monotone; normalize defensively anyway.
+        ShardPlan { bounds }
+    }
+
+    /// At most `shards` contiguous item ranges over the `prefix.len() - 1`
+    /// items described by a monotone prefix-sum array, balanced by prefix
+    /// mass plus a per-item constant. This is the generic form of the
+    /// `BalancedEdges` rule, reused wherever per-item work is a prefix sum
+    /// (CSR degrees, cluster member counts, `H`-row widths). A pure
+    /// function of `(prefix, shards)`, so plans are reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `prefix` is empty.
+    pub fn from_prefix(prefix: &[usize], shards: usize) -> Self {
+        let n = prefix.len() - 1;
+        let shards = shards.min(n.max(1));
+        if shards <= 1 {
+            return Self::serial(n);
+        }
+        let base = prefix[0];
+        let total = (prefix[n] - base) + n;
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0);
+        let mut v = 0usize;
+        for s in 1..shards {
+            let target = s * total / shards;
+            while v < n && (prefix[v] - base) + v < target {
+                v += 1;
+            }
+            bounds.push(v.min(n));
+        }
+        bounds.push(n);
+        // The walk above is monotone; normalize defensively anyway.
         for i in 1..bounds.len() {
             if bounds[i] < bounds[i - 1] {
                 bounds[i] = bounds[i - 1];
@@ -200,17 +246,340 @@ impl ShardPlan {
     }
 }
 
+/// How many spin iterations a worker burns on the epoch counter before
+/// parking on the condvar. Kept small: back-to-back rounds are caught in
+/// the spin window, while an idle pool (or an oversubscribed single-core
+/// box) parks quickly instead of burning the caller's CPU.
+const SPIN_ROUNDS: u32 = 64;
+
+/// The job pointer published to workers: a borrowed `&dyn Fn(usize)`
+/// erased to `'static`. Sound because [`WorkerPool::run`] does not return
+/// until every worker finished the job, so the borrow outlives every use.
+type RawJob = *const (dyn Fn(usize) + Sync + 'static);
+
+/// Shared pool state. The `job` cell is written by the dispatcher strictly
+/// before the epoch bump (and only while all workers are quiescent), and
+/// read by workers strictly after they observe the new epoch — the
+/// acquire/release pair on `epoch` orders the accesses.
+struct PoolShared {
+    epoch: AtomicU64,
+    job: UnsafeCell<Option<SendJob>>,
+    /// Worker slots participating in the current round (slots `>= active`
+    /// observe the epoch, skip the job and do not touch `remaining`).
+    active: AtomicUsize,
+    remaining: AtomicUsize,
+    panicked: AtomicBool,
+    shutdown: AtomicBool,
+    idle: Mutex<()>,
+    wake: Condvar,
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+// SAFETY: the epoch protocol above makes the UnsafeCell a single-writer /
+// quiescent-readers slot; everything else is atomics and sync primitives.
+unsafe impl Sync for PoolShared {}
+
+/// A raw job pointer that may cross threads (the dispatch protocol, not
+/// the type system, guarantees its validity).
+#[derive(Clone, Copy)]
+struct SendJob(RawJob);
+unsafe impl Send for SendJob {}
+
+/// Counts every OS thread ever spawned by a [`WorkerPool`] in this
+/// process — the `alloc_free` suite asserts it stays constant across warm
+/// rounds (no per-round spawning).
+static POOL_THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-global pool cache: one pool, grown (replaced) when a larger
+/// capacity is requested, shared by every runtime in the process.
+static GLOBAL_POOL: Mutex<Option<Arc<WorkerPool>>> = Mutex::new(None);
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A persistent pool of parked worker threads driven by an epoch counter
+/// (see the [module docs](self)). One dispatch runs a borrowed job once
+/// per *shard slot*: the calling thread takes slot 0, worker `w` takes
+/// slot `w + 1`. Dispatches are serialized internally, so a pool may be
+/// shared freely (it is — via [`WorkerPool::global`]).
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Serializes dispatches from concurrent callers.
+    dispatch: Mutex<()>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool serving up to `threads` shard slots (`threads - 1`
+    /// parked workers; slot 0 always runs on the dispatching thread).
+    pub fn new(threads: usize) -> Self {
+        let workers = threads.saturating_sub(1);
+        let shared = Arc::new(PoolShared {
+            epoch: AtomicU64::new(0),
+            job: UnsafeCell::new(None),
+            active: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                POOL_THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+                std::thread::Builder::new()
+                    .name(format!("cgc-pool-{w}"))
+                    .spawn(move || worker_loop(&shared, w + 1))
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            dispatch: Mutex::new(()),
+        }
+    }
+
+    /// The pool from the process-global cache, lazily created (and grown by
+    /// replacement) to serve at least `threads` shard slots. `threads <= 1`
+    /// needs no pool and returns `None`. Every runtime acquiring through
+    /// here shares the same parked workers.
+    pub fn global(threads: usize) -> Option<Arc<WorkerPool>> {
+        if threads <= 1 {
+            return None;
+        }
+        let mut cached = lock_ignore_poison(&GLOBAL_POOL);
+        if let Some(pool) = cached.as_ref() {
+            if pool.max_shards() >= threads {
+                return Some(Arc::clone(pool));
+            }
+        }
+        let pool = Arc::new(WorkerPool::new(threads));
+        *cached = Some(Arc::clone(&pool));
+        Some(pool)
+    }
+
+    /// Maximum shard slots one dispatch serves (workers + the caller).
+    #[inline]
+    pub fn max_shards(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Total pool worker threads ever spawned in this process — a
+    /// regression sentinel: warm pooled rounds must not move it.
+    pub fn total_threads_spawned() -> u64 {
+        POOL_THREADS_SPAWNED.load(Ordering::Relaxed)
+    }
+
+    /// Runs `job(slot)` once per slot in `0..shards` — slot 0 inline on
+    /// the calling thread, the rest on the parked workers — and returns
+    /// after **all** active slots finished. `shards` is clamped to
+    /// [`Self::max_shards`]; workers beyond it skip the round entirely, so
+    /// a narrow dispatch on a wide (grown) pool only waits on the workers
+    /// it actually uses. A warm dispatch allocates nothing and spawns
+    /// nothing; `shards <= 1` runs fully inline without touching the pool.
+    ///
+    /// The job must treat `slot` as its only identity (pure kernels over
+    /// disjoint data).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic if the job panicked on any slot (after all slots
+    /// quiesced, so borrowed data is never used after `run` unwinds).
+    pub fn run(&self, shards: usize, job: &(dyn Fn(usize) + Sync)) {
+        let workers = shards.clamp(1, self.max_shards()) - 1;
+        if workers == 0 {
+            job(0);
+            return;
+        }
+        let _round = lock_ignore_poison(&self.dispatch);
+        let shared = &*self.shared;
+        shared.active.store(workers, Ordering::Release);
+        shared.remaining.store(workers, Ordering::Release);
+        // SAFETY: all workers are quiescent between rounds (the previous
+        // dispatch waited for `remaining == 0`), so this write does not
+        // race; lifetime erasure is sound because we wait below.
+        unsafe {
+            *shared.job.get() = Some(SendJob(std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                RawJob,
+            >(job as *const _)));
+        }
+        {
+            // Bump under the idle lock so a worker that just re-checked the
+            // epoch cannot park past the notify.
+            let _g = lock_ignore_poison(&shared.idle);
+            shared.epoch.fetch_add(1, Ordering::Release);
+            shared.wake.notify_all();
+        }
+        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(0)));
+        // Wait for every worker: spin through the common photo-finish, then
+        // park on the done condvar.
+        let mut spins = 0u32;
+        while shared.remaining.load(Ordering::Acquire) != 0 {
+            spins += 1;
+            if spins < SPIN_ROUNDS {
+                std::hint::spin_loop();
+            } else {
+                let mut g = lock_ignore_poison(&shared.done);
+                while shared.remaining.load(Ordering::Acquire) != 0 {
+                    g = shared
+                        .done_cv
+                        .wait(g)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }
+        }
+        unsafe {
+            *shared.job.get() = None;
+        }
+        // Clear the worker-panic flag *before* any early return: a round
+        // where both the caller and a worker panicked must not leave the
+        // flag set for the next (unrelated) dispatch on this shared pool.
+        let worker_panicked = shared.panicked.swap(false, Ordering::AcqRel);
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        if worker_panicked {
+            panic!("a WorkerPool job panicked on a worker thread");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = lock_ignore_poison(&self.shared.idle);
+            self.shared.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, slot: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Wait for the next epoch: spin briefly, then park.
+        let mut spins = 0u32;
+        loop {
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e != seen {
+                seen = e;
+                break;
+            }
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            spins += 1;
+            if spins < SPIN_ROUNDS {
+                std::hint::spin_loop();
+            } else {
+                let g = lock_ignore_poison(&shared.idle);
+                if shared.epoch.load(Ordering::Acquire) == seen
+                    && !shared.shutdown.load(Ordering::Acquire)
+                {
+                    // Re-checked under the lock the dispatcher bumps and
+                    // notifies under — the wake-up cannot be lost; spurious
+                    // wakes loop back around.
+                    drop(
+                        shared
+                            .wake
+                            .wait(g)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner),
+                    );
+                }
+            }
+        }
+        // A round narrower than the pool does not involve this worker:
+        // skip the job and leave `remaining` (which only counts active
+        // workers) untouched. `active` was published before the epoch
+        // bump, so the acquire on `epoch` ordered this read.
+        if slot > shared.active.load(Ordering::Acquire) {
+            continue;
+        }
+        let job = unsafe { (*shared.job.get()).expect("epoch advanced without a published job") };
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (unsafe { &*job.0 })(slot)));
+        if outcome.is_err() {
+            shared.panicked.store(true, Ordering::Release);
+        }
+        if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = lock_ignore_poison(&shared.done);
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+/// A raw pointer that may be captured by a `Sync` job closure; shard
+/// disjointness (not the type system) rules out aliasing writes.
+pub(crate) struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    pub(crate) fn new(p: *mut T) -> Self {
+        SendPtr(p)
+    }
+
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Runs `job(s)` for every shard `s in 0..shards`: inline when `shards <=
+/// 1`, on the pool when one is provided with enough slots (slot 0 on the
+/// caller — allocation- and spawn-free when warm), and on one-shot scoped
+/// threads otherwise. Blocks until every shard completed; propagates
+/// panics either way.
+pub(crate) fn for_each_shard(
+    pool: Option<&WorkerPool>,
+    shards: usize,
+    job: &(dyn Fn(usize) + Sync),
+) {
+    if shards <= 1 {
+        job(0);
+        return;
+    }
+    match pool {
+        Some(pool) if pool.max_shards() >= shards => pool.run(shards, job),
+        _ => std::thread::scope(|scope| {
+            for s in 1..shards {
+                scope.spawn(move || job(s));
+            }
+            job(0);
+        }),
+    }
+}
+
 /// Clears `out` and refills it with `n` elements, where element `v` is
 /// produced by `fill(v)` — shard-parallel, each worker writing its own
 /// disjoint slice of the (re)used allocation. Element order is always
 /// `0..n` regardless of shard count, and `fill` must be pure, so the
 /// result is identical to the sequential `out.extend((0..n).map(fill))`.
 ///
-/// With one shard this runs inline and performs no allocation once `out`'s
-/// capacity is warm.
+/// With one shard this runs inline; with a [`WorkerPool`] the dispatch
+/// reuses parked workers. Either way the call performs no allocation once
+/// `out`'s capacity is warm.
 pub(crate) fn fill_sharded<T: Send>(
     out: &mut Vec<T>,
     plan: &ShardPlan,
+    pool: Option<&WorkerPool>,
     fill: impl Fn(usize, &mut [MaybeUninit<T>]) + Sync,
 ) {
     let n = plan.n_vertices();
@@ -220,16 +589,21 @@ pub(crate) fn fill_sharded<T: Send>(
     if plan.n_shards() <= 1 {
         fill(0, spare);
     } else {
-        run_sharded(plan, spare, |r| r.len(), &|range,
-                                                slot: &mut [MaybeUninit<
-            T,
-        >]| {
-            fill(range.start, slot)
+        let base = SendPtr::new(spare.as_mut_ptr());
+        for_each_shard(pool, plan.n_shards(), &|s| {
+            let range = plan.range(s);
+            if range.is_empty() {
+                return;
+            }
+            // SAFETY: shard ranges are disjoint sub-slices of `spare`.
+            let slot =
+                unsafe { std::slice::from_raw_parts_mut(base.get().add(range.start), range.len()) };
+            fill(range.start, slot);
         });
     }
-    // SAFETY: every worker writes its full shard slice (fill_range writes
-    // one element per index); a worker panic propagates out of the scope
-    // above before this line, leaving the length untouched.
+    // SAFETY: every shard writes its full slice (one element per index); a
+    // panic on any shard propagates out of `for_each_shard` before this
+    // line, leaving the length untouched.
     unsafe { out.set_len(n) };
 }
 
@@ -243,6 +617,7 @@ pub(crate) fn fill_sharded_with_offsets<T: Send>(
     out_offsets: &mut Vec<usize>,
     out_data: &mut Vec<T>,
     plan: &ShardPlan,
+    pool: Option<&WorkerPool>,
     offsets: &[usize],
     fill: impl Fn(std::ops::Range<usize>, &mut [MaybeUninit<T>]) + Sync,
 ) {
@@ -267,37 +642,32 @@ pub(crate) fn fill_sharded_with_offsets<T: Send>(
             &mut out_data.spare_capacity_mut()[..n_entries],
         );
     } else {
-        let mut offs_spare = &mut out_offsets.spare_capacity_mut()[..n];
-        let mut data_spare = &mut out_data.spare_capacity_mut()[..n_entries];
-        let mut jobs = Vec::with_capacity(plan.n_shards());
-        for s in 0..plan.n_shards() {
+        let offs_base = SendPtr::new(out_offsets.spare_capacity_mut()[..n].as_mut_ptr());
+        let data_base = SendPtr::new(out_data.spare_capacity_mut()[..n_entries].as_mut_ptr());
+        for_each_shard(pool, plan.n_shards(), &|s| {
             let range = plan.range(s);
-            let (offs_head, offs_tail) = offs_spare.split_at_mut(range.len());
-            offs_spare = offs_tail;
-            let (data_head, data_tail) =
-                data_spare.split_at_mut(offsets[range.end] - offsets[range.start]);
-            data_spare = data_tail;
-            if !range.is_empty() {
-                jobs.push((range, offs_head, data_head));
+            if range.is_empty() {
+                return;
             }
-        }
-        std::thread::scope(|scope| {
-            let copy_then_fill = &copy_then_fill;
-            let mut local = None;
-            for (i, (range, offs, data)) in jobs.into_iter().enumerate() {
-                if i == 0 {
-                    local = Some((range, offs, data)); // calling thread's share
-                } else {
-                    scope.spawn(move || copy_then_fill(range, offs, data));
-                }
-            }
-            if let Some((range, offs, data)) = local {
-                copy_then_fill(range, offs, data);
-            }
+            // SAFETY: shard `s` owns rows `range` of the offsets buffer and
+            // entries `offsets[range.start]..offsets[range.end]` of the
+            // arena — disjoint across shards because both arrays are
+            // monotone in the shard bounds.
+            let (offs_slot, data_slot) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(offs_base.get().add(range.start), range.len()),
+                    std::slice::from_raw_parts_mut(
+                        data_base.get().add(offsets[range.start]),
+                        offsets[range.end] - offsets[range.start],
+                    ),
+                )
+            };
+            copy_then_fill(range, offs_slot, data_slot);
         });
     }
-    // SAFETY: every worker writes its full offsets and arena slices; a
-    // worker panic propagates out of the scope before these lines.
+    // SAFETY: every shard writes its full offsets and arena slices; a
+    // panic on any shard propagates out of `for_each_shard` before these
+    // lines.
     unsafe {
         out_offsets.set_len(n);
         out_data.set_len(n_entries);
@@ -305,47 +675,28 @@ pub(crate) fn fill_sharded_with_offsets<T: Send>(
     out_offsets.push(offsets[n]);
 }
 
-/// Splits `spare` into per-shard slices (shard `s` gets `width(range_s)`
-/// elements, in shard order) and runs one scoped worker per non-empty
-/// shard. The first shard runs on the calling thread.
-fn run_sharded<T: Send>(
-    plan: &ShardPlan,
-    mut spare: &mut [MaybeUninit<T>],
-    width: impl Fn(std::ops::Range<usize>) -> usize,
-    fill: &(impl Fn(std::ops::Range<usize>, &mut [MaybeUninit<T>]) + Sync),
-) {
-    let shards = plan.n_shards();
-    let mut jobs: Vec<(std::ops::Range<usize>, &mut [MaybeUninit<T>])> = Vec::with_capacity(shards);
-    for s in 0..shards {
-        let range = plan.range(s);
-        let (head, tail) = spare.split_at_mut(width(range.clone()));
-        spare = tail;
-        if !range.is_empty() {
-            jobs.push((range, head));
-        }
-    }
-    std::thread::scope(|scope| {
-        let mut local = None;
-        for (i, (range, slot)) in jobs.into_iter().enumerate() {
-            if i == 0 {
-                local = Some((range, slot)); // calling thread's share
-            } else {
-                scope.spawn(move || fill(range, slot));
-            }
-        }
-        if let Some((range, slot)) = local {
-            fill(range, slot);
-        }
-    });
-}
-
 /// Runs `work` over every shard of `plan` concurrently, collecting each
 /// shard's result and folding them **in shard order** with `merge` — the
-/// deterministic reduction used by [`crate::exec`]'s trace functions and
-/// the parallel generators in `cgc_graphs`. With one shard, runs inline.
-/// A plan always has at least one shard, so the reduction is total.
+/// deterministic reduction used by [`crate::exec`]'s trace functions, the
+/// sharded [`ClusterGraph::build`] and the parallel generators in
+/// `cgc_graphs`. With one shard, runs inline; with more, spawns one-shot
+/// scoped threads. A plan always has at least one shard, so the reduction
+/// is total.
 pub fn map_reduce_sharded<T: Send>(
     plan: &ShardPlan,
+    work: impl Fn(std::ops::Range<usize>) -> T + Sync,
+    merge: impl FnMut(&mut T, T),
+) -> T {
+    map_reduce_on(plan, None, work, merge)
+}
+
+/// [`map_reduce_sharded`] dispatched on a persistent [`WorkerPool`] when
+/// one is supplied (falling back to scoped threads otherwise). The shard
+/// results and their fixed-order reduction are identical either way —
+/// only the dispatch mechanism differs.
+pub fn map_reduce_on<T: Send>(
+    plan: &ShardPlan,
+    pool: Option<&WorkerPool>,
     work: impl Fn(std::ops::Range<usize>) -> T + Sync,
     mut merge: impl FnMut(&mut T, T),
 ) -> T {
@@ -353,17 +704,23 @@ pub fn map_reduce_sharded<T: Send>(
     if shards <= 1 {
         return work(plan.range(0));
     }
-    let mut results: Vec<Option<T>> = (1..shards).map(|_| None).collect();
-    let mut acc = std::thread::scope(|scope| {
+    let mut results: Vec<Option<T>> = (0..shards).map(|_| None).collect();
+    {
+        let base = SendPtr::new(results.as_mut_ptr());
         let work = &work;
-        for (i, slot) in results.iter_mut().enumerate() {
-            let range = plan.range(i + 1);
-            scope.spawn(move || *slot = Some(work(range)));
-        }
-        work(plan.range(0)) // calling thread takes shard 0
-    });
-    for r in results {
-        merge(&mut acc, r.expect("every spawned shard produced a result"));
+        for_each_shard(pool, shards, &|s| {
+            let r = work(plan.range(s));
+            // SAFETY: each shard writes only its own pre-initialized slot.
+            unsafe { *base.get().add(s) = Some(r) };
+        });
+    }
+    let mut parts = results.into_iter();
+    let mut acc = parts
+        .next()
+        .flatten()
+        .expect("shard 0 always produces a result");
+    for r in parts {
+        merge(&mut acc, r.expect("every shard produced a result"));
     }
     acc
 }
@@ -426,7 +783,7 @@ mod tests {
         for threads in [1, 2, 3, 8] {
             let plan = ShardPlan::plan(&g, &ParallelConfig::with_threads(threads));
             let mut out: Vec<u64> = Vec::new();
-            fill_sharded(&mut out, &plan, |start, slot| {
+            fill_sharded(&mut out, &plan, None, |start, slot| {
                 for (i, cell) in slot.iter_mut().enumerate() {
                     cell.write(((start + i) as u64).wrapping_mul(0x9E3779B97F4A7C15));
                 }
@@ -452,12 +809,19 @@ mod tests {
             let plan = ShardPlan::plan(&g, &ParallelConfig::with_threads(threads));
             let mut out_offsets: Vec<usize> = Vec::new();
             let mut out_data: Vec<u64> = Vec::new();
-            fill_sharded_with_offsets(&mut out_offsets, &mut out_data, &plan, &offsets, |r, s| {
-                let base = offsets[r.start];
-                for (i, cell) in s.iter_mut().enumerate() {
-                    cell.write((base + i) as u64 * 31);
-                }
-            });
+            fill_sharded_with_offsets(
+                &mut out_offsets,
+                &mut out_data,
+                &plan,
+                None,
+                &offsets,
+                |r, s| {
+                    let base = offsets[r.start];
+                    for (i, cell) in s.iter_mut().enumerate() {
+                        cell.write((base + i) as u64 * 31);
+                    }
+                },
+            );
             assert_eq!(out_offsets, offsets, "threads={threads}");
             let expect: Vec<u64> = (0..offsets[n] as u64).map(|e| e * 31).collect();
             assert_eq!(out_data, expect, "threads={threads}");
@@ -474,6 +838,127 @@ mod tests {
             let got = map_reduce_sharded(&plan, |r| r.collect::<Vec<usize>>(), |a, b| a.extend(b));
             assert_eq!(got, (0..40).collect::<Vec<usize>>(), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn from_prefix_covers_and_balances() {
+        // Skewed prefix: one heavy head, long light tail.
+        let mut prefix = vec![0usize];
+        for v in 0..100 {
+            prefix.push(prefix[v] + if v == 0 { 1000 } else { 1 });
+        }
+        for shards in [1, 2, 4, 8] {
+            let p = ShardPlan::from_prefix(&prefix, shards);
+            assert_eq!(p.bounds()[0], 0);
+            assert_eq!(p.n_vertices(), 100);
+            for s in 1..p.bounds().len() {
+                assert!(p.bounds()[s] >= p.bounds()[s - 1]);
+            }
+        }
+        // With 2+ shards the heavy head must not absorb everything.
+        let p = ShardPlan::from_prefix(&prefix, 4);
+        assert!(p.n_shards() >= 2);
+        assert!(!p.range(p.n_shards() - 1).is_empty());
+    }
+
+    #[test]
+    fn pool_runs_every_slot_and_reuses_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.max_shards(), 4);
+        let spawned = WorkerPool::total_threads_spawned();
+        for round in 1..=10usize {
+            let hits = AtomicUsize::new(0);
+            pool.run(4, &|slot| {
+                assert!(slot < 4);
+                hits.fetch_add(slot + 1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 1 + 2 + 3 + 4, "round {round}");
+        }
+        // Narrow rounds on the wide pool only run (and wait on) the active
+        // slots.
+        for shards in [1, 2, 3] {
+            let hits = AtomicUsize::new(0);
+            pool.run(shards, &|slot| {
+                assert!(slot < shards, "slot {slot} beyond {shards} shards");
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), shards);
+        }
+        assert_eq!(
+            WorkerPool::total_threads_spawned(),
+            spawned,
+            "warm dispatches must not spawn threads"
+        );
+    }
+
+    #[test]
+    fn pooled_fill_matches_scoped_fill() {
+        let g = line_graph(91);
+        let pool = WorkerPool::new(3);
+        let plan = ShardPlan::plan(&g, &ParallelConfig::with_threads(3));
+        let expect: Vec<u64> = (0..91u64).map(|v| v * 7 + 1).collect();
+        let mut scoped: Vec<u64> = Vec::new();
+        let mut pooled: Vec<u64> = Vec::new();
+        let kernel = |start: usize, slot: &mut [MaybeUninit<u64>]| {
+            for (i, cell) in slot.iter_mut().enumerate() {
+                cell.write((start + i) as u64 * 7 + 1);
+            }
+        };
+        fill_sharded(&mut scoped, &plan, None, kernel);
+        fill_sharded(&mut pooled, &plan, Some(&pool), kernel);
+        assert_eq!(scoped, expect);
+        assert_eq!(pooled, expect);
+    }
+
+    #[test]
+    fn pooled_map_reduce_is_shard_ordered() {
+        let g = line_graph(40);
+        let pool = WorkerPool::new(8);
+        for threads in [1, 2, 4, 7] {
+            let plan = ShardPlan::plan(&g, &ParallelConfig::with_threads(threads));
+            let got = map_reduce_on(
+                &plan,
+                Some(&pool),
+                |r| r.collect::<Vec<usize>>(),
+                |a, b| a.extend(b),
+            );
+            assert_eq!(got, (0..40).collect::<Vec<usize>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_propagates_worker_panics() {
+        let pool = WorkerPool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(2, &|slot| {
+                if slot == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err(), "worker panic must reach the dispatcher");
+        // The pool stays usable after a panicked round, and the panic flag
+        // does not leak into it — even when caller AND worker both panic.
+        pool.run(2, &|_| {});
+        let both = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(2, &|_| panic!("everyone"));
+        }));
+        assert!(both.is_err());
+        pool.run(2, &|_| {}); // must not spuriously panic
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_grows() {
+        let a = WorkerPool::global(2).expect("parallel config gets a pool");
+        let b = WorkerPool::global(2).expect("parallel config gets a pool");
+        assert!(Arc::ptr_eq(&a, &b), "same capacity shares one pool");
+        assert!(WorkerPool::global(1).is_none(), "serial needs no pool");
+        let big = WorkerPool::global(a.max_shards() + 1).unwrap();
+        assert!(big.max_shards() > a.max_shards());
+        // The grown pool serves smaller requests from then on.
+        let c = WorkerPool::global(2).unwrap();
+        assert!(Arc::ptr_eq(&big, &c));
     }
 
     #[test]

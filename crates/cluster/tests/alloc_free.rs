@@ -1,13 +1,18 @@
-//! Verifies the PR's headline guarantee: after warm-up, the metered
+//! Verifies the runtime's headline guarantees: after warm-up, the metered
 //! aggregation primitives (`neighbor_fold_into`, the typed fold wrappers,
 //! `neighbor_collect_into`, `exact_degrees_into`, `charge_full_rounds`)
-//! perform **zero heap allocations per round**.
+//! perform **zero heap allocations per round** — under the sequential
+//! config *and* under a parallel config dispatching on the persistent
+//! [`WorkerPool`], where warm rounds additionally **spawn no threads**
+//! (pool workers are created once and parked between rounds).
 //!
 //! A counting global allocator tallies every allocation; each test warms
 //! the buffers once, snapshots the counter, runs many rounds, and asserts
-//! the counter did not move.
+//! the counter did not move. Note the allocation counter alone already
+//! rules out per-round spawning (`std::thread::spawn` allocates); the
+//! pool's spawn counter pins it explicitly.
 
-use cgc_cluster::{ClusterGraph, ClusterNet, NeighborLists};
+use cgc_cluster::{ClusterGraph, ClusterNet, NeighborLists, ParallelConfig, WorkerPool};
 use cgc_net::CommGraph;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -138,6 +143,64 @@ fn neighbor_collect_into_is_allocation_free_when_warm() {
     for v in 0..h.n_vertices() {
         assert_eq!(lists.row(v).len(), h.degree(v));
     }
+}
+
+#[test]
+fn pooled_rounds_are_allocation_free_and_spawn_no_threads() {
+    let h = instance();
+    // An explicitly parallel runtime: dispatches ride the process-global
+    // persistent worker pool.
+    let mut net = ClusterNet::with_parallel(&h, 64, ParallelConfig::with_threads(2));
+    assert!(
+        net.worker_pool().is_some(),
+        "parallel config must acquire the persistent pool"
+    );
+    let queries: Vec<u64> = (0..h.n_vertices() as u64).collect();
+    let mut out: Vec<u64> = Vec::new();
+    let mut degs: Vec<usize> = Vec::new();
+    let mut lists: NeighborLists<u64> = NeighborLists::new();
+    let fold = |net: &mut ClusterNet<'_>, out: &mut Vec<u64>| {
+        net.neighbor_fold_into(
+            16,
+            16,
+            &queries,
+            |_, _, _, qu| Some(*qu),
+            |_| 0u64,
+            |a, c| *a = (*a).max(c),
+            out,
+        );
+    };
+    // Warm-up sizes every buffer (and has already created the pool).
+    fold(&mut net, &mut out);
+    net.exact_degrees_into(&mut degs);
+    net.neighbor_collect_into(16, &queries, &mut lists);
+    let warm = out.clone();
+
+    let spawned_before = WorkerPool::total_threads_spawned();
+    let allocs_before = allocations();
+    for _ in 0..100 {
+        fold(&mut net, &mut out);
+        net.exact_degrees_into(&mut degs);
+        net.neighbor_collect_into(16, &queries, &mut lists);
+    }
+    assert_eq!(
+        allocations() - allocs_before,
+        0,
+        "warm pooled rounds must not allocate"
+    );
+    assert_eq!(
+        WorkerPool::total_threads_spawned(),
+        spawned_before,
+        "warm pooled rounds must not spawn threads"
+    );
+    assert_eq!(out, warm, "pooled results stay identical across rounds");
+
+    // And the pooled results match a sequential runtime's bit for bit.
+    let mut seq = ClusterNet::new(&h, 64);
+    let mut seq_out: Vec<u64> = Vec::new();
+    fold(&mut seq, &mut seq_out);
+    assert_eq!(out, seq_out);
+    assert_eq!(degs, seq.exact_degrees());
 }
 
 #[test]

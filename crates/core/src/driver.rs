@@ -90,9 +90,11 @@ pub struct DriverOptions {
     /// fingerprint ACD separately.
     pub oracle_acd: bool,
     /// Sharded-executor configuration installed on the net before the run.
-    /// Purely a wall-clock knob: colorings and `CostMeter` totals are
-    /// bit-identical at any thread count (`parallel_equivalence` and the
-    /// seeded-determinism tests pin this).
+    /// `threads > 1` makes every phase dispatch its rounds on the
+    /// process-global persistent [`cgc_cluster::WorkerPool`] (parked
+    /// workers, no per-round spawns). Purely a wall-clock knob: colorings
+    /// and `CostMeter` totals are bit-identical at any thread count
+    /// (`parallel_equivalence` and the seeded-determinism tests pin this).
     pub parallel: ParallelConfig,
 }
 

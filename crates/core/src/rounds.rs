@@ -12,7 +12,10 @@
 //! [`cgc_cluster::ParallelConfig`] the driver installed on the net runs
 //! this round shard-parallel with bit-identical blocked flags and charges,
 //! for every phase that funnels through here (trycolor, slackgen, sct,
-//! sampled matching).
+//! sampled matching). Under a parallel config the dispatch rides the
+//! net's persistent [`cgc_cluster::WorkerPool`] — parked workers woken
+//! per round, so the thousands of conflict rounds a driver run issues
+//! spawn no threads at all.
 
 use crate::coloring::{Color, Coloring};
 use cgc_cluster::{ClusterNet, VertexId};

@@ -4,13 +4,21 @@
 //! A [`Session`] owns a built [`ClusterGraph`] addressed by a
 //! [`WorkloadSpec`] and caches it across runs — sweeping run seeds or
 //! thread counts over one instance pays `ClusterGraph::build` once, not
-//! per run (the build dominates setup at large `n`). Every run goes
+//! per run (the build dominates setup at large `n`); the build itself is
+//! sharded over the session's [`ParallelConfig`]. Every run goes
 //! through [`Session::run`], which wires [`Params`], the
 //! [`ParallelConfig`], the log-budget and the [`DriverOptions`] through
 //! one place and returns a [`RunOutcome`]: the [`RunResult`] plus
 //! wall-clock phase timings, the thread count, the detected cores and the
 //! workload spec string — everything an experiment table or JSON baseline
 //! needs to make the run reproducible and comparable across hardware.
+//!
+//! Parallel sessions dispatch on the **persistent worker pool**
+//! ([`cgc_cluster::WorkerPool`]): the instance build, every
+//! [`Session::make_net`] runtime and every round of every
+//! [`Session::run`] reuse the same parked OS threads from the
+//! process-global pool cache — across rounds, runs, and seed/thread
+//! sweeps — so no per-round (or per-run) thread spawning ever happens.
 //!
 //! ```
 //! use cgc_core::SessionBuilder;

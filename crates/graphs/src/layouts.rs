@@ -8,7 +8,7 @@
 //! path clusters reproduce the Figure 2/3 bottleneck shapes and stretch
 //! the dilation `d` for experiment E11.
 
-use cgc_cluster::ClusterGraph;
+use cgc_cluster::{ClusterGraph, ParallelConfig};
 use cgc_net::{CommGraph, SeedStream};
 use rand::RngExt;
 
@@ -124,6 +124,32 @@ impl std::str::FromStr for Layout {
 ///
 /// Panics if `links_per_edge == 0` or the spec is empty.
 pub fn realize(h: &HSpec, layout: Layout, links_per_edge: usize, seed: u64) -> ClusterGraph {
+    realize_with(h, layout, links_per_edge, seed, &ParallelConfig::serial())
+}
+
+/// [`realize`] with the `ClusterGraph` build sharded over `par`'s threads
+/// (see [`ClusterGraph::build_with`]); the realized instance is a pure
+/// function of `(spec, layout, links, seed)` — never of the thread count.
+pub fn realize_with(
+    h: &HSpec,
+    layout: Layout,
+    links_per_edge: usize,
+    seed: u64,
+    par: &ParallelConfig,
+) -> ClusterGraph {
+    let (comm, assignment) = realize_network(h, layout, links_per_edge, seed);
+    ClusterGraph::build_with(comm, assignment, par).expect("clusters are connected by construction")
+}
+
+/// The communication network and machine→cluster assignment [`realize`]
+/// feeds to [`ClusterGraph::build`] — exposed so benches can time and
+/// differential-test the build itself on real realized instances.
+pub fn realize_network(
+    h: &HSpec,
+    layout: Layout,
+    links_per_edge: usize,
+    seed: u64,
+) -> (CommGraph, Vec<usize>) {
     assert!(links_per_edge > 0, "need at least one link per edge");
     assert!(h.n > 0, "empty spec");
     let m = layout.cluster_size();
@@ -163,7 +189,7 @@ pub fn realize(h: &HSpec, layout: Layout, links_per_edge: usize, seed: u64) -> C
     }
     let comm = CommGraph::from_edges(n_machines, &edges).expect("layout produces valid graph");
     let assignment: Vec<usize> = (0..n_machines).map(|i| i / m).collect();
-    ClusterGraph::build(comm, assignment).expect("clusters are connected by construction")
+    (comm, assignment)
 }
 
 #[cfg(test)]

@@ -36,7 +36,7 @@ pub mod workload;
 
 pub use adversarial::bottleneck_instance;
 pub use gnp::gnp_spec;
-pub use layouts::{realize, HSpec, Layout};
+pub use layouts::{realize, realize_network, realize_with, HSpec, Layout};
 pub use planted::{cabal_spec, mixture_spec, planted_cliques_spec, MixtureConfig, PlantedInfo};
 pub use power::square_spec;
 pub use powerlaw::{power_law_spec, power_law_weights, PowerLawConfig};

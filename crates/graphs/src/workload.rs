@@ -26,7 +26,7 @@
 
 use crate::adversarial::bottleneck_instance;
 use crate::gnp::gnp_spec;
-use crate::layouts::{realize, HSpec, Layout};
+use crate::layouts::{realize_with, HSpec, Layout};
 use crate::planted::{cabal_spec, mixture_spec, planted_cliques_spec, MixtureConfig, PlantedInfo};
 use crate::power::square_spec;
 use crate::powerlaw::{power_law_spec, PowerLawConfig};
@@ -354,7 +354,10 @@ impl WorkloadSpec {
                 let (h, info) = self
                     .conflict_spec_with(par)
                     .expect("non-bottleneck families have a conflict spec");
-                (realize(&h, self.layout, self.links, self.seed), info)
+                (
+                    realize_with(&h, self.layout, self.links, self.seed, par),
+                    info,
+                )
             }
         }
     }
@@ -586,7 +589,7 @@ mod tests {
         let spec = WorkloadSpec::cabal(2, 12, 3, 4, 9).with_layout(Layout::Star(3));
         let g = spec.build();
         let (h, _) = cabal_spec(2, 12, 3, 4, 9);
-        let legacy = realize(&h, Layout::Star(3), 1, 9);
+        let legacy = crate::layouts::realize(&h, Layout::Star(3), 1, 9);
         assert_eq!(g.n_vertices(), legacy.n_vertices());
         assert_eq!(g.n_machines(), legacy.n_machines());
         for &(u, v) in &h.edges {

@@ -12,6 +12,9 @@ pub type MachineId = usize;
 
 /// An undirected simple communication network.
 ///
+/// Equality is structural (machine count + canonical edge list), so the
+/// cluster layer's differential suites can compare whole built instances.
+///
 /// # Example
 ///
 /// ```
@@ -21,7 +24,7 @@ pub type MachineId = usize;
 /// assert_eq!(g.n_links(), 4);
 /// assert!(g.is_connected());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommGraph {
     n: usize,
     /// CSR offsets: `adj[offsets[v]..offsets[v+1]]` are the neighbors of `v`.
@@ -193,31 +196,54 @@ impl CommGraph {
     /// over the subset (indexed by machine id; machines outside the subset
     /// keep `usize::MAX` depth and `None` parent).
     ///
-    /// Used to build support trees inside clusters.
+    /// Used to build support trees inside clusters. Loops that BFS many
+    /// subsets of one graph should prefer
+    /// [`Self::bfs_tree_within_scratch`], which reuses the `O(n)` maps
+    /// instead of allocating them per call.
     pub fn bfs_tree_within(
         &self,
         src: MachineId,
         in_subset: &[bool],
     ) -> (Vec<Option<MachineId>>, Vec<usize>) {
+        let mut scratch = BfsScratch::default();
+        self.bfs_tree_within_scratch(src, in_subset, &mut scratch);
+        (scratch.parent, scratch.depth)
+    }
+
+    /// [`Self::bfs_tree_within`] into a reusable [`BfsScratch`]: the
+    /// `O(n)` parent/depth maps are (re)sized once and the BFS touches
+    /// only subset entries, so a loop over many small subsets pays
+    /// `O(subset + internal edges)` per call instead of `O(n)` — the win
+    /// that makes per-cluster support-tree construction shardable and
+    /// cheap. After reading the results the caller **must** call
+    /// [`BfsScratch::reset`] with the subset's machines before reusing the
+    /// scratch.
+    ///
+    /// The visit order (CSR neighbor order per machine) is exactly
+    /// [`Self::bfs_tree_within`]'s — the two produce identical trees.
+    pub fn bfs_tree_within_scratch(
+        &self,
+        src: MachineId,
+        in_subset: &[bool],
+        scratch: &mut BfsScratch,
+    ) {
         debug_assert!(in_subset.len() == self.n);
-        let mut parent = vec![None; self.n];
-        let mut depth = vec![usize::MAX; self.n];
+        scratch.ensure(self.n);
         if !in_subset[src] {
-            return (parent, depth);
+            return;
         }
-        let mut q = VecDeque::new();
-        depth[src] = 0;
-        q.push_back(src);
-        while let Some(u) = q.pop_front() {
+        scratch.depth[src] = 0;
+        scratch.queue.push_back(src);
+        while let Some(u) = scratch.queue.pop_front() {
+            let du = scratch.depth[u];
             for &w in self.neighbors(u) {
-                if in_subset[w] && depth[w] == usize::MAX {
-                    depth[w] = depth[u] + 1;
-                    parent[w] = Some(u);
-                    q.push_back(w);
+                if in_subset[w] && scratch.depth[w] == usize::MAX {
+                    scratch.depth[w] = du + 1;
+                    scratch.parent[w] = Some(u);
+                    scratch.queue.push_back(w);
                 }
             }
         }
-        (parent, depth)
     }
 
     /// Whether the whole graph is connected.
@@ -232,6 +258,54 @@ impl CommGraph {
     /// Maximum degree over all machines.
     pub fn max_degree(&self) -> usize {
         (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+}
+
+/// Reusable workspace for [`CommGraph::bfs_tree_within_scratch`]: the
+/// full-size parent/depth maps plus the BFS queue, sized lazily and reset
+/// sparsely (only the entries a BFS touched) so repeated subset BFS over
+/// one graph never re-allocates or re-clears `O(n)` state.
+#[derive(Debug, Default)]
+pub struct BfsScratch {
+    parent: Vec<Option<MachineId>>,
+    depth: Vec<usize>,
+    queue: VecDeque<MachineId>,
+}
+
+impl BfsScratch {
+    /// Fresh scratch (sized on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.depth.len() < n {
+            self.parent.resize(n, None);
+            self.depth.resize(n, usize::MAX);
+        }
+        debug_assert!(self.queue.is_empty(), "BFS drains its queue");
+    }
+
+    /// Parent of `m` in the last BFS tree (`None` for the source and for
+    /// unreached machines).
+    #[inline]
+    pub fn parent(&self, m: MachineId) -> Option<MachineId> {
+        self.parent[m]
+    }
+
+    /// Depth of `m` in the last BFS tree (`usize::MAX` when unreached).
+    #[inline]
+    pub fn depth(&self, m: MachineId) -> usize {
+        self.depth[m]
+    }
+
+    /// Clears the entries of `machines` — exactly the set a subset BFS
+    /// may have touched — readying the scratch for the next call.
+    pub fn reset<'a>(&mut self, machines: impl IntoIterator<Item = &'a MachineId>) {
+        for &m in machines {
+            self.parent[m] = None;
+            self.depth[m] = usize::MAX;
+        }
     }
 }
 

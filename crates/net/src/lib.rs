@@ -33,5 +33,5 @@ pub mod rng;
 
 pub use bandwidth::{CostMeter, CostReport, PhaseCost};
 pub use error::NetError;
-pub use graph::{CommGraph, MachineId};
+pub use graph::{BfsScratch, CommGraph, MachineId};
 pub use rng::SeedStream;
