@@ -61,10 +61,17 @@ fn time_folds(
     queries: &[u64],
 ) -> (f64, Vec<u64>, Vec<usize>, cgc_net::CostReport) {
     let mut net = ClusterNet::with_parallel(h, 32, par);
+    assert_eq!(
+        net.worker_pool().is_some(),
+        par.threads() > 1,
+        "a parallel runtime must hold the persistent pool (threads={})",
+        par.threads()
+    );
     let mut out: Vec<u64> = Vec::new();
     let mut degs: Vec<usize> = Vec::new();
     fold_round(&mut net, queries, &mut out, &mut degs); // warm-up sizes buffers
     let spawned_warm = WorkerPool::total_threads_spawned();
+    let scoped_warm = cgc_cluster::total_scoped_threads_spawned();
     let mut best = f64::INFINITY;
     for _ in 0..3 {
         let start = Instant::now();
@@ -73,12 +80,20 @@ fn time_folds(
         }
         best = best.min(start.elapsed().as_secs_f64());
     }
-    // Warm rounds dispatch on the parked pool: any spawn here is a
-    // regression to per-round scoped threads.
+    // Warm rounds dispatch on the parked pool: a moving pool counter means
+    // per-round pool creation, and a moving scoped counter means the
+    // dispatch silently fell back to one-shot `thread::scope` spawning
+    // (which the pool counter alone cannot see).
     assert_eq!(
         WorkerPool::total_threads_spawned(),
         spawned_warm,
-        "timed rounds must not spawn threads (threads={})",
+        "timed rounds must not spawn pool threads (threads={})",
+        par.threads()
+    );
+    assert_eq!(
+        cgc_cluster::total_scoped_threads_spawned(),
+        scoped_warm,
+        "timed rounds must not fall back to scoped threads (threads={})",
         par.threads()
     );
     (
@@ -167,6 +182,11 @@ fn main() {
             ("sort_secs", Json::from(t.sort_secs)),
         ])
     };
+    // Pre-warm the global pool at the sweep's widest count: acquiring it
+    // ascending would grow-by-replacement inside each timed window, so the
+    // first measurement at every new width would include one-time worker
+    // spawns (and retired-pool joins) rather than steady-state dispatch.
+    let _pool = WorkerPool::global(sweep.iter().copied().max().unwrap_or(1));
     let mut build_rows = Vec::new();
     for &threads in &sweep {
         let (sharded, bt) = ClusterGraph::build_timed(

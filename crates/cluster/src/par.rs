@@ -18,10 +18,12 @@
 //! scoped threads per round costs ~50–150 µs — more than a small round's
 //! compute. [`WorkerPool`] therefore keeps the worker threads **parked
 //! between rounds**: dispatch publishes a borrowed, type-erased job and
-//! bumps an epoch counter (seqlock style — workers spin briefly on the
-//! epoch, then park on a condvar), and completion is a countdown the
-//! caller waits on. A warm dispatch performs no heap allocation and spawns
-//! no threads. Worker `w` always runs shard `w + 1` of the caller's
+//! bumps an epoch word (seqlock style — workers spin briefly on the
+//! epoch, then park) that also carries the round's active worker count in
+//! its low bits, unparks exactly the workers the round uses, and waits on
+//! a completion countdown. A warm dispatch performs no heap allocation,
+//! spawns no threads, and never disturbs parked workers a narrow round
+//! skips. Worker `w` always runs shard `w + 1` of the caller's
 //! [`ShardPlan`] (the caller itself runs shard 0), so each worker
 //! permanently owns a contiguous vertex range of a given plan.
 //!
@@ -218,6 +220,13 @@ impl ShardPlan {
                 bounds[i] = bounds[i - 1];
             }
         }
+        // Collapse empty shards (duplicate bounds): a heavy prefix head can
+        // absorb several shard targets, and dispatching an empty shard
+        // wakes — or, on the scoped fallback, spawns — a worker that does
+        // nothing, every round. Dropping one removes only a no-op slot:
+        // the kept shards' item ranges are unchanged, so fills and
+        // shard-ordered reductions produce bit-identical results.
+        bounds.dedup();
         ShardPlan { bounds }
     }
 
@@ -257,21 +266,36 @@ const SPIN_ROUNDS: u32 = 64;
 /// until every worker finished the job, so the borrow outlives every use.
 type RawJob = *const (dyn Fn(usize) + Sync + 'static);
 
+/// Bit split of [`PoolShared::epoch`]: the low [`ACTIVE_BITS`] bits carry
+/// the round's active worker count, the high bits the round counter.
+const ACTIVE_BITS: u32 = 16;
+/// Mask selecting the active-count field of a packed epoch word.
+const ACTIVE_MASK: u64 = (1 << ACTIVE_BITS) - 1;
+
 /// Shared pool state. The `job` cell is written by the dispatcher strictly
-/// before the epoch bump (and only while all workers are quiescent), and
-/// read by workers strictly after they observe the new epoch — the
-/// acquire/release pair on `epoch` orders the accesses.
+/// before the epoch bump (and only while the workers of the previous round
+/// are quiescent), and read by workers strictly after they observe the new
+/// epoch — the acquire/release pair on `epoch` orders the accesses.
 struct PoolShared {
+    /// Packed round word: round counter in the high `64 - ACTIVE_BITS`
+    /// bits, the round's active worker count in the low [`ACTIVE_BITS`]
+    /// bits. Packing both into one atomic makes a worker's skip decision
+    /// (`slot > active`) part of the same snapshot as the epoch it
+    /// consumed. The fields must not be split into separate atomics: a
+    /// worker skipping a narrow round is *not* waited on by the
+    /// dispatcher, so the next (wider) dispatch can overwrite the round
+    /// state while that worker is still between loads — with a split
+    /// `active`, the stale worker could join the new round, then observe
+    /// the un-consumed epoch bump and run the job a second time (double-
+    /// decrementing `remaining`), or read a `None` job after the round
+    /// ended.
     epoch: AtomicU64,
     job: UnsafeCell<Option<SendJob>>,
-    /// Worker slots participating in the current round (slots `>= active`
-    /// observe the epoch, skip the job and do not touch `remaining`).
-    active: AtomicUsize,
+    /// Countdown of the current round's active workers (slots whose packed
+    /// `active` covers them; skipping slots never touch it).
     remaining: AtomicUsize,
     panicked: AtomicBool,
     shutdown: AtomicBool,
-    idle: Mutex<()>,
-    wake: Condvar,
     done: Mutex<()>,
     done_cv: Condvar,
 }
@@ -290,6 +314,56 @@ unsafe impl Send for SendJob {}
 /// process — the `alloc_free` suite asserts it stays constant across warm
 /// rounds (no per-round spawning).
 static POOL_THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Counts every one-shot scoped thread ever spawned by
+/// [`for_each_shard`]'s fallback path. A pooled hot loop must not move
+/// this either: a dispatch that silently misses the pool (lost pool
+/// handle, plan wider than the pool) regresses to per-round spawning
+/// without touching [`POOL_THREADS_SPAWNED`], so benches assert **both**
+/// counters stay flat across warm rounds.
+static SCOPED_THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+
+/// Total one-shot scoped threads ever spawned by the sharded dispatch
+/// fallback in this process (see [`WorkerPool::total_threads_spawned`]
+/// for the pooled counterpart).
+pub fn total_scoped_threads_spawned() -> u64 {
+    SCOPED_THREADS_SPAWNED.load(Ordering::Relaxed)
+}
+
+std::thread_local! {
+    /// True while this thread is executing a pool job (the dispatching
+    /// caller on slot 0, a parked worker on its slot, or a scoped thread
+    /// transitively spawned from either). A nested dispatch on the — one,
+    /// process-global — pool from inside a job would deadlock: same-thread
+    /// re-entry self-deadlocks on the dispatch mutex, and a worker-slot
+    /// dispatch waits on a round that is itself waiting on that worker. So
+    /// [`for_each_shard`] routes nested fan-out to scoped threads instead.
+    static IN_POOL_JOB: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// RAII set/restore of [`IN_POOL_JOB`] (restored on unwind too, so a
+/// panicking job does not leave the thread marked busy). Restoring the
+/// *prior* value — rather than clearing — keeps the guard correct even if
+/// a thread ever enters it while already inside a pool job; clearing
+/// there would unmark the thread mid-job and let a later dispatch
+/// re-enter the pool it must avoid.
+struct PoolJobGuard {
+    prev: bool,
+}
+
+impl PoolJobGuard {
+    fn enter() -> Self {
+        PoolJobGuard {
+            prev: IN_POOL_JOB.with(|f| f.replace(true)),
+        }
+    }
+}
+
+impl Drop for PoolJobGuard {
+    fn drop(&mut self) {
+        IN_POOL_JOB.with(|f| f.set(self.prev));
+    }
+}
 
 /// Process-global pool cache: one pool, grown (replaced) when a larger
 /// capacity is requested, shared by every runtime in the process.
@@ -324,15 +398,17 @@ impl WorkerPool {
     /// parked workers; slot 0 always runs on the dispatching thread).
     pub fn new(threads: usize) -> Self {
         let workers = threads.saturating_sub(1);
+        assert!(
+            workers as u64 <= ACTIVE_MASK,
+            "WorkerPool supports at most {} workers",
+            ACTIVE_MASK
+        );
         let shared = Arc::new(PoolShared {
             epoch: AtomicU64::new(0),
             job: UnsafeCell::new(None),
-            active: AtomicUsize::new(0),
             remaining: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
-            idle: Mutex::new(()),
-            wake: Condvar::new(),
             done: Mutex::new(()),
             done_cv: Condvar::new(),
         });
@@ -357,6 +433,14 @@ impl WorkerPool {
     /// replacement) to serve at least `threads` shard slots. `threads <= 1`
     /// needs no pool and returns `None`. Every runtime acquiring through
     /// here shares the same parked workers.
+    ///
+    /// Growing replaces the cached pool with a fresh, larger one; a runtime
+    /// still holding an `Arc` to the old pool keeps that pool's parked
+    /// workers alive until it drops the handle. An ascending thread sweep
+    /// that holds every runtime alive simultaneously therefore accumulates
+    /// one retired (idle, parked) worker set per growth step — acquire the
+    /// pool at the sweep's widest count first, or drop narrower runtimes
+    /// before widening, to keep a single worker set.
     pub fn global(threads: usize) -> Option<Arc<WorkerPool>> {
         if threads <= 1 {
             return None;
@@ -386,46 +470,79 @@ impl WorkerPool {
 
     /// Runs `job(slot)` once per slot in `0..shards` — slot 0 inline on
     /// the calling thread, the rest on the parked workers — and returns
-    /// after **all** active slots finished. `shards` is clamped to
-    /// [`Self::max_shards`]; workers beyond it skip the round entirely, so
-    /// a narrow dispatch on a wide (grown) pool only waits on the workers
-    /// it actually uses. A warm dispatch allocates nothing and spawns
-    /// nothing; `shards <= 1` runs fully inline without touching the pool.
+    /// after **all** active slots finished. Workers beyond `shards` skip
+    /// the round entirely, so a narrow dispatch on a wide (grown) pool
+    /// only waits on the workers it actually uses. A warm dispatch
+    /// allocates nothing and spawns nothing; `shards <= 1` runs fully
+    /// inline without touching the pool.
     ///
     /// The job must treat `slot` as its only identity (pure kernels over
     /// disjoint data).
     ///
+    /// `run` is **not reentrant**: a job must not dispatch on a pool
+    /// (this one or any other) from inside its slot — same-thread re-entry
+    /// would self-deadlock on the dispatch mutex, and a dispatch from a
+    /// worker slot would wait on a round that is waiting on that worker.
+    /// Nested sharded work inside a job should go through
+    /// [`for_each_shard`], which detects the nesting and falls back to
+    /// one-shot scoped threads.
+    ///
     /// # Panics
     ///
-    /// Propagates a panic if the job panicked on any slot (after all slots
-    /// quiesced, so borrowed data is never used after `run` unwinds).
+    /// Panics when `shards` exceeds [`Self::max_shards`] — slots the pool
+    /// cannot serve would otherwise be silently skipped (use
+    /// [`for_each_shard`]'s scoped-thread fallback for oversized fan-out).
+    /// Panics on a nested dispatch from inside a pool job (which would
+    /// otherwise deadlock). Propagates a panic if the job panicked on any
+    /// slot (after all slots quiesced, so borrowed data is never used
+    /// after `run` unwinds).
     pub fn run(&self, shards: usize, job: &(dyn Fn(usize) + Sync)) {
-        let workers = shards.clamp(1, self.max_shards()) - 1;
+        assert!(
+            shards <= self.max_shards(),
+            "dispatching {shards} shards on a pool serving {}",
+            self.max_shards()
+        );
+        assert!(
+            !IN_POOL_JOB.with(|f| f.get()),
+            "nested WorkerPool::run from inside a pool job would deadlock; \
+             use for_each_shard, whose fallback handles nesting"
+        );
+        let workers = shards.max(1) - 1;
         if workers == 0 {
             job(0);
             return;
         }
         let _round = lock_ignore_poison(&self.dispatch);
         let shared = &*self.shared;
-        shared.active.store(workers, Ordering::Release);
         shared.remaining.store(workers, Ordering::Release);
-        // SAFETY: all workers are quiescent between rounds (the previous
-        // dispatch waited for `remaining == 0`), so this write does not
-        // race; lifetime erasure is sound because we wait below.
+        // SAFETY: every worker the previous round used is quiescent (its
+        // dispatch waited for `remaining == 0`), and workers that skipped
+        // a round never touch the job cell, so this write does not race;
+        // lifetime erasure is sound because we wait below.
         unsafe {
             *shared.job.get() = Some(SendJob(std::mem::transmute::<
                 *const (dyn Fn(usize) + Sync),
                 RawJob,
             >(job as *const _)));
         }
-        {
-            // Bump under the idle lock so a worker that just re-checked the
-            // epoch cannot park past the notify.
-            let _g = lock_ignore_poison(&shared.idle);
-            shared.epoch.fetch_add(1, Ordering::Release);
-            shared.wake.notify_all();
+        // Publish the new round word — counter bumped, this round's active
+        // worker count in the low bits — then unpark exactly the workers
+        // the round uses, so a narrow dispatch on a wide (grown) pool never
+        // disturbs the parked workers it skips. Publish-then-unpark cannot
+        // lose a wake-up: an `unpark` racing a worker's `park` leaves a
+        // token that makes the `park` return immediately. Dispatches are
+        // serialized by `self.dispatch`, so the read-modify-write below
+        // does not race other dispatchers.
+        let cur = shared.epoch.load(Ordering::Relaxed);
+        let next = (((cur >> ACTIVE_BITS) + 1) << ACTIVE_BITS) | workers as u64;
+        shared.epoch.store(next, Ordering::Release);
+        for h in &self.handles[..workers] {
+            h.thread().unpark();
         }
-        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(0)));
+        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _busy = PoolJobGuard::enter();
+            job(0)
+        }));
         // Wait for every worker: spin through the common photo-finish, then
         // park on the done condvar.
         let mut spins = 0u32;
@@ -462,9 +579,8 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        {
-            let _g = lock_ignore_poison(&self.shared.idle);
-            self.shared.wake.notify_all();
+        for h in &self.handles {
+            h.thread().unpark();
         }
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -490,32 +606,27 @@ fn worker_loop(shared: &PoolShared, slot: usize) {
             if spins < SPIN_ROUNDS {
                 std::hint::spin_loop();
             } else {
-                let g = lock_ignore_poison(&shared.idle);
-                if shared.epoch.load(Ordering::Acquire) == seen
-                    && !shared.shutdown.load(Ordering::Acquire)
-                {
-                    // Re-checked under the lock the dispatcher bumps and
-                    // notifies under — the wake-up cannot be lost; spurious
-                    // wakes loop back around.
-                    drop(
-                        shared
-                            .wake
-                            .wait(g)
-                            .unwrap_or_else(std::sync::PoisonError::into_inner),
-                    );
-                }
+                // Parked between rounds. The dispatcher publishes the
+                // epoch *before* unparking, and an `unpark` racing this
+                // `park` leaves a token that makes it return immediately,
+                // so the wake-up cannot be lost; spurious returns (stale
+                // tokens) just loop back to the epoch check.
+                std::thread::park();
             }
         }
         // A round narrower than the pool does not involve this worker:
         // skip the job and leave `remaining` (which only counts active
-        // workers) untouched. `active` was published before the epoch
-        // bump, so the acquire on `epoch` ordered this read.
-        if slot > shared.active.load(Ordering::Acquire) {
+        // workers) untouched. The active count comes from the *same*
+        // packed word as the observed epoch, so the decision cannot pair
+        // a stale count with a newer round (see the `epoch` field docs).
+        if slot > (seen & ACTIVE_MASK) as usize {
             continue;
         }
         let job = unsafe { (*shared.job.get()).expect("epoch advanced without a published job") };
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (unsafe { &*job.0 })(slot)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _busy = PoolJobGuard::enter();
+            (unsafe { &*job.0 })(slot)
+        }));
         if outcome.is_err() {
             shared.panicked.store(true, Ordering::Release);
         }
@@ -545,8 +656,10 @@ impl<T> SendPtr<T> {
 /// Runs `job(s)` for every shard `s in 0..shards`: inline when `shards <=
 /// 1`, on the pool when one is provided with enough slots (slot 0 on the
 /// caller — allocation- and spawn-free when warm), and on one-shot scoped
-/// threads otherwise. Blocks until every shard completed; propagates
-/// panics either way.
+/// threads otherwise. A call from inside a pool job (which must not
+/// re-dispatch on the pool — see [`WorkerPool::run`]) also takes the
+/// scoped path, so nested sharded work completes instead of deadlocking.
+/// Blocks until every shard completed; propagates panics either way.
 pub(crate) fn for_each_shard(
     pool: Option<&WorkerPool>,
     shards: usize,
@@ -556,14 +669,29 @@ pub(crate) fn for_each_shard(
         job(0);
         return;
     }
+    let nested = IN_POOL_JOB.with(|f| f.get());
     match pool {
-        Some(pool) if pool.max_shards() >= shards => pool.run(shards, job),
-        _ => std::thread::scope(|scope| {
-            for s in 1..shards {
-                scope.spawn(move || job(s));
-            }
-            job(0);
-        }),
+        Some(pool) if pool.max_shards() >= shards && !nested => pool.run(shards, job),
+        _ => {
+            SCOPED_THREADS_SPAWNED.fetch_add(shards as u64 - 1, Ordering::Relaxed);
+            std::thread::scope(|scope| {
+                for s in 1..shards {
+                    // Scoped threads inherit the busy flag: work spawned
+                    // (transitively) from a pool job must keep avoiding
+                    // the pool, or a depth-2 dispatch from a fresh thread
+                    // would block on the round it is itself part of.
+                    scope.spawn(move || {
+                        if nested {
+                            let _busy = PoolJobGuard::enter();
+                            job(s)
+                        } else {
+                            job(s)
+                        }
+                    });
+                }
+                job(0);
+            })
+        }
     }
 }
 
@@ -610,8 +738,9 @@ pub(crate) fn fill_sharded<T: Send>(
 /// CSR output fill where shard `s` owns both its vertices' row starts
 /// (copied into `out_offsets`) and the entries of its rows, i.e.
 /// `offsets[bounds[s]]..offsets[bounds[s + 1]]` of `out_data` — one
-/// `thread::scope` for both, so sharding the offsets copy costs no extra
-/// spawn cycle. The trailing `offsets[n]` end sentinel is appended after
+/// [`for_each_shard`] dispatch covers both, so sharding the offsets copy
+/// costs no extra dispatch cycle (and stays allocation- and spawn-free on
+/// a warm pool). The trailing `offsets[n]` end sentinel is appended after
 /// the parallel phase. Used by `neighbor_collect_into`.
 pub(crate) fn fill_sharded_with_offsets<T: Send>(
     out_offsets: &mut Vec<usize>,
@@ -729,6 +858,16 @@ pub fn map_reduce_on<T: Send>(
 mod tests {
     use super::*;
     use cgc_net::CommGraph;
+
+    /// Serializes the tests that create pools (or dispatch on the global
+    /// one): `cargo test` runs sibling tests concurrently in one process,
+    /// and the process-global spawn counter / pool cache assertions below
+    /// are only meaningful when no sibling spawns workers mid-window.
+    static POOL_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn pool_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        lock_ignore_poison(&POOL_TEST_LOCK)
+    }
 
     fn line_graph(n: usize) -> ClusterGraph {
         ClusterGraph::singletons(CommGraph::path(n))
@@ -851,8 +990,11 @@ mod tests {
             let p = ShardPlan::from_prefix(&prefix, shards);
             assert_eq!(p.bounds()[0], 0);
             assert_eq!(p.n_vertices(), 100);
-            for s in 1..p.bounds().len() {
-                assert!(p.bounds()[s] >= p.bounds()[s - 1]);
+            for s in 0..p.n_shards() {
+                assert!(
+                    !p.range(s).is_empty(),
+                    "empty shards must be collapsed (shards={shards}, s={s})"
+                );
             }
         }
         // With 2+ shards the heavy head must not absorb everything.
@@ -863,6 +1005,7 @@ mod tests {
 
     #[test]
     fn pool_runs_every_slot_and_reuses_threads() {
+        let _serial = pool_test_lock();
         use std::sync::atomic::{AtomicUsize, Ordering};
         let pool = WorkerPool::new(4);
         assert_eq!(pool.max_shards(), 4);
@@ -893,7 +1036,73 @@ mod tests {
     }
 
     #[test]
+    fn narrow_then_wide_dispatches_interleave_safely() {
+        let _serial = pool_test_lock();
+        // Regression: a worker skipping a narrow round is not waited on by
+        // the dispatcher, so the next (wider) dispatch races its skip
+        // decision. With the round's active count split from the epoch,
+        // the stale worker could join the new round and then run its job a
+        // second time (hits > shards) or die on a vanished job (deadlock).
+        // Alternating widths for many warm rounds makes that window hot.
+        let pool = WorkerPool::new(8);
+        for round in 0..10_000usize {
+            let shards = if round % 2 == 0 { 2 } else { 8 };
+            let hits = AtomicUsize::new(0);
+            pool.run(shards, &|slot| {
+                assert!(slot < shards, "slot {slot} beyond {shards} shards");
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), shards, "round {round}");
+        }
+    }
+
+    #[test]
+    fn run_rejects_oversized_dispatch() {
+        let _serial = pool_test_lock();
+        let pool = WorkerPool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(3, &|_| {});
+        }));
+        assert!(r.is_err(), "shards beyond max_shards must not be dropped silently");
+    }
+
+    #[test]
+    fn nested_dispatch_falls_back_to_scoped_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let _serial = pool_test_lock();
+        let pool = WorkerPool::new(4);
+        // A direct nested `run` is a documented error, not a deadlock.
+        let direct = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(2, &|_| pool.run(2, &|_| {}));
+        }));
+        assert!(direct.is_err(), "nested run must fail fast, not deadlock");
+        // `for_each_shard` from inside a pool job (any slot) detects the
+        // nesting and completes on scoped threads — including depth 2.
+        let inner_hits = AtomicUsize::new(0);
+        let scoped_before = total_scoped_threads_spawned();
+        pool.run(3, &|_| {
+            for_each_shard(Some(&pool), 2, &|_| {
+                for_each_shard(Some(&pool), 2, &|_| {
+                    inner_hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(inner_hits.load(Ordering::Relaxed), 3 * 2 * 2);
+        assert!(
+            total_scoped_threads_spawned() > scoped_before,
+            "nested fan-out must have taken the scoped fallback"
+        );
+        // The pool still works after the nested rounds.
+        let hits = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
     fn pooled_fill_matches_scoped_fill() {
+        let _serial = pool_test_lock();
         let g = line_graph(91);
         let pool = WorkerPool::new(3);
         let plan = ShardPlan::plan(&g, &ParallelConfig::with_threads(3));
@@ -913,6 +1122,7 @@ mod tests {
 
     #[test]
     fn pooled_map_reduce_is_shard_ordered() {
+        let _serial = pool_test_lock();
         let g = line_graph(40);
         let pool = WorkerPool::new(8);
         for threads in [1, 2, 4, 7] {
@@ -929,6 +1139,7 @@ mod tests {
 
     #[test]
     fn pool_propagates_worker_panics() {
+        let _serial = pool_test_lock();
         let pool = WorkerPool::new(2);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.run(2, &|slot| {
@@ -950,6 +1161,7 @@ mod tests {
 
     #[test]
     fn global_pool_is_shared_and_grows() {
+        let _serial = pool_test_lock();
         let a = WorkerPool::global(2).expect("parallel config gets a pool");
         let b = WorkerPool::global(2).expect("parallel config gets a pool");
         assert!(Arc::ptr_eq(&a, &b), "same capacity shares one pool");

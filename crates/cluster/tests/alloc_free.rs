@@ -16,6 +16,18 @@ use cgc_cluster::{ClusterGraph, ClusterNet, NeighborLists, ParallelConfig, Worke
 use cgc_net::CommGraph;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: every assertion below compares a
+/// **process-global** counter (allocations, pool spawns) across a measured
+/// window, and the default test harness runs sibling tests concurrently on
+/// multicore machines — a sibling's warm-up allocating mid-window would
+/// fail the assert spuriously.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 struct CountingAlloc;
 
@@ -67,6 +79,7 @@ fn instance() -> ClusterGraph {
 
 #[test]
 fn neighbor_fold_into_is_allocation_free_when_warm() {
+    let _serial = serial();
     let h = instance();
     let mut net = ClusterNet::new(&h, 64);
     let queries: Vec<u64> = (0..h.n_vertices() as u64).collect();
@@ -104,6 +117,7 @@ fn neighbor_fold_into_is_allocation_free_when_warm() {
 
 #[test]
 fn typed_fold_wrappers_are_allocation_free_when_warm() {
+    let _serial = serial();
     let h = instance();
     let mut net = ClusterNet::new(&h, 64);
     let queries: Vec<u64> = (0..h.n_vertices() as u64).collect();
@@ -126,6 +140,7 @@ fn typed_fold_wrappers_are_allocation_free_when_warm() {
 
 #[test]
 fn neighbor_collect_into_is_allocation_free_when_warm() {
+    let _serial = serial();
     let h = instance();
     let mut net = ClusterNet::new(&h, 64);
     let queries: Vec<u64> = (0..h.n_vertices() as u64).collect();
@@ -147,6 +162,7 @@ fn neighbor_collect_into_is_allocation_free_when_warm() {
 
 #[test]
 fn pooled_rounds_are_allocation_free_and_spawn_no_threads() {
+    let _serial = serial();
     let h = instance();
     // An explicitly parallel runtime: dispatches ride the process-global
     // persistent worker pool.
@@ -177,6 +193,7 @@ fn pooled_rounds_are_allocation_free_and_spawn_no_threads() {
     let warm = out.clone();
 
     let spawned_before = WorkerPool::total_threads_spawned();
+    let scoped_before = cgc_cluster::total_scoped_threads_spawned();
     let allocs_before = allocations();
     for _ in 0..100 {
         fold(&mut net, &mut out);
@@ -193,6 +210,11 @@ fn pooled_rounds_are_allocation_free_and_spawn_no_threads() {
         spawned_before,
         "warm pooled rounds must not spawn threads"
     );
+    assert_eq!(
+        cgc_cluster::total_scoped_threads_spawned(),
+        scoped_before,
+        "warm pooled rounds must not fall back to scoped-thread dispatch"
+    );
     assert_eq!(out, warm, "pooled results stay identical across rounds");
 
     // And the pooled results match a sequential runtime's bit for bit.
@@ -205,6 +227,7 @@ fn pooled_rounds_are_allocation_free_and_spawn_no_threads() {
 
 #[test]
 fn exact_degrees_into_and_full_rounds_are_allocation_free_when_warm() {
+    let _serial = serial();
     let h = instance();
     let mut net = ClusterNet::new(&h, 64);
     let mut degs: Vec<usize> = Vec::new();

@@ -9,7 +9,7 @@
 //! algorithm must still finish within budget because it only ever moves
 //! aggregates, never raw neighbor lists.
 
-use cgc_cluster::ClusterGraph;
+use cgc_cluster::{ClusterGraph, ParallelConfig};
 use cgc_net::CommGraph;
 
 /// Builds the adversarial layout for a complete conflict graph on
@@ -19,6 +19,16 @@ use cgc_net::CommGraph;
 ///
 /// Panics if `n_clusters == 0` or `path_len < 2`.
 pub fn bottleneck_instance(n_clusters: usize, path_len: usize) -> ClusterGraph {
+    bottleneck_instance_with(n_clusters, path_len, &ParallelConfig::serial())
+}
+
+/// [`bottleneck_instance`] with the [`ClusterGraph::build_with`] phases
+/// sharded over `par`'s threads (bit-identical output at any count).
+pub fn bottleneck_instance_with(
+    n_clusters: usize,
+    path_len: usize,
+    par: &ParallelConfig,
+) -> ClusterGraph {
     assert!(n_clusters > 0, "need clusters");
     assert!(path_len >= 2, "paths need two ends");
     let m = path_len;
@@ -41,7 +51,7 @@ pub fn bottleneck_instance(n_clusters: usize, path_len: usize) -> ClusterGraph {
     }
     let comm = CommGraph::from_edges(n_machines, &edges).expect("valid adversarial instance");
     let assignment: Vec<usize> = (0..n_machines).map(|i| i / m).collect();
-    ClusterGraph::build(comm, assignment).expect("paths are connected")
+    ClusterGraph::build_with(comm, assignment, par).expect("paths are connected")
 }
 
 #[cfg(test)]

@@ -34,7 +34,7 @@ pub mod powerlaw;
 pub mod rgg;
 pub mod workload;
 
-pub use adversarial::bottleneck_instance;
+pub use adversarial::{bottleneck_instance, bottleneck_instance_with};
 pub use gnp::gnp_spec;
 pub use layouts::{realize, realize_network, realize_with, HSpec, Layout};
 pub use planted::{cabal_spec, mixture_spec, planted_cliques_spec, MixtureConfig, PlantedInfo};

@@ -24,7 +24,7 @@
 //! `tree15` — omitted when `single`) and `links` (omitted when `1`).
 //! `seed` is always printed: a run is reproducible from its table row.
 
-use crate::adversarial::bottleneck_instance;
+use crate::adversarial::bottleneck_instance_with;
 use crate::gnp::gnp_spec;
 use crate::layouts::{realize_with, HSpec, Layout};
 use crate::planted::{cabal_spec, mixture_spec, planted_cliques_spec, MixtureConfig, PlantedInfo};
@@ -348,7 +348,7 @@ impl WorkloadSpec {
     pub fn build_with_info(&self, par: &ParallelConfig) -> (ClusterGraph, Option<PlantedInfo>) {
         match self.family {
             WorkloadFamily::Bottleneck { clusters, path } => {
-                (bottleneck_instance(clusters, path), None)
+                (bottleneck_instance_with(clusters, path, par), None)
             }
             _ => {
                 let (h, info) = self
