@@ -1,5 +1,7 @@
-//! Records the PR's performance baseline (default `BENCH_PR4.json`): the
-//! instance **build phase** (tree/link/sort sub-timings, serial vs the
+//! Records the PR's performance baseline (default `BENCH_PR5.json`): the
+//! instance **setup phase** (generate/canonicalize/build sub-timings of
+//! the sharded edge pipeline, serial vs swept thread counts), the
+//! **build phase** (tree/link/sort sub-timings, serial vs the
 //! pool-sharded `ClusterGraph::build` at swept thread counts), the
 //! aggregation primitives sequential *and* shard-parallel at several
 //! thread counts (parallel rounds dispatch on the persistent
@@ -17,11 +19,11 @@
 //! the count used for the parallel end-to-end run.
 //!
 //! Besides timing, the binary **asserts bit-identity**: every sharded
-//! build must equal the serial build (full structural equality), every
-//! parallel fold's outputs and meter totals must equal the sequential
-//! run's, and the parallel end-to-end coloring must equal the sequential
-//! coloring. A determinism regression therefore fails the bench loudly
-//! rather than producing a fast-but-wrong baseline.
+//! setup and build must equal the serial ones (full structural equality),
+//! every parallel fold's outputs and meter totals must equal the
+//! sequential run's, and the parallel end-to-end coloring must equal the
+//! sequential coloring. A determinism regression therefore fails the
+//! bench loudly rather than producing a fast-but-wrong baseline.
 
 use cgc_bench::{bench_report, write_json, Json};
 use cgc_cluster::{available_threads, ClusterGraph, ClusterNet, ParallelConfig, WorkerPool};
@@ -107,7 +109,7 @@ fn time_folds(
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR4.json".to_owned());
+        .unwrap_or_else(|| "BENCH_PR5.json".to_owned());
     let n: usize = std::env::var("CGC_BENCH_N")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -211,6 +213,52 @@ fn main() {
     }
     drop((comm, assignment, serial_build));
 
+    // --- setup phase: the full generation-to-graph edge pipeline ---
+    // WorkloadSpec::build_timed runs generate (skip-walk sampling + layout
+    // expansion), canonicalize (sharded sort/dedup/merge + CSR assembly)
+    // and the ClusterGraph build; every sharded setup must reproduce the
+    // session's instance exactly.
+    let setup_timing_row = |t: &cgc_graphs::SetupTimings| {
+        Json::obj(vec![
+            ("threads", Json::from(t.threads)),
+            ("total_secs", Json::from(t.total_secs)),
+            ("generate_secs", Json::from(t.generate_secs)),
+            ("canonicalize_secs", Json::from(t.canonicalize_secs)),
+            ("build_secs", Json::from(t.build_secs)),
+        ])
+    };
+    let (setup_serial_graph, _, setup_serial) = spec.build_timed(&ParallelConfig::serial());
+    assert_eq!(
+        &setup_serial_graph,
+        session.graph(),
+        "serial setup must reproduce the session's instance"
+    );
+    eprintln!(
+        "setup serial: total {:.3}s (generate {:.3}s canonicalize {:.3}s build {:.3}s)",
+        setup_serial.total_secs,
+        setup_serial.generate_secs,
+        setup_serial.canonicalize_secs,
+        setup_serial.build_secs
+    );
+    let mut setup_rows = Vec::new();
+    for &threads in &sweep {
+        let (g, _, st) = spec.build_timed(&ParallelConfig::with_threads(threads));
+        assert_eq!(
+            g, setup_serial_graph,
+            "sharded setup diverged at {threads} threads"
+        );
+        eprintln!(
+            "setup threads={threads}: total {:.3}s (generate {:.3}s canonicalize {:.3}s build {:.3}s, x{:.2} vs serial)",
+            st.total_secs,
+            st.generate_secs,
+            st.canonicalize_secs,
+            st.build_secs,
+            setup_serial.total_secs / st.total_secs
+        );
+        setup_rows.push(setup_timing_row(&st));
+    }
+    drop(setup_serial_graph);
+
     // --- aggregation: warm fold+degree rounds, sequential reference ---
     let queries: Vec<u64> = (0..h_n as u64).collect();
     let (seq_ms, seq_out, seq_degs, seq_report) =
@@ -306,6 +354,15 @@ fn main() {
                     ("delta", Json::from(delta)),
                     ("dilation", Json::from(h_dilation)),
                     ("build_secs", Json::from(build_secs)),
+                ]),
+            ),
+            (
+                "setup",
+                Json::obj(vec![
+                    ("workload", Json::from(gnp.to_string())),
+                    ("serial", setup_timing_row(&setup_serial)),
+                    ("sharded", Json::Arr(setup_rows)),
+                    ("bit_identical_to_serial", Json::from(true)),
                 ]),
             ),
             (

@@ -17,6 +17,9 @@ fn main() {
         &[
             "n",
             "delta",
+            "gen_secs",
+            "canon_secs",
+            "build_secs",
             "ours_H",
             "ours_G",
             "fallback",
@@ -35,6 +38,9 @@ fn main() {
         let mut session = SessionBuilder::new(spec).oracle_acd(true).build();
         let n = session.graph().n_vertices();
         let delta = session.graph().max_degree();
+        // RunOutcome's setup sub-timings (the e1 CI smoke asserts these
+        // columns reach the emitted table JSON).
+        let setup = *session.setup_timings();
         let mut ours_h = 0.0;
         let mut ours_g = 0.0;
         let mut fb = 0usize;
@@ -53,6 +59,9 @@ fn main() {
             vec![
                 n.to_string(),
                 delta.to_string(),
+                f3(setup.generate_secs),
+                f3(setup.canonicalize_secs),
+                f3(setup.build_secs),
                 f3(ours_h / r),
                 f3(ours_g / r),
                 fb.to_string(),

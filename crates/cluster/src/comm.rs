@@ -158,7 +158,7 @@ impl<'a> ClusterNet<'a> {
             total_tree_edges,
             n_links: g.links().len() as u64,
             scratch: RoundScratch::default(),
-            plan: ShardPlan::plan(g, &par),
+            plan: g.shard_plan(&par),
             pool: WorkerPool::global(par.threads()),
             par,
         }
@@ -193,7 +193,7 @@ impl<'a> ClusterNet<'a> {
         if par == self.par {
             return;
         }
-        self.plan = ShardPlan::plan(self.g, &par);
+        self.plan = self.g.shard_plan(&par);
         self.pool = WorkerPool::global(par.threads());
         self.par = par;
     }

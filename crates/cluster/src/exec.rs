@@ -10,7 +10,7 @@
 //! the accounting is honest?".
 
 use crate::graph::ClusterGraph;
-use crate::par::{map_reduce_on, ParallelConfig, ShardPlan, WorkerPool};
+use crate::par::{map_reduce_on, ParallelConfig, WorkerPool};
 
 /// What actually happened on the wires during one executed phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +55,7 @@ pub fn execute_broadcast_with(
     payload_bits: u64,
     par: &ParallelConfig,
 ) -> ExecTrace {
-    let plan = ShardPlan::plan(g, par);
+    let plan = g.shard_plan(par);
     let pool = WorkerPool::global(par.threads());
     let mut trace = map_reduce_on(
         &plan,

@@ -229,7 +229,7 @@ impl ClusterGraph {
         // Fixed-order k-way merge of the sorted, deduped shard pair lists:
         // the sorted multiset union is unique, so `edges`/`edge_mult` equal
         // the sequential sort+dedup byte for byte.
-        let (edges, edge_mult) = merge_pair_lists(pair_lists);
+        let (edges, edge_mult) = cgc_net::kway_merge_counted(pair_lists);
 
         // CSR row bounds over the lower endpoint (edges are sorted, so rows
         // are contiguous and sorted by upper endpoint).
@@ -445,6 +445,14 @@ impl ClusterGraph {
     pub fn n_h_edges(&self) -> usize {
         self.edges.len()
     }
+
+    /// Plans executor shards over the vertices of `H` under `cfg` —
+    /// [`ShardPlan::plan_csr`] over the deduplicated `H`-adjacency, so
+    /// `BalancedEdges` cuts by degree mass. A pure function of
+    /// `(topology, cfg)`, reproducible across runs.
+    pub fn shard_plan(&self, cfg: &ParallelConfig) -> ShardPlan {
+        ShardPlan::plan_csr(&self.h_offsets, cfg)
+    }
 }
 
 /// One link-collection shard's output: links in edge order, pairs sorted
@@ -511,53 +519,6 @@ fn build_support_trees(
         });
     }
     Ok(out)
-}
-
-/// Fixed-order k-way merge of sorted, locally-deduplicated `(pair, mult)`
-/// lists into the global sorted edge table plus multiplicity column.
-/// Equal pairs across shards sum their multiplicities; the output is the
-/// unique sorted dedup of the union, independent of how the pairs were
-/// partitioned.
-fn merge_pair_lists(
-    lists: Vec<Vec<((VertexId, VertexId), u32)>>,
-) -> (Vec<(VertexId, VertexId)>, Vec<u32>) {
-    if lists.len() == 1 {
-        let only = lists.into_iter().next().expect("one list");
-        let mut edges = Vec::with_capacity(only.len());
-        let mut mult = Vec::with_capacity(only.len());
-        for (p, m) in only {
-            edges.push(p);
-            mult.push(m);
-        }
-        return (edges, mult);
-    }
-    let upper: usize = lists.iter().map(Vec::len).sum();
-    let mut edges = Vec::with_capacity(upper);
-    let mut mult = Vec::with_capacity(upper);
-    let mut heads = vec![0usize; lists.len()];
-    loop {
-        let mut best: Option<(VertexId, VertexId)> = None;
-        for (i, list) in lists.iter().enumerate() {
-            if let Some(&(p, _)) = list.get(heads[i]) {
-                if best.is_none_or(|b| p < b) {
-                    best = Some(p);
-                }
-            }
-        }
-        let Some(p) = best else { break };
-        let mut m = 0u32;
-        for (i, list) in lists.iter().enumerate() {
-            if let Some(&(q, c)) = list.get(heads[i]) {
-                if q == p {
-                    m += c;
-                    heads[i] += 1;
-                }
-            }
-        }
-        edges.push(p);
-        mult.push(m);
-    }
-    (edges, mult)
 }
 
 #[cfg(test)]

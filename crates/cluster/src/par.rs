@@ -1,1184 +1,15 @@
-//! Sharded multi-threaded execution of aggregation rounds.
+//! The shared parallel executor, re-exported from [`cgc_net::par`].
 //!
-//! The simulator *models* a distributed network, so its hot loops are
-//! embarrassingly parallel by construction: every vertex's fold result
-//! depends only on its own CSR row. This module partitions the vertices of
-//! an `H`-graph into contiguous per-thread shards, runs a kernel on each
-//! shard, and writes each shard's results into a **disjoint slice** of the
-//! output buffer. The merge is the identity in a fixed shard order, so the
-//! parallel result is **bit-identical** to the sequential one at any
-//! thread count — the invariant `crates/cluster/tests/parallel_equivalence.rs`
-//! pins and the property that keeps [`cgc_net::CostMeter`] accounting
-//! trustworthy under parallel execution (costs are charged analytically on
-//! the calling thread, never inside workers).
+//! The shard plans, [`ParallelConfig`], the persistent [`WorkerPool`] and
+//! the deterministic fill/map-reduce/k-way-merge primitives historically
+//! lived here; they moved down to `cgc_net` so the network layer's sharded
+//! edge ingest ([`cgc_net::CommGraph::from_edges_with`]) and the
+//! generators in `cgc_graphs` can run on the same machinery without a
+//! dependency cycle. Every existing `cgc_cluster::par::…` /
+//! `cgc_cluster::…` import keeps working through this re-export.
 //!
-//! # The persistent worker pool
-//!
-//! A driver run executes thousands of aggregation rounds, and spawning
-//! scoped threads per round costs ~50–150 µs — more than a small round's
-//! compute. [`WorkerPool`] therefore keeps the worker threads **parked
-//! between rounds**: dispatch publishes a borrowed, type-erased job and
-//! bumps an epoch word (seqlock style — workers spin briefly on the
-//! epoch, then park) that also carries the round's active worker count in
-//! its low bits, unparks exactly the workers the round uses, and waits on
-//! a completion countdown. A warm dispatch performs no heap allocation,
-//! spawns no threads, and never disturbs parked workers a narrow round
-//! skips. Worker `w` always runs shard `w + 1` of the caller's
-//! [`ShardPlan`] (the caller itself runs shard 0), so each worker
-//! permanently owns a contiguous vertex range of a given plan.
-//!
-//! Pools come from a process-global cache ([`WorkerPool::global`]) keyed
-//! by capacity, so every [`crate::ClusterNet`], every trace executor and
-//! every sharded [`ClusterGraph::build`] in the process reuses the same
-//! parked workers — across rounds, runs and seed/thread sweeps. The
-//! `std::thread::scope` path remains as the fallback for one-shot calls
-//! that have no pool (or need more shards than the pool holds).
-//!
-//! Determinism contract: kernels must be pure functions of `(vertex,
-//! topology, inputs)` — the `Fn` (not `FnMut`) bounds on the
-//! [`crate::ClusterNet`] primitives enforce this at the type level.
-
-use crate::graph::ClusterGraph;
-use std::cell::UnsafeCell;
-use std::mem::MaybeUninit;
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-
-/// How vertices are partitioned into per-thread shards.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ShardStrategy {
-    /// Contiguous vertex ranges of (near-)equal vertex count. Cheap to
-    /// plan; fine when degrees are balanced (G(n,p), geometric).
-    EvenVertices,
-    /// Contiguous vertex ranges balanced by CSR adjacency mass (sum of
-    /// degrees), so a power-law head does not serialize one shard. This is
-    /// the default.
-    #[default]
-    BalancedEdges,
-}
-
-/// Thread count and shard strategy for the parallel executor.
-///
-/// `threads == 1` is the sequential path: primitives run inline on the
-/// calling thread with zero spawn overhead (and stay allocation-free when
-/// warm). Any `threads >= 2` runs shard workers; results are bit-identical
-/// either way.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ParallelConfig {
-    threads: usize,
-    strategy: ShardStrategy,
-}
-
-impl Default for ParallelConfig {
-    fn default() -> Self {
-        Self::serial()
-    }
-}
-
-impl ParallelConfig {
-    /// Sequential execution (one shard, calling thread).
-    pub fn serial() -> Self {
-        ParallelConfig {
-            threads: 1,
-            strategy: ShardStrategy::default(),
-        }
-    }
-
-    /// Explicit thread count (clamped to ≥ 1) and strategy.
-    pub fn new(threads: usize, strategy: ShardStrategy) -> Self {
-        ParallelConfig {
-            threads: threads.max(1),
-            strategy,
-        }
-    }
-
-    /// Explicit thread count with the default strategy.
-    pub fn with_threads(threads: usize) -> Self {
-        Self::new(threads, ShardStrategy::default())
-    }
-
-    /// One thread per available hardware core.
-    pub fn max_parallel() -> Self {
-        Self::with_threads(available_threads())
-    }
-
-    /// Reads the `CGC_THREADS` environment variable: unset or unparsable
-    /// means sequential, `0` or `max` means one thread per core, any other
-    /// number is taken literally. This is how the CI matrix and the
-    /// experiment binaries select their thread count.
-    pub fn from_env() -> Self {
-        match std::env::var("CGC_THREADS") {
-            Err(_) => Self::serial(),
-            Ok(s) => match s.trim() {
-                "max" | "0" => Self::max_parallel(),
-                other => Self::with_threads(other.parse::<usize>().unwrap_or(1)),
-            },
-        }
-    }
-
-    /// Configured worker count (≥ 1).
-    #[inline]
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
-    /// Configured shard strategy.
-    #[inline]
-    pub fn strategy(&self) -> ShardStrategy {
-        self.strategy
-    }
-
-    /// Whether this config runs inline on the calling thread.
-    #[inline]
-    pub fn is_serial(&self) -> bool {
-        self.threads == 1
-    }
-}
-
-/// Detected hardware parallelism (1 when detection fails).
-pub fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
-/// A shard plan over `n` vertices: `bounds` has one entry per shard edge,
-/// `bounds[s]..bounds[s + 1]` being shard `s`'s contiguous vertex range.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ShardPlan {
-    bounds: Vec<usize>,
-}
-
-impl ShardPlan {
-    /// One shard covering everything — the sequential plan.
-    pub fn serial(n: usize) -> Self {
-        ShardPlan { bounds: vec![0, n] }
-    }
-
-    /// Plans shards for `g` under `cfg`. The plan is a pure function of
-    /// `(topology, cfg)` — never of runtime load — so it is reproducible.
-    pub fn plan(g: &ClusterGraph, cfg: &ParallelConfig) -> Self {
-        let n = g.n_vertices();
-        match cfg.strategy {
-            ShardStrategy::EvenVertices => Self::even(n, cfg.threads),
-            // offsets[v] is the prefix sum of degrees — cut it at each
-            // shard's target mass (plus a per-vertex constant so edgeless
-            // stretches still split).
-            ShardStrategy::BalancedEdges => Self::from_prefix(g.adjacency_csr().0, cfg.threads),
-        }
-    }
-
-    /// At most `shards` contiguous ranges of (near-)equal item count over
-    /// `n` items.
-    pub fn even(n: usize, shards: usize) -> Self {
-        let shards = shards.min(n.max(1));
-        if shards <= 1 {
-            return Self::serial(n);
-        }
-        let mut bounds = Vec::with_capacity(shards + 1);
-        bounds.push(0);
-        for s in 1..shards {
-            bounds.push(s * n / shards);
-        }
-        bounds.push(n);
-        ShardPlan { bounds }
-    }
-
-    /// At most `shards` contiguous item ranges over the `prefix.len() - 1`
-    /// items described by a monotone prefix-sum array, balanced by prefix
-    /// mass plus a per-item constant. This is the generic form of the
-    /// `BalancedEdges` rule, reused wherever per-item work is a prefix sum
-    /// (CSR degrees, cluster member counts, `H`-row widths). A pure
-    /// function of `(prefix, shards)`, so plans are reproducible.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `prefix` is empty.
-    pub fn from_prefix(prefix: &[usize], shards: usize) -> Self {
-        let n = prefix.len() - 1;
-        let shards = shards.min(n.max(1));
-        if shards <= 1 {
-            return Self::serial(n);
-        }
-        let base = prefix[0];
-        let total = (prefix[n] - base) + n;
-        let mut bounds = Vec::with_capacity(shards + 1);
-        bounds.push(0);
-        let mut v = 0usize;
-        for s in 1..shards {
-            let target = s * total / shards;
-            while v < n && (prefix[v] - base) + v < target {
-                v += 1;
-            }
-            bounds.push(v.min(n));
-        }
-        bounds.push(n);
-        // The walk above is monotone; normalize defensively anyway.
-        for i in 1..bounds.len() {
-            if bounds[i] < bounds[i - 1] {
-                bounds[i] = bounds[i - 1];
-            }
-        }
-        // Collapse empty shards (duplicate bounds): a heavy prefix head can
-        // absorb several shard targets, and dispatching an empty shard
-        // wakes — or, on the scoped fallback, spawns — a worker that does
-        // nothing, every round. Dropping one removes only a no-op slot:
-        // the kept shards' item ranges are unchanged, so fills and
-        // shard-ordered reductions produce bit-identical results.
-        bounds.dedup();
-        ShardPlan { bounds }
-    }
-
-    /// Number of shards.
-    #[inline]
-    pub fn n_shards(&self) -> usize {
-        self.bounds.len() - 1
-    }
-
-    /// Shard `s`'s vertex range.
-    #[inline]
-    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
-        self.bounds[s]..self.bounds[s + 1]
-    }
-
-    /// The raw bounds array (`n_shards + 1` entries).
-    #[inline]
-    pub fn bounds(&self) -> &[usize] {
-        &self.bounds
-    }
-
-    /// Total vertices covered.
-    #[inline]
-    pub fn n_vertices(&self) -> usize {
-        *self.bounds.last().unwrap()
-    }
-}
-
-/// How many spin iterations a worker burns on the epoch counter before
-/// parking on the condvar. Kept small: back-to-back rounds are caught in
-/// the spin window, while an idle pool (or an oversubscribed single-core
-/// box) parks quickly instead of burning the caller's CPU.
-const SPIN_ROUNDS: u32 = 64;
-
-/// The job pointer published to workers: a borrowed `&dyn Fn(usize)`
-/// erased to `'static`. Sound because [`WorkerPool::run`] does not return
-/// until every worker finished the job, so the borrow outlives every use.
-type RawJob = *const (dyn Fn(usize) + Sync + 'static);
-
-/// Bit split of [`PoolShared::epoch`]: the low [`ACTIVE_BITS`] bits carry
-/// the round's active worker count, the high bits the round counter.
-const ACTIVE_BITS: u32 = 16;
-/// Mask selecting the active-count field of a packed epoch word.
-const ACTIVE_MASK: u64 = (1 << ACTIVE_BITS) - 1;
-
-/// Shared pool state. The `job` cell is written by the dispatcher strictly
-/// before the epoch bump (and only while the workers of the previous round
-/// are quiescent), and read by workers strictly after they observe the new
-/// epoch — the acquire/release pair on `epoch` orders the accesses.
-struct PoolShared {
-    /// Packed round word: round counter in the high `64 - ACTIVE_BITS`
-    /// bits, the round's active worker count in the low [`ACTIVE_BITS`]
-    /// bits. Packing both into one atomic makes a worker's skip decision
-    /// (`slot > active`) part of the same snapshot as the epoch it
-    /// consumed. The fields must not be split into separate atomics: a
-    /// worker skipping a narrow round is *not* waited on by the
-    /// dispatcher, so the next (wider) dispatch can overwrite the round
-    /// state while that worker is still between loads — with a split
-    /// `active`, the stale worker could join the new round, then observe
-    /// the un-consumed epoch bump and run the job a second time (double-
-    /// decrementing `remaining`), or read a `None` job after the round
-    /// ended.
-    epoch: AtomicU64,
-    job: UnsafeCell<Option<SendJob>>,
-    /// Countdown of the current round's active workers (slots whose packed
-    /// `active` covers them; skipping slots never touch it).
-    remaining: AtomicUsize,
-    panicked: AtomicBool,
-    shutdown: AtomicBool,
-    done: Mutex<()>,
-    done_cv: Condvar,
-}
-
-// SAFETY: the epoch protocol above makes the UnsafeCell a single-writer /
-// quiescent-readers slot; everything else is atomics and sync primitives.
-unsafe impl Sync for PoolShared {}
-
-/// A raw job pointer that may cross threads (the dispatch protocol, not
-/// the type system, guarantees its validity).
-#[derive(Clone, Copy)]
-struct SendJob(RawJob);
-unsafe impl Send for SendJob {}
-
-/// Counts every OS thread ever spawned by a [`WorkerPool`] in this
-/// process — the `alloc_free` suite asserts it stays constant across warm
-/// rounds (no per-round spawning).
-static POOL_THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
-
-/// Counts every one-shot scoped thread ever spawned by
-/// [`for_each_shard`]'s fallback path. A pooled hot loop must not move
-/// this either: a dispatch that silently misses the pool (lost pool
-/// handle, plan wider than the pool) regresses to per-round spawning
-/// without touching [`POOL_THREADS_SPAWNED`], so benches assert **both**
-/// counters stay flat across warm rounds.
-static SCOPED_THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
-
-/// Total one-shot scoped threads ever spawned by the sharded dispatch
-/// fallback in this process (see [`WorkerPool::total_threads_spawned`]
-/// for the pooled counterpart).
-pub fn total_scoped_threads_spawned() -> u64 {
-    SCOPED_THREADS_SPAWNED.load(Ordering::Relaxed)
-}
-
-std::thread_local! {
-    /// True while this thread is executing a pool job (the dispatching
-    /// caller on slot 0, a parked worker on its slot, or a scoped thread
-    /// transitively spawned from either). A nested dispatch on the — one,
-    /// process-global — pool from inside a job would deadlock: same-thread
-    /// re-entry self-deadlocks on the dispatch mutex, and a worker-slot
-    /// dispatch waits on a round that is itself waiting on that worker. So
-    /// [`for_each_shard`] routes nested fan-out to scoped threads instead.
-    static IN_POOL_JOB: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
-/// RAII set/restore of [`IN_POOL_JOB`] (restored on unwind too, so a
-/// panicking job does not leave the thread marked busy). Restoring the
-/// *prior* value — rather than clearing — keeps the guard correct even if
-/// a thread ever enters it while already inside a pool job; clearing
-/// there would unmark the thread mid-job and let a later dispatch
-/// re-enter the pool it must avoid.
-struct PoolJobGuard {
-    prev: bool,
-}
-
-impl PoolJobGuard {
-    fn enter() -> Self {
-        PoolJobGuard {
-            prev: IN_POOL_JOB.with(|f| f.replace(true)),
-        }
-    }
-}
-
-impl Drop for PoolJobGuard {
-    fn drop(&mut self) {
-        IN_POOL_JOB.with(|f| f.set(self.prev));
-    }
-}
-
-/// Process-global pool cache: one pool, grown (replaced) when a larger
-/// capacity is requested, shared by every runtime in the process.
-static GLOBAL_POOL: Mutex<Option<Arc<WorkerPool>>> = Mutex::new(None);
-
-fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
-/// A persistent pool of parked worker threads driven by an epoch counter
-/// (see the [module docs](self)). One dispatch runs a borrowed job once
-/// per *shard slot*: the calling thread takes slot 0, worker `w` takes
-/// slot `w + 1`. Dispatches are serialized internally, so a pool may be
-/// shared freely (it is — via [`WorkerPool::global`]).
-pub struct WorkerPool {
-    shared: Arc<PoolShared>,
-    handles: Vec<std::thread::JoinHandle<()>>,
-    /// Serializes dispatches from concurrent callers.
-    dispatch: Mutex<()>,
-}
-
-impl std::fmt::Debug for WorkerPool {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("WorkerPool")
-            .field("workers", &self.handles.len())
-            .finish()
-    }
-}
-
-impl WorkerPool {
-    /// Spawns a pool serving up to `threads` shard slots (`threads - 1`
-    /// parked workers; slot 0 always runs on the dispatching thread).
-    pub fn new(threads: usize) -> Self {
-        let workers = threads.saturating_sub(1);
-        assert!(
-            workers as u64 <= ACTIVE_MASK,
-            "WorkerPool supports at most {} workers",
-            ACTIVE_MASK
-        );
-        let shared = Arc::new(PoolShared {
-            epoch: AtomicU64::new(0),
-            job: UnsafeCell::new(None),
-            remaining: AtomicUsize::new(0),
-            panicked: AtomicBool::new(false),
-            shutdown: AtomicBool::new(false),
-            done: Mutex::new(()),
-            done_cv: Condvar::new(),
-        });
-        let handles = (0..workers)
-            .map(|w| {
-                let shared = Arc::clone(&shared);
-                POOL_THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
-                std::thread::Builder::new()
-                    .name(format!("cgc-pool-{w}"))
-                    .spawn(move || worker_loop(&shared, w + 1))
-                    .expect("spawning a pool worker")
-            })
-            .collect();
-        WorkerPool {
-            shared,
-            handles,
-            dispatch: Mutex::new(()),
-        }
-    }
-
-    /// The pool from the process-global cache, lazily created (and grown by
-    /// replacement) to serve at least `threads` shard slots. `threads <= 1`
-    /// needs no pool and returns `None`. Every runtime acquiring through
-    /// here shares the same parked workers.
-    ///
-    /// Growing replaces the cached pool with a fresh, larger one; a runtime
-    /// still holding an `Arc` to the old pool keeps that pool's parked
-    /// workers alive until it drops the handle. An ascending thread sweep
-    /// that holds every runtime alive simultaneously therefore accumulates
-    /// one retired (idle, parked) worker set per growth step — acquire the
-    /// pool at the sweep's widest count first, or drop narrower runtimes
-    /// before widening, to keep a single worker set.
-    pub fn global(threads: usize) -> Option<Arc<WorkerPool>> {
-        if threads <= 1 {
-            return None;
-        }
-        let mut cached = lock_ignore_poison(&GLOBAL_POOL);
-        if let Some(pool) = cached.as_ref() {
-            if pool.max_shards() >= threads {
-                return Some(Arc::clone(pool));
-            }
-        }
-        let pool = Arc::new(WorkerPool::new(threads));
-        *cached = Some(Arc::clone(&pool));
-        Some(pool)
-    }
-
-    /// Maximum shard slots one dispatch serves (workers + the caller).
-    #[inline]
-    pub fn max_shards(&self) -> usize {
-        self.handles.len() + 1
-    }
-
-    /// Total pool worker threads ever spawned in this process — a
-    /// regression sentinel: warm pooled rounds must not move it.
-    pub fn total_threads_spawned() -> u64 {
-        POOL_THREADS_SPAWNED.load(Ordering::Relaxed)
-    }
-
-    /// Runs `job(slot)` once per slot in `0..shards` — slot 0 inline on
-    /// the calling thread, the rest on the parked workers — and returns
-    /// after **all** active slots finished. Workers beyond `shards` skip
-    /// the round entirely, so a narrow dispatch on a wide (grown) pool
-    /// only waits on the workers it actually uses. A warm dispatch
-    /// allocates nothing and spawns nothing; `shards <= 1` runs fully
-    /// inline without touching the pool.
-    ///
-    /// The job must treat `slot` as its only identity (pure kernels over
-    /// disjoint data).
-    ///
-    /// `run` is **not reentrant**: a job must not dispatch on a pool
-    /// (this one or any other) from inside its slot — same-thread re-entry
-    /// would self-deadlock on the dispatch mutex, and a dispatch from a
-    /// worker slot would wait on a round that is waiting on that worker.
-    /// Nested sharded work inside a job should go through
-    /// [`for_each_shard`], which detects the nesting and falls back to
-    /// one-shot scoped threads.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `shards` exceeds [`Self::max_shards`] — slots the pool
-    /// cannot serve would otherwise be silently skipped (use
-    /// [`for_each_shard`]'s scoped-thread fallback for oversized fan-out).
-    /// Panics on a nested dispatch from inside a pool job (which would
-    /// otherwise deadlock). Propagates a panic if the job panicked on any
-    /// slot (after all slots quiesced, so borrowed data is never used
-    /// after `run` unwinds).
-    pub fn run(&self, shards: usize, job: &(dyn Fn(usize) + Sync)) {
-        assert!(
-            shards <= self.max_shards(),
-            "dispatching {shards} shards on a pool serving {}",
-            self.max_shards()
-        );
-        assert!(
-            !IN_POOL_JOB.with(|f| f.get()),
-            "nested WorkerPool::run from inside a pool job would deadlock; \
-             use for_each_shard, whose fallback handles nesting"
-        );
-        let workers = shards.max(1) - 1;
-        if workers == 0 {
-            job(0);
-            return;
-        }
-        let _round = lock_ignore_poison(&self.dispatch);
-        let shared = &*self.shared;
-        shared.remaining.store(workers, Ordering::Release);
-        // SAFETY: every worker the previous round used is quiescent (its
-        // dispatch waited for `remaining == 0`), and workers that skipped
-        // a round never touch the job cell, so this write does not race;
-        // lifetime erasure is sound because we wait below.
-        unsafe {
-            *shared.job.get() = Some(SendJob(std::mem::transmute::<
-                *const (dyn Fn(usize) + Sync),
-                RawJob,
-            >(job as *const _)));
-        }
-        // Publish the new round word — counter bumped, this round's active
-        // worker count in the low bits — then unpark exactly the workers
-        // the round uses, so a narrow dispatch on a wide (grown) pool never
-        // disturbs the parked workers it skips. Publish-then-unpark cannot
-        // lose a wake-up: an `unpark` racing a worker's `park` leaves a
-        // token that makes the `park` return immediately. Dispatches are
-        // serialized by `self.dispatch`, so the read-modify-write below
-        // does not race other dispatchers.
-        let cur = shared.epoch.load(Ordering::Relaxed);
-        let next = (((cur >> ACTIVE_BITS) + 1) << ACTIVE_BITS) | workers as u64;
-        shared.epoch.store(next, Ordering::Release);
-        for h in &self.handles[..workers] {
-            h.thread().unpark();
-        }
-        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _busy = PoolJobGuard::enter();
-            job(0)
-        }));
-        // Wait for every worker: spin through the common photo-finish, then
-        // park on the done condvar.
-        let mut spins = 0u32;
-        while shared.remaining.load(Ordering::Acquire) != 0 {
-            spins += 1;
-            if spins < SPIN_ROUNDS {
-                std::hint::spin_loop();
-            } else {
-                let mut g = lock_ignore_poison(&shared.done);
-                while shared.remaining.load(Ordering::Acquire) != 0 {
-                    g = shared
-                        .done_cv
-                        .wait(g)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                }
-            }
-        }
-        unsafe {
-            *shared.job.get() = None;
-        }
-        // Clear the worker-panic flag *before* any early return: a round
-        // where both the caller and a worker panicked must not leave the
-        // flag set for the next (unrelated) dispatch on this shared pool.
-        let worker_panicked = shared.panicked.swap(false, Ordering::AcqRel);
-        if let Err(payload) = caller {
-            std::panic::resume_unwind(payload);
-        }
-        if worker_panicked {
-            panic!("a WorkerPool job panicked on a worker thread");
-        }
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        for h in &self.handles {
-            h.thread().unpark();
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-fn worker_loop(shared: &PoolShared, slot: usize) {
-    let mut seen = 0u64;
-    loop {
-        // Wait for the next epoch: spin briefly, then park.
-        let mut spins = 0u32;
-        loop {
-            let e = shared.epoch.load(Ordering::Acquire);
-            if e != seen {
-                seen = e;
-                break;
-            }
-            if shared.shutdown.load(Ordering::Acquire) {
-                return;
-            }
-            spins += 1;
-            if spins < SPIN_ROUNDS {
-                std::hint::spin_loop();
-            } else {
-                // Parked between rounds. The dispatcher publishes the
-                // epoch *before* unparking, and an `unpark` racing this
-                // `park` leaves a token that makes it return immediately,
-                // so the wake-up cannot be lost; spurious returns (stale
-                // tokens) just loop back to the epoch check.
-                std::thread::park();
-            }
-        }
-        // A round narrower than the pool does not involve this worker:
-        // skip the job and leave `remaining` (which only counts active
-        // workers) untouched. The active count comes from the *same*
-        // packed word as the observed epoch, so the decision cannot pair
-        // a stale count with a newer round (see the `epoch` field docs).
-        if slot > (seen & ACTIVE_MASK) as usize {
-            continue;
-        }
-        let job = unsafe { (*shared.job.get()).expect("epoch advanced without a published job") };
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _busy = PoolJobGuard::enter();
-            (unsafe { &*job.0 })(slot)
-        }));
-        if outcome.is_err() {
-            shared.panicked.store(true, Ordering::Release);
-        }
-        if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let _g = lock_ignore_poison(&shared.done);
-            shared.done_cv.notify_one();
-        }
-    }
-}
-
-/// A raw pointer that may be captured by a `Sync` job closure; shard
-/// disjointness (not the type system) rules out aliasing writes.
-pub(crate) struct SendPtr<T>(*mut T);
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
-
-impl<T> SendPtr<T> {
-    pub(crate) fn new(p: *mut T) -> Self {
-        SendPtr(p)
-    }
-
-    pub(crate) fn get(&self) -> *mut T {
-        self.0
-    }
-}
-
-/// Runs `job(s)` for every shard `s in 0..shards`: inline when `shards <=
-/// 1`, on the pool when one is provided with enough slots (slot 0 on the
-/// caller — allocation- and spawn-free when warm), and on one-shot scoped
-/// threads otherwise. A call from inside a pool job (which must not
-/// re-dispatch on the pool — see [`WorkerPool::run`]) also takes the
-/// scoped path, so nested sharded work completes instead of deadlocking.
-/// Blocks until every shard completed; propagates panics either way.
-pub(crate) fn for_each_shard(
-    pool: Option<&WorkerPool>,
-    shards: usize,
-    job: &(dyn Fn(usize) + Sync),
-) {
-    if shards <= 1 {
-        job(0);
-        return;
-    }
-    let nested = IN_POOL_JOB.with(|f| f.get());
-    match pool {
-        Some(pool) if pool.max_shards() >= shards && !nested => pool.run(shards, job),
-        _ => {
-            SCOPED_THREADS_SPAWNED.fetch_add(shards as u64 - 1, Ordering::Relaxed);
-            std::thread::scope(|scope| {
-                for s in 1..shards {
-                    // Scoped threads inherit the busy flag: work spawned
-                    // (transitively) from a pool job must keep avoiding
-                    // the pool, or a depth-2 dispatch from a fresh thread
-                    // would block on the round it is itself part of.
-                    scope.spawn(move || {
-                        if nested {
-                            let _busy = PoolJobGuard::enter();
-                            job(s)
-                        } else {
-                            job(s)
-                        }
-                    });
-                }
-                job(0);
-            })
-        }
-    }
-}
-
-/// Clears `out` and refills it with `n` elements, where element `v` is
-/// produced by `fill(v)` — shard-parallel, each worker writing its own
-/// disjoint slice of the (re)used allocation. Element order is always
-/// `0..n` regardless of shard count, and `fill` must be pure, so the
-/// result is identical to the sequential `out.extend((0..n).map(fill))`.
-///
-/// With one shard this runs inline; with a [`WorkerPool`] the dispatch
-/// reuses parked workers. Either way the call performs no allocation once
-/// `out`'s capacity is warm.
-pub(crate) fn fill_sharded<T: Send>(
-    out: &mut Vec<T>,
-    plan: &ShardPlan,
-    pool: Option<&WorkerPool>,
-    fill: impl Fn(usize, &mut [MaybeUninit<T>]) + Sync,
-) {
-    let n = plan.n_vertices();
-    out.clear();
-    out.reserve(n);
-    let spare = &mut out.spare_capacity_mut()[..n];
-    if plan.n_shards() <= 1 {
-        fill(0, spare);
-    } else {
-        let base = SendPtr::new(spare.as_mut_ptr());
-        for_each_shard(pool, plan.n_shards(), &|s| {
-            let range = plan.range(s);
-            if range.is_empty() {
-                return;
-            }
-            // SAFETY: shard ranges are disjoint sub-slices of `spare`.
-            let slot =
-                unsafe { std::slice::from_raw_parts_mut(base.get().add(range.start), range.len()) };
-            fill(range.start, slot);
-        });
-    }
-    // SAFETY: every shard writes its full slice (one element per index); a
-    // panic on any shard propagates out of `for_each_shard` before this
-    // line, leaving the length untouched.
-    unsafe { out.set_len(n) };
-}
-
-/// CSR output fill where shard `s` owns both its vertices' row starts
-/// (copied into `out_offsets`) and the entries of its rows, i.e.
-/// `offsets[bounds[s]]..offsets[bounds[s + 1]]` of `out_data` — one
-/// [`for_each_shard`] dispatch covers both, so sharding the offsets copy
-/// costs no extra dispatch cycle (and stays allocation- and spawn-free on
-/// a warm pool). The trailing `offsets[n]` end sentinel is appended after
-/// the parallel phase. Used by `neighbor_collect_into`.
-pub(crate) fn fill_sharded_with_offsets<T: Send>(
-    out_offsets: &mut Vec<usize>,
-    out_data: &mut Vec<T>,
-    plan: &ShardPlan,
-    pool: Option<&WorkerPool>,
-    offsets: &[usize],
-    fill: impl Fn(std::ops::Range<usize>, &mut [MaybeUninit<T>]) + Sync,
-) {
-    let n = plan.n_vertices();
-    let n_entries = offsets[n];
-    out_offsets.clear();
-    out_offsets.reserve(n + 1);
-    out_data.clear();
-    out_data.reserve(n_entries);
-    let copy_then_fill = |range: std::ops::Range<usize>,
-                          offs_slot: &mut [MaybeUninit<usize>],
-                          data_slot: &mut [MaybeUninit<T>]| {
-        for (i, cell) in offs_slot.iter_mut().enumerate() {
-            cell.write(offsets[range.start + i]);
-        }
-        fill(range, data_slot);
-    };
-    if plan.n_shards() <= 1 {
-        copy_then_fill(
-            0..n,
-            &mut out_offsets.spare_capacity_mut()[..n],
-            &mut out_data.spare_capacity_mut()[..n_entries],
-        );
-    } else {
-        let offs_base = SendPtr::new(out_offsets.spare_capacity_mut()[..n].as_mut_ptr());
-        let data_base = SendPtr::new(out_data.spare_capacity_mut()[..n_entries].as_mut_ptr());
-        for_each_shard(pool, plan.n_shards(), &|s| {
-            let range = plan.range(s);
-            if range.is_empty() {
-                return;
-            }
-            // SAFETY: shard `s` owns rows `range` of the offsets buffer and
-            // entries `offsets[range.start]..offsets[range.end]` of the
-            // arena — disjoint across shards because both arrays are
-            // monotone in the shard bounds.
-            let (offs_slot, data_slot) = unsafe {
-                (
-                    std::slice::from_raw_parts_mut(offs_base.get().add(range.start), range.len()),
-                    std::slice::from_raw_parts_mut(
-                        data_base.get().add(offsets[range.start]),
-                        offsets[range.end] - offsets[range.start],
-                    ),
-                )
-            };
-            copy_then_fill(range, offs_slot, data_slot);
-        });
-    }
-    // SAFETY: every shard writes its full offsets and arena slices; a
-    // panic on any shard propagates out of `for_each_shard` before these
-    // lines.
-    unsafe {
-        out_offsets.set_len(n);
-        out_data.set_len(n_entries);
-    }
-    out_offsets.push(offsets[n]);
-}
-
-/// Runs `work` over every shard of `plan` concurrently, collecting each
-/// shard's result and folding them **in shard order** with `merge` — the
-/// deterministic reduction used by [`crate::exec`]'s trace functions, the
-/// sharded [`ClusterGraph::build`] and the parallel generators in
-/// `cgc_graphs`. With one shard, runs inline; with more, spawns one-shot
-/// scoped threads. A plan always has at least one shard, so the reduction
-/// is total.
-pub fn map_reduce_sharded<T: Send>(
-    plan: &ShardPlan,
-    work: impl Fn(std::ops::Range<usize>) -> T + Sync,
-    merge: impl FnMut(&mut T, T),
-) -> T {
-    map_reduce_on(plan, None, work, merge)
-}
-
-/// [`map_reduce_sharded`] dispatched on a persistent [`WorkerPool`] when
-/// one is supplied (falling back to scoped threads otherwise). The shard
-/// results and their fixed-order reduction are identical either way —
-/// only the dispatch mechanism differs.
-pub fn map_reduce_on<T: Send>(
-    plan: &ShardPlan,
-    pool: Option<&WorkerPool>,
-    work: impl Fn(std::ops::Range<usize>) -> T + Sync,
-    mut merge: impl FnMut(&mut T, T),
-) -> T {
-    let shards = plan.n_shards();
-    if shards <= 1 {
-        return work(plan.range(0));
-    }
-    let mut results: Vec<Option<T>> = (0..shards).map(|_| None).collect();
-    {
-        let base = SendPtr::new(results.as_mut_ptr());
-        let work = &work;
-        for_each_shard(pool, shards, &|s| {
-            let r = work(plan.range(s));
-            // SAFETY: each shard writes only its own pre-initialized slot.
-            unsafe { *base.get().add(s) = Some(r) };
-        });
-    }
-    let mut parts = results.into_iter();
-    let mut acc = parts
-        .next()
-        .flatten()
-        .expect("shard 0 always produces a result");
-    for r in parts {
-        merge(&mut acc, r.expect("every shard produced a result"));
-    }
-    acc
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use cgc_net::CommGraph;
-
-    /// Serializes the tests that create pools (or dispatch on the global
-    /// one): `cargo test` runs sibling tests concurrently in one process,
-    /// and the process-global spawn counter / pool cache assertions below
-    /// are only meaningful when no sibling spawns workers mid-window.
-    static POOL_TEST_LOCK: Mutex<()> = Mutex::new(());
-
-    fn pool_test_lock() -> std::sync::MutexGuard<'static, ()> {
-        lock_ignore_poison(&POOL_TEST_LOCK)
-    }
-
-    fn line_graph(n: usize) -> ClusterGraph {
-        ClusterGraph::singletons(CommGraph::path(n))
-    }
-
-    #[test]
-    fn serial_plan_is_one_shard() {
-        let g = line_graph(10);
-        let p = ShardPlan::plan(&g, &ParallelConfig::serial());
-        assert_eq!(p.n_shards(), 1);
-        assert_eq!(p.range(0), 0..10);
-    }
-
-    #[test]
-    fn plans_cover_all_vertices_without_overlap() {
-        let g = line_graph(23);
-        for threads in [2, 3, 4, 8, 64] {
-            for strategy in [ShardStrategy::EvenVertices, ShardStrategy::BalancedEdges] {
-                let p = ShardPlan::plan(&g, &ParallelConfig::new(threads, strategy));
-                assert_eq!(p.bounds()[0], 0);
-                assert_eq!(p.n_vertices(), 23);
-                for s in 1..p.bounds().len() {
-                    assert!(p.bounds()[s] >= p.bounds()[s - 1]);
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn more_threads_than_vertices_collapses() {
-        let g = line_graph(3);
-        let p = ShardPlan::plan(&g, &ParallelConfig::with_threads(16));
-        assert!(p.n_shards() <= 3);
-        assert_eq!(p.n_vertices(), 3);
-    }
-
-    #[test]
-    fn balanced_edges_splits_a_skewed_star() {
-        // Star: vertex 0 has degree n-1, the rest degree 1. Balanced-edge
-        // sharding must not put everything in shard 0.
-        let g = ClusterGraph::singletons(CommGraph::star(101));
-        let p = ShardPlan::plan(&g, &ParallelConfig::new(4, ShardStrategy::BalancedEdges));
-        assert!(p.n_shards() >= 2);
-        // The heavy head occupies an early shard; later shards still get
-        // nonempty ranges.
-        assert!(!p.range(p.n_shards() - 1).is_empty());
-    }
-
-    #[test]
-    fn fill_sharded_matches_sequential_extend() {
-        let g = line_graph(57);
-        for threads in [1, 2, 3, 8] {
-            let plan = ShardPlan::plan(&g, &ParallelConfig::with_threads(threads));
-            let mut out: Vec<u64> = Vec::new();
-            fill_sharded(&mut out, &plan, None, |start, slot| {
-                for (i, cell) in slot.iter_mut().enumerate() {
-                    cell.write(((start + i) as u64).wrapping_mul(0x9E3779B97F4A7C15));
-                }
-            });
-            let expect: Vec<u64> = (0..57u64)
-                .map(|v| v.wrapping_mul(0x9E3779B97F4A7C15))
-                .collect();
-            assert_eq!(out, expect, "threads={threads}");
-        }
-    }
-
-    #[test]
-    fn fill_sharded_with_offsets_matches_sequential() {
-        // A fake CSR: row v has v % 3 entries, entry values encode (row,
-        // slot) so any mis-split scrambles the arena.
-        let n = 41;
-        let mut offsets = vec![0usize];
-        for v in 0..n {
-            offsets.push(offsets[v] + v % 3);
-        }
-        let g = line_graph(n);
-        for threads in [1, 2, 3, 8] {
-            let plan = ShardPlan::plan(&g, &ParallelConfig::with_threads(threads));
-            let mut out_offsets: Vec<usize> = Vec::new();
-            let mut out_data: Vec<u64> = Vec::new();
-            fill_sharded_with_offsets(
-                &mut out_offsets,
-                &mut out_data,
-                &plan,
-                None,
-                &offsets,
-                |r, s| {
-                    let base = offsets[r.start];
-                    for (i, cell) in s.iter_mut().enumerate() {
-                        cell.write((base + i) as u64 * 31);
-                    }
-                },
-            );
-            assert_eq!(out_offsets, offsets, "threads={threads}");
-            let expect: Vec<u64> = (0..offsets[n] as u64).map(|e| e * 31).collect();
-            assert_eq!(out_data, expect, "threads={threads}");
-        }
-    }
-
-    #[test]
-    fn map_reduce_is_shard_ordered() {
-        let g = line_graph(40);
-        for threads in [1, 2, 4, 7] {
-            let plan = ShardPlan::plan(&g, &ParallelConfig::with_threads(threads));
-            // Concatenation is order-sensitive: any non-shard-order merge
-            // would scramble the result.
-            let got = map_reduce_sharded(&plan, |r| r.collect::<Vec<usize>>(), |a, b| a.extend(b));
-            assert_eq!(got, (0..40).collect::<Vec<usize>>(), "threads={threads}");
-        }
-    }
-
-    #[test]
-    fn from_prefix_covers_and_balances() {
-        // Skewed prefix: one heavy head, long light tail.
-        let mut prefix = vec![0usize];
-        for v in 0..100 {
-            prefix.push(prefix[v] + if v == 0 { 1000 } else { 1 });
-        }
-        for shards in [1, 2, 4, 8] {
-            let p = ShardPlan::from_prefix(&prefix, shards);
-            assert_eq!(p.bounds()[0], 0);
-            assert_eq!(p.n_vertices(), 100);
-            for s in 0..p.n_shards() {
-                assert!(
-                    !p.range(s).is_empty(),
-                    "empty shards must be collapsed (shards={shards}, s={s})"
-                );
-            }
-        }
-        // With 2+ shards the heavy head must not absorb everything.
-        let p = ShardPlan::from_prefix(&prefix, 4);
-        assert!(p.n_shards() >= 2);
-        assert!(!p.range(p.n_shards() - 1).is_empty());
-    }
-
-    #[test]
-    fn pool_runs_every_slot_and_reuses_threads() {
-        let _serial = pool_test_lock();
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let pool = WorkerPool::new(4);
-        assert_eq!(pool.max_shards(), 4);
-        let spawned = WorkerPool::total_threads_spawned();
-        for round in 1..=10usize {
-            let hits = AtomicUsize::new(0);
-            pool.run(4, &|slot| {
-                assert!(slot < 4);
-                hits.fetch_add(slot + 1, Ordering::Relaxed);
-            });
-            assert_eq!(hits.load(Ordering::Relaxed), 1 + 2 + 3 + 4, "round {round}");
-        }
-        // Narrow rounds on the wide pool only run (and wait on) the active
-        // slots.
-        for shards in [1, 2, 3] {
-            let hits = AtomicUsize::new(0);
-            pool.run(shards, &|slot| {
-                assert!(slot < shards, "slot {slot} beyond {shards} shards");
-                hits.fetch_add(1, Ordering::Relaxed);
-            });
-            assert_eq!(hits.load(Ordering::Relaxed), shards);
-        }
-        assert_eq!(
-            WorkerPool::total_threads_spawned(),
-            spawned,
-            "warm dispatches must not spawn threads"
-        );
-    }
-
-    #[test]
-    fn narrow_then_wide_dispatches_interleave_safely() {
-        let _serial = pool_test_lock();
-        // Regression: a worker skipping a narrow round is not waited on by
-        // the dispatcher, so the next (wider) dispatch races its skip
-        // decision. With the round's active count split from the epoch,
-        // the stale worker could join the new round and then run its job a
-        // second time (hits > shards) or die on a vanished job (deadlock).
-        // Alternating widths for many warm rounds makes that window hot.
-        let pool = WorkerPool::new(8);
-        for round in 0..10_000usize {
-            let shards = if round % 2 == 0 { 2 } else { 8 };
-            let hits = AtomicUsize::new(0);
-            pool.run(shards, &|slot| {
-                assert!(slot < shards, "slot {slot} beyond {shards} shards");
-                hits.fetch_add(1, Ordering::Relaxed);
-            });
-            assert_eq!(hits.load(Ordering::Relaxed), shards, "round {round}");
-        }
-    }
-
-    #[test]
-    fn run_rejects_oversized_dispatch() {
-        let _serial = pool_test_lock();
-        let pool = WorkerPool::new(2);
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.run(3, &|_| {});
-        }));
-        assert!(r.is_err(), "shards beyond max_shards must not be dropped silently");
-    }
-
-    #[test]
-    fn nested_dispatch_falls_back_to_scoped_threads() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let _serial = pool_test_lock();
-        let pool = WorkerPool::new(4);
-        // A direct nested `run` is a documented error, not a deadlock.
-        let direct = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.run(2, &|_| pool.run(2, &|_| {}));
-        }));
-        assert!(direct.is_err(), "nested run must fail fast, not deadlock");
-        // `for_each_shard` from inside a pool job (any slot) detects the
-        // nesting and completes on scoped threads — including depth 2.
-        let inner_hits = AtomicUsize::new(0);
-        let scoped_before = total_scoped_threads_spawned();
-        pool.run(3, &|_| {
-            for_each_shard(Some(&pool), 2, &|_| {
-                for_each_shard(Some(&pool), 2, &|_| {
-                    inner_hits.fetch_add(1, Ordering::Relaxed);
-                });
-            });
-        });
-        assert_eq!(inner_hits.load(Ordering::Relaxed), 3 * 2 * 2);
-        assert!(
-            total_scoped_threads_spawned() > scoped_before,
-            "nested fan-out must have taken the scoped fallback"
-        );
-        // The pool still works after the nested rounds.
-        let hits = AtomicUsize::new(0);
-        pool.run(4, &|_| {
-            hits.fetch_add(1, Ordering::Relaxed);
-        });
-        assert_eq!(hits.load(Ordering::Relaxed), 4);
-    }
-
-    #[test]
-    fn pooled_fill_matches_scoped_fill() {
-        let _serial = pool_test_lock();
-        let g = line_graph(91);
-        let pool = WorkerPool::new(3);
-        let plan = ShardPlan::plan(&g, &ParallelConfig::with_threads(3));
-        let expect: Vec<u64> = (0..91u64).map(|v| v * 7 + 1).collect();
-        let mut scoped: Vec<u64> = Vec::new();
-        let mut pooled: Vec<u64> = Vec::new();
-        let kernel = |start: usize, slot: &mut [MaybeUninit<u64>]| {
-            for (i, cell) in slot.iter_mut().enumerate() {
-                cell.write((start + i) as u64 * 7 + 1);
-            }
-        };
-        fill_sharded(&mut scoped, &plan, None, kernel);
-        fill_sharded(&mut pooled, &plan, Some(&pool), kernel);
-        assert_eq!(scoped, expect);
-        assert_eq!(pooled, expect);
-    }
-
-    #[test]
-    fn pooled_map_reduce_is_shard_ordered() {
-        let _serial = pool_test_lock();
-        let g = line_graph(40);
-        let pool = WorkerPool::new(8);
-        for threads in [1, 2, 4, 7] {
-            let plan = ShardPlan::plan(&g, &ParallelConfig::with_threads(threads));
-            let got = map_reduce_on(
-                &plan,
-                Some(&pool),
-                |r| r.collect::<Vec<usize>>(),
-                |a, b| a.extend(b),
-            );
-            assert_eq!(got, (0..40).collect::<Vec<usize>>(), "threads={threads}");
-        }
-    }
-
-    #[test]
-    fn pool_propagates_worker_panics() {
-        let _serial = pool_test_lock();
-        let pool = WorkerPool::new(2);
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.run(2, &|slot| {
-                if slot == 1 {
-                    panic!("boom");
-                }
-            });
-        }));
-        assert!(r.is_err(), "worker panic must reach the dispatcher");
-        // The pool stays usable after a panicked round, and the panic flag
-        // does not leak into it — even when caller AND worker both panic.
-        pool.run(2, &|_| {});
-        let both = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.run(2, &|_| panic!("everyone"));
-        }));
-        assert!(both.is_err());
-        pool.run(2, &|_| {}); // must not spuriously panic
-    }
-
-    #[test]
-    fn global_pool_is_shared_and_grows() {
-        let _serial = pool_test_lock();
-        let a = WorkerPool::global(2).expect("parallel config gets a pool");
-        let b = WorkerPool::global(2).expect("parallel config gets a pool");
-        assert!(Arc::ptr_eq(&a, &b), "same capacity shares one pool");
-        assert!(WorkerPool::global(1).is_none(), "serial needs no pool");
-        let big = WorkerPool::global(a.max_shards() + 1).unwrap();
-        assert!(big.max_shards() > a.max_shards());
-        // The grown pool serves smaller requests from then on.
-        let c = WorkerPool::global(2).unwrap();
-        assert!(Arc::ptr_eq(&big, &c));
-    }
-
-    #[test]
-    fn env_config_parses() {
-        // Only exercises the parser paths that don't depend on the
-        // environment (from_env itself is covered by the CI matrix).
-        assert!(ParallelConfig::serial().is_serial());
-        assert_eq!(ParallelConfig::with_threads(0).threads(), 1);
-        assert!(ParallelConfig::max_parallel().threads() >= 1);
-    }
-}
+//! The one cluster-specific piece is planning from a built topology:
+//! [`crate::ClusterGraph::shard_plan`] wraps [`ShardPlan::plan_csr`] over
+//! the `H`-adjacency CSR.
+
+pub use cgc_net::par::*;

@@ -40,7 +40,7 @@
 use crate::driver::{color_cluster_graph_with, DriverOptions, RunResult};
 use crate::params::{Ablation, Params};
 use cgc_cluster::{available_threads, ClusterGraph, ClusterNet, ParallelConfig};
-use cgc_graphs::{PlantedInfo, WorkloadParseError, WorkloadSpec};
+use cgc_graphs::{PlantedInfo, SetupTimings, WorkloadParseError, WorkloadSpec};
 use std::time::Instant;
 
 /// Which [`Params`] preset a session derives from the instance size.
@@ -67,9 +67,19 @@ pub struct RunOutcome {
     pub threads: usize,
     /// Hardware cores detected on this machine.
     pub detected_cores: usize,
-    /// Wall-clock seconds `ClusterGraph::build` took for this instance
-    /// (`0.0` when the cached graph was reused).
+    /// Wall-clock seconds the whole instance setup (generation,
+    /// canonicalization and the `ClusterGraph` build) took for this run's
+    /// instance (`0.0` when the cached graph was reused).
     pub build_secs: f64,
+    /// Setup sub-phase: raw edge generation (family kernels + layout
+    /// expansion) seconds (`0.0` when cached).
+    pub generate_secs: f64,
+    /// Setup sub-phase: canonicalization (sort/dedup/merge + CSR
+    /// assembly) seconds (`0.0` when cached).
+    pub canonicalize_secs: f64,
+    /// Setup sub-phase: `ClusterGraph::build` (support trees, link
+    /// table) seconds (`0.0` when cached).
+    pub graph_build_secs: f64,
     /// Whether this run reused the session's cached graph.
     pub graph_cached: bool,
     /// Wall-clock seconds of the coloring run itself.
@@ -162,9 +172,7 @@ impl SessionBuilder {
 
     /// Builds the instance (timed) and returns the ready [`Session`].
     pub fn build(self) -> Session {
-        let start = Instant::now();
-        let (graph, planted) = self.spec.build_with_info(&self.parallel);
-        let build_secs = start.elapsed().as_secs_f64();
+        let (graph, planted, setup) = self.spec.build_timed(&self.parallel);
         let params = derive_params(
             self.profile,
             graph.n_vertices(),
@@ -175,7 +183,7 @@ impl SessionBuilder {
             spec: self.spec,
             graph,
             planted,
-            build_secs,
+            setup,
             runs_on_graph: 0,
             profile: self.profile,
             ablation: self.ablation,
@@ -214,7 +222,7 @@ pub struct Session {
     spec: WorkloadSpec,
     graph: ClusterGraph,
     planted: Option<PlantedInfo>,
-    build_secs: f64,
+    setup: SetupTimings,
     runs_on_graph: u64,
     profile: ParamsProfile,
     ablation: Option<Ablation>,
@@ -252,9 +260,21 @@ impl Session {
         self.planted.as_ref()
     }
 
-    /// Wall-clock seconds the loaded instance took to build.
+    /// Wall-clock seconds the loaded instance took to set up end to end
+    /// (generation + canonicalization + `ClusterGraph` build) — the
+    /// historical name for what is now `setup_timings().total_secs`, so
+    /// the `SetupTimings::build_secs` *sub-phase* is deliberately not
+    /// what this returns.
+    #[allow(clippy::misnamed_getters)]
     pub fn build_secs(&self) -> f64 {
-        self.build_secs
+        self.setup.total_secs
+    }
+
+    /// Per-phase setup timings of the loaded instance
+    /// (generate / canonicalize / build — see
+    /// [`cgc_graphs::SetupTimings`]).
+    pub fn setup_timings(&self) -> &SetupTimings {
+        &self.setup
     }
 
     /// The derived algorithm parameters for the loaded instance.
@@ -287,9 +307,8 @@ impl Session {
         if spec == self.spec {
             return;
         }
-        let start = Instant::now();
-        let (graph, planted) = spec.build_with_info(&self.parallel);
-        self.build_secs = start.elapsed().as_secs_f64();
+        let (graph, planted, setup) = spec.build_timed(&self.parallel);
+        self.setup = setup;
         self.runs_on_graph = 0;
         self.graph = graph;
         self.planted = planted;
@@ -324,13 +343,17 @@ impl Session {
         let color_secs = start.elapsed().as_secs_f64();
         let graph_cached = self.runs_on_graph > 0;
         self.runs_on_graph += 1;
+        let setup_or_zero = |secs: f64| if graph_cached { 0.0 } else { secs };
         RunOutcome {
             run,
             spec_string: self.spec.to_string(),
             seed,
             threads: self.parallel.threads(),
             detected_cores: available_threads(),
-            build_secs: if graph_cached { 0.0 } else { self.build_secs },
+            build_secs: setup_or_zero(self.setup.total_secs),
+            generate_secs: setup_or_zero(self.setup.generate_secs),
+            canonicalize_secs: setup_or_zero(self.setup.canonicalize_secs),
+            graph_build_secs: setup_or_zero(self.setup.build_secs),
             graph_cached,
             color_secs,
         }
@@ -400,6 +423,17 @@ mod tests {
         assert_eq!(out.spec_string, "gnp:n=50,p=0.1,seed=2,layout=star3");
         assert_eq!(out.seed, 3);
         assert!(out.color_secs >= 0.0);
+        // The first (uncached) run carries the setup sub-timings; cached
+        // runs zero them like build_secs.
+        assert!(out.generate_secs >= 0.0 && out.canonicalize_secs >= 0.0);
+        assert!(
+            out.build_secs
+                >= out.generate_secs + out.canonicalize_secs + out.graph_build_secs - 1e-9
+        );
+        let cached = s.run(4);
+        assert_eq!(cached.generate_secs, 0.0);
+        assert_eq!(cached.canonicalize_secs, 0.0);
+        assert_eq!(cached.graph_build_secs, 0.0);
     }
 
     #[test]

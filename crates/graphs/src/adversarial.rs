@@ -9,6 +9,7 @@
 //! algorithm must still finish within budget because it only ever moves
 //! aggregates, never raw neighbor lists.
 
+use crate::pipeline::ShardedEdgeSource;
 use cgc_cluster::{ClusterGraph, ParallelConfig};
 use cgc_net::CommGraph;
 
@@ -22,36 +23,56 @@ pub fn bottleneck_instance(n_clusters: usize, path_len: usize) -> ClusterGraph {
     bottleneck_instance_with(n_clusters, path_len, &ParallelConfig::serial())
 }
 
-/// [`bottleneck_instance`] with the [`ClusterGraph::build_with`] phases
+/// [`bottleneck_instance`] with the whole pipeline — wiring generation,
+/// edge canonicalization and the [`ClusterGraph::build_with`] phases —
 /// sharded over `par`'s threads (bit-identical output at any count).
 pub fn bottleneck_instance_with(
     n_clusters: usize,
     path_len: usize,
     par: &ParallelConfig,
 ) -> ClusterGraph {
+    let (n_machines, runs, assignment) = bottleneck_runs(n_clusters, path_len, par);
+    let comm = CommGraph::from_edge_runs_with(n_machines, &runs.run_slices(), par)
+        .expect("valid adversarial instance");
+    ClusterGraph::build_with(comm, assignment, par).expect("paths are connected")
+}
+
+/// The raw generation half of [`bottleneck_instance_with`]: machine
+/// count, per-shard edge runs (cluster `c` emits its own path wiring and
+/// its links to every higher cluster — a pure function of `c`) and the
+/// machine→cluster assignment.
+///
+/// # Panics
+///
+/// Panics if `n_clusters == 0` or `path_len < 2`.
+pub(crate) fn bottleneck_runs(
+    n_clusters: usize,
+    path_len: usize,
+    par: &ParallelConfig,
+) -> (usize, ShardedEdgeSource, Vec<usize>) {
     assert!(n_clusters > 0, "need clusters");
     assert!(path_len >= 2, "paths need two ends");
     let m = path_len;
     let n_machines = n_clusters * m;
-    let mut edges = Vec::new();
-    for c in 0..n_clusters {
+    // Cluster c owns m - 1 path edges plus n_clusters - 1 - c outgoing
+    // links; weight the row split by that mass so the link-heavy head
+    // does not serialize shard 0.
+    let weights: Vec<f64> = (0..n_clusters)
+        .map(|c| (m - 1 + (n_clusters - 1 - c)) as f64 + 1.0)
+        .collect();
+    let runs = ShardedEdgeSource::from_rows_weighted(n_clusters, par, Some(&weights), |c, out| {
         let base = c * m;
         for j in 0..(m - 1) {
-            edges.push((base + j, base + j + 1));
+            out.push((base + j, base + j + 1));
         }
-    }
-    // Complete conflict graph; attachment by index order.
-    for u in 0..n_clusters {
-        for v in (u + 1)..n_clusters {
-            // u (lower) uses its RIGHT end, v (higher) its LEFT end.
-            let mu = u * m + (m - 1);
-            let mv = v * m;
-            edges.push((mu, mv));
+        // Complete conflict graph; attachment by index order: c (lower)
+        // uses its RIGHT end, every higher cluster its LEFT end.
+        for v in (c + 1)..n_clusters {
+            out.push((base + m - 1, v * m));
         }
-    }
-    let comm = CommGraph::from_edges(n_machines, &edges).expect("valid adversarial instance");
+    });
     let assignment: Vec<usize> = (0..n_machines).map(|i| i / m).collect();
-    ClusterGraph::build_with(comm, assignment, par).expect("paths are connected")
+    (n_machines, runs, assignment)
 }
 
 #[cfg(test)]

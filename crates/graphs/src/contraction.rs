@@ -1,0 +1,171 @@
+//! Edge-contraction instances — the flow-algorithm scenario (§1.1).
+//!
+//! Maximum-flow and network-decomposition algorithms repeatedly *contract*
+//! connected machine sets; the contracted graph is exactly a cluster graph
+//! over the original network, with clusters of wildly uneven shapes and
+//! many parallel links between the same pair of clusters (Figure 1). This
+//! family builds that instance from first principles: a `side × side`
+//! grid network — the canonical flow substrate — contracted along seeded
+//! connected *blobs* grown to a random target size in `lo..=hi`.
+//!
+//! Unlike the generator families, the contraction **is** the layout:
+//! clusters come from the blob map, not from a [`crate::Layout`]
+//! expansion, so the family constructs its [`ClusterGraph`] directly
+//! (like [`crate::adversarial`]) and the workload grammar rejects
+//! `layout`/`links` keys for it. The grid wiring shards by grid rows
+//! through the pipeline; the blob growth is one serial seeded sweep.
+
+use crate::pipeline::ShardedEdgeSource;
+use cgc_cluster::{ClusterGraph, ParallelConfig};
+use cgc_net::{CommGraph, SeedStream};
+use rand::RngExt;
+
+/// Builds the contracted grid instance sequentially.
+///
+/// # Panics
+///
+/// Panics if `side == 0` or `lo` is not in `1..=hi`.
+pub fn contraction_instance(side: usize, lo: usize, hi: usize, seed: u64) -> ClusterGraph {
+    contraction_instance_with(side, lo, hi, seed, &ParallelConfig::serial())
+}
+
+/// [`contraction_instance`] with the grid wiring, edge canonicalization
+/// and [`ClusterGraph::build_with`] phases sharded over `par`'s threads
+/// (bit-identical output at any count).
+pub fn contraction_instance_with(
+    side: usize,
+    lo: usize,
+    hi: usize,
+    seed: u64,
+    par: &ParallelConfig,
+) -> ClusterGraph {
+    let (n_machines, runs, assignment) = contraction_runs(side, lo, hi, seed, par);
+    let comm = CommGraph::from_edge_runs_with(n_machines, &runs.run_slices(), par)
+        .expect("grid wiring is valid");
+    ClusterGraph::build_with(comm, assignment, par).expect("blobs are connected by construction")
+}
+
+/// The raw generation half of [`contraction_instance_with`]: machine
+/// count, per-shard grid-wiring runs (vertex `v` emits its right and down
+/// links — a pure function of `v`) and the blob machine→cluster
+/// assignment (one serial seeded BFS-stack sweep).
+///
+/// # Panics
+///
+/// As [`contraction_instance`].
+pub(crate) fn contraction_runs(
+    side: usize,
+    lo: usize,
+    hi: usize,
+    seed: u64,
+    par: &ParallelConfig,
+) -> (usize, ShardedEdgeSource, Vec<usize>) {
+    assert!(side > 0, "need a nonempty grid");
+    assert!(lo >= 1 && lo <= hi, "need 1 <= lo <= hi, got {lo}..={hi}");
+    let n = side * side;
+    let runs = ShardedEdgeSource::from_rows(n, par, move |v, out| {
+        let (r, c) = (v / side, v % side);
+        if c + 1 < side {
+            out.push((v, v + 1));
+        }
+        if r + 1 < side {
+            out.push((v, v + side));
+        }
+    });
+
+    // Contract random connected blobs: grow regions of lo..=hi machines
+    // from each yet-unassigned vertex, exactly what a blocking-flow phase
+    // produces. The growth is a stack walk over the (ascending) grid
+    // neighbors, deterministic in the seed.
+    let mut rng = SeedStream::new(seed).rng_for(0x00C0_47AC, 0);
+    let mut assignment = vec![usize::MAX; n];
+    let mut next_cluster = 0usize;
+    let mut frontier: Vec<usize> = Vec::new();
+    for start in 0..n {
+        if assignment[start] != usize::MAX {
+            continue;
+        }
+        let target = rng.random_range(lo..=hi);
+        let mut grabbed = 0usize;
+        frontier.clear();
+        frontier.push(start);
+        while let Some(v) = frontier.pop() {
+            if assignment[v] != usize::MAX || grabbed == target {
+                continue;
+            }
+            assignment[v] = next_cluster;
+            grabbed += 1;
+            let (r, c) = (v / side, v % side);
+            if r > 0 && assignment[v - side] == usize::MAX {
+                frontier.push(v - side);
+            }
+            if c > 0 && assignment[v - 1] == usize::MAX {
+                frontier.push(v - 1);
+            }
+            if c + 1 < side && assignment[v + 1] == usize::MAX {
+                frontier.push(v + 1);
+            }
+            if r + 1 < side && assignment[v + side] == usize::MAX {
+                frontier.push(v + side);
+            }
+        }
+        next_cluster += 1;
+    }
+    (n, runs, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_cover_the_grid_within_bounds() {
+        let g = contraction_instance(16, 4, 12, 3141);
+        assert_eq!(g.n_machines(), 256);
+        assert!(g.n_vertices() >= 256 / 12);
+        let mut sizes = vec![0usize; g.n_vertices()];
+        for m in 0..g.n_machines() {
+            sizes[g.cluster_of(m)] += 1;
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), 256);
+        assert!(
+            sizes.iter().all(|&s| (1..=12).contains(&s)),
+            "blob sizes {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn contraction_exhibits_parallel_links() {
+        // Wide blobs along a grid boundary share several grid links —
+        // the Figure 1 multi-link phenomenon the family exists to show.
+        let g = contraction_instance(20, 4, 12, 7);
+        let max_mult = g
+            .h_edges()
+            .map(|(u, v)| g.link_multiplicity(u, v))
+            .max()
+            .unwrap_or(0);
+        assert!(max_mult >= 2, "max multiplicity {max_mult}");
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_thread_count() {
+        let reference = contraction_instance(12, 2, 6, 5);
+        assert_eq!(contraction_instance(12, 2, 6, 5), reference);
+        assert_ne!(
+            contraction_instance(12, 2, 6, 6).n_vertices(),
+            0,
+            "different seed still builds"
+        );
+        for threads in [2, 4, 8] {
+            let got =
+                contraction_instance_with(12, 2, 6, 5, &ParallelConfig::with_threads(threads));
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= lo <= hi")]
+    fn inverted_bounds_rejected() {
+        contraction_instance(8, 5, 3, 1);
+    }
+}

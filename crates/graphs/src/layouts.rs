@@ -8,6 +8,7 @@
 //! path clusters reproduce the Figure 2/3 bottleneck shapes and stretch
 //! the dilation `d` for experiment E11.
 
+use crate::pipeline::ShardedEdgeSource;
 use cgc_cluster::{ClusterGraph, ParallelConfig};
 use cgc_net::{CommGraph, SeedStream};
 use rand::RngExt;
@@ -127,9 +128,11 @@ pub fn realize(h: &HSpec, layout: Layout, links_per_edge: usize, seed: u64) -> C
     realize_with(h, layout, links_per_edge, seed, &ParallelConfig::serial())
 }
 
-/// [`realize`] with the `ClusterGraph` build sharded over `par`'s threads
-/// (see [`ClusterGraph::build_with`]); the realized instance is a pure
-/// function of `(spec, layout, links, seed)` — never of the thread count.
+/// [`realize`] with the whole pipeline — intra-cluster wiring generation,
+/// machine-edge canonicalization ([`CommGraph::from_edge_runs_with`]) and
+/// the `ClusterGraph` build ([`ClusterGraph::build_with`]) — sharded over
+/// `par`'s threads; the realized instance is a pure function of
+/// `(spec, layout, links, seed)` — never of the thread count.
 pub fn realize_with(
     h: &HSpec,
     layout: Layout,
@@ -137,8 +140,72 @@ pub fn realize_with(
     seed: u64,
     par: &ParallelConfig,
 ) -> ClusterGraph {
-    let (comm, assignment) = realize_network(h, layout, links_per_edge, seed);
+    let (n_machines, runs, assignment) = realize_runs(h, layout, links_per_edge, seed, par);
+    let comm = CommGraph::from_edge_runs_with(n_machines, &runs.run_slices(), par)
+        .expect("layout produces valid graph");
     ClusterGraph::build_with(comm, assignment, par).expect("clusters are connected by construction")
+}
+
+/// The raw generation half of [`realize_with`]: the machine count, the
+/// per-shard machine-edge runs (intra-cluster wiring sharded by cluster
+/// rows, plus one serially-RNG-driven inter-cluster link run) and the
+/// machine→cluster assignment — handed straight to
+/// [`CommGraph::from_edge_runs_with`] without concatenating into one edge
+/// `Vec`. The logical edge sequence is a pure function of
+/// `(spec, layout, links, seed)`.
+///
+/// # Panics
+///
+/// Panics if `links_per_edge == 0` or the spec is empty.
+pub fn realize_runs(
+    h: &HSpec,
+    layout: Layout,
+    links_per_edge: usize,
+    seed: u64,
+    par: &ParallelConfig,
+) -> (usize, ShardedEdgeSource, Vec<usize>) {
+    assert!(links_per_edge > 0, "need at least one link per edge");
+    assert!(h.n > 0, "empty spec");
+    let m = layout.cluster_size();
+    let n_machines = h.n * m;
+    // Intra-cluster wiring: cluster c's machines are a pure function of
+    // (c, layout), so the wiring shards by cluster rows.
+    let mut runs = ShardedEdgeSource::from_rows(h.n, par, move |c, out| {
+        let base = c * m;
+        match layout {
+            Layout::Singleton => {}
+            Layout::Path(_) => {
+                for j in 0..(m - 1) {
+                    out.push((base + j, base + j + 1));
+                }
+            }
+            Layout::Star(_) => {
+                for j in 1..m {
+                    out.push((base, base + j));
+                }
+            }
+            Layout::BinaryTree(_) => {
+                for j in 1..m {
+                    out.push((base + (j - 1) / 2, base + j));
+                }
+            }
+        }
+    });
+    // Inter-cluster links: one RNG stream consumed in canonical H-edge
+    // order — inherently serial, appended as its own run.
+    let seeds = SeedStream::new(seed);
+    let mut rng = seeds.rng_for(0xEDCE, 0);
+    let mut links: Vec<(usize, usize)> = Vec::with_capacity(h.edges.len() * links_per_edge);
+    for &(u, v) in &h.edges {
+        for _ in 0..links_per_edge {
+            let mu = u * m + rng.random_range(0..m);
+            let mv = v * m + rng.random_range(0..m);
+            links.push((mu, mv));
+        }
+    }
+    runs.push_run(links);
+    let assignment: Vec<usize> = (0..n_machines).map(|i| i / m).collect();
+    (n_machines, runs, assignment)
 }
 
 /// The communication network and machine→cluster assignment [`realize`]
@@ -150,45 +217,10 @@ pub fn realize_network(
     links_per_edge: usize,
     seed: u64,
 ) -> (CommGraph, Vec<usize>) {
-    assert!(links_per_edge > 0, "need at least one link per edge");
-    assert!(h.n > 0, "empty spec");
-    let m = layout.cluster_size();
-    let n_machines = h.n * m;
-    let mut edges: Vec<(usize, usize)> = Vec::new();
-    // Intra-cluster wiring.
-    for c in 0..h.n {
-        let base = c * m;
-        match layout {
-            Layout::Singleton => {}
-            Layout::Path(_) => {
-                for j in 0..(m - 1) {
-                    edges.push((base + j, base + j + 1));
-                }
-            }
-            Layout::Star(_) => {
-                for j in 1..m {
-                    edges.push((base, base + j));
-                }
-            }
-            Layout::BinaryTree(_) => {
-                for j in 1..m {
-                    edges.push((base + (j - 1) / 2, base + j));
-                }
-            }
-        }
-    }
-    // Inter-cluster links.
-    let seeds = SeedStream::new(seed);
-    let mut rng = seeds.rng_for(0xEDCE, 0);
-    for &(u, v) in &h.edges {
-        for _ in 0..links_per_edge {
-            let mu = u * m + rng.random_range(0..m);
-            let mv = v * m + rng.random_range(0..m);
-            edges.push((mu, mv));
-        }
-    }
-    let comm = CommGraph::from_edges(n_machines, &edges).expect("layout produces valid graph");
-    let assignment: Vec<usize> = (0..n_machines).map(|i| i / m).collect();
+    let par = ParallelConfig::serial();
+    let (n_machines, runs, assignment) = realize_runs(h, layout, links_per_edge, seed, &par);
+    let comm = CommGraph::from_edge_runs_with(n_machines, &runs.run_slices(), &par)
+        .expect("layout produces valid graph");
     (comm, assignment)
 }
 

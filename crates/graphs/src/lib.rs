@@ -6,7 +6,8 @@
 //! = CONGEST, path, star, balanced tree — the paper's Figure 2/3 shapes)
 //! and link multiplicity, yielding a ready [`cgc_cluster::ClusterGraph`].
 //!
-//! * [`gnp`] — Erdős–Rényi `G(n, p)`;
+//! * [`gnp`] — Erdős–Rényi `G(n, p)`, sampled by a row-sharded skip walk
+//!   (`O(m)` expected, not `O(n²)`);
 //! * [`planted`] — disjoint or noisy planted almost-cliques, cabal-heavy
 //!   instances with controlled anti-degree and external degree, and mixed
 //!   Reed-style instances (sparse background + dense blocks);
@@ -17,17 +18,23 @@
 //! * [`rgg`] — random geometric (spatially clustered) graphs with a
 //!   grid-bucketed, row-sharded edge scan;
 //! * [`adversarial`] — the Figure 2/3 bottleneck-link instances;
+//! * [`contraction`] — grid networks contracted along seeded blobs (the
+//!   flow-algorithm scenario of §1.1);
+//! * [`pipeline`] — the shared sharded edge pipeline
+//!   ([`ShardedEdgeSource`]) every family's generate → canonicalize →
+//!   build flow runs through;
 //! * [`workload`] — [`WorkloadSpec`]: every family behind one typed,
 //!   string-addressable instance spec (`"gnp:n=300,p=0.02,seed=14"`).
 //!
-//! The parallel generators take a [`cgc_cluster::ParallelConfig`]; their
-//! output is a pure function of the parameters and seed, never of the
-//! thread count.
+//! The parallel generators take a [`cgc_net::ParallelConfig`] (re-exported
+//! as `cgc_cluster::ParallelConfig`); their output is a pure function of
+//! the parameters and seed, never of the thread count.
 
 pub mod adversarial;
+pub mod contraction;
 pub mod gnp;
 pub mod layouts;
-mod parallel;
+pub mod pipeline;
 pub mod planted;
 pub mod power;
 pub mod powerlaw;
@@ -35,10 +42,12 @@ pub mod rgg;
 pub mod workload;
 
 pub use adversarial::{bottleneck_instance, bottleneck_instance_with};
-pub use gnp::gnp_spec;
-pub use layouts::{realize, realize_network, realize_with, HSpec, Layout};
+pub use contraction::{contraction_instance, contraction_instance_with};
+pub use gnp::{gnp_spec, gnp_spec_with};
+pub use layouts::{realize, realize_network, realize_runs, realize_with, HSpec, Layout};
+pub use pipeline::ShardedEdgeSource;
 pub use planted::{cabal_spec, mixture_spec, planted_cliques_spec, MixtureConfig, PlantedInfo};
-pub use power::square_spec;
+pub use power::{square_spec, square_spec_with};
 pub use powerlaw::{power_law_spec, power_law_weights, PowerLawConfig};
 pub use rgg::{geometric_spec, radius_for_avg_degree};
-pub use workload::{WorkloadFamily, WorkloadParseError, WorkloadSpec};
+pub use workload::{SetupTimings, WorkloadFamily, WorkloadParseError, WorkloadSpec};

@@ -1,0 +1,267 @@
+//! The sharded generation-to-graph edge pipeline.
+//!
+//! Every workload family flows through one discipline — *generate
+//! per-shard edge runs, canonicalize shard-locally, merge
+//! deterministically*:
+//!
+//! ```text
+//! WorkloadSpec ──▶ ShardedEdgeSource ──▶ HSpec (canonical H-edges)
+//!                  (per-row kernels,      │
+//!                   per-shard runs)       ▼ layout expansion (realize_runs)
+//!                                  ShardedEdgeSource (machine links)
+//!                                         │
+//!                                         ▼ CommGraph::from_edge_runs_with
+//!                                  CommGraph ──▶ ClusterGraph::build_with
+//! ```
+//!
+//! Generators in this crate derive one RNG stream per *row* (source
+//! vertex) from the master seed, so a row's edges are a pure function of
+//! `(seed, row)`. That makes parallel generation trivially deterministic:
+//! split the rows into contiguous shards, let each worker emit its rows'
+//! edges into a private run, and keep the runs in fixed shard order — the
+//! logical edge sequence is identical at any thread count, and the
+//! canonicalization steps downstream ([`ShardedEdgeSource::into_hspec`],
+//! [`cgc_net::CommGraph::from_edge_runs_with`]) produce the unique sorted
+//! dedup of that sequence regardless of where the run boundaries fall.
+//! Sharded stages dispatch on the process-global persistent
+//! [`WorkerPool`], the same parked workers every aggregation round uses.
+
+use crate::layouts::HSpec;
+use cgc_net::{kway_merge_dedup, map_reduce_on, ParallelConfig, ShardPlan, WorkerPool};
+
+/// Per-shard edge runs: the intermediate product of every sharded
+/// generator, handed to the canonicalizing sinks without being
+/// concatenated into one edge `Vec` first. The logical edge sequence is
+/// the concatenation of the runs in order; the runs themselves are an
+/// execution detail that never changes any downstream result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedEdgeSource {
+    n: usize,
+    runs: Vec<Vec<(usize, usize)>>,
+}
+
+impl ShardedEdgeSource {
+    /// Wraps an already-materialized edge list as a single run (the
+    /// serial generators' entry into the pipeline).
+    pub fn from_edges(n: usize, edges: Vec<(usize, usize)>) -> Self {
+        ShardedEdgeSource {
+            n,
+            runs: vec![edges],
+        }
+    }
+
+    /// Runs `row(u, &mut run)` for every `u in 0..n`, sharded across the
+    /// configured threads (contiguous row blocks of equal *count*),
+    /// keeping each shard's output as its own run in ascending row order.
+    /// `row` must be pure — the runs are a pure function of `(n, row)`,
+    /// never of the thread count. Pass [`Self::from_rows_weighted`] when
+    /// per-row work is skewed.
+    pub fn from_rows(
+        n: usize,
+        par: &ParallelConfig,
+        row: impl Fn(usize, &mut Vec<(usize, usize)>) + Sync,
+    ) -> Self {
+        Self::from_rows_weighted(n, par, None, row)
+    }
+
+    /// [`Self::from_rows`] with contiguous row blocks balanced by
+    /// `weights` (expected per-row work) instead of row count, so a heavy
+    /// head — the hubs of a power-law weight sequence, the long early
+    /// rows of a G(n, p) upper triangle — does not serialize shard 0. The
+    /// shard bounds are a pure function of `(weights, thread count)`, and
+    /// the logical output is the ascending-row concatenation either way.
+    pub fn from_rows_weighted(
+        n: usize,
+        par: &ParallelConfig,
+        weights: Option<&[f64]>,
+        row: impl Fn(usize, &mut Vec<(usize, usize)>) + Sync,
+    ) -> Self {
+        let plan = match weights {
+            None => ShardPlan::even(n, par.threads()),
+            Some(w) => {
+                assert_eq!(w.len(), n, "one weight per row");
+                // Scale the float weights onto a fixed-point prefix so the
+                // generic balanced-prefix cut applies; the scale only
+                // affects the (output-invisible) shard bounds.
+                let total: f64 = w.iter().sum();
+                let scale = if total > 0.0 {
+                    ((1u64 << 32) as f64) / total
+                } else {
+                    0.0
+                };
+                let mut prefix = Vec::with_capacity(n + 1);
+                prefix.push(0usize);
+                let mut acc = 0usize;
+                for &x in w {
+                    acc += (x * scale) as usize;
+                    prefix.push(acc);
+                }
+                ShardPlan::from_prefix(&prefix, par.threads())
+            }
+        };
+        let pool = WorkerPool::global(par.threads());
+        let runs = map_reduce_on(
+            &plan,
+            pool.as_deref(),
+            |range| {
+                let mut run = Vec::new();
+                for u in range {
+                    row(u, &mut run);
+                }
+                vec![run]
+            },
+            |acc: &mut Vec<Vec<(usize, usize)>>, part| acc.extend(part),
+        );
+        ShardedEdgeSource { n, runs }
+    }
+
+    /// Vertex count of the graph the edges live on.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total edges across all runs (before any deduplication).
+    pub fn total_edges(&self) -> usize {
+        self.runs.iter().map(Vec::len).sum()
+    }
+
+    /// The per-shard runs, in logical order.
+    #[inline]
+    pub fn runs(&self) -> &[Vec<(usize, usize)>] {
+        &self.runs
+    }
+
+    /// The runs as borrowed slices — the shape
+    /// [`cgc_net::CommGraph::from_edge_runs_with`] ingests.
+    pub fn run_slices(&self) -> Vec<&[(usize, usize)]> {
+        self.runs.iter().map(Vec::as_slice).collect()
+    }
+
+    /// Appends one more run after the sharded ones (e.g. the serially
+    /// generated inter-cluster link run of a layout expansion).
+    pub fn push_run(&mut self, run: Vec<(usize, usize)>) {
+        self.runs.push(run);
+    }
+
+    /// Concatenates the runs into one edge `Vec` in logical order — the
+    /// legacy shape, for callers that need a flat list.
+    pub fn concat(self) -> Vec<(usize, usize)> {
+        let total = self.total_edges();
+        let mut out = Vec::with_capacity(total);
+        for run in self.runs {
+            out.extend(run);
+        }
+        out
+    }
+
+    /// Canonicalizes into an [`HSpec`]: validates, normalizes orientation,
+    /// sorts and deduplicates each shard's slice of the runs locally, then
+    /// merges the sorted runs with the deterministic fixed-order k-way
+    /// merge. The result equals `HSpec::new(n, concatenation)` exactly, at
+    /// any thread count and for any run partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints, like
+    /// [`HSpec::new`] (under a parallel `par` the panic may surface with
+    /// the pool's generic message instead of the edge's own).
+    pub fn into_hspec(self, par: &ParallelConfig) -> HSpec {
+        let n = self.n;
+        let plan = ShardPlan::even(self.runs.len(), par.threads());
+        let pool = WorkerPool::global(par.threads());
+        let runs = &self.runs;
+        let sorted = map_reduce_on(
+            &plan,
+            pool.as_deref(),
+            |range| {
+                let mut canon: Vec<(usize, usize)> =
+                    Vec::with_capacity(runs[range.clone()].iter().map(Vec::len).sum());
+                for run in &runs[range] {
+                    for &(u, v) in run {
+                        assert!(u != v, "self-loop {u}");
+                        assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+                        canon.push((u.min(v), u.max(v)));
+                    }
+                }
+                canon.sort_unstable();
+                canon.dedup();
+                vec![canon]
+            },
+            |acc: &mut Vec<Vec<(usize, usize)>>, part| acc.extend(part),
+        );
+        HSpec {
+            n,
+            edges: kway_merge_dedup(sorted),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_are_row_ordered_at_any_thread_count() {
+        let kernel = |u: usize, out: &mut Vec<(usize, usize)>| {
+            for j in 0..(u % 5) {
+                out.push((u, u + j + 1));
+            }
+        };
+        let reference =
+            ShardedEdgeSource::from_rows(90, &ParallelConfig::serial(), kernel).concat();
+        for threads in [2, 3, 8, 33] {
+            let got =
+                ShardedEdgeSource::from_rows(90, &ParallelConfig::with_threads(threads), kernel)
+                    .concat();
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn weighted_split_matches_unweighted_output() {
+        // Hub-heavy weights: the split differs, the logical output must not.
+        let weights: Vec<f64> = (0..100).map(|u| 1.0 / (u + 1) as f64).collect();
+        let kernel = |u: usize, out: &mut Vec<(usize, usize)>| {
+            out.push((u, (u + 1) % 100));
+        };
+        let reference =
+            ShardedEdgeSource::from_rows(100, &ParallelConfig::serial(), kernel).concat();
+        for threads in [2, 4, 9] {
+            let got = ShardedEdgeSource::from_rows_weighted(
+                100,
+                &ParallelConfig::with_threads(threads),
+                Some(&weights),
+                kernel,
+            )
+            .concat();
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn into_hspec_equals_hspec_new_for_any_partition() {
+        // Duplicates within and across runs, both orientations.
+        let edges = vec![(3, 1), (1, 3), (0, 2), (4, 0), (2, 0), (1, 4), (3, 4)];
+        let expect = HSpec::new(5, edges.clone());
+        for cut in [1usize, 2, 3, 7] {
+            let mut src = ShardedEdgeSource::from_edges(5, Vec::new());
+            src.runs.clear();
+            for chunk in edges.chunks(edges.len() / cut + 1) {
+                src.push_run(chunk.to_vec());
+            }
+            for threads in [1, 2, 4] {
+                let got = src
+                    .clone()
+                    .into_hspec(&ParallelConfig::with_threads(threads));
+                assert_eq!(got, expect, "cut={cut} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn into_hspec_rejects_self_loops() {
+        ShardedEdgeSource::from_edges(3, vec![(1, 1)]).into_hspec(&ParallelConfig::serial());
+    }
+}

@@ -7,7 +7,8 @@
 //! degree (put-aside sets, fingerprint matching — the §6/§7 machinery).
 
 use crate::layouts::HSpec;
-use cgc_net::SeedStream;
+use crate::pipeline::ShardedEdgeSource;
+use cgc_net::{ParallelConfig, SeedStream};
 use rand::RngExt;
 
 /// Ground-truth structure of a planted instance.
@@ -24,6 +25,17 @@ pub struct PlantedInfo {
 /// revealed by vertex-id contiguity (decomposition code that peeked at id
 /// blocks would pass contiguous instances vacuously).
 pub fn planted_cliques_spec(c: usize, k: usize, seed: u64) -> (HSpec, PlantedInfo) {
+    let (src, info) = planted_cliques_runs(c, k, seed);
+    (src.into_hspec(&ParallelConfig::serial()), info)
+}
+
+/// The raw edge run of [`planted_cliques_spec`], before canonicalization
+/// — the generation half the workload pipeline times separately.
+pub(crate) fn planted_cliques_runs(
+    c: usize,
+    k: usize,
+    seed: u64,
+) -> (ShardedEdgeSource, PlantedInfo) {
     let n = c * k;
     // Fisher–Yates under the seeded stream: label[i] is the public id of
     // the i-th slot in the block layout.
@@ -46,7 +58,7 @@ pub fn planted_cliques_spec(c: usize, k: usize, seed: u64) -> (HSpec, PlantedInf
         cliques.push(members);
     }
     (
-        HSpec::new(n, edges),
+        ShardedEdgeSource::from_edges(n, edges),
         PlantedInfo {
             cliques,
             sparse: Vec::new(),
@@ -95,6 +107,12 @@ impl Default for MixtureConfig {
 ///
 /// Panics if probabilities are outside `[0, 1]`.
 pub fn mixture_spec(cfg: &MixtureConfig, seed: u64) -> (HSpec, PlantedInfo) {
+    let (src, info) = mixture_runs(cfg, seed);
+    (src.into_hspec(&ParallelConfig::serial()), info)
+}
+
+/// The raw edge run of [`mixture_spec`], before canonicalization.
+pub(crate) fn mixture_runs(cfg: &MixtureConfig, seed: u64) -> (ShardedEdgeSource, PlantedInfo) {
     assert!(
         (0.0..=1.0).contains(&cfg.anti_edge_prob),
         "anti_edge_prob in [0,1]"
@@ -153,7 +171,7 @@ pub fn mixture_spec(cfg: &MixtureConfig, seed: u64) -> (HSpec, PlantedInfo) {
     }
 
     (
-        HSpec::new(n, edges),
+        ShardedEdgeSource::from_edges(n, edges),
         PlantedInfo {
             cliques,
             sparse: (dense_n..n).collect(),
@@ -176,6 +194,18 @@ pub fn cabal_spec(
     ext_edges: usize,
     seed: u64,
 ) -> (HSpec, PlantedInfo) {
+    let (src, info) = cabal_runs(c, k, anti_pairs, ext_edges, seed);
+    (src.into_hspec(&ParallelConfig::serial()), info)
+}
+
+/// The raw edge run of [`cabal_spec`], before canonicalization.
+pub(crate) fn cabal_runs(
+    c: usize,
+    k: usize,
+    anti_pairs: usize,
+    ext_edges: usize,
+    seed: u64,
+) -> (ShardedEdgeSource, PlantedInfo) {
     assert!(2 * anti_pairs <= k, "too many anti pairs for block size");
     let mut rng = SeedStream::new(seed).rng_for(0x000C_ABA1, 0);
     let n = c * k;
@@ -206,7 +236,7 @@ pub fn cabal_spec(
         }
     }
     (
-        HSpec::new(n, edges),
+        ShardedEdgeSource::from_edges(n, edges),
         PlantedInfo {
             cliques,
             sparse: Vec::new(),

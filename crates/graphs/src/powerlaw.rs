@@ -15,14 +15,13 @@
 //! current bound (re-accepted at the true probability on landing) emit the
 //! row in `O(deg)` expected time instead of `O(n)`. Each row draws from
 //! its own [`SeedStream`]-derived RNG, so edge generation shards across
-//! threads ([`crate::parallel::par_rows_weighted`], shards balanced by
-//! weight mass) with output independent of the
+//! threads through the [`crate::pipeline::ShardedEdgeSource`] scaffolding
+//! (shards balanced by weight mass) with output independent of the
 //! thread count.
 
 use crate::layouts::HSpec;
-use crate::parallel::par_rows_weighted;
-use cgc_cluster::ParallelConfig;
-use cgc_net::SeedStream;
+use crate::pipeline::ShardedEdgeSource;
+use cgc_net::{ParallelConfig, SeedStream};
 use rand::RngExt;
 
 /// Parameters of a Chung–Lu power-law spec.
@@ -77,13 +76,23 @@ pub fn power_law_weights(cfg: &PowerLawConfig) -> Vec<f64> {
 /// Samples a Chung–Lu power-law spec; deterministic in `(cfg, seed)` and
 /// independent of the thread count in `par`.
 pub fn power_law_spec(cfg: &PowerLawConfig, seed: u64, par: &ParallelConfig) -> HSpec {
+    power_law_runs(cfg, seed, par).into_hspec(par)
+}
+
+/// The raw per-shard edge runs of a Chung–Lu sample — the generation half
+/// of [`power_law_spec`], before canonicalization.
+pub(crate) fn power_law_runs(
+    cfg: &PowerLawConfig,
+    seed: u64,
+    par: &ParallelConfig,
+) -> ShardedEdgeSource {
     let w = power_law_weights(cfg);
     let s: f64 = w.iter().sum();
     let seeds = SeedStream::new(seed);
     let w = &w;
     // Row u's expected work tracks its weight, so shard by weight mass —
     // the hub rows at the head would otherwise serialize shard 0.
-    let edges = par_rows_weighted(cfg.n, par, Some(w), move |u, out| {
+    ShardedEdgeSource::from_rows_weighted(cfg.n, par, Some(w), move |u, out| {
         let mut rng = seeds.rng_for(0x505F_4C41, u as u64);
         let mut v = u + 1;
         if v >= cfg.n {
@@ -110,8 +119,7 @@ pub fn power_law_spec(cfg: &PowerLawConfig, seed: u64, par: &ParallelConfig) -> 
             p = q;
             v += 1;
         }
-    });
-    HSpec::new(cfg.n, edges)
+    })
 }
 
 #[cfg(test)]

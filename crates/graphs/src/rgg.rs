@@ -9,15 +9,15 @@
 //!
 //! Edge detection buckets the points into a grid of `radius`-sized cells
 //! and scans each vertex's 3×3 cell neighborhood — `O(n · E[deg])` — with
-//! the rows sharded across threads ([`crate::parallel::par_rows`]). Point
-//! positions are drawn sequentially from one seeded stream before the
-//! sharded phase, so the spec is a pure function of `(n, radius, seed)`,
-//! independent of the thread count.
+//! the rows sharded across threads through the
+//! [`crate::pipeline::ShardedEdgeSource`] scaffolding. Point positions are
+//! drawn sequentially from one seeded stream before the sharded phase, so
+//! the spec is a pure function of `(n, radius, seed)`, independent of the
+//! thread count.
 
 use crate::layouts::HSpec;
-use crate::parallel::par_rows;
-use cgc_cluster::ParallelConfig;
-use cgc_net::SeedStream;
+use crate::pipeline::ShardedEdgeSource;
+use cgc_net::{ParallelConfig, SeedStream};
 use rand::RngExt;
 
 /// Samples a random geometric spec; deterministic in `(n, radius, seed)`
@@ -27,6 +27,21 @@ use rand::RngExt;
 ///
 /// Panics if `n == 0` or `radius` is not in `(0, 1]`.
 pub fn geometric_spec(n: usize, radius: f64, seed: u64, par: &ParallelConfig) -> HSpec {
+    geometric_runs(n, radius, seed, par).into_hspec(par)
+}
+
+/// The raw per-shard edge runs of a geometric sample — the generation
+/// half of [`geometric_spec`], before canonicalization.
+///
+/// # Panics
+///
+/// As [`geometric_spec`].
+pub(crate) fn geometric_runs(
+    n: usize,
+    radius: f64,
+    seed: u64,
+    par: &ParallelConfig,
+) -> ShardedEdgeSource {
     assert!(n > 0, "empty spec");
     assert!(
         radius > 0.0 && radius <= 1.0,
@@ -68,7 +83,7 @@ pub fn geometric_spec(n: usize, radius: f64, seed: u64, par: &ParallelConfig) ->
     let points = &points;
     let counts = &counts;
     let bucket = &bucket;
-    let edges = par_rows(n, par, move |u, out| {
+    ShardedEdgeSource::from_rows(n, par, move |u, out| {
         let pu = points[u];
         let (cx, cy) = cell_of(pu);
         for dy in -1i64..=1 {
@@ -90,8 +105,7 @@ pub fn geometric_spec(n: usize, radius: f64, seed: u64, par: &ParallelConfig) ->
                 }
             }
         }
-    });
-    HSpec::new(n, edges)
+    })
 }
 
 /// The radius giving expected average degree `target` at size `n`

@@ -19,21 +19,34 @@
 //! ```
 //!
 //! The grammar is `family:key=value,...` with families `gnp`, `powerlaw`,
-//! `rgg`, `planted`, `mixture`, `cabal`, `bottleneck` and `square`, plus
-//! the optional cross-family keys `layout` (`single`, `path8`, `star4`,
-//! `tree15` — omitted when `single`) and `links` (omitted when `1`).
-//! `seed` is always printed: a run is reproducible from its table row.
+//! `rgg`, `planted`, `mixture`, `cabal`, `bottleneck`, `square` and
+//! `contraction`, plus the optional cross-family keys `layout` (`single`,
+//! `path8`, `star4`, `tree15` — omitted when `single`) and `links`
+//! (omitted when `1`). `seed` is always printed: a run is reproducible
+//! from its table row.
+//!
+//! Every family builds through one streaming pipeline (see
+//! [`crate::pipeline`]): generate per-shard edge runs → canonicalize →
+//! [`cgc_net::CommGraph::from_edge_runs_with`] →
+//! [`ClusterGraph::build_with`], all sharded over the caller's
+//! [`ParallelConfig`] with thread-count-independent output.
+//! [`WorkloadSpec::build_timed`] reports the per-phase wall clock as
+//! [`SetupTimings`].
 
-use crate::adversarial::bottleneck_instance_with;
-use crate::gnp::gnp_spec;
-use crate::layouts::{realize_with, HSpec, Layout};
-use crate::planted::{cabal_spec, mixture_spec, planted_cliques_spec, MixtureConfig, PlantedInfo};
-use crate::power::square_spec;
-use crate::powerlaw::{power_law_spec, PowerLawConfig};
-use crate::rgg::geometric_spec;
+use crate::adversarial::bottleneck_runs;
+use crate::contraction::contraction_runs;
+use crate::gnp::gnp_runs;
+use crate::layouts::{realize_runs, HSpec, Layout};
+use crate::pipeline::ShardedEdgeSource;
+use crate::planted::{cabal_runs, mixture_runs, planted_cliques_runs, MixtureConfig, PlantedInfo};
+use crate::power::square_runs;
+use crate::powerlaw::{power_law_runs, PowerLawConfig};
+use crate::rgg::geometric_runs;
 use cgc_cluster::{ClusterGraph, ParallelConfig};
+use cgc_net::CommGraph;
 use std::fmt;
 use std::str::FromStr;
+use std::time::Instant;
 
 /// The generator family and its parameters — one variant per workload
 /// family the experiments exercise.
@@ -112,6 +125,17 @@ pub enum WorkloadFamily {
         /// Base-graph edge probability.
         p: f64,
     },
+    /// A `side × side` grid network contracted along seeded connected
+    /// blobs of `lo..=hi` machines (the §1.1 flow scenario; fixes its own
+    /// layout).
+    Contraction {
+        /// Grid side length (`side²` machines).
+        side: usize,
+        /// Minimum blob size (`≥ 1`).
+        lo: usize,
+        /// Maximum blob size (`≥ lo`).
+        hi: usize,
+    },
 }
 
 impl WorkloadFamily {
@@ -126,7 +150,18 @@ impl WorkloadFamily {
             WorkloadFamily::Cabal { .. } => "cabal",
             WorkloadFamily::Bottleneck { .. } => "bottleneck",
             WorkloadFamily::Square { .. } => "square",
+            WorkloadFamily::Contraction { .. } => "contraction",
         }
+    }
+
+    /// Whether this family constructs its [`ClusterGraph`] directly —
+    /// the contraction *is* the layout — so `layout`/`links` keys do not
+    /// apply (`bottleneck`, `contraction`).
+    pub fn fixes_layout(&self) -> bool {
+        matches!(
+            self,
+            WorkloadFamily::Bottleneck { .. } | WorkloadFamily::Contraction { .. }
+        )
     }
 }
 
@@ -137,8 +172,8 @@ pub struct WorkloadSpec {
     /// Generator family and parameters.
     pub family: WorkloadFamily,
     /// Cluster topology the conflict graph is realized over (ignored — and
-    /// required to be [`Layout::Singleton`] — for `bottleneck`, which
-    /// fixes its own layout).
+    /// required to be [`Layout::Singleton`] — for `bottleneck` and
+    /// `contraction`, which fix their own layouts).
     pub layout: Layout,
     /// `G`-links per `H`-edge (Figure 1 multiplicity).
     pub links: usize,
@@ -235,15 +270,23 @@ impl WorkloadSpec {
         Self::new(WorkloadFamily::Square { n, p }, seed)
     }
 
+    /// Contracted-grid spec (the §1.1 flow scenario): a `side × side`
+    /// grid contracted along seeded blobs of `lo..=hi` machines.
+    pub fn contraction(side: usize, lo: usize, hi: usize, seed: u64) -> Self {
+        Self::new(WorkloadFamily::Contraction { side, lo, hi }, seed)
+    }
+
     /// Replaces the layout (builder style).
     ///
     /// # Panics
     ///
-    /// Panics for `bottleneck` specs, which fix their own layout.
+    /// Panics for `bottleneck`/`contraction` specs, which fix their own
+    /// layouts.
     pub fn with_layout(mut self, layout: Layout) -> Self {
         assert!(
-            !matches!(self.family, WorkloadFamily::Bottleneck { .. }),
-            "bottleneck fixes its own layout"
+            !self.family.fixes_layout(),
+            "{} fixes its own layout",
+            self.family.name()
         );
         self.layout = layout;
         self
@@ -272,24 +315,28 @@ impl WorkloadSpec {
         self
     }
 
-    /// The conflict-graph spec (`H`) plus planted ground truth, before
-    /// layout realization. `None` for `bottleneck`, which constructs its
-    /// [`ClusterGraph`] directly.
-    pub fn conflict_spec_with(&self, par: &ParallelConfig) -> Option<(HSpec, Option<PlantedInfo>)> {
+    /// The raw per-shard `H`-edge runs plus planted ground truth, before
+    /// canonicalization — the generation stage of the pipeline. `None`
+    /// for the families that construct their [`ClusterGraph`] directly
+    /// (`bottleneck`, `contraction`).
+    fn conflict_runs_with(
+        &self,
+        par: &ParallelConfig,
+    ) -> Option<(ShardedEdgeSource, Option<PlantedInfo>)> {
         match self.family {
-            WorkloadFamily::Gnp { n, p } => Some((gnp_spec(n, p, self.seed), None)),
+            WorkloadFamily::Gnp { n, p } => Some((gnp_runs(n, p, self.seed, par), None)),
             WorkloadFamily::PowerLaw { n, beta, avg } => {
                 let cfg = PowerLawConfig {
                     n,
                     exponent: beta,
                     avg_degree: avg,
                 };
-                Some((power_law_spec(&cfg, self.seed, par), None))
+                Some((power_law_runs(&cfg, self.seed, par), None))
             }
-            WorkloadFamily::Rgg { n, r } => Some((geometric_spec(n, r, self.seed, par), None)),
+            WorkloadFamily::Rgg { n, r } => Some((geometric_runs(n, r, self.seed, par), None)),
             WorkloadFamily::Planted { c, k } => {
-                let (h, info) = planted_cliques_spec(c, k, self.seed);
-                Some((h, Some(info)))
+                let (src, info) = planted_cliques_runs(c, k, self.seed);
+                Some((src, Some(info)))
             }
             WorkloadFamily::Mixture {
                 c,
@@ -307,18 +354,29 @@ impl WorkloadSpec {
                     sparse_n: bg,
                     sparse_p: bgp,
                 };
-                let (h, info) = mixture_spec(&cfg, self.seed);
-                Some((h, Some(info)))
+                let (src, info) = mixture_runs(&cfg, self.seed);
+                Some((src, Some(info)))
             }
             WorkloadFamily::Cabal { c, k, anti, ext } => {
-                let (h, info) = cabal_spec(c, k, anti, ext, self.seed);
-                Some((h, Some(info)))
+                let (src, info) = cabal_runs(c, k, anti, ext, self.seed);
+                Some((src, Some(info)))
             }
-            WorkloadFamily::Bottleneck { .. } => None,
+            WorkloadFamily::Bottleneck { .. } | WorkloadFamily::Contraction { .. } => None,
             WorkloadFamily::Square { n, p } => {
-                Some((square_spec(&gnp_spec(n, p, self.seed)), None))
+                // The base G(n, p) must be canonical before squaring, so
+                // its mini-pipeline runs inside the generation stage.
+                let base = gnp_runs(n, p, self.seed, par).into_hspec(par);
+                Some((square_runs(&base, par), None))
             }
         }
+    }
+
+    /// The conflict-graph spec (`H`) plus planted ground truth, before
+    /// layout realization. `None` for `bottleneck`/`contraction`, which
+    /// construct their [`ClusterGraph`]s directly.
+    pub fn conflict_spec_with(&self, par: &ParallelConfig) -> Option<(HSpec, Option<PlantedInfo>)> {
+        self.conflict_runs_with(par)
+            .map(|(src, info)| (src.into_hspec(par), info))
     }
 
     /// [`Self::conflict_spec_with`] under the sequential executor.
@@ -326,9 +384,10 @@ impl WorkloadSpec {
         self.conflict_spec_with(&ParallelConfig::serial())
     }
 
-    /// Builds the instance: generator plus layout realization. Generation
-    /// may shard over `par`'s threads (power-law, rgg); the result is a
-    /// pure function of the spec, never of the thread count.
+    /// Builds the instance: generator plus layout realization. The whole
+    /// pipeline — generation, canonicalization, `ClusterGraph` build —
+    /// shards over `par`'s threads; the result is a pure function of the
+    /// spec, never of the thread count.
     ///
     /// # Panics
     ///
@@ -346,21 +405,85 @@ impl WorkloadSpec {
     /// Builds the instance and returns the planted ground truth alongside
     /// (for families that have one).
     pub fn build_with_info(&self, par: &ParallelConfig) -> (ClusterGraph, Option<PlantedInfo>) {
-        match self.family {
+        let (graph, info, _) = self.build_timed(par);
+        (graph, info)
+    }
+
+    /// [`Self::build_with_info`] also reporting per-phase [`SetupTimings`]
+    /// — the generate / canonicalize / build split the roadmap's setup
+    /// bottleneck is tracked by.
+    pub fn build_timed(
+        &self,
+        par: &ParallelConfig,
+    ) -> (ClusterGraph, Option<PlantedInfo>, SetupTimings) {
+        let total_start = Instant::now();
+        let mut generate_secs = 0.0;
+        let mut canonicalize_secs = 0.0;
+        let (n_machines, runs, assignment, info) = match self.family {
             WorkloadFamily::Bottleneck { clusters, path } => {
-                (bottleneck_instance_with(clusters, path, par), None)
+                let t = Instant::now();
+                let (n, runs, assignment) = bottleneck_runs(clusters, path, par);
+                generate_secs += t.elapsed().as_secs_f64();
+                (n, runs, assignment, None)
+            }
+            WorkloadFamily::Contraction { side, lo, hi } => {
+                let t = Instant::now();
+                let (n, runs, assignment) = contraction_runs(side, lo, hi, self.seed, par);
+                generate_secs += t.elapsed().as_secs_f64();
+                (n, runs, assignment, None)
             }
             _ => {
-                let (h, info) = self
-                    .conflict_spec_with(par)
-                    .expect("non-bottleneck families have a conflict spec");
-                (
-                    realize_with(&h, self.layout, self.links, self.seed, par),
-                    info,
-                )
+                let t = Instant::now();
+                let (src, info) = self
+                    .conflict_runs_with(par)
+                    .expect("generator families have conflict runs");
+                generate_secs += t.elapsed().as_secs_f64();
+                let t = Instant::now();
+                let h = src.into_hspec(par);
+                canonicalize_secs += t.elapsed().as_secs_f64();
+                let t = Instant::now();
+                let (n, runs, assignment) =
+                    realize_runs(&h, self.layout, self.links, self.seed, par);
+                generate_secs += t.elapsed().as_secs_f64();
+                (n, runs, assignment, info)
             }
-        }
+        };
+        let t = Instant::now();
+        let comm = CommGraph::from_edge_runs_with(n_machines, &runs.run_slices(), par)
+            .expect("generated networks are valid by construction");
+        canonicalize_secs += t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let graph = ClusterGraph::build_with(comm, assignment, par)
+            .expect("clusters are connected by construction");
+        let build_secs = t.elapsed().as_secs_f64();
+        let timings = SetupTimings {
+            generate_secs,
+            canonicalize_secs,
+            build_secs,
+            total_secs: total_start.elapsed().as_secs_f64(),
+            threads: par.threads(),
+        };
+        (graph, info, timings)
     }
+}
+
+/// Wall-clock sub-phase timings of one [`WorkloadSpec::build_timed`] call
+/// — the instance-setup counterpart of
+/// [`cgc_cluster::BuildTimings`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetupTimings {
+    /// Raw edge production: family sampling kernels plus layout expansion
+    /// (intra-cluster wiring and inter-cluster link placement).
+    pub generate_secs: f64,
+    /// Canonicalization: shard-local sort/dedup, the deterministic k-way
+    /// merges, and CSR assembly (`HSpec` + `CommGraph`).
+    pub canonicalize_secs: f64,
+    /// The `ClusterGraph::build_with` phase (support trees, link table).
+    pub build_secs: f64,
+    /// End-to-end setup time.
+    pub total_secs: f64,
+    /// Configured executor width the setup ran under.
+    pub threads: usize,
 }
 
 /// Formats a float so `FromStr` recovers it exactly (Rust's shortest
@@ -401,6 +524,9 @@ impl fmt::Display for WorkloadSpec {
                 write!(f, "clusters={clusters},path={path}")?;
             }
             WorkloadFamily::Square { n, p } => write!(f, "n={n},p={}", fmt_f64(p))?,
+            WorkloadFamily::Contraction { side, lo, hi } => {
+                write!(f, "side={side},lo={lo},hi={hi}")?;
+            }
         }
         write!(f, ",seed={}", self.seed)?;
         if self.layout != Layout::Singleton {
@@ -509,6 +635,11 @@ impl FromStr for WorkloadSpec {
                 n: fields.take("n")?,
                 p: fields.take("p")?,
             },
+            "contraction" => WorkloadFamily::Contraction {
+                side: fields.take("side")?,
+                lo: fields.take("lo")?,
+                hi: fields.take("hi")?,
+            },
             other => return Err(WorkloadParseError(format!("unknown family `{other}`"))),
         };
         let seed: u64 = fields.take("seed")?;
@@ -522,13 +653,15 @@ impl FromStr for WorkloadSpec {
         if links == 0 {
             return Err(WorkloadParseError("links must be ≥ 1".into()));
         }
-        if matches!(family, WorkloadFamily::Bottleneck { .. })
-            && (layout != Layout::Singleton || links != 1 || seed != 0)
-        {
+        if family.fixes_layout() && (layout != Layout::Singleton || links != 1) {
+            return Err(WorkloadParseError(format!(
+                "{} fixes its own layout; layout/links keys are not allowed",
+                family.name()
+            )));
+        }
+        if matches!(family, WorkloadFamily::Bottleneck { .. }) && seed != 0 {
             return Err(WorkloadParseError(
-                "bottleneck is deterministic and fixes its own layout; \
-                 layout/links keys and nonzero seeds are not allowed"
-                    .into(),
+                "bottleneck is deterministic; nonzero seeds are not allowed".into(),
             ));
         }
         Ok(WorkloadSpec {
@@ -560,6 +693,7 @@ mod tests {
         roundtrip(WorkloadSpec::cabal(3, 26, 3, 5, 20));
         roundtrip(WorkloadSpec::bottleneck(10, 6));
         roundtrip(WorkloadSpec::square_gnp(200, 0.03, 12));
+        roundtrip(WorkloadSpec::contraction(24, 4, 12, 3141));
         roundtrip(
             WorkloadSpec::gnp(90, 0.07, 1)
                 .with_layout(Layout::Star(4))
@@ -588,7 +722,7 @@ mod tests {
     fn build_matches_hand_rolled_path() {
         let spec = WorkloadSpec::cabal(2, 12, 3, 4, 9).with_layout(Layout::Star(3));
         let g = spec.build();
-        let (h, _) = cabal_spec(2, 12, 3, 4, 9);
+        let (h, _) = crate::planted::cabal_spec(2, 12, 3, 4, 9);
         let legacy = crate::layouts::realize(&h, Layout::Star(3), 1, 9);
         assert_eq!(g.n_vertices(), legacy.n_vertices());
         assert_eq!(g.n_machines(), legacy.n_machines());
@@ -614,6 +748,35 @@ mod tests {
                 .is_err(),
             "nonzero seed would make the deterministic instance's address non-unique"
         );
+    }
+
+    #[test]
+    fn contraction_builds_its_own_layout() {
+        let spec = WorkloadSpec::contraction(12, 3, 8, 9);
+        assert_eq!(spec.to_string(), "contraction:side=12,lo=3,hi=8,seed=9");
+        let g = spec.build();
+        assert_eq!(g.n_machines(), 144);
+        assert!(g.n_vertices() >= 144 / 8);
+        assert!(spec.conflict_spec().is_none());
+        // Seeds reach the blob growth (unlike bottleneck, seeds are live).
+        assert_ne!(spec.with_seed(10).build(), g);
+        assert!("contraction:side=12,lo=3,hi=8,seed=9,layout=star3"
+            .parse::<WorkloadSpec>()
+            .is_err());
+        assert!("contraction:side=12,lo=3,hi=8,seed=9,links=2"
+            .parse::<WorkloadSpec>()
+            .is_err());
+    }
+
+    #[test]
+    fn setup_timings_cover_the_pipeline() {
+        let (g, _, t) = WorkloadSpec::gnp(200, 0.05, 3)
+            .with_layout(Layout::Star(3))
+            .build_timed(&ParallelConfig::serial());
+        assert_eq!(g.n_machines(), 600);
+        assert_eq!(t.threads, 1);
+        assert!(t.generate_secs >= 0.0 && t.canonicalize_secs >= 0.0 && t.build_secs >= 0.0);
+        assert!(t.total_secs >= t.generate_secs + t.canonicalize_secs + t.build_secs - 1e-9);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Differential suite for the sharded generation-to-graph edge pipeline.
+//!
+//! Pins the PR's two contracts:
+//!
+//! 1. **Skip walk ≡ sweep.** The `O(m)` skip-walk G(n, p) sampler draws
+//!    from per-row RNG substreams, so its instances differ from the old
+//!    `O(n²)` single-stream sweep for a given seed — but the *process* it
+//!    samples must be the same Bernoulli(`p`) edge process. A test-local
+//!    copy of the removed sweep provides the reference distribution at
+//!    small `n`, and the degenerate probabilities (`p ∈ {0, 1}`) must
+//!    match the sweep exactly, edge for edge.
+//! 2. **Thread-count independence.** Every workload family — through the
+//!    full `WorkloadSpec` pipeline (generate → canonicalize →
+//!    `CommGraph::from_edge_runs_with` → `ClusterGraph::build_with`) —
+//!    produces an identical `HSpec` and an identical built `ClusterGraph`
+//!    (full struct equality via the `PartialEq` derives) at threads
+//!    {1, 2, 4, 8}.
+
+use cgc_cluster::ParallelConfig;
+use cgc_graphs::{gnp_spec, gnp_spec_with, HSpec, WorkloadSpec};
+use cgc_net::SeedStream;
+use rand::RngExt;
+
+/// The pre-skip-walk sampler, verbatim: one RNG stream, one coin per
+/// vertex pair in row-major order. Kept here as the distributional
+/// reference for the skip walk.
+fn gnp_sweep_reference(n: usize, p: f64, seed: u64) -> HSpec {
+    let mut rng = SeedStream::new(seed).rng_for(0x67_6E_70, 0);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    HSpec::new(n, edges)
+}
+
+fn degrees(h: &HSpec) -> Vec<usize> {
+    let mut deg = vec![0usize; h.n];
+    for &(u, v) in &h.edges {
+        deg[u] += 1;
+        deg[v] += 1;
+    }
+    deg
+}
+
+#[test]
+fn skip_walk_matches_the_sweep_distribution() {
+    // Matched seeds, many instances: the mean edge count and mean degree
+    // of the two samplers must agree within a few standard errors. With
+    // n = 80, p = 0.15 each instance has mean m = 474, sd ≈ 20; over 60
+    // seeds the two means are each ±2.6 at one sigma, so a ±12 gate is
+    // ~4.6σ for the difference — loose enough to never flake, tight
+    // enough to catch any systematic bias in the skip sampling.
+    let (n, p, seeds) = (80usize, 0.15f64, 60u64);
+    let mut sweep_m = 0.0f64;
+    let mut walk_m = 0.0f64;
+    for seed in 0..seeds {
+        sweep_m += gnp_sweep_reference(n, p, seed).edges.len() as f64;
+        walk_m += gnp_spec(n, p, seed).edges.len() as f64;
+    }
+    sweep_m /= seeds as f64;
+    walk_m /= seeds as f64;
+    let expect = p * (n * (n - 1) / 2) as f64;
+    assert!(
+        (sweep_m - walk_m).abs() < 12.0,
+        "sweep mean {sweep_m:.1} vs walk mean {walk_m:.1}"
+    );
+    assert!(
+        (walk_m - expect).abs() < 12.0,
+        "walk mean {walk_m:.1} vs analytic {expect:.1}"
+    );
+    // Per-vertex: the degree distribution is exchangeable under both
+    // samplers — compare min/max spread on one instance loosely.
+    let walk_deg = degrees(&gnp_spec(n, p, 1));
+    let mean = walk_deg.iter().sum::<usize>() as f64 / n as f64;
+    assert!(
+        (mean - p * (n - 1) as f64).abs() < 4.0,
+        "mean degree {mean}"
+    );
+}
+
+#[test]
+fn skip_walk_equals_the_sweep_at_degenerate_probabilities() {
+    for n in [1usize, 2, 17, 40] {
+        for seed in [0u64, 7] {
+            assert_eq!(gnp_spec(n, 0.0, seed), gnp_sweep_reference(n, 0.0, seed));
+            assert_eq!(gnp_spec(n, 1.0, seed), gnp_sweep_reference(n, 1.0, seed));
+        }
+    }
+}
+
+#[test]
+fn skip_walk_is_seed_deterministic_and_thread_independent() {
+    let reference = gnp_spec(300, 0.06, 5);
+    assert_eq!(gnp_spec(300, 0.06, 5), reference);
+    assert_ne!(gnp_spec(300, 0.06, 6), reference);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            gnp_spec_with(300, 0.06, 5, &ParallelConfig::with_threads(threads)),
+            reference,
+            "threads={threads}"
+        );
+    }
+}
+
+/// One spec per family (layout variation included where layouts apply) —
+/// the sweep matrix of the pipeline equivalence tests.
+fn family_matrix() -> Vec<WorkloadSpec> {
+    vec![
+        "gnp:n=250,p=0.05,seed=3".parse().unwrap(),
+        "gnp:n=120,p=0.08,seed=9,layout=star3,links=2"
+            .parse()
+            .unwrap(),
+        "powerlaw:n=400,beta=2.4,avg=7,seed=7".parse().unwrap(),
+        "powerlaw:n=200,beta=2.2,avg=6,seed=2,layout=path4"
+            .parse()
+            .unwrap(),
+        "rgg:n=350,r=0.08,seed=11".parse().unwrap(),
+        "rgg:n=150,r=0.12,seed=4,layout=tree7".parse().unwrap(),
+        "planted:c=4,k=12,seed=6".parse().unwrap(),
+        "mixture:c=3,k=14,anti=0.1,ext=2,bg=30,bgp=0.1,seed=8"
+            .parse()
+            .unwrap(),
+        "cabal:c=3,k=16,anti=3,ext=5,seed=12,layout=star4"
+            .parse()
+            .unwrap(),
+        "square:n=80,p=0.06,seed=5".parse().unwrap(),
+        "bottleneck:clusters=12,path=5,seed=0".parse().unwrap(),
+        "contraction:side=14,lo=3,hi=9,seed=10".parse().unwrap(),
+    ]
+}
+
+#[test]
+fn every_family_generates_an_identical_hspec_at_any_thread_count() {
+    for spec in family_matrix() {
+        let reference = spec.conflict_spec_with(&ParallelConfig::serial());
+        for threads in [2, 4, 8] {
+            let got = spec.conflict_spec_with(&ParallelConfig::with_threads(threads));
+            assert_eq!(got, reference, "{spec} threads={threads}");
+        }
+        if let Some((h, _)) = reference {
+            // Canonical invariant: sorted, unique, normalized.
+            for w in h.edges.windows(2) {
+                assert!(w[0] < w[1], "{spec}: edges not sorted/unique");
+            }
+            assert!(h.edges.iter().all(|&(u, v)| u < v), "{spec}: orientation");
+        }
+    }
+}
+
+#[test]
+fn every_family_builds_an_identical_cluster_graph_at_any_thread_count() {
+    for spec in family_matrix() {
+        let (reference, ref_info) = spec.build_with_info(&ParallelConfig::serial());
+        for threads in [2, 4, 8] {
+            let (got, info) = spec.build_with_info(&ParallelConfig::with_threads(threads));
+            assert_eq!(got, reference, "{spec} threads={threads}");
+            assert_eq!(info, ref_info, "{spec} threads={threads}: planted info");
+        }
+    }
+}
+
+#[test]
+fn build_timed_reproduces_build_with_info() {
+    for spec in [
+        "gnp:n=200,p=0.05,seed=3",
+        "contraction:side=10,lo=2,hi=6,seed=4",
+    ] {
+        let spec: WorkloadSpec = spec.parse().unwrap();
+        let (a, ia) = spec.build_with_info(&ParallelConfig::serial());
+        let (b, ib, t) = spec.build_timed(&ParallelConfig::with_threads(4));
+        assert_eq!(a, b, "{spec}");
+        assert_eq!(ia, ib, "{spec}");
+        assert_eq!(t.threads, 4);
+        assert!(t.total_secs >= t.generate_secs + t.canonicalize_secs + t.build_secs - 1e-9);
+    }
+}

@@ -124,6 +124,16 @@ proptest! {
     }
 
     #[test]
+    fn contraction_roundtrips(
+        side in 1usize..256,
+        lo in 1usize..16,
+        extra in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        roundtrip(WorkloadSpec::contraction(side, lo, lo + extra, seed))?;
+    }
+
+    #[test]
     fn layout_strings_roundtrip(lk in 0usize..4, m in 2usize..1000) {
         let layout = layout_of(lk, m);
         let parsed: Layout = layout.to_string().parse().map_err(TestCaseError::fail)?;
@@ -145,6 +155,7 @@ fn small_specs_build_the_instance_their_string_describes() {
         "bottleneck:clusters=4,path=3,seed=0",
         "square:n=40,p=0.05,seed=2",
         "powerlaw:n=200,beta=2.5,avg=4,seed=6",
+        "contraction:side=12,lo=3,hi=9,seed=11",
     ] {
         let spec: WorkloadSpec = raw.parse().unwrap_or_else(|e| panic!("{raw}: {e}"));
         let a = spec.build();

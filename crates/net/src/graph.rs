@@ -5,6 +5,9 @@
 //! support trees and inter-cluster link tables on top of this graph.
 
 use crate::error::NetError;
+use crate::par::{
+    for_each_shard, kway_merge_dedup, map_reduce_on, ParallelConfig, SendPtr, ShardPlan, WorkerPool,
+};
 use std::collections::VecDeque;
 
 /// Identifier of a machine (a vertex of the communication network `G`).
@@ -45,84 +48,300 @@ impl CommGraph {
     /// [`NetError::SelfLoop`] on a `(u, u)` edge and [`NetError::EmptyGraph`]
     /// when `n == 0`.
     pub fn from_edges(n: usize, edges: &[(MachineId, MachineId)]) -> Result<Self, NetError> {
+        Self::from_edges_with(n, edges, &ParallelConfig::serial())
+    }
+
+    /// [`Self::from_edges`] with validation, orientation normalization,
+    /// sort/dedup and CSR assembly sharded over `par`'s threads
+    /// (dispatched on the process-global [`WorkerPool`]). Each shard
+    /// canonicalizes and sorts a contiguous range of the input, the sorted
+    /// runs merge through the deterministic fixed-order k-way merge, and
+    /// the CSR fills by a sharded counting sort — the result (and, on
+    /// invalid input, the reported error: always the earliest bad edge in
+    /// input order) is **byte-identical** to the serial path at any thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::from_edges`].
+    pub fn from_edges_with(
+        n: usize,
+        edges: &[(MachineId, MachineId)],
+        par: &ParallelConfig,
+    ) -> Result<Self, NetError> {
+        Self::from_edge_runs_with(n, &[edges], par)
+    }
+
+    /// The streaming entry of the edge pipeline: builds the graph from
+    /// *per-shard edge runs* — the output shape of the sharded generators
+    /// in `cgc_graphs` — without first concatenating them into one edge
+    /// `Vec`. The logical input is the concatenation of the runs in order;
+    /// semantics (dedup, normalization, error reporting) are exactly
+    /// [`Self::from_edges`] on that concatenation, and the output is
+    /// independent of both the run partition and the thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::from_edges`].
+    pub fn from_edge_runs_with(
+        n: usize,
+        runs: &[&[(MachineId, MachineId)]],
+        par: &ParallelConfig,
+    ) -> Result<Self, NetError> {
         if n == 0 {
             return Err(NetError::EmptyGraph);
         }
-        let mut canon: Vec<(usize, usize)> = Vec::with_capacity(edges.len());
-        for &(u, v) in edges {
-            if u >= n {
-                return Err(NetError::MachineOutOfRange { machine: u, n });
-            }
-            if v >= n {
-                return Err(NetError::MachineOutOfRange { machine: v, n });
-            }
-            if u == v {
-                return Err(NetError::SelfLoop { machine: u });
-            }
-            canon.push((u.min(v), u.max(v)));
+        // Run-start prefix so a shard of the concatenated index space can
+        // locate its slice(s) without copying the input.
+        let mut starts = Vec::with_capacity(runs.len() + 1);
+        starts.push(0usize);
+        for r in runs {
+            starts.push(starts.last().unwrap() + r.len());
         }
-        canon.sort_unstable();
-        canon.dedup();
+        let total = *starts.last().unwrap();
+        let plan = ShardPlan::even(total, par.threads());
+        let pool = WorkerPool::global(par.threads());
+        let pool = pool.as_deref();
+        // Phase 1: validate + canonicalize + sort/dedup, shard-locally.
+        // Shards are contiguous ascending input ranges merged in shard
+        // order and each shard stops at its first bad edge, so the merged
+        // error is the earliest bad edge in input order — exactly the
+        // serial sweep's report.
+        let sorted_runs = map_reduce_on(
+            &plan,
+            pool,
+            |range| -> Result<Vec<Vec<(usize, usize)>>, NetError> {
+                let mut canon: Vec<(usize, usize)> = Vec::with_capacity(range.len());
+                let mut r = match starts.binary_search(&range.start) {
+                    Ok(i) => i,
+                    Err(i) => i - 1,
+                };
+                let mut off = range.start - starts[r];
+                let mut remaining = range.len();
+                while remaining > 0 {
+                    let run = runs[r];
+                    let take = remaining.min(run.len() - off);
+                    for &(u, v) in &run[off..off + take] {
+                        if u >= n {
+                            return Err(NetError::MachineOutOfRange { machine: u, n });
+                        }
+                        if v >= n {
+                            return Err(NetError::MachineOutOfRange { machine: v, n });
+                        }
+                        if u == v {
+                            return Err(NetError::SelfLoop { machine: u });
+                        }
+                        canon.push((u.min(v), u.max(v)));
+                    }
+                    remaining -= take;
+                    r += 1;
+                    off = 0;
+                }
+                canon.sort_unstable();
+                canon.dedup();
+                Ok(vec![canon])
+            },
+            |acc, part| {
+                if let Ok(lists) = acc {
+                    match part {
+                        Ok(more) => lists.extend(more),
+                        Err(e) => *acc = Err(e),
+                    }
+                }
+            },
+        )?;
+        // Phase 2: deterministic fixed-order k-way merge — the unique
+        // sorted dedup of the union, independent of the partition.
+        let canon = kway_merge_dedup(sorted_runs);
+        Ok(Self::from_canonical_edges(n, canon, par, pool))
+    }
 
-        let mut deg = vec![0usize; n];
-        for &(u, v) in &canon {
-            deg[u] += 1;
-            deg[v] += 1;
+    /// CSR assembly from the canonical (sorted, deduplicated, `u < v`)
+    /// edge list by counting sort — sharded over contiguous edge ranges
+    /// when `par` is parallel. Row contents are identical either way: the
+    /// serial cursor walk appends row entries in edge order, and each
+    /// shard's cursors start exactly where the preceding shards' counts
+    /// end.
+    fn from_canonical_edges(
+        n: usize,
+        canon: Vec<(usize, usize)>,
+        par: &ParallelConfig,
+        pool: Option<&WorkerPool>,
+    ) -> Self {
+        let m = canon.len();
+        let plan = ShardPlan::even(m, par.threads());
+        let shards = plan.n_shards();
+        if shards <= 1 {
+            let mut deg = vec![0usize; n];
+            for &(u, v) in &canon {
+                deg[u] += 1;
+                deg[v] += 1;
+            }
+            let mut offsets = Vec::with_capacity(n + 1);
+            offsets.push(0usize);
+            for d in &deg {
+                offsets.push(offsets.last().unwrap() + d);
+            }
+            let mut adj = vec![0usize; offsets[n]];
+            let mut cursor = offsets[..n].to_vec();
+            for &(u, v) in &canon {
+                adj[cursor[u]] = v;
+                cursor[u] += 1;
+                adj[cursor[v]] = u;
+                cursor[v] += 1;
+            }
+            return CommGraph {
+                n,
+                offsets,
+                adj,
+                edges: canon,
+            };
         }
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0usize);
-        for d in &deg {
-            offsets.push(offsets.last().unwrap() + d);
+        // Per-shard incidence histograms (how many entries shard `s`
+        // appends to each row), collected in shard order.
+        let canon_ref = &canon;
+        let hists: Vec<Vec<u32>> = map_reduce_on(
+            &plan,
+            pool,
+            |range| {
+                let mut h = vec![0u32; n];
+                for &(u, v) in &canon_ref[range] {
+                    h[u] += 1;
+                    h[v] += 1;
+                }
+                vec![h]
+            },
+            |acc: &mut Vec<Vec<u32>>, part| acc.extend(part),
+        );
+        // Row offsets plus each shard's starting cursor per row: shard
+        // `s` writes row `v`'s entries at
+        // `offsets[v] + Σ_{t<s} hists[t][v] ..` — the exact positions the
+        // serial edge-order walk would have used.
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            let deg: usize = hists.iter().map(|h| h[v] as usize).sum();
+            offsets[v + 1] = offsets[v] + deg;
+        }
+        let mut cursors: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        {
+            let mut acc: Vec<usize> = offsets[..n].to_vec();
+            for (s, hist) in hists.iter().enumerate() {
+                cursors[s] = acc.clone();
+                if s + 1 < shards {
+                    for (a, &h) in acc.iter_mut().zip(hist) {
+                        *a += h as usize;
+                    }
+                }
+            }
         }
         let mut adj = vec![0usize; offsets[n]];
-        let mut cursor = offsets[..n].to_vec();
-        for &(u, v) in &canon {
-            adj[cursor[u]] = v;
-            cursor[u] += 1;
-            adj[cursor[v]] = u;
-            cursor[v] += 1;
+        {
+            let adj_base = SendPtr::new(adj.as_mut_ptr());
+            let cur_base = SendPtr::new(cursors.as_mut_ptr());
+            for_each_shard(pool, shards, &|s| {
+                // SAFETY: shard `s` owns `cursors[s]` exclusively, and the
+                // cursor positions it claims in `adj` are disjoint from
+                // every other shard's (each position belongs to exactly one
+                // shard's count window in its row).
+                let cur = unsafe { &mut *cur_base.get().add(s) };
+                for &(u, v) in &canon_ref[plan.range(s)] {
+                    unsafe {
+                        *adj_base.get().add(cur[u]) = v;
+                        cur[u] += 1;
+                        *adj_base.get().add(cur[v]) = u;
+                        cur[v] += 1;
+                    }
+                }
+            });
         }
-        Ok(CommGraph {
+        CommGraph {
             n,
             offsets,
             adj,
             edges: canon,
-        })
+        }
     }
 
-    /// A path `0 - 1 - ... - (n-1)`.
+    /// A path `0 - 1 - ... - (n-1)` — CSR built directly (the edges are
+    /// canonical by construction, so no validation pass or sort runs).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn path(n: usize) -> Self {
-        let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
-        Self::from_edges(n, &edges).expect("path construction is always valid for n >= 1")
+        assert!(n > 0, "path needs at least one machine");
+        let edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(2 * edges.len());
+        offsets.push(0);
+        for v in 0..n {
+            if v > 0 {
+                adj.push(v - 1);
+            }
+            if v + 1 < n {
+                adj.push(v + 1);
+            }
+            offsets.push(adj.len());
+        }
+        CommGraph {
+            n,
+            offsets,
+            adj,
+            edges,
+        }
     }
 
-    /// A star with center `0` and leaves `1..n`.
+    /// A star with center `0` and leaves `1..n` — CSR built directly.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn star(n: usize) -> Self {
+        assert!(n > 0, "star needs at least one machine");
         let edges: Vec<_> = (1..n).map(|i| (0, i)).collect();
-        Self::from_edges(n, &edges).expect("star construction is always valid for n >= 1")
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(2 * edges.len());
+        offsets.push(0);
+        adj.extend(1..n);
+        offsets.push(adj.len());
+        for _v in 1..n {
+            adj.push(0);
+            offsets.push(adj.len());
+        }
+        CommGraph {
+            n,
+            offsets,
+            adj,
+            edges,
+        }
     }
 
-    /// The complete graph on `n` machines.
+    /// The complete graph on `n` machines — CSR built directly.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn complete(n: usize) -> Self {
+        assert!(n > 0, "complete graph needs at least one machine");
         let mut edges = Vec::with_capacity(n * (n - 1) / 2);
         for u in 0..n {
             for v in (u + 1)..n {
                 edges.push((u, v));
             }
         }
-        Self::from_edges(n, &edges).expect("complete construction is always valid for n >= 1")
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(n * (n - 1));
+        offsets.push(0);
+        for v in 0..n {
+            adj.extend((0..n).filter(|&w| w != v));
+            offsets.push(adj.len());
+        }
+        CommGraph {
+            n,
+            offsets,
+            adj,
+            edges,
+        }
     }
 
     /// Number of machines.
@@ -386,5 +605,103 @@ mod tests {
         assert!(g.is_connected());
         assert_eq!(g.n_links(), 0);
         assert_eq!(g.degree(0), 0);
+    }
+
+    /// A messy pseudo-random edge soup (duplicates, both orientations).
+    fn soup(n: usize, m: usize, seed: u64) -> Vec<(usize, usize)> {
+        let mut x = seed | 1;
+        let mut out = Vec::with_capacity(m);
+        while out.len() < m {
+            x = x
+                .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                .wrapping_add(0x14057B7EF767814F);
+            let u = (x >> 33) as usize % n;
+            let v = (x >> 13) as usize % n;
+            if u != v {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn direct_csr_shapes_equal_from_edges() {
+        for n in [1usize, 2, 5, 9] {
+            let path_edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+            assert_eq!(
+                CommGraph::path(n),
+                CommGraph::from_edges(n, &path_edges).unwrap(),
+                "path({n})"
+            );
+            let star_edges: Vec<_> = (1..n).map(|i| (0, i)).collect();
+            assert_eq!(
+                CommGraph::star(n),
+                CommGraph::from_edges(n, &star_edges).unwrap(),
+                "star({n})"
+            );
+            let mut complete_edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    complete_edges.push((u, v));
+                }
+            }
+            assert_eq!(
+                CommGraph::complete(n),
+                CommGraph::from_edges(n, &complete_edges).unwrap(),
+                "complete({n})"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_ingest_is_thread_count_independent() {
+        let edges = soup(120, 900, 7);
+        let reference = CommGraph::from_edges_with(120, &edges, &ParallelConfig::serial()).unwrap();
+        for threads in [2, 4, 8] {
+            let got =
+                CommGraph::from_edges_with(120, &edges, &ParallelConfig::with_threads(threads))
+                    .unwrap();
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn edge_runs_equal_their_concatenation() {
+        let edges = soup(60, 500, 13);
+        let reference = CommGraph::from_edges(60, &edges).unwrap();
+        for cut in [1usize, 3, 7] {
+            let runs: Vec<&[(usize, usize)]> = edges.chunks(edges.len() / cut + 1).collect();
+            for threads in [1, 2, 4] {
+                let got = CommGraph::from_edge_runs_with(
+                    60,
+                    &runs,
+                    &ParallelConfig::with_threads(threads),
+                )
+                .unwrap();
+                assert_eq!(got, reference, "cut={cut} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_ingest_reports_the_earliest_error() {
+        // Two bad edges; the earliest in input order must win at every
+        // thread count (shard-order merge), exactly like the serial sweep.
+        let mut edges = soup(40, 300, 3);
+        edges[17] = (5, 5); // self-loop, earliest
+        edges[250] = (0, 99); // out of range, later
+        for threads in [1, 2, 4, 8] {
+            let err =
+                CommGraph::from_edges_with(40, &edges, &ParallelConfig::with_threads(threads))
+                    .unwrap_err();
+            assert!(
+                matches!(err, NetError::SelfLoop { machine: 5 }),
+                "threads={threads}: {err:?}"
+            );
+        }
+        assert!(matches!(
+            CommGraph::from_edges_with(0, &[], &ParallelConfig::with_threads(2)),
+            Err(NetError::EmptyGraph)
+        ));
     }
 }

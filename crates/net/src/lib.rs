@@ -5,14 +5,21 @@
 //! (Flin–Halldórsson–Nolin, PODC 2025), Section 3.2: an `n`-machine graph
 //! whose links carry `O(log n)`-bit messages in synchronous rounds.
 //!
-//! It provides three things used by every higher layer:
+//! It provides four things used by every higher layer:
 //!
-//! * [`CommGraph`] — the static machine/link topology,
+//! * [`CommGraph`] — the static machine/link topology, with a sharded,
+//!   thread-count-independent bulk edge ingest
+//!   ([`CommGraph::from_edges_with`]),
 //! * [`CostMeter`] — honest accounting of rounds (both cluster-level
 //!   "H-rounds" and network-level "G-rounds") and of bits per link per round,
 //!   including automatic pipelining charges for oversized messages,
 //! * [`SeedStream`] — deterministic, replayable per-entity random streams so
-//!   every experiment row can be regenerated from a single seed.
+//!   every experiment row can be regenerated from a single seed,
+//! * [`par`] — the shared parallel executor: [`ParallelConfig`],
+//!   [`ShardPlan`], the persistent [`WorkerPool`] and the deterministic
+//!   fill/map-reduce/k-way-merge primitives every sharded phase above
+//!   (aggregation rounds, `ClusterGraph::build`, the generators) runs on.
+//!   `cgc_cluster` re-exports all of it, so either crate path works.
 //!
 //! # Example
 //!
@@ -29,9 +36,14 @@
 pub mod bandwidth;
 pub mod error;
 pub mod graph;
+pub mod par;
 pub mod rng;
 
 pub use bandwidth::{CostMeter, CostReport, PhaseCost};
 pub use error::NetError;
 pub use graph::{BfsScratch, CommGraph, MachineId};
+pub use par::{
+    available_threads, kway_merge_counted, kway_merge_dedup, map_reduce_on, map_reduce_sharded,
+    total_scoped_threads_spawned, ParallelConfig, ShardPlan, ShardStrategy, WorkerPool,
+};
 pub use rng::SeedStream;

@@ -3,70 +3,26 @@
 //! Maximum-flow and network-decomposition algorithms repeatedly *contract*
 //! connected machine sets; the contracted graph is exactly a cluster graph
 //! over the original network, with clusters of wildly uneven shapes and
-//! many parallel links between the same pair of clusters. This example
-//! builds such an instance directly from a communication network plus a
-//! contraction map, and colors it.
-//!
-//! A contraction map has no generator family, so there is no
-//! `WorkloadSpec` for this instance; the example uses
-//! [`color_cluster_graph`], the documented compatibility entry for
-//! custom-built [`ClusterGraph`]s (generator-backed runs go through
-//! [`Session`] — see `quickstart.rs`).
+//! many parallel links between the same pair of clusters. The
+//! `contraction` workload family builds such an instance — a grid network
+//! contracted along seeded blobs — so the scenario is string-addressable
+//! like every other workload: the spec below reproduces this exact
+//! instance anywhere.
 //!
 //! ```sh
 //! cargo run --release --example contracted_flow_network
 //! ```
 
 use cluster_coloring::prelude::*;
-use rand::RngExt;
 
 fn main() {
-    // A 24x24 grid network — the canonical flow substrate.
-    let side = 24usize;
-    let n = side * side;
-    let mut edges = Vec::new();
-    for r in 0..side {
-        for c in 0..side {
-            let v = r * side + c;
-            if c + 1 < side {
-                edges.push((v, v + 1));
-            }
-            if r + 1 < side {
-                edges.push((v, v + side));
-            }
-        }
-    }
-    let comm = CommGraph::from_edges(n, &edges).expect("grid is valid");
-
-    // Contract random connected blobs: BFS-grow regions of 4–12 machines,
-    // exactly what a blocking-flow phase produces.
-    let seeds = SeedStream::new(3141);
-    let mut rng = seeds.rng_for(0, 0);
-    let mut assignment = vec![usize::MAX; n];
-    let mut next_cluster = 0usize;
-    for start in 0..n {
-        if assignment[start] != usize::MAX {
-            continue;
-        }
-        let target = rng.random_range(4..=12usize);
-        let mut frontier = vec![start];
-        let mut grabbed = 0usize;
-        while let Some(v) = frontier.pop() {
-            if assignment[v] != usize::MAX || grabbed == target {
-                continue;
-            }
-            assignment[v] = next_cluster;
-            grabbed += 1;
-            for &w in comm.neighbors(v) {
-                if assignment[w] == usize::MAX {
-                    frontier.push(w);
-                }
-            }
-        }
-        next_cluster += 1;
-    }
-
-    let h = ClusterGraph::build(comm, assignment).expect("blobs are connected");
+    // A 24x24 grid network — the canonical flow substrate — contracted
+    // along random connected blobs of 4–12 machines, exactly what a
+    // blocking-flow phase produces.
+    let mut session = SessionBuilder::parse("contraction:side=24,lo=4,hi=12,seed=3141")
+        .expect("valid workload spec")
+        .build();
+    let h = session.graph();
     println!(
         "contracted graph: {} clusters over {} machines, Δ = {}, dilation {}",
         h.n_vertices(),
@@ -81,16 +37,20 @@ fn main() {
         .unwrap_or(0);
     println!("max parallel links per contracted edge: {max_mult} (Figure 1)");
 
-    let mut net = ClusterNet::with_log_budget(&h, 32);
-    let run = color_cluster_graph(&mut net, &Params::laptop(h.n_vertices()), 17);
-    assert!(run.coloring.is_total() && run.coloring.is_proper(&h));
-    let stats = coloring_stats(&h, &run.coloring);
+    let out = session.run(17);
+    let h = session.graph();
+    assert!(out.run.coloring.is_total() && out.run.coloring.is_proper(h));
+    let stats = coloring_stats(h, &out.run.coloring);
     println!(
         "colored {} clusters with {} colors in {} H-rounds / {} G-rounds",
-        stats.n_vertices, stats.colors_used, run.report.h_rounds, run.report.g_rounds
+        stats.n_vertices, stats.colors_used, out.run.report.h_rounds, out.run.report.g_rounds
     );
     println!(
         "bandwidth: max message {} bits within budget {} ({} oversized)",
-        run.report.max_msg_bits, run.report.budget_bits, run.report.oversized_msgs
+        out.run.report.max_msg_bits, out.run.report.budget_bits, out.run.report.oversized_msgs
+    );
+    println!(
+        "setup: generate {:.3}s, canonicalize {:.3}s, build {:.3}s (spec `{}`)",
+        out.generate_secs, out.canonicalize_secs, out.graph_build_secs, out.spec_string
     );
 }
