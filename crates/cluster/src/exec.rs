@@ -10,7 +10,7 @@
 //! the accounting is honest?".
 
 use crate::graph::ClusterGraph;
-use crate::par::{map_reduce_on, ParallelConfig, WorkerPool};
+use crate::par::{map_reduce_on, ParallelConfig, ShardPlan, WorkerPool};
 
 /// What actually happened on the wires during one executed phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,13 +49,17 @@ pub fn execute_broadcast(g: &ClusterGraph, payload_bits: u64) -> ExecTrace {
 /// [`execute_broadcast`] with the clusters sharded across worker threads
 /// (dispatched on the process-global persistent [`WorkerPool`]); partial
 /// traces merge in fixed shard order, so the result is identical to the
-/// sequential trace at any thread count.
+/// sequential trace at any thread count. The per-cluster work is O(1) —
+/// the trace reads each support tree's precomputed height and edge count,
+/// never its adjacency — so shards split evenly by vertex count: `H`-degree
+/// mass (hub or not) has nothing to do with this loop's cost, and the
+/// `absorb_shard` reduction (max/sum) is partition-independent anyway.
 pub fn execute_broadcast_with(
     g: &ClusterGraph,
     payload_bits: u64,
     par: &ParallelConfig,
 ) -> ExecTrace {
-    let plan = g.shard_plan(par);
+    let plan = ShardPlan::even(g.n_vertices(), par.threads());
     let pool = WorkerPool::global(par.threads());
     let mut trace = map_reduce_on(
         &plan,

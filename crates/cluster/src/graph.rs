@@ -8,7 +8,10 @@
 //! Figure 1 phenomenon observable: two clusters can be joined by many links
 //! yet contribute a single edge of `H`.
 
-use crate::par::{for_each_shard, map_reduce_on, ParallelConfig, SendPtr, ShardPlan, WorkerPool};
+use crate::par::{
+    for_each_shard, map_reduce_on, merge_sorted_runs, ParallelConfig, SegmentedPlan, SendPtr,
+    ShardPlan, WorkerPool,
+};
 use cgc_net::{BfsScratch, CommGraph, MachineId, NetError};
 use std::time::Instant;
 
@@ -162,7 +165,11 @@ impl ClusterGraph {
         // ---- Phase 1: support trees, sharded by cluster id ----
         // Shards are contiguous ascending cluster ranges merged in shard
         // order, so the first error (by cluster id) wins exactly as in the
-        // sequential walk.
+        // sequential walk. A cluster's BFS is an indivisible unit (the
+        // traversal is one sequential frontier), so this phase cannot
+        // segment inside a row; `from_prefix`'s retargeting keeps the
+        // clusters *after* a giant one evenly spread instead of collapsing
+        // into it, which is the best a row-granular split can do here.
         let tree_start = Instant::now();
         let tree_plan = ShardPlan::from_prefix(&member_offsets, par.threads());
         let support = map_reduce_on(
@@ -183,7 +190,10 @@ impl ClusterGraph {
         // ---- Phase 2: inter-cluster links, sharded by G-edge ranges ----
         // Each shard walks its contiguous edge range in order (so the
         // concatenated link table equals the sequential sweep's) and
-        // sorts/dedups its own pairs locally.
+        // sorts/dedups its own pairs locally. The split is over `G`-edge
+        // *entries*, not clusters, so a hub cluster's links already spread
+        // across shards — this phase is hub-proof by construction and
+        // needs no segmented plan.
         let link_start = Instant::now();
         let link_plan = ShardPlan::even(comm.edges().len(), par.threads());
         let parts: Vec<LinkShard> = map_reduce_on(
@@ -260,23 +270,81 @@ impl ClusterGraph {
             cursor[v] += 1;
         }
         // CSR rows are sorted because the edge table is sorted for the `u`
-        // side; the `v` side needs a sort. Rows are disjoint slices, so the
-        // sorts shard by row mass; a fully sorted row is unique, making the
-        // result independent of the split.
-        {
-            let row_plan = ShardPlan::from_prefix(&h_offsets, par.threads());
-            let base = SendPtr::new(h_adj.as_mut_ptr());
-            let h_offsets = &h_offsets;
-            for_each_shard(pool, row_plan.n_shards(), &|s| {
-                for c in row_plan.range(s) {
-                    let (lo, hi) = (h_offsets[c], h_offsets[c + 1]);
-                    // SAFETY: rows of this shard's clusters are disjoint
-                    // sub-slices of `h_adj`.
-                    let row =
-                        unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
-                    row.sort_unstable();
+        // side; the `v` side needs a sort. A fully sorted row is unique,
+        // making the result independent of the split. With a hub row
+        // heavier than the segmentation threshold, the row's *fragments*
+        // sort in parallel under a `SegmentedPlan` and a serial pass merges
+        // each split row's sorted runs in ascending segment order;
+        // otherwise rows are disjoint slices sharded by row mass.
+        match SegmentedPlan::plan_csr(&h_offsets, par) {
+            Some(seg) => {
+                {
+                    let base = SendPtr::new(h_adj.as_mut_ptr());
+                    let h_offsets = &h_offsets;
+                    let seg = &seg;
+                    for_each_shard(pool, seg.n_segments(), &|s| {
+                        let (r0, e0) = seg.cut(s);
+                        let (_, e1) = seg.cut(s + 1);
+                        let mut r = r0;
+                        let mut lo = e0;
+                        while lo < e1 {
+                            let hi = h_offsets[r + 1].min(e1);
+                            if hi > lo {
+                                // SAFETY: segment entry ranges are disjoint
+                                // sub-slices of `h_adj`.
+                                let frag = unsafe {
+                                    std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo)
+                                };
+                                frag.sort_unstable();
+                            }
+                            lo = h_offsets[r + 1];
+                            r += 1;
+                        }
+                    });
                 }
-            });
+                // Merge each split row's sorted fragments (distinct
+                // neighbor ids, so the merged row equals the full sort).
+                let mut scratch: Vec<VertexId> = Vec::new();
+                let mut bounds: Vec<usize> = Vec::new();
+                let segs = seg.n_segments();
+                let mut s = 1;
+                while s < segs {
+                    let (r, e) = seg.cut(s);
+                    if e <= h_offsets[r] {
+                        s += 1;
+                        continue;
+                    }
+                    let (lo, hi) = (h_offsets[r], h_offsets[r + 1]);
+                    bounds.clear();
+                    bounds.push(0);
+                    while s < segs {
+                        let (r2, e2) = seg.cut(s);
+                        if r2 == r && e2 > lo {
+                            bounds.push(e2 - lo);
+                            s += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    bounds.push(hi - lo);
+                    merge_sorted_runs(&mut h_adj[lo..hi], &bounds, &mut scratch);
+                }
+            }
+            None => {
+                let row_plan = ShardPlan::from_prefix(&h_offsets, par.threads());
+                let base = SendPtr::new(h_adj.as_mut_ptr());
+                let h_offsets = &h_offsets;
+                for_each_shard(pool, row_plan.n_shards(), &|s| {
+                    for c in row_plan.range(s) {
+                        let (lo, hi) = (h_offsets[c], h_offsets[c + 1]);
+                        // SAFETY: rows of this shard's clusters are disjoint
+                        // sub-slices of `h_adj`.
+                        let row =
+                            unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+                        row.sort_unstable();
+                    }
+                });
+            }
         }
         let sort_secs = sort_start.elapsed().as_secs_f64();
 
@@ -452,6 +520,15 @@ impl ClusterGraph {
     /// `(topology, cfg)`, reproducible across runs.
     pub fn shard_plan(&self, cfg: &ParallelConfig) -> ShardPlan {
         ShardPlan::plan_csr(&self.h_offsets, cfg)
+    }
+
+    /// The intra-row [`SegmentedPlan`] over `H`'s deduplicated adjacency
+    /// under `cfg` — `Some` only when a hub row exceeds the config's
+    /// segmentation threshold, `None` when row-granular shards already
+    /// balance (see [`SegmentedPlan::plan_csr`]). Like
+    /// [`Self::shard_plan`], a pure function of `(topology, cfg)`.
+    pub fn segmented_plan(&self, cfg: &ParallelConfig) -> Option<SegmentedPlan> {
+        SegmentedPlan::plan_csr(&self.h_offsets, cfg)
     }
 }
 

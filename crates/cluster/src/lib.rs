@@ -53,7 +53,8 @@ pub use graph::{BuildTimings, ClusterGraph, SupportTree, VertexId};
 pub use groups::{check_groups, random_groups, GroupCheck, Groups};
 pub use overlay::VirtualGraph;
 pub use par::{
-    available_threads, map_reduce_on, map_reduce_sharded, total_scoped_threads_spawned,
-    ParallelConfig, ShardPlan, ShardStrategy, WorkerPool,
+    available_threads, fill_segmented_with_offsets, fold_rows_segmented, map_reduce_on,
+    map_reduce_sharded, merge_sorted_runs, total_scoped_threads_spawned, ParallelConfig,
+    SegmentedPlan, ShardPlan, ShardStrategy, WorkerPool,
 };
 pub use prefix::{dfs_preorder, prefix_sums, prefix_sums_into, OrderedTree};

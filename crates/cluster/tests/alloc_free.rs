@@ -228,6 +228,78 @@ fn pooled_rounds_are_allocation_free_and_spawn_no_threads() {
 }
 
 #[test]
+fn segmented_rounds_are_allocation_free_and_spawn_no_threads() {
+    let _serial = serial();
+    let h = instance();
+    // Force intra-row segmentation (threshold 0) so the warm rounds run
+    // the segmented fold/collect paths, not the row-granular ones.
+    let par = ParallelConfig::with_threads(2).with_segment_threshold(0);
+    let mut net = ClusterNet::with_parallel(&h, 64, par);
+    assert!(
+        net.segmented_plan().is_some(),
+        "threshold 0 must force a segmented plan"
+    );
+    let queries: Vec<u64> = (0..h.n_vertices() as u64).collect();
+    let mut out: Vec<u64> = Vec::new();
+    let mut lists: NeighborLists<u64> = NeighborLists::new();
+    let fold = |net: &mut ClusterNet<'_>, out: &mut Vec<u64>| {
+        net.neighbor_fold_into_merging(
+            16,
+            16,
+            &queries,
+            |_, _, _, qu| Some(*qu),
+            |_| 0u64,
+            |a, c| *a = (*a).max(c),
+            |a, b| *a = (*a).max(b),
+            out,
+        );
+    };
+    fold(&mut net, &mut out);
+    net.neighbor_fold_flags(8, 1, &queries, |_, _, _, qu| *qu > 3);
+    net.neighbor_collect_into(16, &queries, &mut lists);
+    let warm = out.clone();
+
+    let spawned_before = WorkerPool::total_threads_spawned();
+    let scoped_before = cgc_cluster::total_scoped_threads_spawned();
+    let allocs_before = allocations();
+    for _ in 0..100 {
+        fold(&mut net, &mut out);
+        net.neighbor_fold_flags(8, 1, &queries, |_, _, _, qu| *qu > 3);
+        net.neighbor_collect_into(16, &queries, &mut lists);
+    }
+    assert_eq!(
+        allocations() - allocs_before,
+        0,
+        "warm segmented rounds must not allocate"
+    );
+    assert_eq!(
+        WorkerPool::total_threads_spawned(),
+        spawned_before,
+        "warm segmented rounds must not spawn threads"
+    );
+    assert_eq!(
+        cgc_cluster::total_scoped_threads_spawned(),
+        scoped_before,
+        "warm segmented rounds must not fall back to scoped-thread dispatch"
+    );
+    assert_eq!(out, warm, "segmented results stay identical across rounds");
+
+    // And the segmented results match a sequential runtime's bit for bit.
+    let mut seq = ClusterNet::new(&h, 64);
+    let mut seq_out: Vec<u64> = Vec::new();
+    seq.neighbor_fold_into(
+        16,
+        16,
+        &queries,
+        |_, _, _, qu| Some(*qu),
+        |_| 0u64,
+        |a, c| *a = (*a).max(c),
+        &mut seq_out,
+    );
+    assert_eq!(out, seq_out);
+}
+
+#[test]
 fn exact_degrees_into_and_full_rounds_are_allocation_free_when_warm() {
     let _serial = serial();
     let h = instance();

@@ -38,29 +38,29 @@ pub fn color_components(
 
     // Round cap ~ O(log total) with slack; leftovers go to the fallback.
     let cap = (4.0 * (total.max(2) as f64).ln()).ceil() as usize + 8;
+    let member = &member;
     let mut rounds = 0usize;
     for r in 0..cap {
-        let pending: Vec<VertexId> = (0..n)
-            .filter(|&v| member[v] && !coloring.is_colored(v))
-            .collect();
-        if pending.is_empty() {
+        // Eligibility and palette sweeps run on the runtime's shard plan
+        // (weighted by CSR row mass — palette_oracle walks the row, so a
+        // hub component must not pin one shard) instead of serial scans.
+        let col = &*coloring;
+        let eligible: Vec<bool> = net.par_vertex_map(|v| member[v] && !col.is_colored(v));
+        if !eligible.iter().any(|&e| e) {
             break;
         }
         rounds += 1;
         // Palette bitmap maintenance + trial.
         net.charge_full_rounds(1, coloring.q() as u64);
-        let palettes: Vec<Vec<usize>> = (0..n)
-            .map(|v| {
-                if member[v] && !coloring.is_colored(v) {
-                    coloring.palette_oracle(net.g, v)
-                } else {
-                    Vec::new()
-                }
-            })
-            .collect();
-        let eligible: Vec<bool> = (0..n)
-            .map(|v| member[v] && !coloring.is_colored(v))
-            .collect();
+        let col = &*coloring;
+        let eligible_ref = &eligible;
+        let palettes: Vec<Vec<usize>> = net.par_vertex_map(|v| {
+            if eligible_ref[v] {
+                col.palette_oracle(net.g, v)
+            } else {
+                Vec::new()
+            }
+        });
         try_color_round(
             net,
             coloring,

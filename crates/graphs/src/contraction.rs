@@ -76,8 +76,13 @@ pub(crate) fn contraction_runs(
     // Contract random connected blobs: grow regions of lo..=hi machines
     // from each yet-unassigned vertex, exactly what a blocking-flow phase
     // produces. The growth is a stack walk over the (ascending) grid
-    // neighbors, deterministic in the seed.
-    let mut rng = SeedStream::new(seed).rng_for(0x00C0_47AC, 0);
+    // neighbors, deterministic in the seed. Each blob draws its target
+    // size from its own substream keyed by the blob's start machine — the
+    // same per-entity protocol as the generators' per-row streams — so no
+    // single RNG cursor threads through the sweep. (The sweep itself stays
+    // serial and that is inherent, not an implementation gap: whether a
+    // machine starts a blob depends on every earlier blob's extent.)
+    let blob_seeds = SeedStream::new(seed).child(0x00C0_47AC);
     let mut assignment = vec![usize::MAX; n];
     let mut next_cluster = 0usize;
     let mut frontier: Vec<usize> = Vec::new();
@@ -85,7 +90,7 @@ pub(crate) fn contraction_runs(
         if assignment[start] != usize::MAX {
             continue;
         }
-        let target = rng.random_range(lo..=hi);
+        let target = blob_seeds.rng_for(start as u64, 0).random_range(lo..=hi);
         let mut grabbed = 0usize;
         frontier.clear();
         frontier.push(start);

@@ -10,7 +10,7 @@
 
 use crate::pipeline::ShardedEdgeSource;
 use cgc_cluster::{ClusterGraph, ParallelConfig};
-use cgc_net::{CommGraph, SeedStream};
+use cgc_net::{map_reduce_on, CommGraph, SeedStream, ShardPlan, WorkerPool};
 use rand::RngExt;
 
 /// A conflict-graph specification: the graph `H` to be colored.
@@ -148,7 +148,7 @@ pub fn realize_with(
 
 /// The raw generation half of [`realize_with`]: the machine count, the
 /// per-shard machine-edge runs (intra-cluster wiring sharded by cluster
-/// rows, plus one serially-RNG-driven inter-cluster link run) and the
+/// rows, plus inter-cluster link runs sharded by `H`-edge ranges) and the
 /// machine→cluster assignment — handed straight to
 /// [`CommGraph::from_edge_runs_with`] without concatenating into one edge
 /// `Vec`. The logical edge sequence is a pure function of
@@ -191,19 +191,37 @@ pub fn realize_runs(
             }
         }
     });
-    // Inter-cluster links: one RNG stream consumed in canonical H-edge
-    // order — inherently serial, appended as its own run.
-    let seeds = SeedStream::new(seed);
-    let mut rng = seeds.rng_for(0xEDCE, 0);
-    let mut links: Vec<(usize, usize)> = Vec::with_capacity(h.edges.len() * links_per_edge);
-    for &(u, v) in &h.edges {
-        for _ in 0..links_per_edge {
-            let mu = u * m + rng.random_range(0..m);
-            let mv = v * m + rng.random_range(0..m);
-            links.push((mu, mv));
-        }
+    // Inter-cluster links: every H-edge places its links_per_edge links
+    // from its own seed substream, keyed by the edge's index in canonical
+    // order — this was the last single-RNG serial sweep of the realize
+    // pipeline, and per-edge streams let it shard by contiguous H-edge
+    // ranges. Runs stay in ascending edge order, so the logical link
+    // sequence is unchanged at every thread count.
+    let link_seeds = SeedStream::new(seed).child(0xEDCE);
+    let plan = ShardPlan::even(h.edges.len(), par.threads());
+    let pool = WorkerPool::global(par.threads());
+    let edges = &h.edges;
+    let link_runs = map_reduce_on(
+        &plan,
+        pool.as_deref(),
+        |range| {
+            let mut links: Vec<(usize, usize)> = Vec::with_capacity(range.len() * links_per_edge);
+            for e in range {
+                let (u, v) = edges[e];
+                let mut rng = link_seeds.rng_for(e as u64, 0);
+                for _ in 0..links_per_edge {
+                    let mu = u * m + rng.random_range(0..m);
+                    let mv = v * m + rng.random_range(0..m);
+                    links.push((mu, mv));
+                }
+            }
+            vec![links]
+        },
+        |acc: &mut Vec<Vec<(usize, usize)>>, part| acc.extend(part),
+    );
+    for run in link_runs {
+        runs.push_run(run);
     }
-    runs.push_run(links);
     let assignment: Vec<usize> = (0..n_machines).map(|i| i / m).collect();
     (n_machines, runs, assignment)
 }

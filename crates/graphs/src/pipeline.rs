@@ -115,6 +115,77 @@ impl ShardedEdgeSource {
         ShardedEdgeSource { n, runs }
     }
 
+    /// [`Self::from_rows_weighted`] with heavy rows split into independent
+    /// column-range **tasks** — the generator-side half of hub-proof
+    /// sharding. Row `u` becomes `k_u = ceil(w_u / quantum)` tasks (at
+    /// least 1; rows at or under the quantum stay whole), and `task(u, j,
+    /// k_u, &mut run)` runs once per task in ascending `(row, j)` order
+    /// across shards, so a single hub row's emission spreads over several
+    /// workers instead of bounding one shard.
+    ///
+    /// Two purity rules make this thread-count independent:
+    ///
+    /// * `quantum` must be a pure function of the weights (e.g.
+    ///   `Σw / 1024`), **never** of the thread count — the task list, and
+    ///   with it the logical output (the ascending-task concatenation of
+    ///   the runs), must not change when only the executor width does;
+    /// * the kernel must derive each task's randomness from a substream
+    ///   keyed by `(u, j)` (the generators use
+    ///   [`cgc_net::SeedStream::child`] namespacing for `k_u > 1`, keeping
+    ///   unsplit rows byte-compatible with their historical per-row
+    ///   streams), so tasks are independent wherever the shard bounds
+    ///   fall.
+    pub fn from_row_tasks_weighted(
+        n: usize,
+        par: &ParallelConfig,
+        weights: &[f64],
+        quantum: f64,
+        task: impl Fn(usize, u32, u32, &mut Vec<(usize, usize)>) + Sync,
+    ) -> Self {
+        assert_eq!(weights.len(), n, "one weight per row");
+        // Fixed-point per-task weight prefix (the from_rows_weighted
+        // scaling, split evenly over each row's tasks) so the generic
+        // balanced-prefix cut applies to tasks.
+        let total: f64 = weights.iter().sum();
+        let scale = if total > 0.0 {
+            ((1u64 << 32) as f64) / total
+        } else {
+            0.0
+        };
+        let mut tasks: Vec<(usize, u32, u32)> = Vec::with_capacity(n);
+        let mut prefix = Vec::with_capacity(n + 1);
+        prefix.push(0usize);
+        let mut acc = 0usize;
+        for (u, &wu) in weights.iter().enumerate() {
+            let k = if quantum > 0.0 && wu > quantum {
+                (wu / quantum).ceil() as u32
+            } else {
+                1
+            };
+            for j in 0..k {
+                tasks.push((u, j, k));
+                acc += (wu * scale / k as f64) as usize;
+                prefix.push(acc);
+            }
+        }
+        let plan = ShardPlan::from_prefix(&prefix, par.threads());
+        let pool = WorkerPool::global(par.threads());
+        let tasks = &tasks;
+        let runs = map_reduce_on(
+            &plan,
+            pool.as_deref(),
+            |range| {
+                let mut run = Vec::new();
+                for &(u, j, k) in &tasks[range] {
+                    task(u, j, k, &mut run);
+                }
+                vec![run]
+            },
+            |acc: &mut Vec<Vec<(usize, usize)>>, part| acc.extend(part),
+        );
+        ShardedEdgeSource { n, runs }
+    }
+
     /// Vertex count of the graph the edges live on.
     #[inline]
     pub fn n(&self) -> usize {

@@ -89,37 +89,68 @@ pub(crate) fn power_law_runs(
     let w = power_law_weights(cfg);
     let s: f64 = w.iter().sum();
     let seeds = SeedStream::new(seed);
+    let hub_seeds = seeds.child(0x5E47);
     let w = &w;
-    // Row u's expected work tracks its weight, so shard by weight mass —
-    // the hub rows at the head would otherwise serialize shard 0.
-    ShardedEdgeSource::from_rows_weighted(cfg.n, par, Some(w), move |u, out| {
-        let mut rng = seeds.rng_for(0x505F_4C41, u as u64);
-        let mut v = u + 1;
-        if v >= cfg.n {
+    // Row u's expected work tracks its weight, so shard by weight mass; a
+    // hub row whose weight exceeds the quantum (Σw / 1024, a pure function
+    // of the weights — never of the thread count) additionally splits into
+    // k_u column-range tasks so no single row can serialize a shard. Split
+    // rows draw per-task substreams keyed by (u, j) from a child-namespaced
+    // stream; unsplit rows keep the historical per-row stream, so samples
+    // are byte-compatible with the row-granular generator wherever no row
+    // crosses the quantum.
+    let quantum = s / 1024.0;
+    ShardedEdgeSource::from_row_tasks_weighted(cfg.n, par, w, quantum, move |u, j, k, out| {
+        // Task j of k owns the j-th equal-count slice of columns u+1..n.
+        // The Miller–Hagberg invariant is per-slice: weights descend, so
+        // the bound `p` seeded at the slice head still dominates the rest.
+        let span = cfg.n - (u + 1);
+        let lo = u + 1 + span * j as usize / k as usize;
+        let hi = u + 1 + span * (j as usize + 1) / k as usize;
+        if lo >= hi {
             return;
         }
-        // Invariant: `p` bounds the true probability for every v' ≥ v
-        // (weights are descending), so skipping geometrically under `p`
-        // and thinning by `q / p` on landing samples each pair with
-        // exactly `q`.
-        let mut p = (w[u] * w[v] / s).min(1.0);
-        while v < cfg.n && p > 0.0 {
-            if p < 1.0 {
-                let r: f64 = rng.random();
-                let skip = ((1.0 - r).ln() / (1.0 - p).ln()).floor();
-                if skip >= (cfg.n - v) as f64 {
-                    break;
-                }
-                v += skip as usize;
-            }
-            let q = (w[u] * w[v] / s).min(1.0);
-            if rng.random::<f64>() < q / p {
-                out.push((u, v));
-            }
-            p = q;
-            v += 1;
-        }
+        let rng = if k == 1 {
+            seeds.rng_for(0x505F_4C41, u as u64)
+        } else {
+            hub_seeds.rng_for(u as u64, u64::from(j))
+        };
+        skip_walk(w, s, u, lo, hi, rng, out);
     })
+}
+
+/// One Miller–Hagberg skip walk over columns `lo..hi` of row `u`.
+///
+/// Invariant: `p` bounds the true probability for every v' ≥ v (weights
+/// are descending), so skipping geometrically under `p` and thinning by
+/// `q / p` on landing samples each pair with exactly `q`.
+fn skip_walk(
+    w: &[f64],
+    s: f64,
+    u: usize,
+    lo: usize,
+    hi: usize,
+    mut rng: impl RngExt,
+    out: &mut Vec<(usize, usize)>,
+) {
+    let mut v = lo;
+    let mut p = (w[u] * w[v] / s).min(1.0);
+    while v < hi && p > 0.0 {
+        if p < 1.0 {
+            let r: f64 = rng.random();
+            let skip = ((1.0 - r).ln() / (1.0 - p).ln()).floor();
+            if skip >= (hi - v) as f64 {
+                break;
+            }
+            v += skip as usize;
+        }
+        let q = (w[u] * w[v] / s).min(1.0);
+        if rng.random::<f64>() < q / p {
+            out.push((u, v));
+        }
+        p = q;
+        v += 1;
+    }
 }
 
 #[cfg(test)]

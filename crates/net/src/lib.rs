@@ -43,7 +43,9 @@ pub use bandwidth::{CostMeter, CostReport, PhaseCost};
 pub use error::NetError;
 pub use graph::{BfsScratch, CommGraph, MachineId};
 pub use par::{
-    available_threads, kway_merge_counted, kway_merge_dedup, map_reduce_on, map_reduce_sharded,
-    total_scoped_threads_spawned, ParallelConfig, ShardPlan, ShardStrategy, WorkerPool,
+    available_threads, fill_segmented_with_offsets, fold_rows_segmented, kway_merge_counted,
+    kway_merge_dedup, map_reduce_on, map_reduce_sharded, merge_sorted_runs,
+    total_scoped_threads_spawned, ParallelConfig, SegmentedPlan, ShardPlan, ShardStrategy,
+    WorkerPool,
 };
 pub use rng::SeedStream;

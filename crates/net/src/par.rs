@@ -78,7 +78,20 @@ pub enum ShardStrategy {
 pub struct ParallelConfig {
     threads: usize,
     strategy: ShardStrategy,
+    /// Hub-segmentation threshold, in percent of the per-shard entry mass
+    /// (`total entries / threads`). A CSR row whose entry count *exceeds*
+    /// `segment_pct / 100` of that target makes
+    /// [`SegmentedPlan::plan_csr`] return a segmented plan that cuts
+    /// inside the row; with no such row the row-granular [`ShardPlan`]
+    /// stays in effect. `100` (the default) means "segment only when one
+    /// row alone overflows a whole shard"; `0` forces segmentation
+    /// whenever any row has entries (the differential suites' knob).
+    segment_pct: u16,
 }
+
+/// Default hub threshold: segment only when a single row exceeds the
+/// entire per-shard entry target.
+const DEFAULT_SEGMENT_PCT: u16 = 100;
 
 impl Default for ParallelConfig {
     fn default() -> Self {
@@ -92,6 +105,7 @@ impl ParallelConfig {
         ParallelConfig {
             threads: 1,
             strategy: ShardStrategy::default(),
+            segment_pct: DEFAULT_SEGMENT_PCT,
         }
     }
 
@@ -100,6 +114,7 @@ impl ParallelConfig {
         ParallelConfig {
             threads: threads.max(1),
             strategy,
+            segment_pct: DEFAULT_SEGMENT_PCT,
         }
     }
 
@@ -116,15 +131,42 @@ impl ParallelConfig {
     /// Reads the `CGC_THREADS` environment variable: unset or unparsable
     /// means sequential, `0` or `max` means one thread per core, any other
     /// number is taken literally. This is how the CI matrix and the
-    /// experiment binaries select their thread count.
+    /// experiment binaries select their thread count. `CGC_SEG_THRESHOLD`
+    /// (a percentage, see [`Self::with_segment_threshold`]) overrides the
+    /// hub-segmentation threshold the same way.
     pub fn from_env() -> Self {
-        match std::env::var("CGC_THREADS") {
+        let cfg = match std::env::var("CGC_THREADS") {
             Err(_) => Self::serial(),
             Ok(s) => match s.trim() {
                 "max" | "0" => Self::max_parallel(),
                 other => Self::with_threads(other.parse::<usize>().unwrap_or(1)),
             },
+        };
+        match std::env::var("CGC_SEG_THRESHOLD") {
+            Err(_) => cfg,
+            Ok(s) => match s.trim().parse::<u16>() {
+                Ok(pct) => cfg.with_segment_threshold(pct),
+                Err(_) => cfg,
+            },
         }
+    }
+
+    /// Returns this config with the hub-segmentation threshold set to
+    /// `pct` percent of the per-shard entry target (`total entries /
+    /// threads`). [`SegmentedPlan::plan_csr`] segments a CSR iff some row's
+    /// entry count exceeds that fraction; `0` forces segmentation on any
+    /// CSR with entries (used by the differential suites to exercise the
+    /// segmented path on instances with no real hub).
+    pub fn with_segment_threshold(mut self, pct: u16) -> Self {
+        self.segment_pct = pct;
+        self
+    }
+
+    /// The hub-segmentation threshold, in percent of the per-shard entry
+    /// target (default 100).
+    #[inline]
+    pub fn segment_threshold_pct(&self) -> u16 {
+        self.segment_pct
     }
 
     /// Configured worker count (≥ 1).
@@ -209,6 +251,15 @@ impl ShardPlan {
     /// (CSR degrees, cluster member counts, `H`-row widths). A pure
     /// function of `(prefix, shards)`, so plans are reproducible.
     ///
+    /// Because cuts land on item boundaries only, a single item heavier
+    /// than `total / shards` cannot be subdivided: each bound **retargets**
+    /// against the mass actually remaining (rather than walking fixed
+    /// absolute targets, which let a hub absorb several shards' quotas and
+    /// silently yielded empty shards around it), so the rows *after* a hub
+    /// still split evenly across the remaining shards. The shard holding
+    /// the hub still carries at least the hub's whole mass — that is the
+    /// row-granularity floor [`SegmentedPlan`] exists to break.
+    ///
     /// # Panics
     ///
     /// Panics when `prefix` is empty.
@@ -219,13 +270,18 @@ impl ShardPlan {
             return Self::serial(n);
         }
         let base = prefix[0];
-        let total = (prefix[n] - base) + n;
+        let mass = |v: usize| (prefix[v] - base) + v;
+        let total = mass(n);
         let mut bounds = Vec::with_capacity(shards + 1);
         bounds.push(0);
         let mut v = 0usize;
         for s in 1..shards {
-            let target = s * total / shards;
-            while v < n && (prefix[v] - base) + v < target {
+            // Give this shard an even share of what is left, not of the
+            // original total: after a hub overflows its share, the
+            // remaining shards re-balance over the remaining mass.
+            let consumed = mass(v);
+            let target = consumed + (total - consumed) / (shards - s + 1);
+            while v < n && mass(v) < target {
                 v += 1;
             }
             bounds.push(v.min(n));
@@ -237,11 +293,10 @@ impl ShardPlan {
                 bounds[i] = bounds[i - 1];
             }
         }
-        // Collapse empty shards (duplicate bounds): a heavy prefix head can
-        // absorb several shard targets, and dispatching an empty shard
-        // wakes — or, on the scoped fallback, spawns — a worker that does
-        // nothing, every round. Dropping one removes only a no-op slot:
-        // the kept shards' item ranges are unchanged, so fills and
+        // Collapse empty shards (duplicate bounds): dispatching an empty
+        // shard wakes — or, on the scoped fallback, spawns — a worker that
+        // does nothing, every round. Dropping one removes only a no-op
+        // slot: the kept shards' item ranges are unchanged, so fills and
         // shard-ordered reductions produce bit-identical results.
         bounds.dedup();
         ShardPlan { bounds }
@@ -270,6 +325,340 @@ impl ShardPlan {
     pub fn n_vertices(&self) -> usize {
         *self.bounds.last().unwrap()
     }
+}
+
+/// A shard plan that may cut **inside** a CSR row: segment `s` covers the
+/// half-open entry range `cut(s)..cut(s + 1)`, where a cut is a `(row,
+/// entry)` position in the CSR (entry coordinates are absolute indices
+/// into the adjacency arena). Rows lighter than the per-segment target
+/// are never split, so the common case degenerates to row boundaries; a
+/// hub row heavier than one segment's share is divided into consecutive
+/// *fragments*, one per segment that overlaps it.
+///
+/// [`ShardPlan`] guarantees every row lives in exactly one shard, which
+/// is what lets `fill_sharded` hand each shard a disjoint output slice —
+/// and also what caps speedup at the heaviest row. `SegmentedPlan` trades
+/// that for a two-phase protocol: each segment folds its fragments into
+/// *partial* accumulators, and [`fold_rows_segmented`] merges the
+/// fragments of a split row **in ascending segment order** on the calling
+/// thread, so the result (and any `CostMeter` charge derived from it) is
+/// bit-identical to the serial left-to-right walk at any thread count.
+///
+/// Plans are pure functions of `(offsets, shards)` — reproducible, never
+/// load-dependent — like [`ShardPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentedPlan {
+    /// `cut(s) = (rows[s], entries[s])`; `n_segments() + 1` entries, the
+    /// first `(0, 0)` and the last `(n, offsets[n])`.
+    rows: Vec<usize>,
+    entries: Vec<usize>,
+    n_rows: usize,
+}
+
+impl SegmentedPlan {
+    /// Cuts the entry space `0..offsets[n]` into at most `shards` segments
+    /// of (near-)equal entry count, allowed to land inside a row. Cuts
+    /// that fall exactly on a row boundary are canonicalized to the
+    /// *start* of the following row, and duplicate cuts (possible only
+    /// when segments outnumber entries) collapse, so every segment is
+    /// nonempty in entry space unless the whole CSR is.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `offsets` is empty or `offsets[0] != 0` (entry
+    /// coordinates are absolute arena indices, so the prefix must be
+    /// rebased by the caller if it does not start at zero).
+    pub fn from_prefix(offsets: &[usize], shards: usize) -> Self {
+        let n = offsets.len() - 1;
+        assert_eq!(offsets[0], 0, "SegmentedPlan needs a zero-based prefix");
+        let n_entries = offsets[n];
+        let shards = shards.min(n_entries.max(1));
+        let mut rows = Vec::with_capacity(shards + 1);
+        let mut entries = Vec::with_capacity(shards + 1);
+        rows.push(0);
+        entries.push(0);
+        let mut row = 0usize;
+        for s in 1..shards {
+            let target = s * n_entries / shards;
+            // First row whose entries extend past the target; the cut
+            // lands at entry `target` inside (or at the start of) it.
+            while row < n && offsets[row + 1] <= target {
+                row += 1;
+            }
+            if rows.last() == Some(&row) && entries.last() == Some(&target) {
+                continue; // degenerate: fewer entries than segments
+            }
+            rows.push(row);
+            entries.push(target);
+        }
+        rows.push(n);
+        entries.push(n_entries);
+        SegmentedPlan {
+            rows,
+            entries,
+            n_rows: n,
+        }
+    }
+
+    /// The segmented plan for a CSR under `cfg`, or `None` when
+    /// row-granular sharding already balances it: segmentation engages
+    /// only when some row's entry count exceeds
+    /// [`ParallelConfig::segment_threshold_pct`] percent of the per-shard
+    /// entry target (`total entries / threads`). Serial configs never
+    /// segment. This is the gate every hot path consults once per
+    /// topology (plans are cached alongside the row-granular
+    /// [`ShardPlan`]), so balanced instances keep the cheaper
+    /// single-phase protocol.
+    pub fn plan_csr(offsets: &[usize], cfg: &ParallelConfig) -> Option<Self> {
+        if cfg.is_serial() {
+            return None;
+        }
+        let n = offsets.len() - 1;
+        let n_entries = offsets[n] - offsets[0];
+        if n == 0 || n_entries == 0 {
+            return None;
+        }
+        let per_shard = n_entries / cfg.threads();
+        let threshold = (per_shard as u128 * cfg.segment_threshold_pct() as u128 / 100) as usize;
+        let has_hub = (0..n).any(|v| offsets[v + 1] - offsets[v] > threshold);
+        if !has_hub {
+            return None;
+        }
+        Some(Self::from_prefix(offsets, cfg.threads()))
+    }
+
+    /// Number of segments.
+    #[inline]
+    pub fn n_segments(&self) -> usize {
+        self.rows.len() - 1
+    }
+
+    /// Number of CSR rows covered.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Cut `s` as a `(row, entry)` position; segment `s` spans
+    /// `cut(s)..cut(s + 1)`.
+    #[inline]
+    pub fn cut(&self, s: usize) -> (usize, usize) {
+        (self.rows[s], self.entries[s])
+    }
+
+    /// The entry range of segment `s`.
+    #[inline]
+    pub fn entry_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.entries[s]..self.entries[s + 1]
+    }
+}
+
+/// Clears `out` and refills it with one `T` per CSR row, folding row `v`'s
+/// entries `offsets[v]..offsets[v + 1]` left-to-right — segment-parallel
+/// under `plan`, with split rows reduced deterministically.
+///
+/// Per segment: a row owned from its start is folded `init(v)` then
+/// `scan(v, entries, acc)` and written straight to `out[v]`; a row whose
+/// start lies in an *earlier* segment (i.e. cut `s` landed inside it)
+/// contributes a partial accumulator, also built from `init(v)`, parked in
+/// a per-segment slot. A serial pass then merges each partial into its
+/// row's accumulator **in ascending segment order**, so the final value is
+/// `merge(..merge(frag_0, frag_1).., frag_k)` with fragments in entry
+/// order.
+///
+/// Bit-identity with the serial walk therefore requires `(init, scan,
+/// merge)` to satisfy `merge(a, fold(init(v), es)) == fold(a, es)` — i.e.
+/// `init(v)` is a left identity for the fold and `merge` continues it.
+/// Every monoid fold (max, sum, OR with `init` = identity) qualifies;
+/// folds whose `init` depends on already-accumulated state do not and must
+/// stay on the row-granular [`fill_sharded`].
+///
+/// The scratch arena is `n + n_segments` slots of one (re)used allocation
+/// (`out`'s spare capacity), so warm calls allocate nothing.
+pub fn fold_rows_segmented<T: Send>(
+    out: &mut Vec<T>,
+    plan: &SegmentedPlan,
+    pool: Option<&WorkerPool>,
+    offsets: &[usize],
+    init: impl Fn(usize) -> T + Sync,
+    scan: impl Fn(usize, std::ops::Range<usize>, &mut T) + Sync,
+    mut merge: impl FnMut(&mut T, T),
+) {
+    let n = plan.n_rows();
+    debug_assert_eq!(offsets.len(), n + 1);
+    let segs = plan.n_segments();
+    out.clear();
+    if segs <= 1 {
+        out.reserve(n);
+        let spare = &mut out.spare_capacity_mut()[..n];
+        for (v, cell) in spare.iter_mut().enumerate() {
+            let mut acc = init(v);
+            scan(v, offsets[v]..offsets[v + 1], &mut acc);
+            cell.write(acc);
+        }
+        // SAFETY: all n row slots were just written.
+        unsafe { out.set_len(n) };
+        return;
+    }
+    out.reserve(n + segs);
+    let spare = &mut out.spare_capacity_mut()[..n + segs];
+    let (row_slots, part_slots) = spare.split_at_mut(n);
+    {
+        let rows_base = SendPtr::new(row_slots.as_mut_ptr());
+        let parts_base = SendPtr::new(part_slots.as_mut_ptr());
+        for_each_shard(pool, segs, &|s| {
+            let (r0, e0) = plan.cut(s);
+            let (r1, e1) = plan.cut(s + 1);
+            // A cut inside row r0 means an earlier segment owns out[r0]:
+            // fold this segment's fragment of it into partial slot s.
+            let mut v = r0;
+            if e0 > offsets[r0] {
+                let frag_end = offsets[r0 + 1].min(e1);
+                let mut acc = init(r0);
+                scan(r0, e0..frag_end, &mut acc);
+                // SAFETY: partial slot s is written only by segment s.
+                unsafe { (*parts_base.get().add(s)).write(acc) };
+                v = r0 + 1;
+            }
+            // Rows owned from their start; disjoint across segments
+            // because consecutive segments' owned ranges tile 0..n.
+            while v < r1 {
+                let mut acc = init(v);
+                scan(v, offsets[v]..offsets[v + 1], &mut acc);
+                // SAFETY: row slot v is owned by exactly this segment.
+                unsafe { (*rows_base.get().add(v)).write(acc) };
+                v += 1;
+            }
+            // Head fragment of a row split by cut s + 1: this segment owns
+            // the row's start, so the (partial) fold goes to out[r1] and
+            // later segments' fragments merge into it.
+            if e1 > offsets[r1] && v <= r1 {
+                let mut acc = init(r1);
+                scan(r1, offsets[r1]..e1, &mut acc);
+                // SAFETY: as above — v <= r1 < n means this segment owns r1.
+                unsafe { (*rows_base.get().add(r1)).write(acc) };
+            }
+        });
+    }
+    // Serial merge pass: interior cuts in ascending s are exactly the
+    // split-row fragments in ascending entry order.
+    for (s, slot) in part_slots.iter().enumerate().skip(1) {
+        let (r, e) = plan.cut(s);
+        if e > offsets[r] {
+            // SAFETY: an interior cut s means segment s wrote partial slot
+            // s and some earlier segment wrote row slot r; each partial is
+            // consumed exactly once (cuts are strictly increasing).
+            let part = unsafe { slot.assume_init_read() };
+            let dst = unsafe { row_slots[r].assume_init_mut() };
+            merge(dst, part);
+        }
+    }
+    // SAFETY: all n row slots are initialized (every row is owned from its
+    // start by exactly one segment); the partial slots beyond index n were
+    // consumed by `assume_init_read` above and stay out of the length.
+    unsafe { out.set_len(n) };
+}
+
+/// [`fill_sharded_with_offsets`] under a [`SegmentedPlan`]: segment `s`
+/// owns entries `cut(s).1..cut(s + 1).1` of the arena and the row starts
+/// of the rows it owns from their start — a split row's start is copied by
+/// the segment holding its head. `fill` receives an absolute entry range
+/// that may begin or end mid-row; kernels must derive `(row, column)` from
+/// the entry index (the collect kernels do — entry `e` of row `v` is
+/// adjacency slot `e`), not assume range starts are row starts. Output is
+/// bit-identical to the row-granular fill because every entry is written
+/// by exactly one segment at its own index.
+pub fn fill_segmented_with_offsets<T: Send>(
+    out_offsets: &mut Vec<usize>,
+    out_data: &mut Vec<T>,
+    plan: &SegmentedPlan,
+    pool: Option<&WorkerPool>,
+    offsets: &[usize],
+    fill: impl Fn(std::ops::Range<usize>, &mut [MaybeUninit<T>]) + Sync,
+) {
+    let n = plan.n_rows();
+    debug_assert_eq!(offsets.len(), n + 1);
+    let n_entries = offsets[n];
+    out_offsets.clear();
+    out_offsets.reserve(n + 1);
+    out_data.clear();
+    out_data.reserve(n_entries);
+    let segs = plan.n_segments();
+    if segs <= 1 {
+        let offs_slot = &mut out_offsets.spare_capacity_mut()[..n];
+        for (v, cell) in offs_slot.iter_mut().enumerate() {
+            cell.write(offsets[v]);
+        }
+        fill(
+            0..n_entries,
+            &mut out_data.spare_capacity_mut()[..n_entries],
+        );
+    } else {
+        let offs_base = SendPtr::new(out_offsets.spare_capacity_mut()[..n].as_mut_ptr());
+        let data_base = SendPtr::new(out_data.spare_capacity_mut()[..n_entries].as_mut_ptr());
+        for_each_shard(pool, segs, &|s| {
+            let (r0, e0) = plan.cut(s);
+            let (r1, e1) = plan.cut(s + 1);
+            // Rows owned from their start (the tail fragment of a split
+            // row belongs to the segment holding its head).
+            let v0 = if e0 > offsets[r0] { r0 + 1 } else { r0 };
+            let v1 = if e1 > offsets[r1] { r1 + 1 } else { r1 };
+            for (v, &off) in (v0..v1).zip(&offsets[v0..v1]) {
+                // SAFETY: owned-row ranges tile 0..n across segments.
+                unsafe { (*offs_base.get().add(v)).write(off) };
+            }
+            if e1 > e0 {
+                // SAFETY: entry ranges are disjoint across segments.
+                let slot =
+                    unsafe { std::slice::from_raw_parts_mut(data_base.get().add(e0), e1 - e0) };
+                fill(e0..e1, slot);
+            }
+        });
+    }
+    // SAFETY: the owned-row ranges tile the offsets buffer and the entry
+    // ranges tile the arena; a panic on any segment propagates before
+    // these lines.
+    unsafe {
+        out_offsets.set_len(n);
+        out_data.set_len(n_entries);
+    }
+    out_offsets.push(offsets[n]);
+}
+
+/// Merges `k` consecutive sorted runs of `data` — `bounds` holds the
+/// `k + 1` run boundaries, `bounds[0] == 0` and `bounds[k] ==
+/// data.len()` — into one sorted whole via `scratch` (cleared, reused).
+/// The serial post-pass behind segmented per-row sorts: each segment
+/// sorts its fragment of a split row in parallel, then the fragments
+/// merge here. Stable merge with ties taken from the earlier run, so the
+/// result equals `data.sort()` for the orderings used (total orders on
+/// `Copy` keys).
+pub fn merge_sorted_runs<T: Ord + Copy>(data: &mut [T], bounds: &[usize], scratch: &mut Vec<T>) {
+    debug_assert!(bounds.len() >= 2);
+    debug_assert_eq!(bounds[0], 0);
+    debug_assert_eq!(*bounds.last().unwrap(), data.len());
+    if bounds.len() == 2 {
+        return;
+    }
+    scratch.clear();
+    scratch.reserve(data.len());
+    let k = bounds.len() - 1;
+    let mut heads: Vec<usize> = bounds[..k].to_vec();
+    loop {
+        let mut best: Option<(T, usize)> = None;
+        for (i, &h) in heads.iter().enumerate() {
+            if h < bounds[i + 1] {
+                let x = data[h];
+                if best.is_none_or(|(b, _)| x < b) {
+                    best = Some((x, i));
+                }
+            }
+        }
+        let Some((x, i)) = best else { break };
+        scratch.push(x);
+        heads[i] += 1;
+    }
+    data.copy_from_slice(scratch);
 }
 
 /// How many spin iterations a worker burns on the epoch counter before
@@ -1306,6 +1695,208 @@ mod tests {
             assert_eq!(counts.iter().sum::<u32>(), 10, "split={split}");
             assert_eq!(kway_merge_dedup(plain), expect_items, "split={split}");
         }
+    }
+
+    /// CSR offsets from explicit per-row degrees.
+    fn offsets_of(degs: &[usize]) -> Vec<usize> {
+        let mut offsets = vec![0usize];
+        for (v, &d) in degs.iter().enumerate() {
+            offsets.push(offsets[v] + d);
+        }
+        offsets
+    }
+
+    #[test]
+    fn from_prefix_retargets_around_a_hub() {
+        // One row of mass 1000 then 99 rows of mass 1. The fixed-target
+        // walk used to let the hub absorb every intermediate target,
+        // collapsing to 2 shards; retargeting re-balances the tail.
+        let mut prefix = vec![0usize];
+        for v in 0..100 {
+            prefix.push(prefix[v] + if v == 0 { 1000 } else { 1 });
+        }
+        let p = ShardPlan::from_prefix(&prefix, 4);
+        assert_eq!(p.n_shards(), 4, "post-hub rows must fill all shards");
+        for s in 0..p.n_shards() {
+            assert!(!p.range(s).is_empty(), "shard {s} empty: {:?}", p.bounds());
+        }
+        // The hub is alone in its shard; the ~99 tail rows split evenly.
+        assert_eq!(p.range(0), 0..1);
+        let tail_sizes: Vec<usize> = (1..4).map(|s| p.range(s).len()).collect();
+        let (min, max) = (
+            *tail_sizes.iter().min().unwrap(),
+            *tail_sizes.iter().max().unwrap(),
+        );
+        assert!(max - min <= 1, "tail imbalance: {tail_sizes:?}");
+    }
+
+    #[test]
+    fn segmented_plan_cuts_inside_the_hub_row() {
+        // The satellite pin: the degenerate prefix that row-granular
+        // sharding cannot balance (one row heavier than total / shards) is
+        // exactly balanced by the segmented plan.
+        let mut offsets = vec![0usize];
+        for v in 0..100 {
+            offsets.push(offsets[v] + if v == 0 { 1000 } else { 1 });
+        }
+        let p = SegmentedPlan::from_prefix(&offsets, 4);
+        assert_eq!(p.n_segments(), 4);
+        assert_eq!(p.n_rows(), 100);
+        assert_eq!(p.cut(0), (0, 0));
+        assert_eq!(p.cut(4), (100, 1099));
+        let sizes: Vec<usize> = (0..4).map(|s| p.entry_range(s).len()).collect();
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+        assert!(
+            (max as f64) / (min as f64) < 1.5,
+            "segment entry masses {sizes:?} not balanced"
+        );
+        // The first three cuts are interior to the hub row.
+        for s in 1..=3 {
+            let (r, e) = p.cut(s);
+            assert_eq!(r, 0, "cut {s} row");
+            assert!(e > offsets[0] && e < offsets[1], "cut {s} not interior");
+        }
+    }
+
+    #[test]
+    fn segmented_plan_gate_engages_only_on_hubs() {
+        let hub = offsets_of(&[1000, 1, 1, 1]);
+        let flat = offsets_of(&[5, 5, 5, 5]);
+        let par4 = ParallelConfig::with_threads(4);
+        assert!(SegmentedPlan::plan_csr(&hub, &par4).is_some());
+        assert!(SegmentedPlan::plan_csr(&flat, &par4).is_none());
+        assert!(SegmentedPlan::plan_csr(&hub, &ParallelConfig::serial()).is_none());
+        // pct = 0 forces segmentation on any CSR with entries.
+        assert!(SegmentedPlan::plan_csr(&flat, &par4.with_segment_threshold(0)).is_some());
+        // An empty CSR never segments.
+        assert!(SegmentedPlan::plan_csr(&offsets_of(&[0, 0]), &par4).is_none());
+    }
+
+    #[test]
+    fn fold_rows_segmented_matches_serial_fold() {
+        // Hub at the front, middle and end; enough segments that rows are
+        // split into head / middle / tail fragments.
+        for degs in [
+            vec![40usize, 1, 0, 2, 1],
+            vec![1, 2, 40, 0, 3],
+            vec![2, 0, 1, 1, 40],
+            vec![7, 7, 7, 7, 7],
+        ] {
+            let offsets = offsets_of(&degs);
+            let n = degs.len();
+            let expect: Vec<u64> = (0..n)
+                .map(|v| {
+                    (offsets[v]..offsets[v + 1])
+                        .map(|e| (e as u64).wrapping_mul(0x9E37_79B9))
+                        .fold(v as u64, u64::wrapping_add)
+                })
+                .collect();
+            for shards in [1, 2, 4, 8, 16] {
+                let plan = SegmentedPlan::from_prefix(&offsets, shards);
+                let mut out: Vec<u64> = Vec::new();
+                fold_rows_segmented(
+                    &mut out,
+                    &plan,
+                    None,
+                    &offsets,
+                    |v| v as u64,
+                    |_v, es, acc| {
+                        for e in es {
+                            *acc = acc.wrapping_add((e as u64).wrapping_mul(0x9E37_79B9));
+                        }
+                    },
+                    |a, b| *a = a.wrapping_add(b),
+                );
+                // init(v) = v is NOT the fold identity, so each interior
+                // fragment contributes one extra copy of it — exactly the
+                // documented deviation for non-monoid folds. Adjust the
+                // serial expectation accordingly (the monoid test below
+                // checks the bit-identical case).
+                let mut expect_adj = expect.clone();
+                for s in 1..plan.n_segments() {
+                    let (r, e) = plan.cut(s);
+                    if e > offsets[r] {
+                        expect_adj[r] = expect_adj[r].wrapping_add(r as u64);
+                    }
+                }
+                assert_eq!(out, expect_adj, "degs={degs:?} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_rows_segmented_monoid_is_partition_independent() {
+        // With an identity init (the monoid case the ClusterNet wrappers
+        // use), every segment count gives the bit-identical serial answer.
+        let offsets = offsets_of(&[100, 3, 0, 7, 1, 50]);
+        let n = offsets.len() - 1;
+        let val = |e: usize| (e as u64).wrapping_mul(0xD134_2543_DE82_EF95) >> 8;
+        let expect: Vec<u64> = (0..n)
+            .map(|v| (offsets[v]..offsets[v + 1]).map(val).max().unwrap_or(0))
+            .collect();
+        for shards in [1, 2, 3, 4, 8, 32] {
+            let plan = SegmentedPlan::from_prefix(&offsets, shards);
+            let mut out: Vec<u64> = Vec::new();
+            fold_rows_segmented(
+                &mut out,
+                &plan,
+                None,
+                &offsets,
+                |_| 0u64,
+                |_, es, acc| {
+                    for e in es {
+                        *acc = (*acc).max(val(e));
+                    }
+                },
+                |a, b| *a = (*a).max(b),
+            );
+            assert_eq!(out, expect, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn fill_segmented_with_offsets_matches_row_granular() {
+        let offsets = offsets_of(&[60, 2, 0, 3, 1, 2]);
+        let n = offsets.len() - 1;
+        let n_entries = offsets[n];
+        let expect: Vec<u64> = (0..n_entries as u64).map(|e| e * 31).collect();
+        for shards in [1, 2, 4, 8] {
+            let plan = SegmentedPlan::from_prefix(&offsets, shards);
+            let mut out_offsets: Vec<usize> = Vec::new();
+            let mut out_data: Vec<u64> = Vec::new();
+            fill_segmented_with_offsets(
+                &mut out_offsets,
+                &mut out_data,
+                &plan,
+                None,
+                &offsets,
+                |es, slot| {
+                    for (i, cell) in slot.iter_mut().enumerate() {
+                        cell.write((es.start + i) as u64 * 31);
+                    }
+                },
+            );
+            assert_eq!(out_offsets, offsets, "shards={shards}");
+            assert_eq!(out_data, expect, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn merge_sorted_runs_equals_full_sort() {
+        let mut data: Vec<u32> = vec![5, 9, 12, 1, 3, 8, 11, 0, 2, 7];
+        let bounds = [0usize, 3, 7, 10];
+        for b in bounds.windows(2) {
+            data[b[0]..b[1]].sort_unstable();
+        }
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let mut scratch = Vec::new();
+        merge_sorted_runs(&mut data, &bounds, &mut scratch);
+        assert_eq!(data, expect);
+        // Degenerate single run is a no-op.
+        let mut one = vec![3u32, 1, 2];
+        merge_sorted_runs(&mut one, &[0, 3], &mut scratch);
+        assert_eq!(one, vec![3, 1, 2]);
     }
 
     #[test]
