@@ -17,7 +17,8 @@ use std::fmt::Write as _;
 use std::sync::Mutex;
 
 /// Tables emitted to the `CGC_TABLE_JSON` file so far in this process —
-/// the file is rewritten whole on every emission, staying valid JSON.
+/// every emission atomically replaces the file with the accumulated
+/// document, so it is always complete, valid JSON.
 static EMITTED_TABLES: Mutex<Vec<Json>> = Mutex::new(Vec::new());
 
 /// An experiment table printed aligned and as CSV, with a mandatory
@@ -100,13 +101,16 @@ impl Table {
 
     /// Appends this table to the `cgc-bench/v1` JSON document at `path`:
     /// all tables emitted by this process so far are accumulated and the
-    /// file is rewritten whole, so it is always valid JSON (one `tables`
-    /// array inside the shared envelope). One file per process — a later
-    /// path simply receives every table emitted so far.
+    /// file is **atomically replaced** (written to a temp file in the same
+    /// directory, then renamed over `path`), so a concurrent reader always
+    /// sees a complete, valid JSON document — never a truncated
+    /// mid-rewrite one. One file per process — a later path simply
+    /// receives every table emitted so far.
     ///
-    /// # Panics
-    ///
-    /// Panics when the path is not writable.
+    /// Telemetry must not take a serving process down: on I/O failure the
+    /// emission is dropped with a one-time stderr warning instead of
+    /// panicking (unlike [`write_json`], whose callers name their output
+    /// file explicitly and want the loud failure).
     pub fn emit_json(&self, path: &str) {
         let mut acc = EMITTED_TABLES
             .lock()
@@ -116,7 +120,15 @@ impl Table {
             ParallelConfig::from_env().threads(),
             vec![("tables", Json::Arr(acc.clone()))],
         );
-        write_json(path, &doc);
+        if let Err(e) = try_write_json(path, &doc) {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "cgc_bench: cannot write CGC_TABLE_JSON file {path}: {e} \
+                     (table telemetry dropped; warning once per process)"
+                );
+            });
+        }
     }
 
     fn print_aligned_csv(&self) {
@@ -345,13 +357,47 @@ pub fn bench_report(threads: usize, sections: Vec<(&str, Json)>) -> Json {
     Json::obj(pairs)
 }
 
-/// Writes a pretty-printed JSON document.
+/// Writes a pretty-printed JSON document atomically: the document goes to
+/// a temp file in the target's directory, then renames over `path`, so a
+/// reader concurrent with the write sees either the old complete document
+/// or the new one — never a truncation.
+///
+/// # Errors
+///
+/// Any I/O error from the temp write or the rename (the temp file is
+/// cleaned up on a failed rename).
+pub fn try_write_json(path: &str, json: &Json) -> std::io::Result<()> {
+    let target = std::path::Path::new(path);
+    let dir = match target.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => std::path::Path::new("."),
+    };
+    let file = target
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("cgc_json");
+    // Per-process temp name: concurrent *processes* each rename their own
+    // complete document (last one wins whole); threads within a process
+    // serialize above via EMITTED_TABLES.
+    let tmp = dir.join(format!(".{file}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, json.pretty())?;
+    if let Err(e) = std::fs::rename(&tmp, target) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Writes a pretty-printed JSON document (atomically, via
+/// [`try_write_json`]).
 ///
 /// # Panics
 ///
-/// Panics when the path is not writable.
+/// Panics when the path is not writable — callers name their output file
+/// explicitly (`BENCH_PR*.json`) and want the loud failure; env-driven
+/// telemetry goes through [`Table::emit_json`], which warns instead.
 pub fn write_json(path: &str, json: &Json) {
-    std::fs::write(path, json.pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    try_write_json(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
 }
 
 /// Formats a float with 3 decimals.
@@ -420,6 +466,37 @@ mod tests {
         assert!(s.contains("\"threads\": 4"));
         assert!(s.contains("gnp:n=10,p=0.5,seed=1"));
         assert!(s.contains("\"workload\""));
+    }
+
+    #[test]
+    fn emit_json_survives_an_unwritable_path() {
+        // Telemetry must not take the process down: a nonexistent target
+        // directory warns on stderr instead of panicking.
+        let mut t = Table::new("emit-unwritable", &["x"]);
+        t.row("gnp:n=10,p=0.5,seed=1", vec!["1".into()]);
+        t.emit_json("/nonexistent-cgc-dir/sub/tables.json");
+    }
+
+    #[test]
+    fn write_json_is_atomic_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cgc_atomic_write_{}.json", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        write_json(path_str, &Json::obj(vec![("k", Json::from(1u64))]));
+        write_json(path_str, &Json::obj(vec![("k", Json::from(2u64))]));
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.contains("\"k\": 2"), "rename replaced the document");
+        let leftover: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(&format!("cgc_atomic_write_{}.json.tmp", std::process::id())))
+            .collect();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            leftover.is_empty(),
+            "temp files must not linger: {leftover:?}"
+        );
     }
 
     #[test]

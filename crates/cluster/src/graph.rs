@@ -392,6 +392,34 @@ impl ClusterGraph {
         &self.comm
     }
 
+    /// Approximate heap footprint in bytes of the built instance — the
+    /// communication network, assignment, support trees, `H` adjacency and
+    /// the link/edge tables (element counts × element sizes; capacity
+    /// slack and allocator overhead are ignored, so the figure is
+    /// deterministic for a given instance). This is the weight a graph
+    /// cache's byte budget charges per entry.
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of_val;
+        let trees: usize = self
+            .support
+            .iter()
+            .map(|t| {
+                size_of_val(&t.machines[..])
+                    + size_of_val(&t.parent[..])
+                    + size_of_val(&t.depth[..])
+            })
+            .sum();
+        self.comm.approx_heap_bytes()
+            + size_of_val(&self.assignment[..])
+            + trees
+            + size_of_val(&self.h_offsets[..])
+            + size_of_val(&self.h_adj[..])
+            + size_of_val(&self.links[..])
+            + size_of_val(&self.edges[..])
+            + size_of_val(&self.edge_mult[..])
+            + size_of_val(&self.edge_offsets[..])
+    }
+
     /// Number of nodes of `H`.
     #[inline]
     pub fn n_vertices(&self) -> usize {

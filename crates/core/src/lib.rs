@@ -26,7 +26,13 @@
 //!   own a [`cgc_graphs::WorkloadSpec`]-addressed instance, cache its
 //!   build across runs, and bundle each run into a [`RunOutcome`] with
 //!   timings and thread context. Preferred over calling the driver
-//!   directly.
+//!   directly;
+//! * [`serve`] — the multi-tenant session server:
+//!   [`SessionServer`](serve::SessionServer) multiplexes concurrent run
+//!   requests over the shared worker pool with a content-addressed graph
+//!   cache (LRU byte/entry budget), single-flight builds and admission
+//!   control on cold builds. Served runs are bit-identical to standalone
+//!   [`Session`] runs.
 //!
 //! # Quickstart
 //!
@@ -55,6 +61,7 @@ pub mod params;
 pub mod putaside;
 pub mod rounds;
 pub mod sct;
+pub mod serve;
 pub mod session;
 pub mod slackgen;
 pub mod trycolor;
@@ -66,5 +73,6 @@ pub use driver::{
 };
 pub use palette_query::CliquePalette;
 pub use params::{Ablation, Params};
+pub use serve::{ServeOutcome, ServerConfig, ServerStats, SessionServer};
 pub use session::{ParamsProfile, RunOutcome, Session, SessionBuilder};
 pub use validate::{coloring_stats, ColoringStats};

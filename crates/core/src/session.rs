@@ -205,7 +205,7 @@ impl SessionBuilder {
     }
 }
 
-fn derive_params(
+pub(crate) fn derive_params(
     profile: ParamsProfile,
     n: usize,
     ablation: Option<Ablation>,
@@ -222,6 +222,29 @@ fn derive_params(
         params.delta_low = dl;
     }
     params
+}
+
+/// The one shared coloring path: a fresh metered runtime over `graph`,
+/// the driver with `params`/`seed`, and the wall-clock of the run. Both
+/// [`Session::run`] and the multi-tenant server
+/// ([`crate::serve::SessionServer`]) call this, so a served run is
+/// bit-identical to a standalone session run by construction.
+pub(crate) fn run_coloring_on(
+    graph: &ClusterGraph,
+    params: &Params,
+    beta: u64,
+    parallel: ParallelConfig,
+    oracle_acd: bool,
+    seed: u64,
+) -> (RunResult, f64) {
+    let mut net = ClusterNet::with_log_budget_parallel(graph, beta, parallel);
+    let opts = DriverOptions {
+        oracle_acd,
+        parallel,
+    };
+    let start = Instant::now();
+    let run = color_cluster_graph_with(&mut net, params, seed, opts);
+    (run, start.elapsed().as_secs_f64())
 }
 
 /// A reusable coloring session: the built instance plus every run knob.
@@ -342,14 +365,14 @@ impl Session {
     /// pairs produce bit-identical colorings and cost reports at any
     /// thread count.
     pub fn run(&mut self, seed: u64) -> RunOutcome {
-        let mut net = self.make_net();
-        let opts = DriverOptions {
-            oracle_acd: self.oracle_acd,
-            parallel: self.parallel,
-        };
-        let start = Instant::now();
-        let run = color_cluster_graph_with(&mut net, &self.params, seed, opts);
-        let color_secs = start.elapsed().as_secs_f64();
+        let (run, color_secs) = run_coloring_on(
+            &self.graph,
+            &self.params,
+            self.beta,
+            self.parallel,
+            self.oracle_acd,
+            seed,
+        );
         let graph_cached = self.runs_on_graph > 0;
         self.runs_on_graph += 1;
         let setup_or_zero = |secs: f64| if graph_cached { 0.0 } else { secs };

@@ -1,0 +1,208 @@
+//! Multi-tenant differential suite for [`cgc_core::serve`]: concurrent
+//! tenants hammering one [`SessionServer`] must (a) trigger exactly one
+//! build per distinct spec — the single-flight / build-counter pin that
+//! proves the cache-hit path never rebuilds — and (b) receive results
+//! bit-identical to standalone [`Session`] runs with the same spec,
+//! seed and thread count. Admission control must serialize cold builds
+//! without deadlocking or changing any result.
+
+use cgc_cluster::ParallelConfig;
+use cgc_core::{ServerConfig, SessionBuilder, SessionServer};
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+
+const SPECS: [&str; 3] = [
+    "gnp:n=140,p=0.05,seed=11",
+    "gnp:n=120,p=0.07,seed=12,layout=star3",
+    "cabal:c=2,k=14,anti=2,ext=3,seed=13",
+];
+
+/// Standalone ground truth: one `Session` per spec, every seed run on
+/// the session's cached graph.
+fn standalone_truth(
+    parallel: ParallelConfig,
+    seeds: &[u64],
+) -> HashMap<(String, u64), cgc_core::RunOutcome> {
+    let mut truth = HashMap::new();
+    for spec in SPECS {
+        let mut session = SessionBuilder::parse(spec)
+            .unwrap()
+            .parallel(parallel)
+            .build();
+        for &seed in seeds {
+            truth.insert((spec.to_string(), seed), session.run(seed));
+        }
+    }
+    truth
+}
+
+#[test]
+fn concurrent_tenants_get_one_build_per_spec_and_standalone_results() {
+    let parallel = ParallelConfig::from_env();
+    let seeds: Vec<u64> = (1..=4).collect();
+    let truth = standalone_truth(parallel, &seeds);
+
+    let server = Arc::new(SessionServer::new(
+        ServerConfig::default().parallel(parallel),
+    ));
+    let tenants = 6;
+    let barrier = Arc::new(Barrier::new(tenants));
+    let mut handles = Vec::new();
+    for t in 0..tenants {
+        let server = Arc::clone(&server);
+        let barrier = Arc::clone(&barrier);
+        let seeds = seeds.clone();
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut got = Vec::new();
+            // Each tenant walks the specs in a different order so cold
+            // requests for every spec contend from the first instant.
+            for i in 0..SPECS.len() {
+                let spec = SPECS[(t + i) % SPECS.len()];
+                for &seed in &seeds {
+                    got.push((spec.to_string(), seed, server.run_str(spec, seed).unwrap()));
+                }
+            }
+            got
+        }));
+    }
+    let mut served = 0u64;
+    for handle in handles {
+        for (spec, seed, out) in handle.join().expect("tenant thread must not panic") {
+            let want = &truth[&(spec.clone(), seed)];
+            assert_eq!(
+                out.outcome.run.coloring, want.run.coloring,
+                "served coloring differs from standalone for {spec} seed {seed}"
+            );
+            assert_eq!(
+                out.outcome.run.report, want.run.report,
+                "served cost report differs from standalone for {spec} seed {seed}"
+            );
+            assert_eq!(out.outcome.spec_string, spec);
+            served += 1;
+        }
+    }
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.builds_started,
+        SPECS.len() as u64,
+        "single-flight must collapse every tenant onto one build per spec"
+    );
+    assert_eq!(stats.cache_hits + stats.cache_misses, served);
+    assert_eq!(stats.cached_entries, SPECS.len());
+    assert_eq!(stats.evictions, 0);
+}
+
+#[test]
+fn contending_cold_requests_for_one_spec_build_once() {
+    let server = Arc::new(SessionServer::new(
+        ServerConfig::default().parallel(ParallelConfig::serial()),
+    ));
+    let tenants = 8;
+    let barrier = Arc::new(Barrier::new(tenants));
+    let handles: Vec<_> = (0..tenants)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                server
+                    .run_str("gnp:n=160,p=0.05,seed=21", t as u64)
+                    .unwrap()
+            })
+        })
+        .collect();
+    let outs: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let stats = server.stats();
+    assert_eq!(stats.builds_started, 1, "one cold build for one hot spec");
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        tenants as u64,
+        "every request is tallied exactly once"
+    );
+    // The winner reports a miss; everyone who overlapped the build
+    // coalesced; late arrivals are plain hits. All three classes must
+    // agree on the graph — identical seeds would give identical runs.
+    for out in &outs {
+        assert!(out.outcome.run.coloring.is_total());
+        assert!(u64::from(out.cache_hit) + u64::from(out.coalesced) <= 1);
+    }
+    assert_eq!(
+        outs.iter().filter(|o| !o.cache_hit && !o.coalesced).count(),
+        1,
+        "exactly one tenant pays the cold build"
+    );
+}
+
+#[test]
+fn admission_bound_of_one_serializes_distinct_cold_builds_without_deadlock() {
+    let server = Arc::new(SessionServer::new(
+        ServerConfig::default()
+            .parallel(ParallelConfig::serial())
+            .max_concurrent_builds(1),
+    ));
+    let barrier = Arc::new(Barrier::new(SPECS.len()));
+    let handles: Vec<_> = SPECS
+        .iter()
+        .map(|spec| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                server.run_str(spec, 3).unwrap()
+            })
+        })
+        .collect();
+    for handle in handles {
+        let out = handle.join().unwrap();
+        assert!(out.outcome.run.coloring.is_total());
+        assert!(out.admission_secs >= 0.0);
+    }
+    let stats = server.stats();
+    assert_eq!(stats.builds_started, SPECS.len() as u64);
+    assert_eq!(stats.cached_entries, SPECS.len());
+}
+
+#[test]
+fn eviction_under_concurrency_keeps_the_budget_and_the_results() {
+    let parallel = ParallelConfig::serial();
+    let server = Arc::new(SessionServer::new(
+        ServerConfig::default().parallel(parallel).max_entries(2),
+    ));
+    let truth = standalone_truth(parallel, &[7]);
+    let tenants = 4;
+    let barrier = Arc::new(Barrier::new(tenants));
+    let handles: Vec<_> = (0..tenants)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut got = Vec::new();
+                for round in 0..3 {
+                    for i in 0..SPECS.len() {
+                        let spec = SPECS[(t + round + i) % SPECS.len()];
+                        got.push((spec, server.run_str(spec, 7).unwrap()));
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    for handle in handles {
+        for (spec, out) in handle.join().unwrap() {
+            let want = &truth[&(spec.to_string(), 7)];
+            assert_eq!(out.outcome.run.coloring, want.run.coloring);
+            assert_eq!(out.outcome.run.report, want.run.report);
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.cached_entries, 2, "budget holds under churn");
+    assert!(stats.evictions >= 1, "three specs through two slots evicts");
+    assert!(
+        stats.builds_started >= SPECS.len() as u64,
+        "every spec was built at least once"
+    );
+}

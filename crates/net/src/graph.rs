@@ -356,6 +356,16 @@ impl CommGraph {
         self.edges.len()
     }
 
+    /// Approximate heap footprint in bytes (element counts × element
+    /// sizes; capacity slack and allocator overhead are ignored, so the
+    /// figure is deterministic for a given graph). Used by cache byte
+    /// budgets.
+    pub fn approx_heap_bytes(&self) -> usize {
+        std::mem::size_of_val(&self.offsets[..])
+            + std::mem::size_of_val(&self.adj[..])
+            + std::mem::size_of_val(&self.edges[..])
+    }
+
     /// Degree of machine `v`.
     ///
     /// # Panics

@@ -129,24 +129,65 @@ impl ParallelConfig {
     }
 
     /// Reads the `CGC_THREADS` environment variable: unset or unparsable
-    /// means sequential, `0` or `max` means one thread per core, any other
-    /// number is taken literally. This is how the CI matrix and the
-    /// experiment binaries select their thread count. `CGC_SEG_THRESHOLD`
-    /// (a percentage, see [`Self::with_segment_threshold`]) overrides the
-    /// hub-segmentation threshold the same way.
+    /// means sequential (an unparsable value additionally warns once on
+    /// stderr, naming the value), `0` or `max` means one thread per core,
+    /// any other number is taken literally. This is how the CI matrix and
+    /// the experiment binaries select their thread count.
+    /// `CGC_SEG_THRESHOLD` (a percentage, see
+    /// [`Self::with_segment_threshold`]) overrides the hub-segmentation
+    /// threshold the same way — unparsable values keep the default and
+    /// warn once.
     pub fn from_env() -> Self {
-        let cfg = match std::env::var("CGC_THREADS") {
-            Err(_) => Self::serial(),
-            Ok(s) => match s.trim() {
+        Self::from_env_values(
+            std::env::var("CGC_THREADS").ok().as_deref(),
+            std::env::var("CGC_SEG_THRESHOLD").ok().as_deref(),
+        )
+    }
+
+    /// The pure core of [`Self::from_env`], taking the raw variable values
+    /// directly so the fallback rules are testable without mutating the
+    /// process environment. `None` means the variable is unset; an
+    /// unparsable `threads` falls back to [`Self::serial`] and an
+    /// unparsable `seg_threshold` keeps the default threshold — each warns
+    /// on stderr once per process, naming the rejected value, so a typo in
+    /// a service's environment degrades to the documented sequential
+    /// behavior instead of being silently misread.
+    pub fn from_env_values(threads: Option<&str>, seg_threshold: Option<&str>) -> Self {
+        static WARN_THREADS: std::sync::Once = std::sync::Once::new();
+        static WARN_SEG: std::sync::Once = std::sync::Once::new();
+        let cfg = match threads {
+            None => Self::serial(),
+            Some(s) => match s.trim() {
                 "max" | "0" => Self::max_parallel(),
-                other => Self::with_threads(other.parse::<usize>().unwrap_or(1)),
+                other => match other.parse::<usize>() {
+                    Ok(t) => Self::with_threads(t),
+                    Err(_) => {
+                        WARN_THREADS.call_once(|| {
+                            eprintln!(
+                                "cgc: unparsable CGC_THREADS={other:?}; \
+                                 falling back to sequential execution"
+                            );
+                        });
+                        Self::serial()
+                    }
+                },
             },
         };
-        match std::env::var("CGC_SEG_THRESHOLD") {
-            Err(_) => cfg,
-            Ok(s) => match s.trim().parse::<u16>() {
+        match seg_threshold {
+            None => cfg,
+            Some(s) => match s.trim().parse::<u16>() {
                 Ok(pct) => cfg.with_segment_threshold(pct),
-                Err(_) => cfg,
+                Err(_) => {
+                    WARN_SEG.call_once(|| {
+                        eprintln!(
+                            "cgc: unparsable CGC_SEG_THRESHOLD={:?}; \
+                             keeping the threshold at {}%",
+                            s.trim(),
+                            cfg.segment_threshold_pct()
+                        );
+                    });
+                    cfg
+                }
             },
         }
     }
@@ -721,6 +762,13 @@ unsafe impl Send for SendJob {}
 /// rounds (no per-round spawning).
 static POOL_THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
 
+/// Counts every pool worker thread that has exited (shutdown or drop).
+/// `spawned - exited` is the number of live pool threads — the
+/// pool-lifecycle suite pins that growth-by-replacement of
+/// [`WorkerPool::global`] does not leak retired, permanently parked
+/// worker sets.
+static POOL_THREADS_EXITED: AtomicU64 = AtomicU64::new(0);
+
 /// Counts every one-shot scoped thread ever spawned by
 /// [`for_each_shard`]'s fallback path. A pooled hot loop must not move
 /// this either: a dispatch that silently misses the pool (lost pool
@@ -786,7 +834,12 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// shared freely (it is — via [`WorkerPool::global`]).
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Unpark handles, one per worker — immutable after construction, so
+    /// the hot dispatch path wakes workers without taking any lock.
+    threads: Vec<std::thread::Thread>,
+    /// Join handles, drained by [`WorkerPool::shutdown`] (which the global
+    /// cache invokes when growth retires this pool) or by `Drop`.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Serializes dispatches from concurrent callers.
     dispatch: Mutex<()>,
 }
@@ -794,7 +847,7 @@ pub struct WorkerPool {
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
-            .field("workers", &self.handles.len())
+            .field("workers", &self.threads.len())
             .finish()
     }
 }
@@ -818,7 +871,7 @@ impl WorkerPool {
             done: Mutex::new(()),
             done_cv: Condvar::new(),
         });
-        let handles = (0..workers)
+        let handles: Vec<std::thread::JoinHandle<()>> = (0..workers)
             .map(|w| {
                 let shared = Arc::clone(&shared);
                 POOL_THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
@@ -828,9 +881,11 @@ impl WorkerPool {
                     .expect("spawning a pool worker")
             })
             .collect();
+        let threads = handles.iter().map(|h| h.thread().clone()).collect();
         WorkerPool {
             shared,
-            handles,
+            threads,
+            handles: Mutex::new(handles),
             dispatch: Mutex::new(()),
         }
     }
@@ -840,13 +895,14 @@ impl WorkerPool {
     /// needs no pool and returns `None`. Every runtime acquiring through
     /// here shares the same parked workers.
     ///
-    /// Growing replaces the cached pool with a fresh, larger one; a runtime
-    /// still holding an `Arc` to the old pool keeps that pool's parked
-    /// workers alive until it drops the handle. An ascending thread sweep
-    /// that holds every runtime alive simultaneously therefore accumulates
-    /// one retired (idle, parked) worker set per growth step — acquire the
-    /// pool at the sweep's widest count first, or drop narrower runtimes
-    /// before widening, to keep a single worker set.
+    /// Growing replaces the cached pool with a fresh, larger one and
+    /// **shuts the retired pool down** ([`WorkerPool::shutdown`]): its
+    /// workers are unparked, terminated and joined, so an ascending thread
+    /// sweep never accumulates retired parked worker sets — live pool
+    /// threads always equal the final capacity. A runtime still holding an
+    /// `Arc` to a retired pool stays *correct*: its dispatches fall back
+    /// to one-shot scoped threads (see [`WorkerPool::run`]) — re-acquire
+    /// through here to get back on parked workers.
     pub fn global(threads: usize) -> Option<Arc<WorkerPool>> {
         if threads <= 1 {
             return None;
@@ -858,20 +914,64 @@ impl WorkerPool {
             }
         }
         let pool = Arc::new(WorkerPool::new(threads));
-        *cached = Some(Arc::clone(&pool));
+        let retired = cached.replace(Arc::clone(&pool));
+        drop(cached);
+        // The cache lock is released before joining the retired workers: a
+        // job still running on the old pool may itself call
+        // `WorkerPool::global`, and joining under the cache lock would
+        // deadlock against it.
+        if let Some(old) = retired {
+            old.shutdown();
+        }
         Some(pool)
+    }
+
+    /// Terminates and joins this pool's workers: sets the shutdown flag,
+    /// unparks everyone, and blocks until every worker thread exited.
+    /// Serialized against in-flight dispatches, so a round in progress
+    /// completes first. Idempotent. After shutdown, [`WorkerPool::run`]
+    /// falls back to one-shot scoped threads, so `Arc` holders that missed
+    /// the retirement stay correct (they just lose the parked-worker fast
+    /// path). Invoked by [`WorkerPool::global`] when growth retires a pool,
+    /// and by `Drop`.
+    pub fn shutdown(&self) {
+        let _round = lock_ignore_poison(&self.dispatch);
+        self.shared.shutdown.store(true, Ordering::Release);
+        let mut handles = lock_ignore_poison(&self.handles);
+        for h in handles.iter() {
+            h.thread().unpark();
+        }
+        for h in handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Whether [`WorkerPool::shutdown`] ran (the pool was retired by
+    /// global-cache growth or explicitly shut down); dispatches now take
+    /// the scoped-thread fallback.
+    pub fn is_shut_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
     }
 
     /// Maximum shard slots one dispatch serves (workers + the caller).
     #[inline]
     pub fn max_shards(&self) -> usize {
-        self.handles.len() + 1
+        self.threads.len() + 1
     }
 
     /// Total pool worker threads ever spawned in this process — a
     /// regression sentinel: warm pooled rounds must not move it.
     pub fn total_threads_spawned() -> u64 {
         POOL_THREADS_SPAWNED.load(Ordering::Relaxed)
+    }
+
+    /// Pool worker threads currently alive in this process (spawned minus
+    /// exited, across every pool). The pool-lifecycle suite pins that
+    /// growing [`WorkerPool::global`] keeps this equal to the final
+    /// capacity's worker count instead of leaking one parked set per
+    /// growth step.
+    pub fn live_threads() -> u64 {
+        POOL_THREADS_SPAWNED.load(Ordering::Relaxed) - POOL_THREADS_EXITED.load(Ordering::Relaxed)
     }
 
     /// Runs `job(slot)` once per slot in `0..shards` — slot 0 inline on
@@ -892,6 +992,12 @@ impl WorkerPool {
     /// Nested sharded work inside a job should go through
     /// [`for_each_shard`], which detects the nesting and falls back to
     /// one-shot scoped threads.
+    ///
+    /// On a **shut-down** pool (retired by [`WorkerPool::global`] growth)
+    /// the workers are gone, so the round runs on one-shot scoped threads
+    /// instead — correct, just not pooled (and visible in
+    /// [`total_scoped_threads_spawned`], so benches catch a hot loop stuck
+    /// on a retired pool).
     ///
     /// # Panics
     ///
@@ -918,7 +1024,21 @@ impl WorkerPool {
             job(0);
             return;
         }
-        let _round = lock_ignore_poison(&self.dispatch);
+        let round = lock_ignore_poison(&self.dispatch);
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            // Retired pool: its workers are joined, so publishing a round
+            // would wait forever. Scoped threads keep the caller correct.
+            drop(round);
+            SCOPED_THREADS_SPAWNED.fetch_add(shards as u64 - 1, Ordering::Relaxed);
+            std::thread::scope(|scope| {
+                for s in 1..shards {
+                    scope.spawn(move || job(s));
+                }
+                job(0);
+            });
+            return;
+        }
+        let _round = round;
         let shared = &*self.shared;
         shared.remaining.store(workers, Ordering::Release);
         // SAFETY: every worker the previous round used is quiescent (its
@@ -942,8 +1062,8 @@ impl WorkerPool {
         let cur = shared.epoch.load(Ordering::Relaxed);
         let next = (((cur >> ACTIVE_BITS) + 1) << ACTIVE_BITS) | workers as u64;
         shared.epoch.store(next, Ordering::Release);
-        for h in &self.handles[..workers] {
-            h.thread().unpark();
+        for t in &self.threads[..workers] {
+            t.unpark();
         }
         let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _busy = PoolJobGuard::enter();
@@ -984,17 +1104,21 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        for h in &self.handles {
-            h.thread().unpark();
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.shutdown();
     }
 }
 
 fn worker_loop(shared: &PoolShared, slot: usize) {
+    // Count this worker as exited however the loop unwinds (shutdown
+    // return or a propagating panic), so the live-thread accounting the
+    // pool-lifecycle suite pins cannot drift.
+    struct ExitGuard;
+    impl Drop for ExitGuard {
+        fn drop(&mut self) {
+            POOL_THREADS_EXITED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let _exit = ExitGuard;
     let mut seen = 0u64;
     loop {
         // Wait for the next epoch: spin briefly, then park.
@@ -1906,5 +2030,65 @@ mod tests {
         assert!(ParallelConfig::serial().is_serial());
         assert_eq!(ParallelConfig::with_threads(0).threads(), 1);
         assert!(ParallelConfig::max_parallel().threads() >= 1);
+    }
+
+    #[test]
+    fn from_env_values_honors_the_documented_fallbacks() {
+        // Unset or unparsable means sequential — the documented contract
+        // (unparsable used to silently become with_threads(1) without the
+        // warning; the values below must all land on serial()).
+        assert_eq!(
+            ParallelConfig::from_env_values(None, None),
+            ParallelConfig::serial()
+        );
+        for bad in ["garbage", "-3", "2.5", "1e3", ""] {
+            assert_eq!(
+                ParallelConfig::from_env_values(Some(bad), None),
+                ParallelConfig::serial(),
+                "CGC_THREADS={bad:?} must fall back to sequential"
+            );
+        }
+        assert_eq!(
+            ParallelConfig::from_env_values(Some(" 4 "), None).threads(),
+            4
+        );
+        for all in ["max", "0"] {
+            assert_eq!(
+                ParallelConfig::from_env_values(Some(all), None).threads(),
+                available_threads()
+            );
+        }
+        // CGC_SEG_THRESHOLD: parsable applies, unparsable keeps the
+        // default without clobbering the thread count.
+        assert_eq!(
+            ParallelConfig::from_env_values(Some("2"), Some("40")).segment_threshold_pct(),
+            40
+        );
+        let bad = ParallelConfig::from_env_values(Some("2"), Some("eleven"));
+        assert_eq!(bad.segment_threshold_pct(), DEFAULT_SEGMENT_PCT);
+        assert_eq!(bad.threads(), 2);
+    }
+
+    #[test]
+    fn shut_down_pool_falls_back_to_scoped_dispatch() {
+        let _serial = pool_test_lock();
+        let pool = WorkerPool::new(3);
+        pool.run(3, &|_| {});
+        assert!(!pool.is_shut_down());
+        pool.shutdown();
+        assert!(pool.is_shut_down());
+        // A holder that missed the retirement still completes its rounds.
+        let scoped_before = total_scoped_threads_spawned();
+        let hits = AtomicUsize::new(0);
+        pool.run(3, &|slot| {
+            assert!(slot < 3);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+        assert!(
+            total_scoped_threads_spawned() > scoped_before,
+            "a retired pool must dispatch on scoped threads"
+        );
+        pool.shutdown(); // idempotent
     }
 }
