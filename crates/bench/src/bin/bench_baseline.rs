@@ -430,7 +430,7 @@ fn main() {
     session.set_parallel(ParallelConfig::with_threads(best_threads));
     let out_par = session.run(42);
     assert!(
-        out_par.graph_cached,
+        out_par.cache_hit,
         "thread sweep must reuse the session's cached build"
     );
     assert_eq!(
@@ -533,7 +533,7 @@ fn main() {
                     ("wall_secs", Json::from(out_seq.color_secs)),
                     ("parallel_wall_secs", Json::from(out_par.color_secs)),
                     ("parallel_threads", Json::from(best_threads)),
-                    ("session_build_cached", Json::from(out_par.graph_cached)),
+                    ("session_build_cached", Json::from(out_par.cache_hit)),
                     ("coloring_bit_identical", Json::from(true)),
                     ("h_rounds", Json::from(out_seq.run.report.h_rounds)),
                     ("g_rounds", Json::from(out_seq.run.report.g_rounds)),

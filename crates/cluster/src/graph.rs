@@ -9,10 +9,10 @@
 //! yet contribute a single edge of `H`.
 
 use crate::par::{
-    for_each_shard, map_reduce_on, merge_sorted_runs, ParallelConfig, SegmentedPlan, SendPtr,
-    ShardPlan, WorkerPool,
+    for_each_shard, map_reduce_on, merge_sorted_runs, patch_csr_rows, ParallelConfig,
+    SegmentedPlan, SendPtr, ShardPlan, WorkerPool,
 };
-use cgc_net::{BfsScratch, CommGraph, MachineId, NetError};
+use cgc_net::{BfsScratch, CommGraph, DeltaBatch, MachineId, NetError};
 use std::time::Instant;
 
 /// Identifier of a node of the cluster graph `H` (a cluster of machines).
@@ -63,6 +63,35 @@ pub struct BuildTimings {
     pub total_secs: f64,
     /// Configured executor width the build ran under.
     pub threads: usize,
+}
+
+/// What one [`ClusterGraph::apply_delta_with`] call changed above the
+/// network layer: the effective `G`-edge change plus its projection onto
+/// clusters and `H`-edges — the inputs the coloring layer's dirty-region
+/// recolor needs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeltaReport {
+    /// The effective `G`-level change (no-op entries filtered out).
+    pub effect: cgc_net::DeltaEffect,
+    /// Clusters whose support tree was rebuilt (an intra-cluster edge
+    /// changed), ascending.
+    pub dirty_clusters: Vec<VertexId>,
+    /// `H`-edges that appeared (multiplicity went `0 → >0`), canonical
+    /// sorted.
+    pub h_inserted: Vec<(VertexId, VertexId)>,
+    /// `H`-edges that vanished (multiplicity went `→ 0`), canonical
+    /// sorted.
+    pub h_removed: Vec<(VertexId, VertexId)>,
+    /// `H`-edges whose multiplicity changed but which survived.
+    pub h_mult_changed: usize,
+}
+
+impl DeltaReport {
+    /// Whether the batch changed nothing at any layer.
+    #[inline]
+    pub fn is_noop(&self) -> bool {
+        self.effect.is_noop()
+    }
 }
 
 /// The cluster graph `H` over a communication network `G`.
@@ -375,6 +404,265 @@ impl ClusterGraph {
         ))
     }
 
+    /// Applies a `G`-edge delta batch in place, serially. See
+    /// [`Self::apply_delta_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::apply_delta_with`].
+    pub fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<DeltaReport, NetError> {
+        self.apply_delta_with(batch, &ParallelConfig::serial())
+    }
+
+    /// Propagates a `G`-edge delta batch through every derived table
+    /// incrementally: the communication CSR patches via
+    /// [`CommGraph::apply_delta_with`], support trees rebuild **only** for
+    /// dirty clusters (those whose intra-cluster edges changed — an
+    /// inter-cluster change cannot alter a subset BFS because a sorted CSR
+    /// row's intra-cluster subsequence is unchanged), the link table and
+    /// the `H`-edge/multiplicity columns merge linearly with the effective
+    /// change, and the `H` adjacency re-merges only touched rows. The
+    /// result is byte-identical ([`PartialEq`]) to
+    /// [`Self::build_with`] on the mutated edge set at any thread count.
+    ///
+    /// The whole update is compute-then-commit: on error (invalid batch,
+    /// or a delete disconnecting a cluster) the graph is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::MachineOutOfRange`] if the batch names a machine the
+    /// graph does not have; [`NetError::DisconnectedCluster`] (smallest
+    /// failing cluster id, matching the full build) if a deletion
+    /// disconnects a cluster's induced subgraph.
+    pub fn apply_delta_with(
+        &mut self,
+        batch: &DeltaBatch,
+        par: &ParallelConfig,
+    ) -> Result<DeltaReport, NetError> {
+        // Stage 1: patch G. Nothing mutates until every fallible step has
+        // succeeded.
+        let (new_comm, effect) = self.comm.with_delta_with(batch, par)?;
+        if effect.is_noop() {
+            return Ok(DeltaReport {
+                effect,
+                ..Default::default()
+            });
+        }
+        let assignment = &self.assignment;
+        // Partition the effective change intra/inter by the (unchanged)
+        // assignment; both lists stay sorted by canonical machine pair.
+        let mut dirty: Vec<VertexId> = Vec::new();
+        let mut inter_ins: Vec<(MachineId, MachineId)> = Vec::new();
+        let mut inter_del: Vec<(MachineId, MachineId)> = Vec::new();
+        for &(a, b) in &effect.inserted {
+            if assignment[a] == assignment[b] {
+                dirty.push(assignment[a]);
+            } else {
+                inter_ins.push((a, b));
+            }
+        }
+        for &(a, b) in &effect.deleted {
+            if assignment[a] == assignment[b] {
+                dirty.push(assignment[a]);
+            } else {
+                inter_del.push((a, b));
+            }
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        // Stage 2: support-tree repair for dirty clusters only, ascending,
+        // so the first disconnection (smallest cluster id) is reported —
+        // exactly the full build's error, since an unchanged cluster
+        // cannot newly fail.
+        let mut rebuilt: Vec<(VertexId, SupportTree)> = Vec::with_capacity(dirty.len());
+        {
+            let mut in_subset = vec![false; new_comm.n_machines()];
+            let mut scratch = BfsScratch::new();
+            for &c in &dirty {
+                let ms = &self.support[c].machines;
+                for &m in ms {
+                    in_subset[m] = true;
+                }
+                let leader = ms[0];
+                new_comm.bfs_tree_within_scratch(leader, &in_subset, &mut scratch);
+                let mut parent = Vec::with_capacity(ms.len());
+                let mut depth = Vec::with_capacity(ms.len());
+                let mut height = 0usize;
+                let mut ok = true;
+                for &m in ms {
+                    if scratch.depth(m) == usize::MAX {
+                        ok = false;
+                        break;
+                    }
+                    parent.push(scratch.parent(m));
+                    depth.push(scratch.depth(m));
+                    height = height.max(scratch.depth(m));
+                }
+                scratch.reset(ms);
+                for &m in ms {
+                    in_subset[m] = false;
+                }
+                if !ok {
+                    return Err(NetError::DisconnectedCluster { cluster: c });
+                }
+                rebuilt.push((
+                    c,
+                    SupportTree {
+                        leader,
+                        machines: ms.clone(),
+                        parent,
+                        depth,
+                        height,
+                    },
+                ));
+            }
+        }
+        // Stage 3: link-table patch. Old links are in `comm.edges()` order,
+        // i.e. sorted by their canonical machine pair, so they merge
+        // linearly with the effective inter-cluster change.
+        let link_for = |(a, b): (MachineId, MachineId)| {
+            let (ca, cb) = (assignment[a], assignment[b]);
+            if ca < cb {
+                (a, b, ca, cb)
+            } else {
+                (b, a, cb, ca)
+            }
+        };
+        let mut links = Vec::with_capacity(self.links.len() + inter_ins.len() - inter_del.len());
+        {
+            let (mut ii, mut di) = (0usize, 0usize);
+            for &l in &self.links {
+                let key = (l.0.min(l.1), l.0.max(l.1));
+                while ii < inter_ins.len() && inter_ins[ii] < key {
+                    links.push(link_for(inter_ins[ii]));
+                    ii += 1;
+                }
+                if di < inter_del.len() && inter_del[di] == key {
+                    di += 1;
+                    continue;
+                }
+                links.push(l);
+            }
+            for &e in &inter_ins[ii..] {
+                links.push(link_for(e));
+            }
+        }
+        // Stage 4: per-H-edge multiplicity deltas (net-zero entries drop).
+        let mut pair_delta: Vec<((VertexId, VertexId), i64)> =
+            Vec::with_capacity(inter_ins.len() + inter_del.len());
+        for &(a, b) in &inter_ins {
+            let (ca, cb) = (assignment[a], assignment[b]);
+            pair_delta.push(((ca.min(cb), ca.max(cb)), 1));
+        }
+        for &(a, b) in &inter_del {
+            let (ca, cb) = (assignment[a], assignment[b]);
+            pair_delta.push(((ca.min(cb), ca.max(cb)), -1));
+        }
+        pair_delta.sort_unstable_by_key(|&(p, _)| p);
+        let mut agg: Vec<((VertexId, VertexId), i64)> = Vec::with_capacity(pair_delta.len());
+        for (p, d) in pair_delta {
+            match agg.last_mut() {
+                Some((last, sum)) if *last == p => *sum += d,
+                _ => agg.push((p, d)),
+            }
+        }
+        agg.retain(|&(_, d)| d != 0);
+        // Stage 5: patch the sorted edge/multiplicity columns, recording
+        // which H-edges appeared (multiplicity 0 → >0) and vanished
+        // (→ 0).
+        let mut h_inserted: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut h_removed: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut h_mult_changed = 0usize;
+        let mut edges = Vec::with_capacity(self.edges.len() + agg.len());
+        let mut edge_mult = Vec::with_capacity(self.edges.len() + agg.len());
+        {
+            let mut pi = 0usize;
+            for (i, &e) in self.edges.iter().enumerate() {
+                while pi < agg.len() && agg[pi].0 < e {
+                    let (p, d) = agg[pi];
+                    debug_assert!(d > 0, "negative multiplicity delta on absent H-edge");
+                    edges.push(p);
+                    edge_mult.push(d as u32);
+                    h_inserted.push(p);
+                    pi += 1;
+                }
+                let m = self.edge_mult[i] as i64;
+                if pi < agg.len() && agg[pi].0 == e {
+                    let m2 = m + agg[pi].1;
+                    pi += 1;
+                    debug_assert!(m2 >= 0, "multiplicity underflow");
+                    if m2 == 0 {
+                        h_removed.push(e);
+                        continue;
+                    }
+                    h_mult_changed += 1;
+                    edges.push(e);
+                    edge_mult.push(m2 as u32);
+                } else {
+                    edges.push(e);
+                    edge_mult.push(m as u32);
+                }
+            }
+            for &(p, d) in &agg[pi..] {
+                debug_assert!(d > 0, "negative multiplicity delta on absent H-edge");
+                edges.push(p);
+                edge_mult.push(d as u32);
+                h_inserted.push(p);
+            }
+        }
+        // Stage 6: CSR patches and recomputed scalars, then commit.
+        let k = self.support.len();
+        let mut edge_offsets = vec![0usize; k + 1];
+        for &(u, _) in &edges {
+            edge_offsets[u + 1] += 1;
+        }
+        for i in 0..k {
+            edge_offsets[i + 1] += edge_offsets[i];
+        }
+        let mut ins_pairs = Vec::with_capacity(2 * h_inserted.len());
+        for &(u, v) in &h_inserted {
+            ins_pairs.push((u, v));
+            ins_pairs.push((v, u));
+        }
+        ins_pairs.sort_unstable();
+        let mut del_pairs = Vec::with_capacity(2 * h_removed.len());
+        for &(u, v) in &h_removed {
+            del_pairs.push((u, v));
+            del_pairs.push((v, u));
+        }
+        del_pairs.sort_unstable();
+        let (h_offsets, h_adj) =
+            patch_csr_rows(&self.h_offsets, &self.h_adj, &ins_pairs, &del_pairs, par);
+        self.comm = new_comm;
+        for (c, t) in rebuilt {
+            self.support[c] = t;
+        }
+        self.links = links;
+        self.edges = edges;
+        self.edge_mult = edge_mult;
+        self.edge_offsets = edge_offsets;
+        self.h_offsets = h_offsets;
+        self.h_adj = h_adj;
+        self.dilation = self
+            .support
+            .iter()
+            .map(|t| t.height)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        self.max_degree = (0..k)
+            .map(|v| self.h_offsets[v + 1] - self.h_offsets[v])
+            .max()
+            .unwrap_or(0);
+        Ok(DeltaReport {
+            effect,
+            dirty_clusters: dirty,
+            h_inserted,
+            h_removed,
+            h_mult_changed,
+        })
+    }
+
     /// The CONGEST special case: every machine is its own cluster
     /// (`H = G`, dilation 1).
     ///
@@ -436,6 +724,13 @@ impl ClusterGraph {
     #[inline]
     pub fn cluster_of(&self, m: MachineId) -> VertexId {
         self.assignment[m]
+    }
+
+    /// The full machine→cluster assignment — what a from-scratch rebuild
+    /// of a mutated instance needs alongside the mutated edge set.
+    #[inline]
+    pub fn assignment(&self) -> &[VertexId] {
+        &self.assignment
     }
 
     /// The support tree of vertex `v`.

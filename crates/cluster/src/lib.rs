@@ -49,7 +49,7 @@ pub use exec::{
     execute_broadcast, execute_broadcast_with, execute_converge, execute_converge_with,
     execute_full_round, execute_full_round_with, execute_link_exchange, ExecTrace,
 };
-pub use graph::{BuildTimings, ClusterGraph, SupportTree, VertexId};
+pub use graph::{BuildTimings, ClusterGraph, DeltaReport, SupportTree, VertexId};
 pub use groups::{check_groups, random_groups, GroupCheck, Groups};
 pub use overlay::VirtualGraph;
 pub use par::{

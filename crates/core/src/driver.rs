@@ -274,7 +274,41 @@ pub fn color_cluster_graph_with(
 
     // ---- Terminal fallback: exact-palette trials, id priority ----
     net.set_phase("fallback");
-    let fb_seeds = seeds.child(8);
+    let (fb_colored, fb_rounds) = fallback_until_total(net, &mut coloring, &seeds.child(8));
+    stats.fallback_colored += fb_colored;
+    stats.fallback_rounds = fb_rounds;
+
+    let s = coloring_stats(net.g, &coloring);
+    assert!(
+        s.is_valid_total(),
+        "driver must output a total proper coloring: {s:?}"
+    );
+    RunResult {
+        coloring,
+        report: net.meter.report(),
+        stats,
+    }
+}
+
+/// Drives `coloring` to totality with charged exact-palette trials under
+/// id priority: one aggregation round per step, each uncolored vertex
+/// sampling uniformly from its true palette. With `q = Δ + 1` colors the
+/// minimum-id uncolored vertex always has a non-empty palette and wins
+/// its trial, so the loop terminates in at most `n` productive rounds.
+///
+/// Shared between the driver's terminal fallback (phase `"fallback"`)
+/// and the streaming-mutation recolor pass (phase `"recolor"` — see
+/// [`crate::mutate`]); the **caller** sets the phase on `net` so the two
+/// uses stay distinguishable in cost breakdowns. Returns
+/// `(vertices colored, rounds consumed)`.
+pub(crate) fn fallback_until_total(
+    net: &mut ClusterNet<'_>,
+    coloring: &mut Coloring,
+    fb_seeds: &SeedStream,
+) -> (usize, u64) {
+    let n = net.g.n_vertices();
+    let q = coloring.q();
+    let mut colored = 0usize;
     let mut round = 0u64;
     let mut palettes: Vec<Vec<usize>> = Vec::new();
     let mut eligible: Vec<bool> = Vec::new();
@@ -289,36 +323,17 @@ pub fn color_cluster_graph_with(
             }
         });
         net.par_vertex_map_into(&mut eligible, |v| !coloring.is_colored(v));
-        stats.fallback_colored += try_color_round(
-            net,
-            &mut coloring,
-            &fb_seeds,
-            round,
-            &eligible,
-            1.0,
-            |v, rng| {
-                let pal = &palettes[v];
-                if pal.is_empty() {
-                    None
-                } else {
-                    Some(pal[rng.random_range(0..pal.len())])
-                }
-            },
-        );
+        colored += try_color_round(net, coloring, fb_seeds, round, &eligible, 1.0, |v, rng| {
+            let pal = &palettes[v];
+            if pal.is_empty() {
+                None
+            } else {
+                Some(pal[rng.random_range(0..pal.len())])
+            }
+        });
         debug_assert!(round <= 2 * n as u64 + 16, "fallback must terminate");
     }
-    stats.fallback_rounds = round;
-
-    let s = coloring_stats(net.g, &coloring);
-    assert!(
-        s.is_valid_total(),
-        "driver must output a total proper coloring: {s:?}"
-    );
-    RunResult {
-        coloring,
-        report: net.meter.report(),
-        stats,
-    }
+    (colored, round)
 }
 
 #[cfg(test)]

@@ -32,7 +32,15 @@
 //!   requests over the shared worker pool with a content-addressed graph
 //!   cache (LRU byte/entry budget), single-flight builds and admission
 //!   control on cold builds. Served runs are bit-identical to standalone
-//!   [`Session`] runs.
+//!   [`Session`] runs; `run_batch` serves a whole seed sweep as one
+//!   request, and the cache is keyed by spec **plus delta epoch** so a
+//!   pre-mutation graph can never be served stale;
+//! * [`mutate`] — streaming mutations: [`Session::apply_deltas`] applies
+//!   [`cgc_net::DeltaBatch`]es through the incremental
+//!   `CommGraph`/`ClusterGraph` maintenance and recolors only the dirty
+//!   region, seeded from the previous coloring, returning a
+//!   [`MutationOutcome`] with a proper Δ'+1 total coloring and the
+//!   metered incremental cost.
 //!
 //! # Quickstart
 //!
@@ -55,6 +63,7 @@ pub mod driver;
 pub mod lowdeg;
 pub mod matching;
 pub mod mct;
+pub mod mutate;
 pub mod noncabal;
 pub mod palette_query;
 pub mod params;
@@ -71,6 +80,7 @@ pub use coloring::{Color, Coloring};
 pub use driver::{
     color_cluster_graph, color_cluster_graph_with, AlgoPath, DriverOptions, RunResult, RunStats,
 };
+pub use mutate::MutationOutcome;
 pub use palette_query::CliquePalette;
 pub use params::{Ablation, Params};
 pub use serve::{ServeOutcome, ServerConfig, ServerStats, SessionServer};

@@ -30,6 +30,21 @@
 //! count — the differential the traffic bench and the concurrency tests
 //! pin.
 //!
+//! Two multi-request forms ride on the same machinery:
+//!
+//! * **batch runs** — [`SessionServer::run_batch`] serves a whole seed
+//!   sweep as *one* request: one admission pass, one cache pin, per-seed
+//!   outcomes (seeds after the first are cache hits by construction);
+//! * **streaming mutations** — [`SessionServer::apply_deltas`] applies
+//!   [`DeltaBatch`]es to a spec's instance and republishes it under a
+//!   bumped **delta epoch**. Cache slots are keyed by
+//!   `spec string + delta epoch`, the pre-delta slot is dropped the
+//!   moment the mutation commits, and every request re-resolves the
+//!   spec's current epoch — so a cache hit can never serve a stale
+//!   pre-delta graph. Evicted mutated entries rebuild by replaying the
+//!   recorded delta history over a fresh base build (deterministic, so
+//!   the replay is byte-identical to the evicted graph).
+//!
 //! ```
 //! use cgc_core::{ServerConfig, SessionServer};
 //!
@@ -45,6 +60,7 @@ use crate::params::Params;
 use crate::session::{derive_params, run_coloring_on, ParamsProfile, RunOutcome};
 use cgc_cluster::{available_threads, ClusterGraph, ParallelConfig};
 use cgc_graphs::{PlantedInfo, SetupTimings, WorkloadParseError, WorkloadSpec};
+use cgc_net::{DeltaBatch, NetError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -191,11 +207,34 @@ enum Slot {
 #[derive(Default)]
 struct CacheState {
     slots: HashMap<String, Slot>,
+    /// Per-base-spec delta history; the spec's current epoch is the
+    /// history length. Cold builds at epoch > 0 replay it over a fresh
+    /// base build.
+    deltas: HashMap<String, Arc<Vec<DeltaBatch>>>,
     /// Monotone logical clock stamping `last_used`.
     clock: u64,
     ready_bytes: usize,
     ready_entries: usize,
     builds_in_flight: usize,
+}
+
+impl CacheState {
+    /// The spec's current delta epoch (batches ever applied).
+    fn epoch_of(&self, base: &str) -> u64 {
+        self.deltas.get(base).map_or(0, |d| d.len() as u64)
+    }
+}
+
+/// Cache-slot key for `base` at `epoch`: the bare spec string for the
+/// pristine build, `spec#deltaN` afterwards — stale pre-delta entries
+/// are unreachable by construction because requests always key by the
+/// spec's *current* epoch.
+fn slot_key(base: &str, epoch: u64) -> String {
+    if epoch == 0 {
+        base.to_owned()
+    } else {
+        format!("{base}#delta{epoch}")
+    }
 }
 
 /// The multi-tenant session server. See the [module docs](self).
@@ -225,6 +264,9 @@ impl std::fmt::Debug for SessionServer {
 /// How `acquire` obtained the instance.
 struct Acquired {
     inst: Arc<CachedInstance>,
+    /// Delta epoch of the served instance (the spec's current epoch at
+    /// resolution time).
+    epoch: u64,
     cache_hit: bool,
     coalesced: bool,
     admission_secs: f64,
@@ -250,11 +292,9 @@ impl SessionServer {
         &self.cfg
     }
 
-    /// Serves one run request. Parses nothing — see [`Self::run_str`]
-    /// for the string form tenants usually hold.
-    pub fn run(&self, spec: &WorkloadSpec, seed: u64) -> ServeOutcome {
-        let key = spec.to_string();
-        let acq = self.acquire(spec, &key);
+    /// Serves one run over an already-acquired instance. `treat_cached`
+    /// zeroes the setup timings (the graph was not built for this run).
+    fn serve_on(&self, acq: &Acquired, base: &str, seed: u64, treat_cached: bool) -> ServeOutcome {
         let (run, color_secs) = run_coloring_on(
             &acq.inst.graph,
             &acq.inst.params,
@@ -263,12 +303,11 @@ impl SessionServer {
             self.cfg.oracle_acd,
             seed,
         );
-        let cached = acq.cache_hit || acq.coalesced;
-        let setup_or_zero = |secs: f64| if cached { 0.0 } else { secs };
+        let setup_or_zero = |secs: f64| if treat_cached { 0.0 } else { secs };
         ServeOutcome {
             outcome: RunOutcome {
                 run,
-                spec_string: key,
+                spec_string: base.to_owned(),
                 seed,
                 threads: self.cfg.parallel.threads(),
                 detected_cores: available_threads(),
@@ -276,7 +315,8 @@ impl SessionServer {
                 generate_secs: setup_or_zero(acq.inst.setup.generate_secs),
                 canonicalize_secs: setup_or_zero(acq.inst.setup.canonicalize_secs),
                 graph_build_secs: setup_or_zero(acq.inst.setup.build_secs),
-                graph_cached: cached,
+                cache_hit: treat_cached,
+                delta_epoch: acq.epoch,
                 color_secs,
             },
             cache_hit: acq.cache_hit,
@@ -285,22 +325,145 @@ impl SessionServer {
         }
     }
 
+    /// Serves one run request. Parses nothing — see [`Self::run_str`]
+    /// for the string form tenants usually hold.
+    pub fn run(&self, spec: &WorkloadSpec, seed: u64) -> ServeOutcome {
+        let base = spec.to_string();
+        let acq = self.acquire(spec, &base);
+        let cached = acq.cache_hit || acq.coalesced;
+        self.serve_on(&acq, &base, seed, cached)
+    }
+
     /// Serves one run request addressed by a compact workload string
     /// (`"gnp:n=120,p=0.05,seed=1"`).
     pub fn run_str(&self, spec: &str, seed: u64) -> Result<ServeOutcome, WorkloadParseError> {
         Ok(self.run(&spec.parse()?, seed))
     }
 
-    /// Obtains the built instance for `key`, building it single-flight
-    /// under admission control when missing.
-    fn acquire(&self, spec: &WorkloadSpec, key: &str) -> Acquired {
+    /// Serves a whole seed sweep over one spec as a **single request**:
+    /// the instance is resolved once (one admission pass, one
+    /// hit/miss/coalesced tally, one cache pin), then every seed runs on
+    /// the pinned graph. Outcomes come back in seed order; seeds after
+    /// the first report `cache_hit` with zeroed setup timings (the graph
+    /// was already resident for them by construction), and all share the
+    /// batch's single admission wait. Each per-seed outcome is still
+    /// bit-identical to a standalone [`crate::Session`] run.
+    pub fn run_batch(&self, spec: &WorkloadSpec, seeds: &[u64]) -> Vec<ServeOutcome> {
+        let base = spec.to_string();
+        let Some((&first, rest)) = seeds.split_first() else {
+            return Vec::new();
+        };
+        let acq = self.acquire(spec, &base);
+        let cached = acq.cache_hit || acq.coalesced;
+        let mut out = Vec::with_capacity(seeds.len());
+        out.push(self.serve_on(&acq, &base, first, cached));
+        for &seed in rest {
+            out.push(self.serve_on(&acq, &base, seed, true));
+        }
+        out
+    }
+
+    /// [`Self::run_batch`] addressed by a compact workload string.
+    pub fn run_batch_str(
+        &self,
+        spec: &str,
+        seeds: &[u64],
+    ) -> Result<Vec<ServeOutcome>, WorkloadParseError> {
+        Ok(self.run_batch(&spec.parse()?, seeds))
+    }
+
+    /// Applies `batches` of edge deltas to `spec`'s instance and
+    /// republishes it under the bumped delta epoch; returns the new
+    /// epoch. The pre-delta cache entry is dropped in the same critical
+    /// section that publishes the mutated one, so no request observes
+    /// the stale graph afterwards. The recorded history makes evicted
+    /// mutated entries rebuildable (cold builds replay it), and the
+    /// mutation itself is atomic: a failing batch leaves the published
+    /// instance, the history and the epoch untouched.
+    ///
+    /// Concurrent mutations of the same spec are safe (the commit
+    /// revalidates the epoch it mutated and retries on interleaving).
+    pub fn apply_deltas(
+        &self,
+        spec: &WorkloadSpec,
+        batches: &[DeltaBatch],
+    ) -> Result<u64, NetError> {
+        let base = spec.to_string();
+        loop {
+            let acq = self.acquire(spec, &base);
+            let mut graph = acq.inst.graph.clone();
+            for batch in batches {
+                graph.apply_delta_with(batch, &self.cfg.parallel)?;
+            }
+            let params = derive_params(self.cfg.profile, graph.n_vertices(), None, None);
+            let bytes = graph.approx_heap_bytes();
+            let inst = Arc::new(CachedInstance {
+                graph,
+                planted: acq.inst.planted.clone(),
+                setup: acq.inst.setup,
+                params,
+                bytes,
+            });
+            let mut state = self.state.lock().unwrap();
+            if state.epoch_of(&base) != acq.epoch {
+                // Another tenant mutated the spec between our acquire and
+                // commit; redo the work against the newer instance.
+                continue;
+            }
+            let history = Arc::make_mut(state.deltas.entry(base.clone()).or_default());
+            history.extend(batches.iter().cloned());
+            let new_epoch = history.len() as u64;
+            // Drop the stale pre-delta entry (coherence) and publish the
+            // mutated one in the same critical section.
+            let old_key = slot_key(&base, acq.epoch);
+            if matches!(state.slots.get(&old_key), Some(Slot::Ready { .. })) {
+                if let Some(Slot::Ready { inst: old, .. }) = state.slots.remove(&old_key) {
+                    state.ready_bytes -= old.bytes;
+                    state.ready_entries -= 1;
+                }
+            }
+            let new_key = slot_key(&base, new_epoch);
+            state.clock += 1;
+            let stamp = state.clock;
+            state.ready_bytes += inst.bytes;
+            state.ready_entries += 1;
+            state.slots.insert(
+                new_key.clone(),
+                Slot::Ready {
+                    inst,
+                    last_used: stamp,
+                },
+            );
+            self.evict_over_budget(&mut state, &new_key);
+            drop(state);
+            self.cond.notify_all();
+            return Ok(new_epoch);
+        }
+    }
+
+    /// [`Self::apply_deltas`] addressed by a compact workload string.
+    pub fn apply_deltas_str(&self, spec: &str, batches: &[DeltaBatch]) -> Result<u64, NetError> {
+        let spec: WorkloadSpec = spec
+            .parse()
+            .unwrap_or_else(|e: WorkloadParseError| panic!("invalid workload spec: {e}"));
+        self.apply_deltas(&spec, batches)
+    }
+
+    /// Obtains the built instance currently published for `base` —
+    /// resolving the spec's **current delta epoch** on every pass, so a
+    /// mutation that lands while this request waits is picked up, never
+    /// raced past — building it single-flight under admission control
+    /// when missing.
+    fn acquire(&self, spec: &WorkloadSpec, base: &str) -> Acquired {
         let arrived = Instant::now();
         let mut waited_on_build = false;
         let mut state = self.state.lock().unwrap();
         loop {
+            let epoch = state.epoch_of(base);
+            let key = slot_key(base, epoch);
             state.clock += 1;
             let stamp = state.clock;
-            match state.slots.get_mut(key) {
+            match state.slots.get_mut(&key) {
                 Some(Slot::Ready { inst, last_used }) => {
                     *last_used = stamp;
                     let inst = Arc::clone(inst);
@@ -312,6 +475,7 @@ impl SessionServer {
                     }
                     return Acquired {
                         inst,
+                        epoch,
                         cache_hit: !waited_on_build,
                         coalesced: waited_on_build,
                         admission_secs: arrived.elapsed().as_secs_f64(),
@@ -328,14 +492,16 @@ impl SessionServer {
                         state = self.cond.wait(state).unwrap();
                         continue;
                     }
-                    state.slots.insert(key.to_owned(), Slot::Building);
+                    state.slots.insert(key.clone(), Slot::Building);
                     state.builds_in_flight += 1;
+                    let replay = state.deltas.get(base).cloned();
                     drop(state);
                     let admission_secs = arrived.elapsed().as_secs_f64();
-                    let inst = self.build_instance(spec, key);
+                    let inst = self.build_instance(spec, &key, replay);
                     self.cache_misses.fetch_add(1, Ordering::Relaxed);
                     return Acquired {
                         inst,
+                        epoch,
                         cache_hit: false,
                         coalesced: false,
                         admission_secs,
@@ -347,12 +513,27 @@ impl SessionServer {
 
     /// Runs the cold build for `key` (the `Building` slot is already
     /// installed and an admission lane held), publishes the result and
-    /// wakes every waiter. A panicking build releases the slot and the
-    /// lane before propagating, so waiters retry instead of hanging.
-    fn build_instance(&self, spec: &WorkloadSpec, key: &str) -> Arc<CachedInstance> {
+    /// wakes every waiter. At epoch > 0 the recorded delta history is
+    /// replayed over the fresh base build — both are deterministic, so
+    /// the result is byte-identical to the evicted mutated graph. A
+    /// panicking build releases the slot and the lane before
+    /// propagating, so waiters retry instead of hanging.
+    fn build_instance(
+        &self,
+        spec: &WorkloadSpec,
+        key: &str,
+        replay: Option<Arc<Vec<DeltaBatch>>>,
+    ) -> Arc<CachedInstance> {
         self.builds_started.fetch_add(1, Ordering::Relaxed);
         let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let (graph, planted, setup) = spec.build_timed(&self.cfg.parallel);
+            let (mut graph, planted, setup) = spec.build_timed(&self.cfg.parallel);
+            if let Some(batches) = &replay {
+                for batch in batches.iter() {
+                    graph
+                        .apply_delta_with(batch, &self.cfg.parallel)
+                        .expect("recorded delta history replays over the base build");
+                }
+            }
             let params = derive_params(self.cfg.profile, graph.n_vertices(), None, None);
             let bytes = graph.approx_heap_bytes();
             Arc::new(CachedInstance {
@@ -448,10 +629,10 @@ mod tests {
         let server = SessionServer::new(cfg());
         let spec = "gnp:n=90,p=0.07,seed=2";
         let a = server.run_str(spec, 5).unwrap();
-        assert!(!a.cache_hit && !a.coalesced && !a.outcome.graph_cached);
+        assert!(!a.cache_hit && !a.coalesced && !a.outcome.cache_hit);
         assert!(a.outcome.build_secs > 0.0);
         let b = server.run_str(spec, 6).unwrap();
-        assert!(b.cache_hit && b.outcome.graph_cached);
+        assert!(b.cache_hit && b.outcome.cache_hit);
         assert_eq!(b.outcome.build_secs, 0.0);
         let s = server.stats();
         assert_eq!(s.builds_started, 1, "the hit path must not rebuild");
@@ -495,6 +676,121 @@ mod tests {
             "the LRU entry was evicted and must rebuild"
         );
         assert_eq!(server.stats().builds_started, 4);
+    }
+
+    /// A small insert+delete batch over a server-built instance of
+    /// `spec` (computed from a standalone build of the same spec).
+    fn churn_batch(spec: &str) -> cgc_net::DeltaBatch {
+        let session = SessionBuilder::parse(spec)
+            .unwrap()
+            .parallel(ParallelConfig::serial())
+            .build();
+        let g = session.graph();
+        let n = g.comm().n_machines();
+        let deletes: Vec<_> = g
+            .comm()
+            .edges()
+            .iter()
+            .copied()
+            .filter(|&(a, b)| g.cluster_of(a) != g.cluster_of(b))
+            .step_by(4)
+            .collect();
+        let inserts: Vec<_> = (0..15usize)
+            .map(|i| (i, i + 21))
+            .filter(|&(a, b)| b < n && !g.comm().has_link(a, b))
+            .collect();
+        cgc_net::DeltaBatch::new(n, &inserts, &deletes).unwrap()
+    }
+
+    /// The coherence regression this PR pins: a cache hit after
+    /// `apply_deltas` must serve the *mutated* instance — bit-identical
+    /// to a standalone session that applied the same deltas — never the
+    /// stale pre-delta graph.
+    #[test]
+    fn cache_hit_after_apply_deltas_reflects_the_mutation() {
+        let spec = "gnp:n=100,p=0.06,seed=4";
+        let server = SessionServer::new(cfg());
+        let before = server.run_str(spec, 9).unwrap();
+        assert_eq!(before.outcome.delta_epoch, 0);
+        let batch = churn_batch(spec);
+        let epoch = server
+            .apply_deltas_str(spec, std::slice::from_ref(&batch))
+            .unwrap();
+        assert_eq!(epoch, 1);
+        let after = server.run_str(spec, 9).unwrap();
+        assert!(
+            after.cache_hit,
+            "the mutated instance is published ready — a hit, not a rebuild"
+        );
+        assert_eq!(after.outcome.delta_epoch, 1);
+        // Ground truth: a standalone session that applied the same batch.
+        let mut session = SessionBuilder::parse(spec)
+            .unwrap()
+            .parallel(ParallelConfig::serial())
+            .build();
+        session.apply_deltas(std::slice::from_ref(&batch)).unwrap();
+        let direct = session.run(9);
+        assert_eq!(after.outcome.run.coloring, direct.run.coloring);
+        assert_eq!(after.outcome.run.report, direct.run.report);
+        assert_eq!(server.stats().builds_started, 1, "mutation never rebuilds");
+    }
+
+    #[test]
+    fn evicted_mutated_entry_rebuilds_by_replaying_the_delta_history() {
+        let spec = "gnp:n=90,p=0.07,seed=6";
+        let server = SessionServer::new(cfg().max_entries(1));
+        server.run_str(spec, 2).unwrap();
+        let batch = churn_batch(spec);
+        server
+            .apply_deltas_str(spec, std::slice::from_ref(&batch))
+            .unwrap();
+        // Push the mutated entry out of the 1-slot cache...
+        server.run_str("gnp:n=60,p=0.1,seed=1", 1).unwrap();
+        // ...then come back: a cold build that must replay the history.
+        let again = server.run_str(spec, 2).unwrap();
+        assert!(!again.cache_hit);
+        assert_eq!(again.outcome.delta_epoch, 1);
+        let mut session = SessionBuilder::parse(spec)
+            .unwrap()
+            .parallel(ParallelConfig::serial())
+            .build();
+        session.apply_deltas(std::slice::from_ref(&batch)).unwrap();
+        let direct = session.run(2);
+        assert_eq!(again.outcome.run.coloring, direct.run.coloring);
+        assert_eq!(again.outcome.run.report, direct.run.report);
+    }
+
+    #[test]
+    fn run_batch_serves_a_seed_sweep_as_one_request() {
+        let spec = "gnp:n=90,p=0.07,seed=2";
+        let server = SessionServer::new(cfg());
+        let seeds = [1u64, 2, 3];
+        let outs = server.run_batch_str(spec, &seeds).unwrap();
+        assert_eq!(outs.len(), 3);
+        assert!(!outs[0].cache_hit && !outs[0].outcome.cache_hit);
+        assert!(outs[0].outcome.build_secs > 0.0);
+        for o in &outs[1..] {
+            assert!(o.outcome.cache_hit, "later seeds reuse the pinned graph");
+            assert_eq!(o.outcome.build_secs, 0.0);
+        }
+        let s = server.stats();
+        assert_eq!(s.builds_started, 1);
+        assert_eq!(
+            (s.cache_hits, s.cache_misses),
+            (0, 1),
+            "one admission tally for the whole sweep"
+        );
+        // Per-seed outcomes stay bit-identical to standalone sessions.
+        let mut standalone = SessionBuilder::parse(spec)
+            .unwrap()
+            .parallel(ParallelConfig::serial())
+            .build();
+        for (out, &seed) in outs.iter().zip(seeds.iter()) {
+            let direct = standalone.run(seed);
+            assert_eq!(out.outcome.run.coloring, direct.run.coloring);
+            assert_eq!(out.outcome.run.report, direct.run.report);
+        }
+        assert!(server.run_batch_str(spec, &[]).unwrap().is_empty());
     }
 
     #[test]

@@ -37,10 +37,13 @@
 //! thin compatibility wrappers for callers that already hold a
 //! [`ClusterNet`]; `Session` is the preferred entry point.
 
+use crate::coloring::Coloring;
 use crate::driver::{color_cluster_graph_with, DriverOptions, RunResult};
+use crate::mutate::{recolor_dirty, MutationOutcome};
 use crate::params::{Ablation, Params};
 use cgc_cluster::{available_threads, ClusterGraph, ClusterNet, ParallelConfig};
 use cgc_graphs::{PlantedInfo, SetupTimings, WorkloadParseError, WorkloadSpec};
+use cgc_net::{DeltaBatch, NetError};
 use std::time::Instant;
 
 /// Which [`Params`] preset a session derives from the instance size.
@@ -80,8 +83,17 @@ pub struct RunOutcome {
     /// Setup sub-phase: `ClusterGraph::build` (support trees, link
     /// table) seconds (`0.0` when cached).
     pub graph_build_secs: f64,
-    /// Whether this run reused the session's cached graph.
-    pub graph_cached: bool,
+    /// Whether this run reused a cached (previously built) graph — a
+    /// **cache hit**, as opposed to "the setup was free": cached runs
+    /// zero their setup timings, and this flag is how bench tables tell
+    /// the two apart.
+    pub cache_hit: bool,
+    /// Delta epoch of the instance this run colored: the number of
+    /// [`DeltaBatch`]es ever applied to it (`0` = the pristine build).
+    /// Together with `spec_string` this addresses the exact mutated
+    /// instance, so a cache hit can never silently serve a pre-delta
+    /// graph.
+    pub delta_epoch: u64,
     /// Wall-clock seconds of the coloring run itself.
     pub color_secs: f64,
 }
@@ -194,6 +206,8 @@ impl SessionBuilder {
             planted,
             setup,
             runs_on_graph: 0,
+            delta_epoch: 0,
+            coloring: None,
             profile: self.profile,
             ablation: self.ablation,
             delta_low: self.delta_low,
@@ -256,6 +270,12 @@ pub struct Session {
     planted: Option<PlantedInfo>,
     setup: SetupTimings,
     runs_on_graph: u64,
+    /// Batches ever applied to the loaded instance (0 = pristine build).
+    delta_epoch: u64,
+    /// The most recent total proper coloring of the loaded instance —
+    /// the seed for incremental recoloring. `None` until the first run
+    /// (or after a failed apply left it stale).
+    coloring: Option<Coloring>,
     profile: ParamsProfile,
     ablation: Option<Ablation>,
     delta_low: Option<usize>,
@@ -342,6 +362,8 @@ impl Session {
         let (graph, planted, setup) = spec.build_timed(&self.parallel);
         self.setup = setup;
         self.runs_on_graph = 0;
+        self.delta_epoch = 0;
+        self.coloring = None;
         self.graph = graph;
         self.planted = planted;
         self.spec = spec;
@@ -373,9 +395,10 @@ impl Session {
             self.oracle_acd,
             seed,
         );
-        let graph_cached = self.runs_on_graph > 0;
+        let cache_hit = self.runs_on_graph > 0;
         self.runs_on_graph += 1;
-        let setup_or_zero = |secs: f64| if graph_cached { 0.0 } else { secs };
+        self.coloring = Some(run.coloring.clone());
+        let setup_or_zero = |secs: f64| if cache_hit { 0.0 } else { secs };
         RunOutcome {
             run,
             spec_string: self.spec.to_string(),
@@ -386,9 +409,98 @@ impl Session {
             generate_secs: setup_or_zero(self.setup.generate_secs),
             canonicalize_secs: setup_or_zero(self.setup.canonicalize_secs),
             graph_build_secs: setup_or_zero(self.setup.build_secs),
-            graph_cached,
+            cache_hit,
+            delta_epoch: self.delta_epoch,
             color_secs,
         }
+    }
+
+    /// The loaded instance's delta epoch: the number of batches ever
+    /// applied to it (`0` = the pristine build of the spec).
+    pub fn delta_epoch(&self) -> u64 {
+        self.delta_epoch
+    }
+
+    /// The most recent total proper coloring of the loaded instance (from
+    /// [`Session::run`] or [`Session::apply_deltas`]), if any.
+    pub fn coloring(&self) -> Option<&Coloring> {
+        self.coloring.as_ref()
+    }
+
+    /// Applies `batches` of edge deltas to the loaded instance **in
+    /// place** and repairs the coloring incrementally: each batch goes
+    /// through [`ClusterGraph::apply_delta_with`] (the incremental CSR /
+    /// support-tree / `H`-table patch — byte-identical to a from-scratch
+    /// rebuild of the mutated edge set), then a single dirty-region
+    /// recolor pass ([`crate::mutate`]) restores a total proper
+    /// `Δ' + 1`-coloring seeded from the session's previous coloring.
+    ///
+    /// Deterministic: the recolor seed is derived from the delta epoch,
+    /// so the outcome is a pure function of `(spec, batch history)` — at
+    /// any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Each batch applies atomically, but the *sequence* does not: if
+    /// batch `i` fails (out-of-range machine, disconnected cluster), the
+    /// graph keeps batches `0..i`, the epoch counts them, and the stored
+    /// coloring is dropped (it may be stale), so the next mutation or run
+    /// recolors from scratch.
+    pub fn apply_deltas(&mut self, batches: &[DeltaBatch]) -> Result<MutationOutcome, NetError> {
+        let apply_start = Instant::now();
+        let mut reports = Vec::with_capacity(batches.len());
+        for batch in batches {
+            match self.graph.apply_delta_with(batch, &self.parallel) {
+                Ok(report) => {
+                    self.delta_epoch += 1;
+                    reports.push(report);
+                }
+                Err(e) => {
+                    if !reports.is_empty() {
+                        self.coloring = None;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let apply_secs = apply_start.elapsed().as_secs_f64();
+        let recolor_start = Instant::now();
+        let res = recolor_dirty(
+            &self.graph,
+            self.coloring.as_ref(),
+            &reports,
+            self.beta,
+            self.parallel,
+            self.delta_epoch,
+        );
+        let recolor_secs = recolor_start.elapsed().as_secs_f64();
+        let mut dirty_clusters: Vec<_> = reports
+            .iter()
+            .flat_map(|r| r.dirty_clusters.iter().copied())
+            .collect();
+        dirty_clusters.sort_unstable();
+        dirty_clusters.dedup();
+        let outcome = MutationOutcome {
+            spec_string: self.spec.to_string(),
+            delta_epoch: self.delta_epoch,
+            batches_applied: reports.len(),
+            g_inserted: reports.iter().map(|r| r.effect.inserted.len()).sum(),
+            g_deleted: reports.iter().map(|r| r.effect.deleted.len()).sum(),
+            h_inserted: reports.iter().map(|r| r.h_inserted.len()).sum(),
+            h_removed: reports.iter().map(|r| r.h_removed.len()).sum(),
+            h_mult_changed: reports.iter().map(|r| r.h_mult_changed).sum(),
+            dirty_clusters: dirty_clusters.len(),
+            dirty_vertices: res.dirty_vertices,
+            recolored: res.recolored,
+            recolor_rounds: res.rounds,
+            report: res.report,
+            coloring: res.coloring.clone(),
+            apply_secs,
+            recolor_secs,
+            threads: self.parallel.threads(),
+        };
+        self.coloring = Some(res.coloring);
+        Ok(outcome)
     }
 }
 
@@ -404,9 +516,9 @@ mod tests {
             .build();
         let a = s.run(9);
         assert!(a.run.coloring.is_total() && a.run.coloring.is_proper(s.graph()));
-        assert!(!a.graph_cached);
+        assert!(!a.cache_hit);
         let b = s.run(10);
-        assert!(b.graph_cached, "second run must reuse the built graph");
+        assert!(b.cache_hit, "second run must reuse the built graph");
         assert_eq!(b.build_secs, 0.0);
         assert_ne!(a.run.coloring, b.run.coloring, "seed reaches the driver");
         let c = s.run(9);
@@ -421,10 +533,10 @@ mod tests {
         let n0 = s.graph().n_vertices();
         s.run(1);
         s.set_workload(spec);
-        assert!(s.run(2).graph_cached, "identical spec keeps the cache");
+        assert!(s.run(2).cache_hit, "identical spec keeps the cache");
         s.set_workload(spec.with_seed(6));
         let out = s.run(3);
-        assert!(!out.graph_cached, "changed spec rebuilds");
+        assert!(!out.cache_hit, "changed spec rebuilds");
         assert_eq!(s.graph().n_vertices(), n0);
     }
 
@@ -466,6 +578,94 @@ mod tests {
         assert_eq!(cached.generate_secs, 0.0);
         assert_eq!(cached.canonicalize_secs, 0.0);
         assert_eq!(cached.graph_build_secs, 0.0);
+    }
+
+    /// A delta batch over the session's current instance: every 5th
+    /// inter-cluster edge deleted, a handful of absent pairs inserted.
+    fn churn_batch(s: &Session) -> DeltaBatch {
+        let g = s.graph();
+        let n = g.comm().n_machines();
+        let deletes: Vec<_> = g
+            .comm()
+            .edges()
+            .iter()
+            .copied()
+            .filter(|&(a, b)| g.cluster_of(a) != g.cluster_of(b))
+            .step_by(5)
+            .collect();
+        let inserts: Vec<_> = (0..20u64)
+            .map(|i| (i as usize, i as usize + 30))
+            .filter(|&(a, b)| b < n && !g.comm().has_link(a, b))
+            .collect();
+        DeltaBatch::new(n, &inserts, &deletes).unwrap()
+    }
+
+    #[test]
+    fn apply_deltas_patches_incrementally_and_recolors() {
+        let mut s = SessionBuilder::parse("gnp:n=120,p=0.05,seed=3")
+            .unwrap()
+            .parallel(ParallelConfig::serial())
+            .build();
+        let first = s.run(5);
+        assert_eq!(first.delta_epoch, 0);
+        let batch = churn_batch(&s);
+        let out = s.apply_deltas(std::slice::from_ref(&batch)).unwrap();
+        assert_eq!(out.delta_epoch, 1);
+        assert_eq!(out.batches_applied, 1);
+        assert!(out.g_inserted > 0 && out.g_deleted > 0);
+        assert!(out.coloring.is_total() && out.coloring.is_proper(s.graph()));
+        assert_eq!(out.coloring.q(), s.graph().max_degree() + 1);
+        assert_eq!(s.coloring(), Some(&out.coloring));
+        // The mutated graph is byte-identical to a from-scratch build of
+        // the mutated edge set.
+        let comm =
+            cgc_net::CommGraph::from_edges(s.graph().comm().n_machines(), s.graph().comm().edges())
+                .unwrap();
+        let rebuilt = ClusterGraph::build(comm, s.graph().assignment().to_vec()).unwrap();
+        assert_eq!(s.graph(), &rebuilt);
+        // Subsequent runs report the epoch and keep the (mutated) cache.
+        let next = s.run(6);
+        assert_eq!(next.delta_epoch, 1);
+        assert!(next.cache_hit);
+    }
+
+    #[test]
+    fn apply_deltas_is_deterministic_and_thread_independent() {
+        let spec = "gnp:n=100,p=0.06,seed=8";
+        let mut reference: Option<(Coloring, cgc_net::CostReport)> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut s = SessionBuilder::parse(spec)
+                .unwrap()
+                .parallel(ParallelConfig::with_threads(threads))
+                .build();
+            s.run(3);
+            let batch = churn_batch(&s);
+            let out = s.apply_deltas(&[batch.clone(), batch.clone()]).unwrap();
+            assert_eq!(out.batches_applied, 2);
+            assert!(out.coloring.is_proper(s.graph()), "threads={threads}");
+            match &reference {
+                None => reference = Some((out.coloring, out.report)),
+                Some((c, r)) => {
+                    assert_eq!(&out.coloring, c, "threads={threads}");
+                    assert_eq!(&out.report, r, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_workload_resets_the_delta_epoch() {
+        let mut s = SessionBuilder::parse("gnp:n=80,p=0.08,seed=2")
+            .unwrap()
+            .parallel(ParallelConfig::serial())
+            .build();
+        s.run(1);
+        let batch = churn_batch(&s);
+        s.apply_deltas(&[batch]).unwrap();
+        assert_eq!(s.delta_epoch(), 1);
+        s.set_workload("gnp:n=80,p=0.08,seed=9".parse().unwrap());
+        assert_eq!(s.delta_epoch(), 0);
+        assert!(s.coloring().is_none());
     }
 
     #[test]

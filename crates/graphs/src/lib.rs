@@ -31,6 +31,7 @@
 //! the parameters and seed, never of the thread count.
 
 pub mod adversarial;
+pub mod churn;
 pub mod contraction;
 pub mod gnp;
 pub mod layouts;
@@ -42,6 +43,7 @@ pub mod rgg;
 pub mod workload;
 
 pub use adversarial::{bottleneck_instance, bottleneck_instance_with};
+pub use churn::ChurnSpec;
 pub use contraction::{contraction_instance, contraction_instance_with};
 pub use gnp::{gnp_spec, gnp_spec_with};
 pub use layouts::{realize, realize_network, realize_runs, realize_with, HSpec, Layout};

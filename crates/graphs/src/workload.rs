@@ -184,7 +184,7 @@ pub struct WorkloadSpec {
 
 /// Error from parsing a workload spec string.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WorkloadParseError(String);
+pub struct WorkloadParseError(pub(crate) String);
 
 impl fmt::Display for WorkloadParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -488,7 +488,7 @@ pub struct SetupTimings {
 
 /// Formats a float so `FromStr` recovers it exactly (Rust's shortest
 /// round-trip `Display` for `f64`).
-fn fmt_f64(x: f64) -> String {
+pub(crate) fn fmt_f64(x: f64) -> String {
     format!("{x}")
 }
 
@@ -541,12 +541,12 @@ impl fmt::Display for WorkloadSpec {
 
 /// Key/value bag for one spec string, consumed key by key so leftovers
 /// can be rejected.
-struct Fields<'a> {
+pub(crate) struct Fields<'a> {
     pairs: Vec<(&'a str, &'a str)>,
 }
 
 impl<'a> Fields<'a> {
-    fn parse(body: &'a str) -> Result<Self, WorkloadParseError> {
+    pub(crate) fn parse(body: &'a str) -> Result<Self, WorkloadParseError> {
         let mut pairs = Vec::new();
         for item in body.split(',') {
             let (k, v) = item
@@ -560,7 +560,7 @@ impl<'a> Fields<'a> {
         Ok(Fields { pairs })
     }
 
-    fn take<T: FromStr>(&mut self, key: &str) -> Result<T, WorkloadParseError> {
+    pub(crate) fn take<T: FromStr>(&mut self, key: &str) -> Result<T, WorkloadParseError> {
         let i = self
             .pairs
             .iter()
@@ -571,7 +571,10 @@ impl<'a> Fields<'a> {
             .map_err(|_| WorkloadParseError(format!("bad value `{v}` for `{key}`")))
     }
 
-    fn take_opt<T: FromStr>(&mut self, key: &str) -> Result<Option<T>, WorkloadParseError> {
+    pub(crate) fn take_opt<T: FromStr>(
+        &mut self,
+        key: &str,
+    ) -> Result<Option<T>, WorkloadParseError> {
         if self.pairs.iter().any(|&(k, _)| k == key) {
             self.take(key).map(Some)
         } else {
@@ -579,7 +582,7 @@ impl<'a> Fields<'a> {
         }
     }
 
-    fn finish(self) -> Result<(), WorkloadParseError> {
+    pub(crate) fn finish(self) -> Result<(), WorkloadParseError> {
         match self.pairs.first() {
             None => Ok(()),
             Some((k, _)) => Err(WorkloadParseError(format!("unknown key `{k}`"))),

@@ -29,6 +29,13 @@ pub enum NetError {
         /// Actual length supplied.
         actual: usize,
     },
+    /// A delta batch listed the same edge as both an insert and a delete.
+    ConflictingDelta {
+        /// Lower endpoint of the conflicting canonical edge.
+        u: usize,
+        /// Higher endpoint of the conflicting canonical edge.
+        v: usize,
+    },
     /// An empty graph (zero machines) was supplied where machines are needed.
     EmptyGraph,
 }
@@ -52,6 +59,9 @@ impl fmt::Display for NetError {
                     "cluster assignment has length {actual}, expected {expected}"
                 )
             }
+            NetError::ConflictingDelta { u, v } => {
+                write!(f, "edge ({u}, {v}) appears as both insert and delete")
+            }
             NetError::EmptyGraph => write!(f, "communication graph has no machines"),
         }
     }
@@ -73,6 +83,7 @@ mod tests {
                 expected: 4,
                 actual: 2,
             },
+            NetError::ConflictingDelta { u: 1, v: 2 },
             NetError::EmptyGraph,
         ];
         for e in errs {

@@ -4,6 +4,7 @@
 //! CSR adjacency form for cache-friendly traversal. The cluster layer builds
 //! support trees and inter-cluster link tables on top of this graph.
 
+use crate::delta::{DeltaBatch, DeltaEffect};
 use crate::error::NetError;
 use crate::par::{
     for_each_shard, kway_merge_dedup, map_reduce_on, ParallelConfig, SendPtr, ShardPlan, WorkerPool,
@@ -259,6 +260,140 @@ impl CommGraph {
             offsets,
             adj,
             edges: canon,
+        }
+    }
+
+    /// Applies an edge delta batch in place, serially. See
+    /// [`Self::apply_delta_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::apply_delta_with`].
+    pub fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<DeltaEffect, NetError> {
+        self.apply_delta_with(batch, &ParallelConfig::serial())
+    }
+
+    /// Applies an edge delta batch in place: the edge set becomes
+    /// `(E \ deletes) ∪ inserts` and the CSR is patched incrementally —
+    /// untouched rows are copied wholesale, touched rows re-merged — so
+    /// the result is byte-identical ([`PartialEq`]) to
+    /// [`Self::from_edges`] on the mutated edge set at any thread count.
+    /// Returns the *effective* change (no-op inserts/deletes filtered
+    /// out); on error the graph is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::MachineOutOfRange`] if the batch names a machine
+    /// `>= n_machines()` (batches built for a smaller machine count apply
+    /// cleanly).
+    pub fn apply_delta_with(
+        &mut self,
+        batch: &DeltaBatch,
+        par: &ParallelConfig,
+    ) -> Result<DeltaEffect, NetError> {
+        let (next, effect) = self.with_delta_with(batch, par)?;
+        *self = next;
+        Ok(effect)
+    }
+
+    /// [`Self::apply_delta_with`] without consuming the receiver: builds
+    /// the mutated graph alongside the old one and returns both the new
+    /// graph and the effective change. The cluster layer uses this for
+    /// compute-then-commit atomicity.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::apply_delta_with`].
+    pub fn with_delta_with(
+        &self,
+        batch: &DeltaBatch,
+        par: &ParallelConfig,
+    ) -> Result<(Self, DeltaEffect), NetError> {
+        let n = self.n;
+        // A batch validated against a larger machine count may name
+        // machines this graph does not have; both lists are canonical
+        // (u < v), so checking the high endpoint suffices.
+        if batch.n_machines() > n {
+            for &(u, v) in batch.inserts().iter().chain(batch.deletes()) {
+                if v >= n {
+                    let machine = if u >= n { u } else { v };
+                    return Err(NetError::MachineOutOfRange { machine, n });
+                }
+            }
+        }
+        // Effective sets: inserts that are absent, deletes that are
+        // present (binary search per edge in the CSR row). Filtering a
+        // sorted list keeps it sorted.
+        let inserted: Vec<(usize, usize)> = batch
+            .inserts()
+            .iter()
+            .copied()
+            .filter(|&(u, v)| !self.has_link(u, v))
+            .collect();
+        let deleted: Vec<(usize, usize)> = batch
+            .deletes()
+            .iter()
+            .copied()
+            .filter(|&(u, v)| self.has_link(u, v))
+            .collect();
+        let effect = DeltaEffect { inserted, deleted };
+        if effect.is_noop() {
+            return Ok((self.clone(), effect));
+        }
+        let next = self.patched(&effect, par);
+        Ok((next, effect))
+    }
+
+    /// Rebuilds the canonical edge list and CSR for `(E \ deleted) ∪
+    /// inserted`, given the *effective* sets (sorted, canonical, inserts
+    /// disjoint from `E`, deletes a subset of `E`). Rows are filled in a
+    /// sharded pass balanced by new-row mass; a CSR row is ascending (all
+    /// lower neighbors then all higher, each sorted), so patching a
+    /// touched row is one linear sorted merge and the output is exactly
+    /// what [`Self::from_canonical_edges`] would produce.
+    fn patched(&self, effect: &DeltaEffect, par: &ParallelConfig) -> Self {
+        let n = self.n;
+        // New canonical edge list: linear three-pointer merge. Effective
+        // inserts are disjoint from E, so strict `<` interleaves them.
+        let mut edges =
+            Vec::with_capacity(self.edges.len() + effect.inserted.len() - effect.deleted.len());
+        {
+            let (mut ii, mut di) = (0usize, 0usize);
+            for &e in &self.edges {
+                while ii < effect.inserted.len() && effect.inserted[ii] < e {
+                    edges.push(effect.inserted[ii]);
+                    ii += 1;
+                }
+                if di < effect.deleted.len() && effect.deleted[di] == e {
+                    di += 1;
+                    continue;
+                }
+                edges.push(e);
+            }
+            edges.extend_from_slice(&effect.inserted[ii..]);
+        }
+        // Directed patch pairs grouped by row: (row, neighbor) for both
+        // endpoints of every changed edge, sorted so each row's additions
+        // and removals are contiguous ascending runs.
+        let mut ins_pairs = Vec::with_capacity(2 * effect.inserted.len());
+        for &(u, v) in &effect.inserted {
+            ins_pairs.push((u, v));
+            ins_pairs.push((v, u));
+        }
+        ins_pairs.sort_unstable();
+        let mut del_pairs = Vec::with_capacity(2 * effect.deleted.len());
+        for &(u, v) in &effect.deleted {
+            del_pairs.push((u, v));
+            del_pairs.push((v, u));
+        }
+        del_pairs.sort_unstable();
+        let (offsets, adj) =
+            crate::par::patch_csr_rows(&self.offsets, &self.adj, &ins_pairs, &del_pairs, par);
+        CommGraph {
+            n,
+            offsets,
+            adj,
+            edges,
         }
     }
 
@@ -691,6 +826,105 @@ mod tests {
                 assert_eq!(got, reference, "cut={cut} threads={threads}");
             }
         }
+    }
+
+    type EdgeList = Vec<(usize, usize)>;
+
+    /// Splits a canonical edge soup into a base set plus disjoint
+    /// insert/delete candidate lists, pseudo-randomly but repeatably.
+    fn churn_split(n: usize, m: usize, seed: u64) -> (EdgeList, EdgeList, EdgeList) {
+        let mut canon: Vec<_> = soup(n, m, seed)
+            .iter()
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        canon.sort_unstable();
+        canon.dedup();
+        let mut base = Vec::new();
+        let mut dels = Vec::new();
+        let mut ins = Vec::new();
+        for (i, e) in canon.into_iter().enumerate() {
+            match i % 5 {
+                0 => ins.push(e), // absent edge to insert
+                1 => {
+                    base.push(e);
+                    dels.push(e); // present edge to delete
+                }
+                _ => base.push(e),
+            }
+        }
+        (base, ins, dels)
+    }
+
+    #[test]
+    fn apply_delta_matches_from_edges_on_mutated_set() {
+        let (base, ins, dels) = churn_split(80, 700, 11);
+        let reference_edges: Vec<_> = {
+            let mut e: Vec<_> = base.iter().copied().filter(|x| !dels.contains(x)).collect();
+            e.extend_from_slice(&ins);
+            e
+        };
+        let reference = CommGraph::from_edges(80, &reference_edges).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let par = ParallelConfig::with_threads(threads);
+            let mut g = CommGraph::from_edges_with(80, &base, &par).unwrap();
+            let batch = DeltaBatch::new_with(80, &ins, &dels, &par).unwrap();
+            let effect = g.apply_delta_with(&batch, &par).unwrap();
+            assert_eq!(g, reference, "threads={threads}");
+            assert_eq!(effect.inserted, ins, "threads={threads}");
+            assert_eq!(effect.deleted, dels, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn apply_delta_filters_noop_entries() {
+        let mut g = CommGraph::path(5); // edges (0,1),(1,2),(2,3),(3,4)
+                                        // (0,1) already present; (0,4) absent so its delete is a no-op.
+        let batch = DeltaBatch::new(5, &[(0, 1), (0, 2)], &[(0, 4), (3, 4)]).unwrap();
+        let effect = g.apply_delta(&batch).unwrap();
+        assert_eq!(effect.inserted, vec![(0, 2)]);
+        assert_eq!(effect.deleted, vec![(3, 4)]);
+        assert_eq!(
+            g,
+            CommGraph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3)]).unwrap()
+        );
+    }
+
+    #[test]
+    fn noop_delta_leaves_graph_bit_identical() {
+        let g0 = CommGraph::path(6);
+        let mut g = g0.clone();
+        // Inserting existing edges and deleting absent ones changes nothing.
+        let batch = DeltaBatch::new(6, &[(0, 1), (2, 3)], &[(0, 5)]).unwrap();
+        let effect = g.apply_delta(&batch).unwrap();
+        assert!(effect.is_noop());
+        assert_eq!(g, g0);
+    }
+
+    #[test]
+    fn delta_for_larger_machine_count_is_range_checked() {
+        let mut g = CommGraph::path(4);
+        let batch = DeltaBatch::new(10, &[(2, 7)], &[]).unwrap();
+        let err = g.apply_delta(&batch).unwrap_err();
+        assert_eq!(err, NetError::MachineOutOfRange { machine: 7, n: 4 });
+        assert_eq!(g, CommGraph::path(4)); // untouched on error
+                                           // A small-n batch applies cleanly to a bigger graph.
+        let mut big = CommGraph::path(10);
+        let small = DeltaBatch::new(4, &[(0, 2)], &[(1, 2)]).unwrap();
+        let effect = big.apply_delta(&small).unwrap();
+        assert_eq!(effect.len(), 2);
+        assert!(big.has_link(0, 2) && !big.has_link(1, 2));
+    }
+
+    #[test]
+    fn delta_can_empty_and_refill_a_graph() {
+        let mut g = CommGraph::path(4);
+        let wipe = DeltaBatch::new(4, &[], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        g.apply_delta(&wipe).unwrap();
+        assert_eq!(g.n_links(), 0);
+        assert_eq!(g, CommGraph::from_edges(4, &[]).unwrap());
+        let refill = DeltaBatch::new(4, &[(0, 3), (1, 3)], &[]).unwrap();
+        g.apply_delta(&refill).unwrap();
+        assert_eq!(g, CommGraph::from_edges(4, &[(0, 3), (1, 3)]).unwrap());
     }
 
     #[test]

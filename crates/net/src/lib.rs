@@ -34,17 +34,19 @@
 //! ```
 
 pub mod bandwidth;
+pub mod delta;
 pub mod error;
 pub mod graph;
 pub mod par;
 pub mod rng;
 
 pub use bandwidth::{CostMeter, CostReport, PhaseCost};
+pub use delta::{DeltaBatch, DeltaEffect};
 pub use error::NetError;
 pub use graph::{BfsScratch, CommGraph, MachineId};
 pub use par::{
     available_threads, fill_segmented_with_offsets, fold_rows_segmented, kway_merge_counted,
-    kway_merge_dedup, map_reduce_on, map_reduce_sharded, merge_sorted_runs,
+    kway_merge_dedup, map_reduce_on, map_reduce_sharded, merge_sorted_runs, patch_csr_rows,
     total_scoped_threads_spawned, ParallelConfig, SegmentedPlan, ShardPlan, ShardStrategy,
     WorkerPool,
 };

@@ -1449,6 +1449,107 @@ pub fn kway_merge_dedup<T: Ord + Copy>(lists: Vec<Vec<T>>) -> Vec<T> {
     kway_merge_counted(counted).0
 }
 
+/// Patches a CSR with **sorted rows** by per-row insertions and deletions,
+/// returning the new `(offsets, adj)`. `ins_pairs` / `del_pairs` are
+/// `(row, entry)` pairs, sorted lexicographically; inserted entries must
+/// be absent from their row and deleted entries present. Untouched rows
+/// copy wholesale and touched rows re-merge in one linear pass, sharded
+/// over row ranges balanced by new-row mass — a sorted row is unique, so
+/// the output is byte-identical to rebuilding the CSR from scratch, at
+/// any thread count. This is the shared incremental-maintenance kernel
+/// behind `CommGraph::apply_delta` and the cluster layer's `H`-adjacency
+/// patch.
+pub fn patch_csr_rows(
+    offsets: &[usize],
+    adj: &[usize],
+    ins_pairs: &[(usize, usize)],
+    del_pairs: &[(usize, usize)],
+    par: &ParallelConfig,
+) -> (Vec<usize>, Vec<usize>) {
+    let n = offsets.len() - 1;
+    debug_assert!(ins_pairs.is_sorted() && del_pairs.is_sorted());
+    // New offsets: old degree adjusted by the per-row patch counts.
+    let mut new_offsets = vec![0usize; n + 1];
+    {
+        let (mut ii, mut di) = (0usize, 0usize);
+        for v in 0..n {
+            let mut deg = offsets[v + 1] - offsets[v];
+            while ii < ins_pairs.len() && ins_pairs[ii].0 == v {
+                deg += 1;
+                ii += 1;
+            }
+            while di < del_pairs.len() && del_pairs[di].0 == v {
+                deg -= 1;
+                di += 1;
+            }
+            new_offsets[v + 1] = new_offsets[v] + deg;
+        }
+    }
+    let mut new_adj = vec![0usize; new_offsets[n]];
+    let plan = ShardPlan::from_prefix(&new_offsets, par.threads());
+    let pool = WorkerPool::global(par.threads());
+    {
+        let adj_base = SendPtr::new(new_adj.as_mut_ptr());
+        let new_offsets = &new_offsets;
+        for_each_shard(pool.as_deref(), plan.n_shards(), &|s| {
+            let rows = plan.range(s);
+            let mut ii = ins_pairs.partition_point(|p| p.0 < rows.start);
+            let mut di = del_pairs.partition_point(|p| p.0 < rows.start);
+            let mut out = new_offsets[rows.start];
+            for v in rows.clone() {
+                let old_row = &adj[offsets[v]..offsets[v + 1]];
+                let ins_start = ii;
+                while ii < ins_pairs.len() && ins_pairs[ii].0 == v {
+                    ii += 1;
+                }
+                let del_start = di;
+                while di < del_pairs.len() && del_pairs[di].0 == v {
+                    di += 1;
+                }
+                // SAFETY: shard `s` writes exactly
+                // `new_adj[new_offsets[rows.start]..new_offsets[rows.end]]`
+                // — row ranges are disjoint across shards and `out` walks
+                // the shard's window front to back.
+                if ins_start == ii && del_start == di {
+                    // Untouched row: wholesale copy.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            old_row.as_ptr(),
+                            adj_base.get().add(out),
+                            old_row.len(),
+                        );
+                    }
+                    out += old_row.len();
+                } else {
+                    // Touched row: merge additions in, skip removals.
+                    let ins_row = &ins_pairs[ins_start..ii];
+                    let del_row = &del_pairs[del_start..di];
+                    let (mut ip, mut dp) = (0usize, 0usize);
+                    for &w in old_row {
+                        while ip < ins_row.len() && ins_row[ip].1 < w {
+                            unsafe { *adj_base.get().add(out) = ins_row[ip].1 };
+                            out += 1;
+                            ip += 1;
+                        }
+                        if dp < del_row.len() && del_row[dp].1 == w {
+                            dp += 1;
+                            continue;
+                        }
+                        unsafe { *adj_base.get().add(out) = w };
+                        out += 1;
+                    }
+                    for &(_, w) in &ins_row[ip..] {
+                        unsafe { *adj_base.get().add(out) = w };
+                        out += 1;
+                    }
+                }
+            }
+            debug_assert_eq!(out, new_offsets[rows.end]);
+        });
+    }
+    (new_offsets, new_adj)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -78,7 +78,7 @@ fn main() {
 
     // A second run on the same instance reuses the cached build.
     let again = session.run(8);
-    assert!(again.graph_cached);
+    assert!(again.cache_hit);
     println!(
         "second run reused the cached graph (build_secs = {})",
         again.build_secs

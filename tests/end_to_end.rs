@@ -109,7 +109,7 @@ fn deterministic_across_identical_runs() {
     let (mut session, a) = run_spec(spec, 77, 32);
     // Same session, same seed: cached graph, identical transcript.
     let b = session.run(77);
-    assert!(b.graph_cached);
+    assert!(b.cache_hit);
     assert_eq!(a.run.coloring, b.run.coloring);
     assert_eq!(a.run.report, b.run.report);
     // A fresh session rebuilt from the printed spec string reproduces it.
