@@ -69,6 +69,7 @@ pub mod palette_query;
 pub mod params;
 pub mod putaside;
 pub mod rounds;
+pub mod schedule;
 pub mod sct;
 pub mod serve;
 pub mod session;
@@ -83,6 +84,7 @@ pub use driver::{
 pub use mutate::MutationOutcome;
 pub use palette_query::CliquePalette;
 pub use params::{Ablation, Params};
+pub use schedule::ColorSchedule;
 pub use serve::{ServeOutcome, ServerConfig, ServerStats, SessionServer};
 pub use session::{ParamsProfile, RunOutcome, Session, SessionBuilder};
 pub use validate::{coloring_stats, ColoringStats};

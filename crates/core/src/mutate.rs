@@ -14,23 +14,38 @@
 //! * every vertex that was uncolored to begin with (first mutation on a
 //!   session that never ran, or a prior failed apply).
 //!
-//! The dirty vertices are then re-colored by the same charged
-//! exact-palette loop the driver's terminal fallback uses
-//! ([`fallback_until_total`]), under the phase tag `"recolor"`, and the
-//! result is asserted total, proper, and within `Δ' + 1` colors. Costs
-//! land in a fresh [`CostMeter`](cgc_net::CostMeter), so the returned
-//! [`CostReport`] is the *incremental* price of the update — the quantity
-//! `bench_mutations` compares against a full rebuild + full recolor.
+//! The dirty vertices are then re-colored in two stages. When the caller
+//! supplies a [`ColorSchedule`] (the previous coloring, materialized as
+//! waves — see [`crate::schedule`]), a **wave sweep** runs first: the
+//! dirty vertices group by their *previous* color class, and each class
+//! dispatches one wave over the worker pool, every worker computing
+//! first-fit candidates for a disjoint slice with read-only access to the
+//! frozen coloring. Because the previous coloring was proper only on the
+//! *pre-delta* graph, two same-wave vertices may now be adjacent through
+//! an inserted edge — so the commit is a serial ascending-id pass that
+//! re-checks each candidate against the colors already committed this
+//! wave and defers losers. Each non-empty wave charges one full
+//! aggregation round (the same analytic formula as the fallback), on the
+//! calling thread. Whatever the sweep leaves uncolored falls through to
+//! the driver's charged exact-palette loop ([`fallback_until_total`]),
+//! under the same phase tag `"recolor"`; the result is asserted total,
+//! proper, and within `Δ' + 1` colors. Costs land in a fresh
+//! [`CostMeter`](cgc_net::CostMeter), so the returned [`CostReport`] is
+//! the *incremental* price of the update — the quantity `bench_mutations`
+//! compares against a full rebuild + full recolor.
 //!
 //! All randomness flows from the caller's seed through a dedicated salt,
-//! so a mutation outcome is a pure function of
-//! `(graph, previous coloring, reports, seed)` — bit-identical at any
-//! thread count like every other pass.
+//! and the wave sweep is deterministic outright (first-fit candidates
+//! from a frozen state, serial commit), so a mutation outcome is a pure
+//! function of `(graph, previous coloring, schedule, reports, seed)` —
+//! bit-identical at any thread count like every other pass.
 
 use crate::coloring::Coloring;
 use crate::driver::fallback_until_total;
+use crate::schedule::ColorSchedule;
 use crate::validate::coloring_stats;
-use cgc_cluster::{ClusterGraph, ClusterNet, DeltaReport, ParallelConfig};
+use cgc_cluster::par::SendPtr;
+use cgc_cluster::{run_waves, ClusterGraph, ClusterNet, DeltaReport, ParallelConfig, WorkerPool};
 use cgc_net::{CostReport, SeedStream};
 
 /// Stage tag separating recolor randomness from the driver's numbered
@@ -70,8 +85,22 @@ pub struct MutationOutcome {
     /// Vertices actually colored by the recolor loop (equals
     /// `dirty_vertices` on success).
     pub recolored: usize,
-    /// Charged rounds the recolor loop consumed.
+    /// Charged rounds the recolor loop consumed (wave sweep + fallback).
     pub recolor_rounds: u64,
+    /// Non-empty waves the scheduled recolor sweep dispatched (0 when no
+    /// schedule was available — a session that never ran).
+    pub waves_run: usize,
+    /// Dirty vertices in the fullest recolor wave.
+    pub largest_wave: usize,
+    /// Dirty vertices colored by the wave sweep (first-fit in their
+    /// previous color class's wave).
+    pub wave_recolored: usize,
+    /// Dirty vertices left to the exact-palette fallback loop
+    /// (`wave_recolored + fallback_recolored == recolored`).
+    pub fallback_recolored: usize,
+    /// Non-empty waves the scheduled support-tree repair grouped dirty
+    /// clusters into, summed over the batches (0 when unscheduled).
+    pub repair_waves: usize,
     /// Cost-meter snapshot of the recolor pass alone (phase
     /// `"recolor"`) — the incremental price of the update.
     pub report: CostReport,
@@ -95,15 +124,22 @@ pub(crate) struct RecolorResult {
     pub dirty_vertices: usize,
     pub recolored: usize,
     pub rounds: u64,
+    pub waves_run: usize,
+    pub largest_wave: usize,
+    pub wave_recolored: usize,
+    pub fallback_recolored: usize,
 }
 
 /// Recolors the dirty region of `graph` after the deltas described by
 /// `reports`, seeding from `previous` (a proper total coloring of the
-/// pre-delta instance; `None` forces a full recolor). See the
-/// [module docs](self) for what counts as dirty.
+/// pre-delta instance; `None` forces a full recolor). When `schedule`
+/// materializes the previous coloring, the conflict-resolution sweep runs
+/// wave-parallel before the fallback — see the [module docs](self). A
+/// schedule sized to a different vertex count is ignored.
 pub(crate) fn recolor_dirty(
     graph: &ClusterGraph,
     previous: Option<&Coloring>,
+    schedule: Option<&ColorSchedule>,
     reports: &[DeltaReport],
     beta: u64,
     parallel: ParallelConfig,
@@ -140,19 +176,95 @@ pub(crate) fn recolor_dirty(
     let dirty_vertices = n - coloring.n_colored();
     let mut net = ClusterNet::with_log_budget_parallel(graph, beta, parallel);
     net.set_phase("recolor");
+    // Stage 1 — wave sweep: dirty vertices grouped by their previous
+    // color class run one wave at a time. Candidates are first-fit
+    // (smallest available color — deterministic, and with `q = Δ' + 1`
+    // the palette is never empty) computed in parallel against the
+    // coloring frozen at wave start; the serial ascending commit then
+    // re-checks each candidate against colors committed earlier in the
+    // same wave, deferring losers to the fallback. Vertices with no
+    // previous color (never-colored sessions, out-of-range colors) have
+    // no meaningful class and go straight to the fallback too.
+    let mut waves_run = 0usize;
+    let mut largest_wave = 0usize;
+    let mut wave_recolored = 0usize;
+    let mut wave_rounds = 0u64;
+    if let Some(sched) = schedule.filter(|s| s.waves().n_items() == n && dirty_vertices > 0) {
+        let pool = WorkerPool::global(parallel.threads());
+        let mut wave: Vec<usize> = Vec::new();
+        let mut cand: Vec<usize> = Vec::new();
+        for class in 0..sched.n_classes() {
+            wave.clear();
+            wave.extend(
+                sched
+                    .class(class)
+                    .iter()
+                    .copied()
+                    .filter(|&v| !coloring.is_colored(v)),
+            );
+            if wave.is_empty() {
+                continue;
+            }
+            waves_run += 1;
+            largest_wave = largest_wave.max(wave.len());
+            wave_rounds += 1;
+            net.charge_full_rounds(1, (q as u64).min(4 * net.meter.budget_bits()));
+            cand.clear();
+            cand.resize(wave.len(), usize::MAX);
+            {
+                let base = SendPtr::new(cand.as_mut_ptr());
+                let coloring = &coloring;
+                run_waves(
+                    pool.as_deref(),
+                    parallel.threads(),
+                    &[0, wave.len()],
+                    &wave,
+                    &|_w, base_idx, slice| {
+                        for (i, &v) in slice.iter().enumerate() {
+                            let col = coloring.palette_oracle(graph, v)[0];
+                            // SAFETY: candidate slot `base_idx + i` is
+                            // owned by exactly this item of this slice.
+                            unsafe { *base.get().add(base_idx + i) = col };
+                        }
+                    },
+                );
+            }
+            for (i, &v) in wave.iter().enumerate() {
+                let col = cand[i];
+                if graph
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| coloring.get(u) == Some(col))
+                {
+                    // A same-wave neighbor (adjacent only through an
+                    // inserted edge) committed this color first.
+                    continue;
+                }
+                coloring.set(v, col);
+                wave_recolored += 1;
+            }
+        }
+    }
+    // Stage 2 — whatever remains goes through the driver's charged
+    // exact-palette loop.
     let seeds = SeedStream::new(seed).child(RECOLOR_SALT);
-    let (recolored, rounds) = fallback_until_total(&mut net, &mut coloring, &seeds);
+    let (fallback_recolored, fb_rounds) = fallback_until_total(&mut net, &mut coloring, &seeds);
     let s = coloring_stats(graph, &coloring);
     assert!(
         s.is_valid_total(),
         "recolor must restore a total proper coloring: {s:?}"
     );
+    debug_assert_eq!(wave_recolored + fallback_recolored, dirty_vertices);
     RecolorResult {
         coloring,
         report: net.meter.report(),
         dirty_vertices,
-        recolored,
-        rounds,
+        recolored: wave_recolored + fallback_recolored,
+        rounds: wave_rounds + fb_rounds,
+        waves_run,
+        largest_wave,
+        wave_recolored,
+        fallback_recolored,
     }
 }
 
@@ -173,7 +285,7 @@ mod tests {
     fn clean_previous_coloring_means_zero_dirty_vertices() {
         let mut g = two_triangles();
         let prev = {
-            let res = recolor_dirty(&g, None, &[], 32, ParallelConfig::serial(), 1);
+            let res = recolor_dirty(&g, None, None, &[], 32, ParallelConfig::serial(), 1);
             assert_eq!(res.dirty_vertices, 6);
             res.coloring
         };
@@ -183,7 +295,15 @@ mod tests {
             .apply_delta(&DeltaBatch::new(6, &[], &[(2, 3)]).unwrap())
             .unwrap();
         let reports = [report];
-        let res = recolor_dirty(&g, Some(&prev), &reports, 32, ParallelConfig::serial(), 2);
+        let res = recolor_dirty(
+            &g,
+            Some(&prev),
+            None,
+            &reports,
+            32,
+            ParallelConfig::serial(),
+            2,
+        );
         if g.max_degree() + 1 == prev.q() {
             assert_eq!(res.dirty_vertices, 0);
             assert_eq!(res.rounds, 0);
@@ -194,7 +314,7 @@ mod tests {
     #[test]
     fn inserted_conflict_uncolors_only_the_larger_endpoint() {
         let g = two_triangles();
-        let full = recolor_dirty(&g, None, &[], 32, ParallelConfig::serial(), 3);
+        let full = recolor_dirty(&g, None, None, &[], 32, ParallelConfig::serial(), 3);
         // Find two same-colored non-adjacent vertices and insert the edge.
         let prev = full.coloring;
         let (u, v) = (0..6)
@@ -207,7 +327,15 @@ mod tests {
             .unwrap();
         assert_eq!(report.h_inserted, vec![(u.min(v), u.max(v))]);
         let reports = [report];
-        let res = recolor_dirty(&g2, Some(&prev), &reports, 32, ParallelConfig::serial(), 4);
+        let res = recolor_dirty(
+            &g2,
+            Some(&prev),
+            None,
+            &reports,
+            32,
+            ParallelConfig::serial(),
+            4,
+        );
         if g2.max_degree() + 1 == prev.q() {
             assert_eq!(res.dirty_vertices, 1, "only the larger endpoint yields");
             assert_eq!(res.coloring.get(u.min(v)), prev.get(u.min(v)));
@@ -231,16 +359,67 @@ mod tests {
             .unwrap();
         assert_eq!(g.max_degree(), 2);
         let reports = [report];
-        let res = recolor_dirty(&g, Some(&prev), &reports, 32, ParallelConfig::serial(), 5);
+        let res = recolor_dirty(
+            &g,
+            Some(&prev),
+            None,
+            &reports,
+            32,
+            ParallelConfig::serial(),
+            5,
+        );
         assert!(res.dirty_vertices >= 1, "color 4 is out of range at q = 3");
         assert!(res.coloring.is_total() && res.coloring.is_proper(&g));
         assert_eq!(res.coloring.q(), 3);
     }
 
     #[test]
+    fn scheduled_sweep_colors_dirty_vertices_by_previous_class() {
+        use crate::schedule::ColorSchedule;
+        let g = two_triangles();
+        let prev = recolor_dirty(&g, None, None, &[], 32, ParallelConfig::serial(), 9).coloring;
+        // The schedule materializes on the pre-delta graph, where `prev`
+        // is proper — exactly the session flow.
+        let sched = ColorSchedule::build(&g, &prev, &ParallelConfig::serial());
+        let mut g2 = g.clone();
+        let report = g2
+            .apply_delta(&DeltaBatch::new(6, &[(0, 4), (1, 5)], &[(2, 3)]).unwrap())
+            .unwrap();
+        let reports = [report];
+        let mut reference: Option<RecolorResult> = None;
+        for threads in [1usize, 2, 4] {
+            let res = recolor_dirty(
+                &g2,
+                Some(&prev),
+                Some(&sched),
+                &reports,
+                32,
+                ParallelConfig::with_threads(threads),
+                9,
+            );
+            assert!(res.coloring.is_total() && res.coloring.is_proper(&g2));
+            assert_eq!(res.wave_recolored + res.fallback_recolored, res.recolored);
+            assert_eq!(res.recolored, res.dirty_vertices);
+            if res.dirty_vertices > 0 && g2.max_degree() + 1 == prev.q() {
+                assert!(res.waves_run >= 1, "dirty vertices must form waves");
+                assert!(res.largest_wave >= 1);
+            }
+            match &reference {
+                None => reference = Some(res),
+                Some(r) => {
+                    assert_eq!(res.coloring, r.coloring, "threads={threads}");
+                    assert_eq!(res.report, r.report, "threads={threads}");
+                    assert_eq!(res.waves_run, r.waves_run, "threads={threads}");
+                    assert_eq!(res.wave_recolored, r.wave_recolored, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn recolor_is_thread_count_independent() {
         let mut g = two_triangles();
-        let prev = recolor_dirty(&g, None, &[], 32, ParallelConfig::serial(), 7).coloring;
+        let prev = recolor_dirty(&g, None, None, &[], 32, ParallelConfig::serial(), 7).coloring;
         let report = g
             .apply_delta(&DeltaBatch::new(6, &[(0, 4), (1, 5)], &[(2, 3)]).unwrap())
             .unwrap();
@@ -250,6 +429,7 @@ mod tests {
             let res = recolor_dirty(
                 &g,
                 Some(&prev),
+                None,
                 &reports,
                 32,
                 ParallelConfig::with_threads(threads),

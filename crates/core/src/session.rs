@@ -41,7 +41,8 @@ use crate::coloring::Coloring;
 use crate::driver::{color_cluster_graph_with, DriverOptions, RunResult};
 use crate::mutate::{recolor_dirty, MutationOutcome};
 use crate::params::{Ablation, Params};
-use cgc_cluster::{available_threads, ClusterGraph, ClusterNet, ParallelConfig};
+use crate::schedule::ColorSchedule;
+use cgc_cluster::{available_threads, ClusterGraph, ClusterNet, ParallelConfig, RepairStats};
 use cgc_graphs::{PlantedInfo, SetupTimings, WorkloadParseError, WorkloadSpec};
 use cgc_net::{DeltaBatch, NetError};
 use std::time::Instant;
@@ -447,13 +448,30 @@ impl Session {
     /// coloring is dropped (it may be stale), so the next mutation or run
     /// recolors from scratch.
     pub fn apply_deltas(&mut self, batches: &[DeltaBatch]) -> Result<MutationOutcome, NetError> {
+        // The previous coloring doubles as the execution schedule: its
+        // color classes are pairwise H-disjoint on the pre-delta graph,
+        // which is exactly when the dirty support-tree repairs read
+        // disjoint G-neighborhoods. Built once here (cluster ids are
+        // stable under deltas, so one schedule serves every batch) and
+        // reused by the recolor sweep below.
+        let schedule = self
+            .coloring
+            .as_ref()
+            .filter(|c| c.is_total() && c.len() == self.graph.n_vertices())
+            .map(|c| ColorSchedule::build(&self.graph, c, &self.parallel));
         let apply_start = Instant::now();
         let mut reports = Vec::with_capacity(batches.len());
+        let mut repair = RepairStats::default();
         for batch in batches {
-            match self.graph.apply_delta_with(batch, &self.parallel) {
-                Ok(report) => {
+            match self.graph.apply_delta_scheduled(
+                batch,
+                &self.parallel,
+                schedule.as_ref().map(|s| s.waves()),
+            ) {
+                Ok((report, stats)) => {
                     self.delta_epoch += 1;
                     reports.push(report);
+                    repair.absorb(stats);
                 }
                 Err(e) => {
                     if !reports.is_empty() {
@@ -468,6 +486,7 @@ impl Session {
         let res = recolor_dirty(
             &self.graph,
             self.coloring.as_ref(),
+            schedule.as_ref(),
             &reports,
             self.beta,
             self.parallel,
@@ -493,6 +512,11 @@ impl Session {
             dirty_vertices: res.dirty_vertices,
             recolored: res.recolored,
             recolor_rounds: res.rounds,
+            waves_run: res.waves_run,
+            largest_wave: res.largest_wave,
+            wave_recolored: res.wave_recolored,
+            fallback_recolored: res.fallback_recolored,
+            repair_waves: repair.waves,
             report: res.report,
             coloring: res.coloring.clone(),
             apply_secs,
