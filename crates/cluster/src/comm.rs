@@ -47,7 +47,7 @@
 use crate::graph::{ClusterGraph, VertexId};
 use crate::par::{
     fill_segmented_with_offsets, fill_sharded, fill_sharded_with_offsets, fold_rows_segmented,
-    ParallelConfig, SegmentedPlan, ShardPlan, WorkerPool,
+    for_each_shard, ParallelConfig, SegmentedPlan, SendPtr, ShardPlan, WorkerPool,
 };
 use cgc_net::CostMeter;
 use std::sync::Arc;
@@ -708,6 +708,40 @@ impl<'a> ClusterNet<'a> {
         fill_sharded(out, &self.plan, self.pool.as_deref(), |start, slot| {
             for (i, cell) in slot.iter_mut().enumerate() {
                 cell.write(f(start + i));
+            }
+        });
+    }
+
+    /// Fills a flat bit-row matrix — `words_per_row` packed `u64`s per
+    /// vertex (see [`cgc_net::bits`]) — sharded over the runtime's plan:
+    /// `fill(v, row)` runs once per vertex with `row` zeroed, writing the
+    /// vertex's own disjoint word range. The palette matrices of the
+    /// fallback and list-coloring round loops are built through this
+    /// (row-mass-weighted plan: the fill walks each vertex's CSR row, so
+    /// a hub must not pin one shard). Like the other oracle-view maps,
+    /// nothing is charged. `out` is cleared and resized; warm calls with
+    /// sufficient capacity never allocate.
+    pub fn par_vertex_fill_words(
+        &self,
+        words_per_row: usize,
+        out: &mut Vec<u64>,
+        fill: impl Fn(VertexId, &mut [u64]) + Sync,
+    ) {
+        let n = self.g.n_vertices();
+        out.clear();
+        out.resize(n * words_per_row, 0);
+        if words_per_row == 0 {
+            return;
+        }
+        let base = SendPtr::new(out.as_mut_ptr());
+        for_each_shard(self.pool.as_deref(), self.plan.n_shards(), &|s| {
+            for v in self.plan.range(s) {
+                // SAFETY: rows are disjoint word ranges and shard `s` owns
+                // exactly the vertices of `plan.range(s)`.
+                let row = unsafe {
+                    std::slice::from_raw_parts_mut(base.get().add(v * words_per_row), words_per_row)
+                };
+                fill(v, row);
             }
         });
     }

@@ -40,10 +40,12 @@ pub mod exec;
 pub mod graph;
 pub mod groups;
 pub mod overlay;
+pub mod palette;
 pub mod par;
 pub mod prefix;
 
 pub use bfs::{BfsForest, BfsTree};
+pub use cgc_net::bits::{self, BitMatrix, BitsScratch, PaletteBits};
 pub use comm::{ClusterNet, NeighborLists, RoundScratch};
 pub use exec::{
     execute_broadcast, execute_broadcast_with, execute_converge, execute_converge_with,
@@ -52,6 +54,7 @@ pub use exec::{
 pub use graph::{BuildTimings, ClusterGraph, DeltaReport, RepairStats, SupportTree, VertexId};
 pub use groups::{check_groups, random_groups, GroupCheck, Groups};
 pub use overlay::VirtualGraph;
+pub use palette::{palette_sweep_waves, PaletteSweep};
 pub use par::{
     available_threads, fill_segmented_with_offsets, fold_rows_segmented, map_reduce_on,
     map_reduce_sharded, merge_sorted_runs, run_waves, total_scoped_threads_spawned, ParallelConfig,

@@ -1,0 +1,229 @@
+//! Wave-scheduled read-only palette sweeps.
+//!
+//! The mutation paths already run through color waves
+//! ([`crate::par::run_waves`]); this module schedules the *query* side
+//! the same way: a read-only sweep that, for every vertex, answers the
+//! three palette questions at once — free-color count
+//! `|L(v)| = q − |φ(N(v))|`, uncolored degree `deg_φ(v)`, and reuse
+//! slack (colored neighbors minus distinct colors) — using the packed
+//! word kernels of [`cgc_net::bits`].
+//!
+//! Each worker keeps a private [`BitsScratch`] in `const`-initialized
+//! thread-local storage, so a warm sweep performs **zero heap
+//! allocations and zero thread spawns** (asserted by the crate's
+//! counting-allocator suite): per vertex the scratch resets in
+//! `O(q/64)`, the CSR row walk marks neighbor colors word-wise, and the
+//! answers land in per-vertex output slots. Every vertex appears in
+//! exactly one wave of the schedule, so the writes are disjoint by
+//! construction; because the sweep never mutates the coloring, the
+//! result is a pure function of `(graph, colors)` — bit-identical to the
+//! serial sweep at any thread count, which is what lets callers assert
+//! equality across thread sweeps. The wave structure is still exercised
+//! end to end (barriers, pooled dispatch, [`WaveStats`]), making this
+//! the read-mostly counterpart of the scheduled mutation passes.
+
+use crate::graph::ClusterGraph;
+use crate::par::{run_waves, ParallelConfig, SendPtr, WaveStats, WorkerPool};
+use cgc_net::bits::BitsScratch;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-worker palette scratch. `const`-initialized: registering the
+    /// TLS slot allocates nothing, and pool workers persist across
+    /// sweeps, so after one warm-up pass every worker's scratch already
+    /// holds `⌈q/64⌉` words of capacity.
+    static SWEEP_SCRATCH: RefCell<BitsScratch> = const { RefCell::new(BitsScratch::new()) };
+}
+
+/// Reusable output buffers of one palette/slack sweep (slot `v` = vertex
+/// `v`). Hoist one instance across sweeps to keep warm passes
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct PaletteSweep {
+    /// `|L(v)|` — free colors at `v`.
+    pub free_counts: Vec<usize>,
+    /// `deg_φ(v)` — uncolored neighbors of `v`.
+    pub uncolored_degrees: Vec<usize>,
+    /// Reuse slack: colored neighbors minus distinct colors on them.
+    pub reuse_slacks: Vec<usize>,
+}
+
+impl PaletteSweep {
+    /// Empty buffers; the first sweep sizes them.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.free_counts.clear();
+        self.free_counts.resize(n, 0);
+        self.uncolored_degrees.clear();
+        self.uncolored_degrees.resize(n, 0);
+        self.reuse_slacks.clear();
+        self.reuse_slacks.resize(n, 0);
+    }
+}
+
+/// Runs the palette/slack sweep as scheduled waves: `offsets`/`items`
+/// describe a wave partition of the vertex set (a
+/// [`crate::WaveSchedule`] CSR — every vertex in exactly one wave);
+/// within each wave the items split into contiguous shard slices over
+/// the persistent pool. `colors[v]` is the current color of `v` (the
+/// raw assignment slice). Returns the executed [`WaveStats`].
+///
+/// # Panics
+///
+/// Panics when `colors` is not sized to the graph or a color is `>= q`
+/// (debug).
+pub fn palette_sweep_waves(
+    graph: &ClusterGraph,
+    colors: &[Option<usize>],
+    q: usize,
+    offsets: &[usize],
+    items: &[usize],
+    parallel: &ParallelConfig,
+    out: &mut PaletteSweep,
+) -> WaveStats {
+    let n = graph.n_vertices();
+    assert_eq!(colors.len(), n, "one color slot per vertex");
+    out.reset(n);
+    let free = SendPtr::new(out.free_counts.as_mut_ptr());
+    let unc = SendPtr::new(out.uncolored_degrees.as_mut_ptr());
+    let reuse = SendPtr::new(out.reuse_slacks.as_mut_ptr());
+    let pool = WorkerPool::global(parallel.threads());
+    run_waves(
+        pool.as_deref(),
+        parallel.threads(),
+        offsets,
+        items,
+        &|_wave, _base, slice| {
+            SWEEP_SCRATCH.with(|cell| {
+                let mut scratch = cell.borrow_mut();
+                for &v in slice {
+                    let bits = scratch.bits(q);
+                    let row = graph.neighbors(v);
+                    let mut colored = 0usize;
+                    for &u in row {
+                        if let Some(c) = colors[u] {
+                            colored += 1;
+                            bits.mark(c);
+                        }
+                    }
+                    let distinct = bits.count_marked();
+                    // SAFETY: each vertex appears in exactly one wave item,
+                    // and slot `v` belongs to that item alone.
+                    unsafe {
+                        *free.get().add(v) = q - distinct;
+                        *unc.get().add(v) = row.len() - colored;
+                        *reuse.get().add(v) = colored - distinct;
+                    }
+                }
+            });
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::WaveSchedule;
+    use cgc_net::CommGraph;
+
+    /// A 12-vertex instance with a greedy coloring and its wave partition.
+    fn instance() -> (ClusterGraph, Vec<Option<usize>>, usize, WaveSchedule) {
+        let mut edges = Vec::new();
+        for v in 0..12usize {
+            edges.push((v, (v + 1) % 12));
+            if v % 3 == 0 {
+                edges.push((v, (v + 5) % 12));
+            }
+        }
+        let g = ClusterGraph::singletons(CommGraph::from_edges(12, &edges).unwrap());
+        let q = g.max_degree() + 1;
+        let mut colors: Vec<Option<usize>> = vec![None; 12];
+        for v in 0..12 {
+            let used: Vec<usize> = g.neighbors(v).iter().filter_map(|&u| colors[u]).collect();
+            colors[v] = Some((0..q).find(|c| !used.contains(c)).unwrap());
+        }
+        let class_of: Vec<usize> = colors.iter().map(|c| c.unwrap()).collect();
+        let waves = WaveSchedule::from_class_ids(&class_of, q, &ParallelConfig::serial());
+        (g, colors, q, waves)
+    }
+
+    fn reference(g: &ClusterGraph, colors: &[Option<usize>], q: usize) -> PaletteSweep {
+        let n = g.n_vertices();
+        let mut out = PaletteSweep::new();
+        out.reset(n);
+        for v in 0..n {
+            let mut used = vec![false; q];
+            let mut colored = 0usize;
+            let mut distinct = 0usize;
+            for &u in g.neighbors(v) {
+                if let Some(c) = colors[u] {
+                    colored += 1;
+                    if !used[c] {
+                        used[c] = true;
+                        distinct += 1;
+                    }
+                }
+            }
+            out.free_counts[v] = q - distinct;
+            out.uncolored_degrees[v] = g.neighbors(v).len() - colored;
+            out.reuse_slacks[v] = colored - distinct;
+        }
+        out
+    }
+
+    #[test]
+    fn sweep_matches_bool_reference_at_any_width() {
+        let (g, colors, q, waves) = instance();
+        let want = reference(&g, &colors, q);
+        for threads in [1usize, 2, 4, 8] {
+            let par = ParallelConfig::with_threads(threads);
+            let mut out = PaletteSweep::new();
+            let stats = palette_sweep_waves(
+                &g,
+                &colors,
+                q,
+                waves.offsets(),
+                waves.items(),
+                &par,
+                &mut out,
+            );
+            assert_eq!(out.free_counts, want.free_counts, "threads={threads}");
+            assert_eq!(out.uncolored_degrees, want.uncolored_degrees);
+            assert_eq!(out.reuse_slacks, want.reuse_slacks);
+            assert_eq!(stats.items, 12);
+            assert_eq!(
+                stats.waves,
+                waves.offsets().windows(2).filter(|w| w[1] > w[0]).count()
+            );
+        }
+    }
+
+    #[test]
+    fn partial_colorings_count_uncolored_degree() {
+        let (g, mut colors, q, _) = instance();
+        colors[3] = None;
+        colors[7] = None;
+        // One wave holding every vertex is a legal schedule for a
+        // read-only sweep (writes stay per-vertex disjoint).
+        let offsets = [0usize, 12];
+        let items: Vec<usize> = (0..12).collect();
+        let mut out = PaletteSweep::new();
+        let stats = palette_sweep_waves(
+            &g,
+            &colors,
+            q,
+            &offsets,
+            &items,
+            &ParallelConfig::serial(),
+            &mut out,
+        );
+        let want = reference(&g, &colors, q);
+        assert_eq!(out.free_counts, want.free_counts);
+        assert_eq!(out.uncolored_degrees, want.uncolored_degrees);
+        assert_eq!(out.reuse_slacks, want.reuse_slacks);
+        assert_eq!((stats.waves, stats.largest_wave, stats.items), (1, 12, 12));
+    }
+}

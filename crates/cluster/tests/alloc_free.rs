@@ -1,6 +1,7 @@
 //! Verifies the runtime's headline guarantees: after warm-up, the metered
 //! aggregation primitives (`neighbor_fold_into`, the typed fold wrappers,
 //! `neighbor_collect_into`, `exact_degrees_into`, `charge_full_rounds`)
+//! and the wave-scheduled palette query sweep (`palette_sweep_waves`)
 //! perform **zero heap allocations per round** — under the sequential
 //! config *and* under a parallel config dispatching on the persistent
 //! [`WorkerPool`], where warm rounds additionally **spawn no threads**
@@ -12,7 +13,10 @@
 //! rules out per-round spawning (`std::thread::spawn` allocates); the
 //! pool's spawn counter pins it explicitly.
 
-use cgc_cluster::{ClusterGraph, ClusterNet, NeighborLists, ParallelConfig, WorkerPool};
+use cgc_cluster::{
+    palette_sweep_waves, ClusterGraph, ClusterNet, NeighborLists, PaletteSweep, ParallelConfig,
+    WaveSchedule, WorkerPool,
+};
 use cgc_net::CommGraph;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -297,6 +301,89 @@ fn segmented_rounds_are_allocation_free_and_spawn_no_threads() {
         &mut seq_out,
     );
     assert_eq!(out, seq_out);
+}
+
+#[test]
+fn palette_query_waves_are_allocation_free_and_spawn_no_threads() {
+    let _serial = serial();
+    let h = instance();
+    let n = h.n_vertices();
+    let q = h.max_degree() + 1;
+    // A greedy proper coloring doubles as the wave partition (every color
+    // class is an independent set, so one class per wave is legal even
+    // for mutating passes; the read-only sweep merely inherits it).
+    let mut colors: Vec<Option<usize>> = vec![None; n];
+    for v in 0..n {
+        let used: Vec<usize> = h.neighbors(v).iter().filter_map(|&u| colors[u]).collect();
+        colors[v] = Some((0..q).find(|c| !used.contains(c)).unwrap());
+    }
+    let class_of: Vec<usize> = colors.iter().map(|c| c.unwrap()).collect();
+    let waves = WaveSchedule::from_class_ids(&class_of, q, &ParallelConfig::serial());
+    let par = ParallelConfig::with_threads(2);
+
+    // Warm-up: creates/acquires the pool, sizes the output buffers, and
+    // primes each participating worker's thread-local `BitsScratch`
+    // (shard-to-worker assignment is deterministic, so the same workers
+    // serve the measured sweeps).
+    let mut out = PaletteSweep::new();
+    palette_sweep_waves(
+        &h,
+        &colors,
+        q,
+        waves.offsets(),
+        waves.items(),
+        &par,
+        &mut out,
+    );
+    let warm = out.clone();
+
+    let spawned_before = WorkerPool::total_threads_spawned();
+    let scoped_before = cgc_cluster::total_scoped_threads_spawned();
+    let allocs_before = allocations();
+    for _ in 0..100 {
+        palette_sweep_waves(
+            &h,
+            &colors,
+            q,
+            waves.offsets(),
+            waves.items(),
+            &par,
+            &mut out,
+        );
+    }
+    assert_eq!(
+        allocations() - allocs_before,
+        0,
+        "warm palette-query waves must not allocate"
+    );
+    assert_eq!(
+        WorkerPool::total_threads_spawned(),
+        spawned_before,
+        "warm palette-query waves must not spawn threads"
+    );
+    assert_eq!(
+        cgc_cluster::total_scoped_threads_spawned(),
+        scoped_before,
+        "warm palette-query waves must not fall back to scoped-thread dispatch"
+    );
+    assert_eq!(out.free_counts, warm.free_counts);
+    assert_eq!(out.uncolored_degrees, warm.uncolored_degrees);
+    assert_eq!(out.reuse_slacks, warm.reuse_slacks);
+
+    // And the pooled sweep matches the serial one bit for bit.
+    let mut seq = PaletteSweep::new();
+    palette_sweep_waves(
+        &h,
+        &colors,
+        q,
+        waves.offsets(),
+        waves.items(),
+        &ParallelConfig::serial(),
+        &mut seq,
+    );
+    assert_eq!(out.free_counts, seq.free_counts);
+    assert_eq!(out.uncolored_degrees, seq.uncolored_degrees);
+    assert_eq!(out.reuse_slacks, seq.reuse_slacks);
 }
 
 #[test]

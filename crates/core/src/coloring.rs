@@ -6,15 +6,25 @@
 //! and by stage postcondition checks (the distributed algorithm itself
 //! only learns colors through charged rounds).
 
-use cgc_cluster::{ClusterGraph, VertexId};
+use cgc_cluster::bits;
+use cgc_cluster::{BitsScratch, ClusterGraph, PaletteBits, VertexId};
 
 /// A color in `[q]` (0-based; the paper's `[Δ+1]` is `0..=Δ` here).
 pub type Color = usize;
 
 /// A partial coloring of the vertices of `H`.
+///
+/// Alongside the per-vertex assignment it maintains a packed **occupancy
+/// mask** (bit `v` set ⇔ `v` colored, see [`cgc_cluster::bits`]), so
+/// "who is still uncolored?" questions — `is_total`, `n_colored`, the
+/// round loops' eligibility sets — are answered word-wise instead of by
+/// `O(n)` `Option` scans.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Coloring {
     colors: Vec<Option<Color>>,
+    /// Packed occupancy: bit `v` set ⇔ `colors[v].is_some()` (invariant
+    /// maintained by every mutator).
+    occupied: Vec<u64>,
     q: usize,
 }
 
@@ -28,6 +38,7 @@ impl Coloring {
         assert!(q > 0, "need at least one color");
         Coloring {
             colors: vec![None; n],
+            occupied: vec![0; bits::words_for(n)],
             q,
         }
     }
@@ -53,6 +64,20 @@ impl Coloring {
         self.colors[v]
     }
 
+    /// The raw per-vertex assignment slice (index `v` = color of `v`) —
+    /// the read-only view the wave-scheduled palette sweeps consume.
+    #[inline]
+    pub fn colors(&self) -> &[Option<Color>] {
+        &self.colors
+    }
+
+    /// The packed occupancy mask (bit `v` set ⇔ `v` colored): the round
+    /// loops intersect eligibility sets against this word-wise.
+    #[inline]
+    pub fn occupied_words(&self) -> &[u64] {
+        &self.occupied
+    }
+
     /// Whether `v` is colored.
     #[inline]
     pub fn is_colored(&self, v: VertexId) -> bool {
@@ -69,6 +94,7 @@ impl Coloring {
         assert!(c < self.q, "color {c} out of range [{}]", self.q);
         assert!(self.colors[v].is_none(), "vertex {v} already colored");
         self.colors[v] = Some(c);
+        bits::set_bit(&mut self.occupied, v);
     }
 
     /// Recolors `v` (used by the §7 color-swapping scheme).
@@ -79,16 +105,18 @@ impl Coloring {
     pub fn recolor(&mut self, v: VertexId, c: Color) {
         assert!(c < self.q, "color {c} out of range [{}]", self.q);
         self.colors[v] = Some(c);
+        bits::set_bit(&mut self.occupied, v);
     }
 
     /// Uncolors `v` (used when a stage cancels its coloring, §4.3).
     pub fn clear(&mut self, v: VertexId) {
         self.colors[v] = None;
+        bits::clear_bit(&mut self.occupied, v);
     }
 
-    /// Number of colored vertices.
+    /// Number of colored vertices (popcount over the occupancy mask).
     pub fn n_colored(&self) -> usize {
-        self.colors.iter().filter(|c| c.is_some()).count()
+        bits::count_marked(&self.occupied)
     }
 
     /// All uncolored vertices.
@@ -99,9 +127,18 @@ impl Coloring {
     }
 
     /// Whether the coloring is proper on `g` (monochromatic edges only
-    /// count when both endpoints are colored).
+    /// count when both endpoints are colored). Short-circuits via
+    /// [`Coloring::has_conflict`] — no conflict Vec is materialized.
     pub fn is_proper(&self, g: &ClusterGraph) -> bool {
-        self.conflicts(g).is_empty()
+        !self.has_conflict(g)
+    }
+
+    /// Whether `g` has **any** monochromatic edge — stops at the first
+    /// one found. Use [`Coloring::conflicts`] when the offending edges
+    /// themselves are needed (diagnostics).
+    pub fn has_conflict(&self, g: &ClusterGraph) -> bool {
+        g.h_edges()
+            .any(|(u, v)| matches!((self.colors[u], self.colors[v]), (Some(a), Some(b)) if a == b))
     }
 
     /// All monochromatic edges.
@@ -113,20 +150,62 @@ impl Coloring {
             .collect()
     }
 
-    /// Whether every vertex is colored.
+    /// Whether every vertex is colored (popcount, not an `Option` scan).
     pub fn is_total(&self) -> bool {
-        self.colors.iter().all(Option::is_some)
+        self.n_colored() == self.colors.len()
     }
 
-    /// The palette `L(v) = [q] \ φ(N(v))` (oracle view).
-    pub fn palette_oracle(&self, g: &ClusterGraph, v: VertexId) -> Vec<Color> {
-        let mut used = vec![false; self.q];
+    /// The colors used by `v`'s neighbors, marked into `scratch`'s packed
+    /// set — the primitive under every palette query: the returned
+    /// [`PaletteBits`] answers count/select/first-fit questions word-wise
+    /// without materializing a free list.
+    pub fn used_colors_into<'s>(
+        &self,
+        g: &ClusterGraph,
+        v: VertexId,
+        scratch: &'s mut BitsScratch,
+    ) -> &'s mut PaletteBits {
+        let bits = scratch.bits(self.q);
         for &u in g.neighbors(v) {
             if let Some(c) = self.colors[u] {
-                used[c] = true;
+                bits.mark(c);
             }
         }
-        (0..self.q).filter(|&c| !used[c]).collect()
+        bits
+    }
+
+    /// The palette `L(v) = [q] \ φ(N(v))` (oracle view). Allocates a
+    /// fresh scratch and result Vec per call — round loops use
+    /// [`Coloring::palette_oracle_into`] to stay allocation-free.
+    pub fn palette_oracle(&self, g: &ClusterGraph, v: VertexId) -> Vec<Color> {
+        let mut scratch = BitsScratch::new();
+        let mut out = Vec::new();
+        self.palette_oracle_into(g, v, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Coloring::palette_oracle`] into caller-owned buffers: `out` is
+    /// cleared and refilled ascending; warm calls perform no allocation.
+    pub fn palette_oracle_into(
+        &self,
+        g: &ClusterGraph,
+        v: VertexId,
+        scratch: &mut BitsScratch,
+        out: &mut Vec<Color>,
+    ) {
+        out.clear();
+        self.used_colors_into(g, v, scratch).collect_free_into(out);
+    }
+
+    /// The smallest color free at `v` (first-fit) — a word scan, no free
+    /// list. `None` iff the neighbors exhaust `[q]`.
+    pub fn first_fit_color(
+        &self,
+        g: &ClusterGraph,
+        v: VertexId,
+        scratch: &mut BitsScratch,
+    ) -> Option<Color> {
+        self.used_colors_into(g, v, scratch).first_free()
     }
 
     /// Uncolored degree `deg_φ(v)`.
@@ -139,25 +218,36 @@ impl Coloring {
 
     /// Slack `s_φ(v) = |L(v)| − deg_φ(v)` (oracle view, §3.1).
     pub fn slack_oracle(&self, g: &ClusterGraph, v: VertexId) -> i64 {
-        self.palette_oracle(g, v).len() as i64 - self.uncolored_degree(g, v) as i64
+        let mut scratch = BitsScratch::new();
+        let free = self.used_colors_into(g, v, &mut scratch).count_free();
+        free as i64 - self.uncolored_degree(g, v) as i64
     }
 
     /// Reuse slack of `v`: colored neighbors minus distinct colors on them
-    /// (§4.1 "types of slack").
+    /// (§4.1 "types of slack"). Allocating wrapper over
+    /// [`Coloring::reuse_slack_into`].
     pub fn reuse_slack(&self, g: &ClusterGraph, v: VertexId) -> usize {
-        let mut used = vec![false; self.q];
+        let mut scratch = BitsScratch::new();
+        self.reuse_slack_into(g, v, &mut scratch)
+    }
+
+    /// [`Coloring::reuse_slack`] against caller-owned scratch — colored
+    /// neighbors counted on the walk, distinct colors by popcount.
+    pub fn reuse_slack_into(
+        &self,
+        g: &ClusterGraph,
+        v: VertexId,
+        scratch: &mut BitsScratch,
+    ) -> usize {
+        let bits = scratch.bits(self.q);
         let mut colored = 0usize;
-        let mut distinct = 0usize;
         for &u in g.neighbors(v) {
             if let Some(c) = self.colors[u] {
                 colored += 1;
-                if !used[c] {
-                    used[c] = true;
-                    distinct += 1;
-                }
+                bits.mark(c);
             }
         }
-        colored - distinct
+        colored - bits.count_marked()
     }
 }
 
@@ -236,6 +326,60 @@ mod tests {
     fn color_out_of_range_panics() {
         let mut c = Coloring::new(1, 2);
         c.set(0, 2);
+    }
+
+    #[test]
+    fn has_conflict_matches_conflicts_and_short_circuits() {
+        let g = triangle();
+        let mut c = Coloring::new(3, 3);
+        assert!(!c.has_conflict(&g));
+        c.set(0, 0);
+        c.set(1, 1);
+        c.set(2, 1);
+        assert!(c.has_conflict(&g));
+        assert_eq!(c.conflicts(&g), vec![(1, 2)]);
+        assert_eq!(c.is_proper(&g), c.conflicts(&g).is_empty());
+    }
+
+    #[test]
+    fn occupancy_mask_tracks_mutators() {
+        let mut c = Coloring::new(70, 3);
+        assert_eq!(c.occupied_words().len(), 2);
+        c.set(0, 1);
+        c.set(64, 2);
+        assert_eq!(c.n_colored(), 2);
+        assert_eq!(c.occupied_words()[0], 1);
+        assert_eq!(c.occupied_words()[1], 1);
+        c.recolor(64, 0);
+        assert_eq!(c.n_colored(), 2);
+        c.clear(64);
+        assert_eq!(c.occupied_words()[1], 0);
+        assert_eq!(c.n_colored(), 1);
+        assert!(!c.is_total());
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_oracles() {
+        let g = ClusterGraph::singletons(cgc_net::CommGraph::star(5));
+        let mut c = Coloring::new(5, 6);
+        c.set(1, 2);
+        c.set(2, 2);
+        c.set(3, 4);
+        let mut scratch = BitsScratch::new();
+        let mut pal = Vec::new();
+        for v in 0..5 {
+            c.palette_oracle_into(&g, v, &mut scratch, &mut pal);
+            assert_eq!(pal, c.palette_oracle(&g, v), "vertex {v}");
+            assert_eq!(
+                c.first_fit_color(&g, v, &mut scratch),
+                c.palette_oracle(&g, v).first().copied()
+            );
+            assert_eq!(
+                c.reuse_slack_into(&g, v, &mut scratch),
+                c.reuse_slack(&g, v)
+            );
+        }
+        assert_eq!(c.reuse_slack(&g, 0), 1, "two leaves share color 2");
     }
 
     #[test]

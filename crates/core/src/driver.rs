@@ -19,9 +19,9 @@ use crate::mct::{multicolor_trial, ColorInterval};
 use crate::noncabal::{color_noncabals, NoncabalReport};
 use crate::params::Params;
 use crate::slackgen::slack_generation;
-use crate::trycolor::{try_color_round, try_color_rounds};
+use crate::trycolor::{try_color_round_words, try_color_rounds, TrialScratch};
 use crate::validate::coloring_stats;
-use cgc_cluster::{ClusterNet, ParallelConfig};
+use cgc_cluster::{bits, ClusterNet, ParallelConfig};
 use cgc_decomp::{acd_oracle, classify_cabals, compute_acd, degree_profile};
 use cgc_net::{CostReport, SeedStream};
 use rand::RngExt;
@@ -308,29 +308,51 @@ pub(crate) fn fallback_until_total(
 ) -> (usize, u64) {
     let n = net.g.n_vertices();
     let q = coloring.q();
+    let wpr = bits::words_for(q);
     let mut colored = 0usize;
     let mut round = 0u64;
-    let mut palettes: Vec<Vec<usize>> = Vec::new();
-    let mut eligible: Vec<bool> = Vec::new();
+    // Per-vertex used-color rows, packed (`⌈q/64⌉` words each) in one
+    // flat matrix filled shard-parallel; the sampler answers count/select
+    // against its own row by popcount. The active set is the word-wise
+    // complement of the coloring's occupancy mask — no `Vec<bool>`
+    // eligibility pass. All buffers are hoisted: warm rounds reuse them.
+    let mut used_rows: Vec<u64> = Vec::new();
+    let mut active: Vec<u64> = Vec::new();
+    let mut scratch = TrialScratch::new();
     while !coloring.is_total() {
         round += 1;
         net.charge_full_rounds(1, (q as u64).min(4 * net.meter.budget_bits()));
-        net.par_vertex_map_into(&mut palettes, |v| {
-            if coloring.is_colored(v) {
-                Vec::new()
-            } else {
-                coloring.palette_oracle(net.g, v)
+        let col = &*coloring;
+        net.par_vertex_fill_words(wpr, &mut used_rows, |v, row| {
+            if col.is_colored(v) {
+                return;
+            }
+            for &u in net.g.neighbors(v) {
+                if let Some(c) = col.get(u) {
+                    bits::set_bit(row, c);
+                }
             }
         });
-        net.par_vertex_map_into(&mut eligible, |v| !coloring.is_colored(v));
-        colored += try_color_round(net, coloring, fb_seeds, round, &eligible, 1.0, |v, rng| {
-            let pal = &palettes[v];
-            if pal.is_empty() {
-                None
-            } else {
-                Some(pal[rng.random_range(0..pal.len())])
-            }
-        });
+        bits::complement_into(coloring.occupied_words(), n, &mut active);
+        let used_rows_ref = &used_rows;
+        colored += try_color_round_words(
+            net,
+            coloring,
+            fb_seeds,
+            round,
+            &active,
+            1.0,
+            |v, rng| {
+                let row = &used_rows_ref[v * wpr..(v + 1) * wpr];
+                let n_free = bits::count_free(row, q);
+                if n_free == 0 {
+                    None
+                } else {
+                    bits::nth_free(row, q, rng.random_range(0..n_free))
+                }
+            },
+            &mut scratch,
+        );
         debug_assert!(round <= 2 * n as u64 + 16, "fallback must terminate");
     }
     (colored, round)

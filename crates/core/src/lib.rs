@@ -86,5 +86,5 @@ pub use palette_query::CliquePalette;
 pub use params::{Ablation, Params};
 pub use schedule::ColorSchedule;
 pub use serve::{ServeOutcome, ServerConfig, ServerStats, SessionServer};
-pub use session::{ParamsProfile, RunOutcome, Session, SessionBuilder};
+pub use session::{PaletteQueryOutcome, ParamsProfile, RunOutcome, Session, SessionBuilder};
 pub use validate::{coloring_stats, ColoringStats};

@@ -9,7 +9,7 @@
 //! colors — the precondition of the §9.4 list-coloring finisher.
 
 use crate::coloring::{Color, Coloring};
-use cgc_cluster::{ClusterNet, VertexId};
+use cgc_cluster::{BitMatrix, ClusterNet, VertexId};
 use cgc_net::SeedStream;
 use rand::RngExt;
 
@@ -32,7 +32,9 @@ pub fn learn_free_colors(
 ) -> Vec<(VertexId, Vec<Color>, bool)> {
     let q = coloring.q();
     let mut lists: Vec<Vec<Color>> = vec![Vec::new(); members.len()];
-    let mut tried: Vec<Vec<bool>> = vec![vec![false; q]; members.len()];
+    // Probed colors per member: a flat packed bit-matrix (one allocation
+    // of `members · ⌈q/64⌉` words) instead of one heap row per member.
+    let mut tried = BitMatrix::new(members.len(), q);
 
     for round in 0..rounds {
         // One probe round: batch · log Δ bits per vertex.
@@ -50,10 +52,10 @@ pub fn learn_free_colors(
             let mut rng = seeds.rng_for(v as u64, salt ^ ((round as u64) << 8));
             for _ in 0..batch {
                 let c = rng.random_range(0..q);
-                if tried[j][c] {
+                if tried.is_marked(j, c) {
                     continue;
                 }
-                tried[j][c] = true;
+                tried.mark(j, c);
                 // The neighbors answer whether c is taken (one bit each,
                 // OR-aggregated) — computable at the links.
                 let free = net

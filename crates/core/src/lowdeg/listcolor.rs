@@ -10,8 +10,8 @@
 //! substitution's cost is visible in every experiment.
 
 use crate::coloring::Coloring;
-use crate::trycolor::try_color_round;
-use cgc_cluster::{ClusterNet, VertexId};
+use crate::trycolor::{try_color_round_words, TrialScratch};
+use cgc_cluster::{bits, BitsScratch, ClusterNet, VertexId};
 use cgc_net::SeedStream;
 use rand::RngExt;
 
@@ -29,66 +29,81 @@ pub fn color_components(
     if total == 0 {
         return (0, 0);
     }
-    let mut member = vec![false; n];
+    // Membership as a packed vertex mask: each round's eligible set is
+    // `member & !occupied`, one word-wise andnot against the coloring's
+    // occupancy mask (no per-vertex flag sweep).
+    let q = coloring.q();
+    let wpr = bits::words_for(q);
+    let mut member_words = vec![0u64; bits::words_for(n)];
     for comp in components {
         for &v in comp {
-            member[v] = true;
+            bits::set_bit(&mut member_words, v);
         }
     }
 
     // Round cap ~ O(log total) with slack; leftovers go to the fallback.
     let cap = (4.0 * (total.max(2) as f64).ln()).ceil() as usize + 8;
-    let member = &member;
     let mut rounds = 0usize;
+    let mut active: Vec<u64> = Vec::new();
+    let mut palettes: Vec<u64> = Vec::new();
+    let mut scratch = TrialScratch::new();
     for r in 0..cap {
-        // Eligibility and palette sweeps run on the runtime's shard plan
-        // (weighted by CSR row mass — palette_oracle walks the row, so a
-        // hub component must not pin one shard) instead of serial scans.
-        let col = &*coloring;
-        let eligible: Vec<bool> = net.par_vertex_map(|v| member[v] && !col.is_colored(v));
-        if !eligible.iter().any(|&e| e) {
+        bits::andnot_into(&member_words, coloring.occupied_words(), &mut active);
+        if !bits::any_set(&active) {
             break;
         }
         rounds += 1;
-        // Palette bitmap maintenance + trial.
-        net.charge_full_rounds(1, coloring.q() as u64);
+        // Palette bitmap maintenance + trial. The packed used-color rows
+        // fill on the runtime's shard plan (weighted by CSR row mass —
+        // the fill walks the row, so a hub component must not pin one
+        // shard) instead of serial scans.
+        net.charge_full_rounds(1, q as u64);
         let col = &*coloring;
-        let eligible_ref = &eligible;
-        let palettes: Vec<Vec<usize>> = net.par_vertex_map(|v| {
-            if eligible_ref[v] {
-                col.palette_oracle(net.g, v)
-            } else {
-                Vec::new()
+        let active_ref = &active;
+        net.par_vertex_fill_words(wpr, &mut palettes, |v, row| {
+            if !bits::test_bit(active_ref, v) {
+                return;
+            }
+            for &u in net.g.neighbors(v) {
+                if let Some(c) = col.get(u) {
+                    bits::set_bit(row, c);
+                }
             }
         });
-        try_color_round(
+        let palettes_ref = &palettes;
+        try_color_round_words(
             net,
             coloring,
             seeds,
             salt ^ ((r as u64) << 12),
-            &eligible,
+            &active,
             1.0,
             |v, rng| {
-                let pal = &palettes[v];
-                if pal.is_empty() {
+                let row = &palettes_ref[v * wpr..(v + 1) * wpr];
+                let n_free = bits::count_free(row, q);
+                if n_free == 0 {
                     None
                 } else {
-                    Some(pal[rng.random_range(0..pal.len())])
+                    bits::nth_free(row, q, rng.random_range(0..n_free))
                 }
             },
+            &mut scratch,
         );
     }
 
     // Sequential fallback (guaranteed: deg+1 lists are never exhausted).
     let mut fallback = 0usize;
+    let mut fb_scratch = BitsScratch::new();
     for comp in components {
         for &v in comp {
             if coloring.is_colored(v) {
                 continue;
             }
             net.charge_full_rounds(1, net.color_bits() + net.id_bits());
-            let pal = coloring.palette_oracle(net.g, v);
-            coloring.set(v, pal[0]);
+            let c = coloring
+                .first_fit_color(net.g, v, &mut fb_scratch)
+                .expect("deg+1 lists are never exhausted");
+            coloring.set(v, c);
             fallback += 1;
         }
     }

@@ -45,7 +45,9 @@ use crate::driver::fallback_until_total;
 use crate::schedule::ColorSchedule;
 use crate::validate::coloring_stats;
 use cgc_cluster::par::SendPtr;
-use cgc_cluster::{run_waves, ClusterGraph, ClusterNet, DeltaReport, ParallelConfig, WorkerPool};
+use cgc_cluster::{
+    run_waves, BitsScratch, ClusterGraph, ClusterNet, DeltaReport, ParallelConfig, WorkerPool,
+};
 use cgc_net::{CostReport, SeedStream};
 
 /// Stage tag separating recolor randomness from the driver's numbered
@@ -220,8 +222,14 @@ pub(crate) fn recolor_dirty(
                     &[0, wave.len()],
                     &wave,
                     &|_w, base_idx, slice| {
+                        // One packed scratch per slice, reset per vertex
+                        // in O(q/64) — the first-fit candidate is a word
+                        // scan, no free-list materialization.
+                        let mut scratch = BitsScratch::new();
                         for (i, &v) in slice.iter().enumerate() {
-                            let col = coloring.palette_oracle(graph, v)[0];
+                            let col = coloring
+                                .first_fit_color(graph, v, &mut scratch)
+                                .expect("q = Δ' + 1 palettes are never empty");
                             // SAFETY: candidate slot `base_idx + i` is
                             // owned by exactly this item of this slice.
                             unsafe { *base.get().add(base_idx + i) = col };

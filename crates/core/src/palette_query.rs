@@ -10,14 +10,15 @@
 //! per batch exactly as the lemma prescribes.
 
 use crate::coloring::{Color, Coloring};
-use cgc_cluster::{ClusterNet, VertexId};
+use cgc_cluster::{ClusterNet, PaletteBits, VertexId};
 
-/// A snapshot of one almost-clique's palette.
+/// A snapshot of one almost-clique's palette: the used-color set packed
+/// into `⌈q/64⌉` words (see [`cgc_cluster::bits`]). The Lemma 4.8
+/// count/select queries are masked popcounts and a word-skip select over
+/// that array — no sorted free list is materialized.
 #[derive(Debug, Clone)]
 pub struct CliquePalette {
-    used: Vec<bool>,
-    /// Free colors, sorted ascending.
-    free: Vec<Color>,
+    used: PaletteBits,
     /// Members colored at snapshot time.
     n_colored: usize,
     /// Distinct colors used by members.
@@ -62,19 +63,17 @@ impl CliquePalette {
 
     fn snapshot(coloring: &Coloring, clique: &[VertexId]) -> Self {
         let q = coloring.q();
-        let mut used = vec![false; q];
+        let mut used = PaletteBits::new(q);
         let mut n_colored = 0usize;
         for &v in clique {
             if let Some(c) = coloring.get(v) {
                 n_colored += 1;
-                used[c] = true;
+                used.mark(c);
             }
         }
-        let free: Vec<Color> = (0..q).filter(|&c| !used[c]).collect();
-        let n_distinct = q - free.len();
+        let n_distinct = used.count_marked();
         CliquePalette {
             used,
-            free,
             n_colored,
             n_distinct,
         }
@@ -82,37 +81,33 @@ impl CliquePalette {
 
     /// Whether color `c` is unused in the clique.
     pub fn is_free(&self, c: Color) -> bool {
-        !self.used[c]
+        self.used.is_free(c)
     }
 
     /// Number of free colors.
     pub fn n_free(&self) -> usize {
-        self.free.len()
+        self.used.count_free()
     }
 
-    /// All free colors (sorted). The *distributed* algorithm only reads
-    /// this through ranged queries; full access is for validation.
-    pub fn free_colors(&self) -> &[Color] {
-        &self.free
+    /// All free colors, sorted ascending (collected from the packed set
+    /// on demand). The *distributed* algorithm only reads the palette
+    /// through ranged queries; full access is for validation.
+    pub fn free_colors(&self) -> Vec<Color> {
+        let mut out = Vec::with_capacity(self.n_free());
+        self.used.collect_free_into(&mut out);
+        out
     }
 
-    /// Lemma 4.8 count query: `|L(K) ∩ [lo, hi)|`.
+    /// Lemma 4.8 count query: `|L(K) ∩ [lo, hi)|` — masked popcounts over
+    /// the boundary words.
     pub fn free_count_in(&self, lo: Color, hi: Color) -> usize {
-        let a = self.free.partition_point(|&c| c < lo);
-        let b = self.free.partition_point(|&c| c < hi);
-        b - a
+        self.used.free_count_in(lo, hi)
     }
 
     /// Lemma 4.8 select query: the `i`-th (0-based) free color in
-    /// `[lo, hi)`.
+    /// `[lo, hi)` — popcount word-skip plus an in-word select.
     pub fn nth_free_in(&self, i: usize, lo: Color, hi: Color) -> Option<Color> {
-        let a = self.free.partition_point(|&c| c < lo);
-        let b = self.free.partition_point(|&c| c < hi);
-        if a + i < b {
-            Some(self.free[a + i])
-        } else {
-            None
-        }
+        self.used.nth_free_in(i, lo, hi)
     }
 
     /// The repeated-color count `M_K = |K ∩ dom φ| − |φ(K)|` — the size of

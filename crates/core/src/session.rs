@@ -42,7 +42,10 @@ use crate::driver::{color_cluster_graph_with, DriverOptions, RunResult};
 use crate::mutate::{recolor_dirty, MutationOutcome};
 use crate::params::{Ablation, Params};
 use crate::schedule::ColorSchedule;
-use cgc_cluster::{available_threads, ClusterGraph, ClusterNet, ParallelConfig, RepairStats};
+use cgc_cluster::{
+    available_threads, palette_sweep_waves, ClusterGraph, ClusterNet, PaletteSweep, ParallelConfig,
+    RepairStats, WaveStats,
+};
 use cgc_graphs::{PlantedInfo, SetupTimings, WorkloadParseError, WorkloadSpec};
 use cgc_net::{DeltaBatch, NetError};
 use std::time::Instant;
@@ -97,6 +100,31 @@ pub struct RunOutcome {
     pub delta_epoch: u64,
     /// Wall-clock seconds of the coloring run itself.
     pub color_secs: f64,
+}
+
+/// What one wave-scheduled palette query pass produced
+/// ([`Session::query_palettes`]): per-vertex palette/slack views plus the
+/// executed wave statistics. A pure function of `(graph, coloring)` —
+/// bit-identical at any thread count.
+#[derive(Debug, Clone)]
+pub struct PaletteQueryOutcome {
+    /// Canonical string of the queried workload.
+    pub spec_string: String,
+    /// `|L(v)|` — free colors at `v` (index = vertex).
+    pub free_counts: Vec<usize>,
+    /// `deg_φ(v)` — uncolored neighbors of `v`.
+    pub uncolored_degrees: Vec<usize>,
+    /// Slack `s_φ(v) = |L(v)| − deg_φ(v)`.
+    pub slacks: Vec<i64>,
+    /// Reuse slack: colored neighbors minus distinct colors on them.
+    pub reuse_slacks: Vec<usize>,
+    /// Wave statistics of the executed sweep (pure function of the
+    /// schedule, never of thread count).
+    pub wave_stats: WaveStats,
+    /// Executor thread count the sweep used.
+    pub threads: usize,
+    /// Wall-clock seconds of the sweep (excluding the schedule build).
+    pub query_secs: f64,
 }
 
 /// Builder for a [`Session`]; every knob the 21 experiment binaries used
@@ -428,6 +456,56 @@ impl Session {
         self.coloring.as_ref()
     }
 
+    /// Runs a read-only palette/slack query pass over every vertex of
+    /// the loaded instance, scheduled as [`ColorSchedule`] **waves** over
+    /// the session's stored coloring — the query-side counterpart of the
+    /// wave-scheduled mutation passes: per wave, the vertices split into
+    /// contiguous shard slices on the persistent pool, each worker
+    /// answering count/select questions against a private packed
+    /// [`cgc_cluster::BitsScratch`]. Because the sweep only reads the
+    /// coloring, its output is a pure function of `(graph, coloring)`:
+    /// bit-identical to the serial sweep at any thread count (the
+    /// equivalence suite pins this).
+    ///
+    /// Returns `None` until the session holds a total coloring of the
+    /// loaded instance (run [`Session::run`] first). Like the other
+    /// oracle views, nothing is charged: the sweep reads public colors.
+    pub fn query_palettes(&mut self) -> Option<PaletteQueryOutcome> {
+        let coloring = self
+            .coloring
+            .as_ref()
+            .filter(|c| c.is_total() && c.len() == self.graph.n_vertices())?;
+        let schedule = ColorSchedule::build(&self.graph, coloring, &self.parallel);
+        let start = Instant::now();
+        let mut sweep = PaletteSweep::new();
+        let wave_stats = palette_sweep_waves(
+            &self.graph,
+            coloring.colors(),
+            coloring.q(),
+            schedule.waves().offsets(),
+            schedule.waves().items(),
+            &self.parallel,
+            &mut sweep,
+        );
+        let query_secs = start.elapsed().as_secs_f64();
+        let slacks = sweep
+            .free_counts
+            .iter()
+            .zip(&sweep.uncolored_degrees)
+            .map(|(&f, &u)| f as i64 - u as i64)
+            .collect();
+        Some(PaletteQueryOutcome {
+            spec_string: self.spec.to_string(),
+            free_counts: sweep.free_counts,
+            uncolored_degrees: sweep.uncolored_degrees,
+            slacks,
+            reuse_slacks: sweep.reuse_slacks,
+            wave_stats,
+            threads: self.parallel.threads(),
+            query_secs,
+        })
+    }
+
     /// Applies `batches` of edge deltas to the loaded instance **in
     /// place** and repairs the coloring incrementally: each batch goes
     /// through [`ClusterGraph::apply_delta_with`] (the incremental CSR /
@@ -690,6 +768,54 @@ mod tests {
         s.set_workload("gnp:n=80,p=0.08,seed=9".parse().unwrap());
         assert_eq!(s.delta_epoch(), 0);
         assert!(s.coloring().is_none());
+    }
+
+    #[test]
+    fn query_palettes_matches_the_oracles_and_reports_waves() {
+        let mut s = SessionBuilder::parse("gnp:n=90,p=0.07,seed=5")
+            .unwrap()
+            .parallel(ParallelConfig::serial())
+            .build();
+        assert!(
+            s.query_palettes().is_none(),
+            "no palette queries before the first coloring"
+        );
+        s.run(2);
+        let out = s.query_palettes().unwrap();
+        let n = s.graph().n_vertices();
+        let coloring = s.coloring().unwrap();
+        assert_eq!(out.free_counts.len(), n);
+        for v in 0..n {
+            assert_eq!(
+                out.free_counts[v],
+                coloring.palette_oracle(s.graph(), v).len(),
+                "vertex {v}"
+            );
+            assert_eq!(out.slacks[v], coloring.slack_oracle(s.graph(), v));
+            assert_eq!(out.uncolored_degrees[v], 0, "the coloring is total");
+            assert_eq!(out.reuse_slacks[v], coloring.reuse_slack(s.graph(), v));
+        }
+        assert_eq!(out.wave_stats.items, n, "every vertex swept exactly once");
+        assert!(out.wave_stats.waves > 0);
+        assert_eq!(out.threads, 1);
+    }
+
+    #[test]
+    fn query_palettes_is_thread_count_invariant() {
+        let mut reference: Option<(Vec<usize>, Vec<i64>, Vec<usize>)> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut s = SessionBuilder::parse("gnp:n=110,p=0.06,seed=6")
+                .unwrap()
+                .parallel(ParallelConfig::with_threads(threads))
+                .build();
+            s.run(4);
+            let out = s.query_palettes().unwrap();
+            let triple = (out.free_counts, out.slacks, out.reuse_slacks);
+            match &reference {
+                None => reference = Some(triple),
+                Some(r) => assert_eq!(&triple, r, "threads={threads}"),
+            }
+        }
     }
 
     #[test]

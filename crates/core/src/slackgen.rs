@@ -11,7 +11,7 @@
 use crate::coloring::Coloring;
 use crate::params::Params;
 use crate::rounds::{candidate_conflict_round, commit_unblocked, ConflictQueries, TieRule};
-use cgc_cluster::ClusterNet;
+use cgc_cluster::{bits, ClusterNet};
 use cgc_net::SeedStream;
 use rand::RngExt;
 
@@ -39,16 +39,21 @@ pub fn slack_generation(
         return 0;
     }
 
+    // The eligibility mask is consumed as a set: packed into bit-words
+    // and intersected with the uncolored set word-wise, the candidate
+    // sweep visits only the active vertices (ascending, so the per-vertex
+    // RNG draws match the historical flag-scan exactly).
+    let mut elig_words = Vec::new();
+    bits::pack_flags_into(eligible, &mut elig_words);
+    let mut active = Vec::new();
+    bits::andnot_into(&elig_words, coloring.occupied_words(), &mut active);
     let mut cand: Vec<Option<usize>> = vec![None; n];
-    for v in 0..n {
-        if !eligible[v] || coloring.is_colored(v) {
-            continue;
-        }
+    bits::for_each_set(&active, |v| {
         let mut rng = seeds.rng_for(v as u64, salt);
         if rng.random::<f64>() < params.slack_activation {
             cand[v] = Some(rng.random_range(reserve..q));
         }
-    }
+    });
 
     // Symmetric conflict resolution: any same-color contact kills both.
     // Slack generation runs before anything else is colored, so the

@@ -9,7 +9,7 @@
 
 use crate::coloring::{Color, Coloring};
 use crate::rounds::{candidate_conflict_round, commit_unblocked, ConflictQueries, TieRule};
-use cgc_cluster::{ClusterNet, VertexId};
+use cgc_cluster::{bits, ClusterNet, VertexId};
 use cgc_net::SeedStream;
 use rand::RngExt;
 use rand_chacha::ChaCha8Rng;
@@ -97,6 +97,66 @@ pub fn try_color_round_with(
         }
     }
 
+    conflict_round_and_commit(net, coloring, scratch)
+}
+
+/// One round of `TryColor` over a **packed active mask** (bit `v` set =
+/// `v` tries this round; the caller guarantees active vertices are
+/// uncolored — typically `eligible & !occupied`, word-wise). The round
+/// loops that maintain their eligibility sets as bit-words
+/// ([`try_color_rounds`], the driver fallback, the §9.4 list-coloring
+/// finisher) call this directly: candidate generation iterates only the
+/// set bits instead of scanning all `n` flags.
+///
+/// Bit-identical to [`try_color_round_with`] with the equivalent
+/// `&[bool]` mask: set bits are visited ascending, with the same
+/// per-vertex seeded RNG.
+///
+/// # Panics
+///
+/// Panics if `active_words` is not sized to the vertex count.
+#[allow(clippy::too_many_arguments)]
+pub fn try_color_round_words(
+    net: &mut ClusterNet<'_>,
+    coloring: &mut Coloring,
+    seeds: &SeedStream,
+    salt: u64,
+    active_words: &[u64],
+    activation_p: f64,
+    mut sampler: impl FnMut(VertexId, &mut ChaCha8Rng) -> Option<Color>,
+    scratch: &mut TrialScratch,
+) -> usize {
+    let n = net.g.n_vertices();
+    assert_eq!(
+        active_words.len(),
+        bits::words_for(n),
+        "one mask bit per vertex"
+    );
+
+    let cand = &mut scratch.cand;
+    cand.clear();
+    cand.resize(n, None);
+    bits::for_each_set(active_words, |v| {
+        debug_assert!(
+            !coloring.is_colored(v),
+            "active mask must exclude colored vertices"
+        );
+        let mut rng = seeds.rng_for(v as u64, salt);
+        if activation_p >= 1.0 || rng.random::<f64>() < activation_p {
+            cand[v] = sampler(v, &mut rng);
+        }
+    });
+
+    conflict_round_and_commit(net, coloring, scratch)
+}
+
+/// The shared second half of a trial round: the charged conflict
+/// resolution over `scratch.cand`, then the serial commit.
+fn conflict_round_and_commit(
+    net: &mut ClusterNet<'_>,
+    coloring: &mut Coloring,
+    scratch: &mut TrialScratch,
+) -> usize {
     // Queries carry (candidate?, current color?) — both O(log Δ) bits; the
     // current color is already public at link machines but charging it
     // keeps the accounting conservative.
@@ -104,12 +164,12 @@ pub fn try_color_round_with(
     let blocked = candidate_conflict_round(
         net,
         cbits,
-        cand,
+        &scratch.cand,
         coloring,
         TieRule::SmallerIdWins,
         &mut scratch.queries,
     );
-    commit_unblocked(coloring, cand, blocked)
+    commit_unblocked(coloring, &scratch.cand, blocked)
 }
 
 /// A sampler over the color interval `[lo, hi)`.
@@ -128,6 +188,11 @@ pub fn interval_sampler(
 
 /// Repeats [`try_color_round`] until `rounds` trials have run or all
 /// eligible vertices are colored; returns total newly colored.
+///
+/// The eligibility flags are packed into bit-words **once**; each round
+/// then intersects them against the coloring's occupancy mask word-wise
+/// (`eligible & !occupied`) — both the "anyone left?" early exit and the
+/// candidate sweep consume the set in packed form.
 #[allow(clippy::too_many_arguments)]
 pub fn try_color_rounds(
     net: &mut ClusterNet<'_>,
@@ -141,16 +206,20 @@ pub fn try_color_rounds(
 ) -> usize {
     let mut total = 0usize;
     let mut scratch = TrialScratch::new();
+    let mut elig_words = Vec::new();
+    bits::pack_flags_into(eligible, &mut elig_words);
+    let mut active = Vec::new();
     for r in 0..rounds {
-        if (0..eligible.len()).all(|v| !eligible[v] || coloring.is_colored(v)) {
+        bits::andnot_into(&elig_words, coloring.occupied_words(), &mut active);
+        if !bits::any_set(&active) {
             break;
         }
-        total += try_color_round_with(
+        total += try_color_round_words(
             net,
             coloring,
             seeds,
             salt_base.wrapping_add(r as u64),
-            eligible,
+            &active,
             activation_p,
             &mut sampler,
             &mut scratch,

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod bandwidth;
+pub mod bits;
 pub mod delta;
 pub mod error;
 pub mod graph;
@@ -41,6 +42,7 @@ pub mod par;
 pub mod rng;
 
 pub use bandwidth::{CostMeter, CostReport, PhaseCost};
+pub use bits::{BitMatrix, BitsScratch, PaletteBits};
 pub use delta::{DeltaBatch, DeltaEffect};
 pub use error::NetError;
 pub use graph::{BfsScratch, CommGraph, MachineId};

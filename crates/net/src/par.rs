@@ -1808,18 +1808,25 @@ pub fn run_waves(
         stats.waves += 1;
         stats.largest_wave = stats.largest_wave.max(wave.len());
         stats.items += wave.len();
-        let plan = ShardPlan::even(wave.len(), threads);
-        if plan.n_shards() <= 1 {
+        // The slice boundaries reproduce `ShardPlan::even` arithmetically
+        // (`s·len/shards`) instead of materializing a bounds Vec: a wave
+        // sweep over thousands of classes must not allocate per wave —
+        // that keeps warm scheduled passes heap-silent (asserted by the
+        // cluster crate's counting-allocator suite).
+        let len = wave.len();
+        let shards = threads.min(len);
+        if shards <= 1 {
             job(w, lo, wave);
         } else {
             // `for_each_shard` blocks until every slice finished — that is
             // the inter-wave barrier.
-            for_each_shard(pool, plan.n_shards(), &|s| {
-                let r = plan.range(s);
-                if r.is_empty() {
+            for_each_shard(pool, shards, &|s| {
+                let start = s * len / shards;
+                let end = (s + 1) * len / shards;
+                if start == end {
                     return;
                 }
-                job(w, lo + r.start, &wave[r.start..r.end]);
+                job(w, lo + start, &wave[start..end]);
             });
         }
     }
